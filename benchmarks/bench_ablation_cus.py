@@ -1,0 +1,73 @@
+"""Ablation: ML-MIAOW compute-unit count vs detection latency.
+
+The paper fixes 5 CUs (what fits the ZC706 after trimming); this sweep
+shows the latency curve the designers traded against area — gains
+saturate once the CU count reaches the kernels' workgroup parallelism
+(4 gate workgroups + serial tail for the LSTM).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_result
+from repro.eval.prep import get_bundle
+from repro.eval.report import format_table
+from repro.miaow.gpu import Gpu
+
+CU_COUNTS = (1, 2, 3, 4, 5, 8)
+BENCHMARK = "403.gcc"
+
+
+@pytest.fixture(scope="module")
+def latency_by_cus():
+    bundle = get_bundle(BENCHMARK, "lstm")
+    results = {}
+    for num_cus in CU_COUNTS:
+        soc = bundle.make_soc(Gpu(num_cus=num_cus), execute_on_gpu=False)
+        result = soc.run_attack_trial(
+            normal_ids=bundle.normal_ids[:300],
+            mean_interval_us=bundle.mean_interval_us,
+            gadget_ids=[int(g) for g in bundle.gadget_pool[:8]],
+            onset_index=150,
+            seed=0,
+        )
+        results[num_cus] = result.detection_latency_us
+    return results
+
+
+def test_cu_count_ablation(benchmark, latency_by_cus):
+    bundle = get_bundle(BENCHMARK, "lstm")
+
+    def one_trial():
+        soc = bundle.make_soc(Gpu(num_cus=5), execute_on_gpu=False)
+        return soc.run_attack_trial(
+            normal_ids=bundle.normal_ids[:150],
+            mean_interval_us=bundle.mean_interval_us,
+            gadget_ids=[1, 2, 3, 4],
+            onset_index=75,
+            seed=1,
+        )
+
+    benchmark.pedantic(one_trial, rounds=3, iterations=1)
+
+    rows = [
+        (cus, latency_by_cus[cus],
+         latency_by_cus[1] / latency_by_cus[cus])
+        for cus in CU_COUNTS
+    ]
+    save_result(
+        "ablation_cus",
+        format_table(
+            ["CUs", "LSTM judgment latency us", "speedup vs 1 CU"],
+            rows,
+            title=f"Ablation — CU count ({BENCHMARK}, LSTM)",
+        ),
+    )
+
+    # More CUs never hurt; 4 CUs capture the gate-level parallelism.
+    latencies = [latency_by_cus[c] for c in CU_COUNTS]
+    assert all(b <= a * 1.02 for a, b in zip(latencies, latencies[1:]))
+    gain_1_to_4 = latency_by_cus[1] / latency_by_cus[4]
+    gain_4_to_8 = latency_by_cus[4] / latency_by_cus[8]
+    assert gain_1_to_4 > 1.5
+    assert gain_4_to_8 < 1.25  # saturation past the WG parallelism

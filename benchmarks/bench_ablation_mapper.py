@@ -1,0 +1,148 @@
+"""Ablation: address-mapper selectivity vs engine load.
+
+"Users can configure the table to select branches related to their ML
+models" — this sweep shows why the configuration matters: widening the
+monitored set raises the filtered event rate toward the engine's
+service rate until the MCM saturates, queues, and finally loses branch
+information.  The LSTM hidden-size half of the sweep shows the other
+side of the same trade: a bigger model is slower to serve.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_result
+from repro.eval.prep import get_bundle, make_ml_miaow
+from repro.eval.report import format_table
+from repro.miaow.gpu import Gpu
+from repro.ml.kernels import DeployedLstm
+from repro.ml.lstm import LstmModel
+
+BENCHMARK = "403.gcc"
+#: Multipliers on the profile's monitored event rate (1.0 = paper's
+#: sparse configuration; bigger = a denser mapper table).
+RATE_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@pytest.fixture(scope="module")
+def selectivity_sweep():
+    bundle = get_bundle(BENCHMARK, "lstm")
+    out = {}
+    for factor in RATE_FACTORS:
+        soc = bundle.make_soc(make_ml_miaow(), execute_on_gpu=False)
+        result = soc.run_attack_trial(
+            normal_ids=bundle.normal_ids[:400],
+            mean_interval_us=bundle.mean_interval_us / factor,
+            gadget_ids=[int(g) for g in bundle.gadget_pool[:8]],
+            onset_index=200,
+            seed=0,
+        )
+        out[factor] = result
+    return out
+
+
+def test_mapper_selectivity_ablation(benchmark, selectivity_sweep):
+    bundle = get_bundle(BENCHMARK, "lstm")
+    benchmark.pedantic(
+        lambda: bundle.make_soc(make_ml_miaow(), execute_on_gpu=False),
+        rounds=3, iterations=1,
+    )
+
+    rows = []
+    for factor in RATE_FACTORS:
+        result = selectivity_sweep[factor]
+        rows.append(
+            (
+                f"x{factor}",
+                round(bundle.mean_interval_us / factor, 1),
+                "-" if result.detection_latency_us is None
+                else round(result.detection_latency_us, 1),
+                result.dropped_vectors,
+                "yes" if result.overflowed else "no",
+            )
+        )
+    save_result(
+        "ablation_mapper",
+        format_table(
+            ["monitored rate", "interval us", "judgment us",
+             "dropped", "overflow"],
+            rows,
+            title=f"Ablation — mapper selectivity ({BENCHMARK}, LSTM, "
+                  "ML-MIAOW)",
+        ),
+    )
+
+    # Sparse configurations are loss-free; dense ones overflow.
+    assert not selectivity_sweep[0.5].overflowed
+    assert not selectivity_sweep[1.0].overflowed
+    assert selectivity_sweep[8.0].overflowed
+    # Latency grows monotonically-ish with load.
+    lat = [
+        selectivity_sweep[f].detection_latency_us for f in (0.5, 1.0, 4.0)
+    ]
+    assert lat[0] <= lat[1] * 1.05 <= lat[2] * 1.1
+
+
+@pytest.fixture(scope="module")
+def hidden_size_sweep():
+    """LSTM hidden size vs per-inference service cycles.
+
+    H stops at 32: with the vocabulary padded to one wavefront (64),
+    a 48-wide LSTM's weights (~99 KB) no longer fit the 64 KB LDS —
+    the same capacity wall that bounds the real ML-MIAOW's models.
+    """
+    out = {}
+    for hidden in (8, 16, 24, 32):
+        model = LstmModel(vocabulary_size=48, hidden_size=hidden, seed=0)
+        deployment = DeployedLstm(model)
+        deployment.load(Gpu(num_cus=5))
+        result = deployment.infer(1)
+        out[hidden] = result.total_cycles
+    return out
+
+
+def test_lstm_hidden_size_ablation(benchmark, hidden_size_sweep):
+    benchmark.pedantic(
+        lambda: DeployedLstm(
+            LstmModel(vocabulary_size=48, hidden_size=32, seed=0)
+        ),
+        rounds=3, iterations=1,
+    )
+    rows = [
+        (hidden, cycles, round(cycles / 50, 1))
+        for hidden, cycles in sorted(hidden_size_sweep.items())
+    ]
+    save_result(
+        "ablation_lstm_hidden",
+        format_table(
+            ["hidden size", "cycles/inference", "us @50MHz"],
+            rows,
+            title="Ablation — LSTM hidden size vs service time (5 CUs; "
+                  "H=48 exceeds the 64 KB LDS)",
+        ),
+    )
+    cycles = [hidden_size_sweep[h] for h in (8, 16, 32)]
+    assert cycles == sorted(cycles)
+    # Service grows linearly in H on top of a fixed softmax/activation
+    # tail (~500 cycles): doubling H costs ~1.5x.
+    assert hidden_size_sweep[32] > 1.4 * hidden_size_sweep[16]
+    per_h = (hidden_size_sweep[32] - hidden_size_sweep[8]) / 24
+    assert 20 < per_h < 60  # ~32 cycles per hidden unit per inference
+
+
+def test_lstm_hidden_capped_by_lds(benchmark):
+    """The LDS capacity wall: H=48 weights cannot be loaded."""
+    from repro.errors import GpuMemoryError
+
+    model = LstmModel(vocabulary_size=48, hidden_size=48, seed=0)
+    deployment = DeployedLstm(model)
+
+    def try_load():
+        try:
+            deployment.load(Gpu(num_cus=1))
+        except GpuMemoryError:
+            return True
+        return False
+
+    overflowed = benchmark.pedantic(try_load, rounds=1, iterations=1)
+    assert overflowed

@@ -1,0 +1,86 @@
+"""Ablation: fixed-point precision vs detection quality.
+
+A quantized deployment avoids the float datapath entirely, letting the
+coverage flow trim the FP blocks too — *if* detection survives the
+precision loss.  This bench sweeps weight/activation formats and
+reports AUC and rank agreement against the float32 ELM.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_result
+from repro.eval.report import format_table
+from repro.ml.detector import roc_auc
+from repro.ml.elm import ExtremeLearningMachine
+from repro.ml.features import PatternDictionary
+from repro.ml.quantize import QuantizedElm, quantization_agreement
+from repro.utils.fixed_point import FixedPointFormat
+from repro.workloads.dataset import build_dataset
+from repro.workloads.profiles import get_profile
+from repro.workloads.program import SyntheticProgram
+
+FORMATS = [
+    ("Q4.12 / Q8.8", FixedPointFormat(4, 12), FixedPointFormat(8, 8)),
+    ("Q2.6  / Q4.4", FixedPointFormat(2, 6), FixedPointFormat(4, 4)),
+    ("Q2.3  / Q3.2", FixedPointFormat(2, 3), FixedPointFormat(3, 2)),
+]
+
+
+@pytest.fixture(scope="module")
+def elm_setup():
+    program = SyntheticProgram(get_profile("403.gcc"), seed=31)
+    dataset = build_dataset(
+        program, feature="syscall", window=16,
+        train_events=14_000, test_events=6_000, num_attacks=25, seed=1,
+    )
+    dictionary = PatternDictionary(n=3, capacity=1023, unseen_gain=3)
+    dictionary.fit(dataset.train_windows)
+    train = dictionary.features(dataset.train_windows)
+    normal = dictionary.features(dataset.test_normal)
+    anomalous = dictionary.features(dataset.test_anomalous)
+    model = ExtremeLearningMachine(
+        input_dim=dictionary.size, hidden_dim=256, seed=1
+    ).fit(train)
+    return model, train, normal, anomalous
+
+
+def test_quantization_ablation(benchmark, elm_setup):
+    model, train, normal, anomalous = elm_setup
+
+    benchmark.pedantic(
+        lambda: QuantizedElm.from_model(model).score(normal[:100]),
+        rounds=3, iterations=1,
+    )
+
+    float_auc = roc_auc(
+        model.score_mahalanobis(normal), model.score_mahalanobis(anomalous)
+    )
+    rows = [("float32", round(float_auc, 3), "-", "-")]
+    aucs = {}
+    for label, w_fmt, a_fmt in FORMATS:
+        quantized = QuantizedElm.from_model(model, w_fmt, a_fmt)
+        auc = roc_auc(
+            quantized.score(normal), quantized.score(anomalous)
+        )
+        agreement = quantization_agreement(
+            model, normal[:200], w_fmt, a_fmt
+        )
+        savings = quantized.memory_savings_vs_f32()
+        aucs[label] = auc
+        rows.append(
+            (label, round(auc, 3), round(agreement, 3),
+             f"{savings * 100:.0f}%")
+        )
+    save_result(
+        "ablation_quantization",
+        format_table(
+            ["format (w/act)", "AUC", "rank agreement", "memory saved"],
+            rows,
+            title="Ablation — fixed-point precision vs detection quality",
+        ),
+    )
+
+    # 16-bit weights lose essentially nothing; extreme formats decay.
+    assert aucs["Q4.12 / Q8.8"] > float_auc - 0.03
+    assert aucs["Q2.3  / Q3.2"] <= aucs["Q4.12 / Q8.8"] + 1e-9

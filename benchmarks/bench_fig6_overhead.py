@@ -1,0 +1,33 @@
+"""Fig. 6: host performance overhead across SPEC CINT2006."""
+
+import pytest
+
+from conftest import save_result
+from repro.eval.fig6 import (
+    PAPER_GEOMEAN,
+    fig6_geomeans,
+    format_fig6,
+    run_fig6,
+)
+
+
+def test_fig6_overhead(benchmark):
+    rows = benchmark(run_fig6)
+    save_result("fig6", format_fig6(rows))
+
+    assert len(rows) == 12
+    means = fig6_geomeans(rows)
+
+    # Shape: RTAD << SW_SYS << SW_FUNC << SW_ALL.
+    assert means["RTAD"] < means["SW_SYS"] < means["SW_FUNC"] < means["SW_ALL"]
+    assert means["RTAD"] < 0.1
+
+    # Calibrated geomeans land on the paper's numbers.
+    for key, paper_value in PAPER_GEOMEAN.items():
+        assert means[key] == pytest.approx(paper_value, rel=0.25), key
+
+    # Per-benchmark: omnetpp/xalancbmk carry the heaviest SW_FUNC tax.
+    by_name = {r.benchmark: r for r in rows}
+    heaviest = max(rows, key=lambda r: r.sw_func_pct)
+    assert heaviest.benchmark in ("471.omnetpp", "483.xalancbmk")
+    assert by_name["456.hmmer"].sw_all_pct < by_name["462.libquantum"].sw_all_pct

@@ -1,0 +1,28 @@
+"""Fig. 7: data transfer latency, software path vs RTAD hardware path."""
+
+import pytest
+
+from conftest import save_result
+from repro.eval.fig7 import PAPER_RTAD, PAPER_SW, format_fig7, run_fig7
+
+
+def test_fig7_transfer_latency(benchmark):
+    result = benchmark(run_fig7)
+    save_result("fig7", format_fig7(result))
+
+    # SW: dominated by the CPU copy into peripheral memory.
+    assert result.sw.copy_us > result.sw.vectorize_us > result.sw.read_us
+    assert result.sw.total_us == pytest.approx(PAPER_SW.total_us, rel=0.05)
+
+    # RTAD: dominated by PTM FIFO buffering; IGM step is 2 cycles.
+    assert result.rtad.read_us > result.rtad.copy_us
+    assert result.rtad.vectorize_us == pytest.approx(0.016, rel=0.01)
+    assert result.rtad.total_us == pytest.approx(
+        PAPER_RTAD.total_us, rel=0.25
+    )
+
+    # RTAD drives the MCM ~16 us earlier (paper: 16.4 us / 4100 CPU
+    # cycles at 250 MHz).
+    assert result.rtad_advantage_us == pytest.approx(16.4, rel=0.1)
+    cpu_cycles_earlier = result.rtad_advantage_us * 250
+    assert cpu_cycles_earlier == pytest.approx(4_100, rel=0.1)

@@ -1,0 +1,47 @@
+"""Table I: synthesized resources of every RTAD module."""
+
+import pytest
+
+from conftest import save_result
+from repro.eval.table1 import ML_MIAOW_CUS, format_table1, run_table1
+from repro.synthesis.area_model import rtad_module_areas
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1()
+
+
+def test_table1_synthesis(benchmark, table1_rows):
+    """Benchmark the structural-accounting step itself."""
+    benchmark(rtad_module_areas)
+    save_result("table1", format_table1(table1_rows))
+
+    by_name = {row.submodule: row for row in table1_rows}
+    total = next(r for r in table1_rows if r.module == "Total")
+
+    # Shape criteria (DESIGN.md): the engine dominates, the TA is the
+    # LUT-heavy IGM block, the FIFO holds the BRAMs.
+    engine = by_name[f"ML-MIAOW ({ML_MIAOW_CUS} CUs)"]
+    assert engine.area.luts > 0.8 * total.area.luts
+    assert by_name["Trace Analyzer"].area.luts > by_name["P2S"].area.luts
+    assert by_name["Trace Analyzer"].area.luts > (
+        by_name["Input Vector Generator"].area.luts
+    )
+    assert by_name["Internal FIFO"].area.brams == 10
+
+    # Paper match: FPGA columns are exact by calibration.
+    for row in table1_rows:
+        assert row.area.luts == row.paper[0]
+        assert row.area.ffs == row.paper[1]
+        assert row.area.brams == row.paper[2]
+
+
+def test_table1_gate_counts_close(benchmark, table1_rows):
+    """ASIC gate estimates land near the Design Compiler numbers."""
+    from repro.synthesis.library import DEFAULT_LIBRARY
+
+    benchmark(lambda: DEFAULT_LIBRARY.gates_for(183_715, 76_375, 140))
+    for row in table1_rows:
+        if row.module == "Total":
+            assert row.area.gates == pytest.approx(row.paper[3], rel=0.07)

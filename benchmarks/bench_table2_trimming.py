@@ -1,0 +1,72 @@
+"""Table II: the coverage-merge trimming flow vs MIAOW2.0."""
+
+import pytest
+
+from conftest import save_result
+from repro.eval.table2 import (
+    PAPER_REDUCTIONS,
+    PAPER_TABLE2,
+    format_table2,
+    run_table2,
+    table2_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def trim_result():
+    return run_table2()
+
+
+def test_table2_trimming_flow(benchmark, trim_result):
+    """Benchmark the trim+account step (coverage already collected)."""
+    flow_report = trim_result.report
+
+    def trim_step():
+        from repro.miaow.trimming import TrimmingFlow
+
+        return TrimmingFlow().trim(flow_report)
+
+    benchmark(trim_step)
+    save_result("table2", format_table2(trim_result))
+
+    # The four-step flow must end verified (trimmed == original).
+    assert trim_result.verified
+
+    # The live coverage of the deployed kernels matches the frozen
+    # reference the area model is calibrated on — drift detector.
+    from repro.synthesis.area_model import REFERENCE_COVERAGE
+
+    assert trim_result.report.covered == set(REFERENCE_COVERAGE)
+
+    rows = {row.variant: row for row in table2_rows(trim_result)}
+    # Exact calibration against the published synthesis.
+    for variant, (luts, ffs) in PAPER_TABLE2.items():
+        assert rows[variant].luts == pytest.approx(luts, abs=2)
+        assert rows[variant].ffs == pytest.approx(ffs, abs=2)
+
+    # Shape criteria: ours trims far deeper than instruction analysis.
+    assert trim_result.reduction_pct == pytest.approx(
+        PAPER_REDUCTIONS["ML-MIAOW"], abs=1.0
+    )
+    assert trim_result.instruction_reduction_pct == pytest.approx(
+        PAPER_REDUCTIONS["MIAOW2.0"], abs=1.0
+    )
+    assert trim_result.perf_per_area_vs_instruction == pytest.approx(
+        3.2, abs=0.2
+    )
+    assert trim_result.perf_per_area_vs_full > 5.0
+
+
+def test_trimmed_engine_supports_both_models(benchmark, trim_result):
+    """ML-MIAOW keeps every opcode either deployed model needs."""
+    from repro.miaow.trimming import TrimmingFlow
+
+    benchmark(
+        lambda: TrimmingFlow().build_trimmed_gpu(trim_result, num_cus=5)
+    )
+    assert {"v_mac_f32", "v_exp_f32", "ds_swizzle_b32"} <= (
+        trim_result.allowed_ops
+    )
+    # and sheds what neither uses
+    assert "v_sqrt_f32" not in trim_result.allowed_ops
+    assert "v_log_f32" in trim_result.allowed_ops  # LSTM surprisal uses it

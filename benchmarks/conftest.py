@@ -1,0 +1,20 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one table/figure of the paper, prints the
+measured-vs-paper comparison, and persists it under
+``benchmarks/results/`` so the artifact survives pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,112 @@
+"""Programmability demo: author a kernel, run it, then trim the engine.
+
+RTAD's engine is a *programmable* GPGPU ("users may realize and deploy
+several models at their disposal") — this example writes a fresh
+Southern-Islands-subset kernel, runs it through the OpenCL-style
+runtime, and then applies the paper's four-step trimming flow to
+produce a custom application-specific engine.
+
+Run:  python examples/gpu_programming.py
+"""
+
+import numpy as np
+
+from repro.miaow import Gpu, GpuRuntime
+from repro.miaow.assembler import float_bits
+from repro.miaow.trimming import TrimmingFlow
+
+# Each lane computes dot(a_row, b) for one row of a 64x16 matrix.
+MATVEC = """
+.kernel matvec
+.vgprs 8
+    ; s2 = A base (row-major 64x16), s3 = x base, s4 = y base, s5 = K
+    v_mov_b32 v1, 0.0               ; acc
+    v_mul_lo_i32 v2, v0, s5         ; row * K
+    v_lshlrev_b32 v2, 2, v2
+    v_add_i32 v2, v2, s2            ; &A[row, 0]
+    s_mov_b32 s6, 0                 ; k
+    s_mov_b32 s7, 0                 ; x byte offset
+loop:
+    s_load_dword s8, s3, s7         ; x[k]
+    flat_load_dword v3, v2          ; A[row, k]
+    v_mac_f32 v1, v3, s8
+    v_add_i32 v2, v2, 4
+    s_add_i32 s7, s7, 4
+    s_add_i32 s6, s6, 1
+    s_cmp_lt_i32 s6, s5
+    s_cbranch_scc1 loop
+    v_lshlrev_b32 v4, 2, v0
+    v_add_i32 v4, v4, s4
+    flat_store_dword v4, v1
+    s_endpgm
+"""
+
+# A second kernel using ops matvec never touches (sqrt).
+NORMS = """
+.kernel norms
+.vgprs 6
+    v_cvt_f32_i32 v1, v0
+    v_mul_f32 v1, v1, v1
+    v_sqrt_f32 v1, v1
+    v_lshlrev_b32 v2, 2, v0
+    v_add_i32 v2, v2, s2
+    flat_store_dword v2, v1
+    s_endpgm
+"""
+
+
+def run_matvec(gpu: Gpu) -> np.ndarray:
+    runtime = GpuRuntime(gpu)
+    kernel = runtime.build_program(MATVEC)
+    rows, cols = 64, 16
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(rows, cols)).astype(np.float32)
+    x = rng.normal(size=cols).astype(np.float32)
+    buf_a = runtime.alloc_f32(rows * cols)
+    buf_x = runtime.alloc_f32(cols)
+    buf_y = runtime.alloc_f32(rows)
+    runtime.write(buf_a, a.ravel())
+    runtime.write(buf_x, x)
+    result = runtime.launch(kernel, 1, [buf_a, buf_x, buf_y, cols])
+    y = runtime.read_f32(buf_y, rows)
+    print(
+        f"  matvec on {gpu.name}: {result.cycles} cycles "
+        f"({result.cycles / 50:.1f} us @50 MHz), "
+        f"max |err| vs numpy = {np.abs(y - a @ x).max():.2e}"
+    )
+    return y
+
+
+def main() -> None:
+    print("1) run a hand-written kernel on the full MIAOW")
+    reference = run_matvec(Gpu(num_cus=1, name="MIAOW"))
+
+    print("\n2) trim the engine to exactly what this kernel needs")
+    flow = TrimmingFlow()
+    result = flow.run([("matvec", run_matvec)])
+    print(f"  covered points : {len(result.report.covered)}")
+    print(f"  kept opcodes   : {sorted(result.allowed_ops)}")
+    print(
+        f"  area           : {result.full_area.lut_ff_sum:,.0f} ->"
+        f" {result.trimmed_area.lut_ff_sum:,.0f} LUT+FF"
+        f" (-{result.reduction_pct:.0f}%)"
+    )
+    print(f"  verified        : {result.verified}")
+
+    print("\n3) the trimmed engine still runs the kernel it was built for")
+    trimmed = flow.build_trimmed_gpu(result, num_cus=5)
+    trimmed_result = run_matvec(trimmed)
+    assert np.allclose(reference, trimmed_result)
+
+    print("\n4) ...but rejects kernels needing trimmed-out logic")
+    try:
+        runtime = GpuRuntime(flow.build_trimmed_gpu(result, num_cus=1))
+        kernel = runtime.build_program(NORMS)
+        out = runtime.alloc_f32(64)
+        runtime.launch(kernel, 1, [out])
+    except Exception as error:
+        print(f"  rejected as expected: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Monitoring one victim process among many (context filtering).
+
+On a real device the trace port interleaves every scheduled process.
+PTM tags the stream with context IDs at each switch; an IGM configured
+for the victim's context drops all other traffic *before* the mapper,
+so a noisy neighbour cannot pollute the model's input or waste engine
+cycles.
+
+Run:  python examples/multi_process.py
+"""
+
+import numpy as np
+
+from repro.coresight.ptm import Ptm, PtmConfig
+from repro.coresight.tpiu import Tpiu
+from repro.igm.igm import Igm, IgmConfig
+from repro.igm.vector_encoder import EncoderMode
+from repro.utils.bitstream import bytes_to_words
+from repro.workloads.profiles import get_profile
+from repro.workloads.program import SyntheticProgram
+
+VICTIM_CTX = 7
+NOISY_CTX = 9
+SLICE_EVENTS = 400
+SLICES = 8
+
+
+def main() -> None:
+    victim = SyntheticProgram(get_profile("403.gcc"), seed=1)
+    neighbour = SyntheticProgram(get_profile("471.omnetpp"), seed=2)
+    victim_events = iter(victim.iter_events(SLICES * SLICE_EVENTS, "victim"))
+    neighbour_events = iter(
+        neighbour.iter_events(SLICES * SLICE_EVENTS, "neighbour")
+    )
+
+    # OS scheduler: alternate time slices, PTM tags each switch.
+    ptm = Ptm(PtmConfig(context_id=VICTIM_CTX))
+    tpiu = Tpiu()
+    framed = bytearray()
+    for slice_index in range(SLICES):
+        if slice_index % 2 == 0:
+            context, source = VICTIM_CTX, victim_events
+        else:
+            context, source = NOISY_CTX, neighbour_events
+        framed += tpiu.push(ptm.switch_context(context))
+        for _ in range(SLICE_EVENTS):
+            framed += tpiu.push(ptm.feed(next(source)))
+    framed += tpiu.push(ptm.flush())
+    framed += tpiu.flush()
+    words = bytes_to_words(bytes(framed))
+    print(
+        f"trace port: {len(words)} words covering {SLICES} time slices "
+        f"of two processes"
+    )
+
+    monitored = victim.monitored_call_targets(count=32)
+    for label, context in (
+        ("unfiltered (all contexts)", None),
+        (f"victim only (ctx {VICTIM_CTX})", VICTIM_CTX),
+    ):
+        igm = Igm(
+            IgmConfig(
+                mode=EncoderMode.SEQUENCE,
+                window=4,
+                monitored_context=context,
+            )
+        )
+        igm.configure(monitored)
+        vectors = igm.push_words(words)
+        ta = igm.trace_analyzer
+        print(f"\n{label}:")
+        print(f"  context-filtered branches : "
+              f"{ta.branches_filtered_by_context}")
+        print(f"  mapper hits               : {igm.mapper.hits}")
+        print(f"  vectors to the engine     : {len(vectors)}")
+
+    print(
+        "\nwithout the filter the neighbour's branches reach the mapper"
+        "\n(and any address collision would poison the model's input);"
+        "\nwith it, the engine sees the victim and nothing else."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Fixed-point deployment: trading precision for trimmable area.
+
+The float32 datapath (FADD/FMUL/FMAC/transcendentals) is most of what
+ML-MIAOW keeps after trimming.  A quantized model would exercise only
+integer logic plus a sigmoid lookup table — if detection survives the
+precision loss, the coverage flow could trim the float units too.
+This example measures that trade on a trained ELM.
+
+Run:  python examples/quantized_deployment.py
+"""
+
+import numpy as np
+
+from repro.ml.detector import roc_auc
+from repro.ml.elm import ExtremeLearningMachine
+from repro.ml.features import PatternDictionary
+from repro.ml.quantize import QuantizedElm, quantization_agreement
+from repro.utils.fixed_point import FixedPointFormat, Q4_12, Q8_8
+from repro.workloads.dataset import build_dataset
+from repro.workloads.profiles import get_profile
+from repro.workloads.program import SyntheticProgram
+
+BENCHMARK = "429.mcf"
+
+
+def main() -> None:
+    program = SyntheticProgram(get_profile(BENCHMARK), seed=4)
+    dataset = build_dataset(
+        program, feature="syscall", window=16,
+        train_events=14_000, test_events=6_000, num_attacks=25, seed=4,
+    )
+    dictionary = PatternDictionary(n=3, capacity=1023, unseen_gain=3)
+    dictionary.fit(dataset.train_windows)
+    train = dictionary.features(dataset.train_windows)
+    normal = dictionary.features(dataset.test_normal)
+    anomalous = dictionary.features(dataset.test_anomalous)
+    model = ExtremeLearningMachine(
+        input_dim=dictionary.size, hidden_dim=256, seed=4
+    ).fit(train)
+
+    float_auc = roc_auc(
+        model.score_mahalanobis(normal),
+        model.score_mahalanobis(anomalous),
+    )
+    print(f"{BENCHMARK}: float32 ELM AUC = {float_auc:.3f}\n")
+    print(f"{'format':>14} | {'AUC':>6} | {'rank agree':>10} | memory")
+    print("-" * 52)
+    for label, w_fmt, a_fmt in (
+        ("Q4.12 / Q8.8", Q4_12, Q8_8),
+        ("Q2.6  / Q4.4", FixedPointFormat(2, 6), FixedPointFormat(4, 4)),
+    ):
+        quantized = QuantizedElm.from_model(model, w_fmt, a_fmt)
+        auc = roc_auc(
+            quantized.score(normal), quantized.score(anomalous)
+        )
+        agreement = quantization_agreement(
+            model, normal[:200], w_fmt, a_fmt
+        )
+        savings = quantized.memory_savings_vs_f32() * 100
+        print(
+            f"{label:>14} | {auc:6.3f} | {agreement:10.3f} | "
+            f"-{savings:.0f}%"
+        )
+
+    print(
+        "\n16-bit weights keep detection intact at half the model"
+        "\nmemory; the sigmoid becomes a 256-entry LDS lookup, so a"
+        "\nquantized engine could shed the float transcendental blocks"
+        "\nthe Table II trim currently keeps."
+    )
+
+
+if __name__ == "__main__":
+    main()

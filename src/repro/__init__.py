@@ -1,0 +1,35 @@
+"""RTAD reproduction: real-time anomalous branch behavior inference
+with a GPU-inspired engine for machine learning models (DATE 2019).
+
+The package is organized bottom-up:
+
+- :mod:`repro.workloads`  — SPEC CINT2006-like synthetic programs
+- :mod:`repro.coresight`  — PTM/TPIU trace substrate
+- :mod:`repro.igm`        — Input Generation Module
+- :mod:`repro.miaow`      — MIAOW GPU simulator + trimming flow
+- :mod:`repro.synthesis`  — FPGA/ASIC area accounting
+- :mod:`repro.ml`         — ELM / LSTM models and kernel compilation
+- :mod:`repro.mcm`        — ML Computing Module
+- :mod:`repro.soc`        — the assembled RTAD MPSoC
+- :mod:`repro.eval`       — one module per paper table/figure
+
+Quickstart::
+
+    from repro.eval.prep import get_bundle, make_ml_miaow
+
+    bundle = get_bundle("403.gcc", "lstm")
+    soc = bundle.make_soc(make_ml_miaow())
+    result = soc.run_attack_trial(
+        normal_ids=bundle.normal_ids[:400],
+        mean_interval_us=bundle.mean_interval_us,
+        gadget_ids=[1, 5, 9, 2, 7, 4, 3, 8],
+        onset_index=200,
+    )
+    print(result.detected, result.detection_latency_us)
+"""
+
+__version__ = "0.1.0"
+
+from repro.errors import RtadError
+
+__all__ = ["RtadError", "__version__"]

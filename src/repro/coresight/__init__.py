@@ -1,0 +1,50 @@
+"""ARM CoreSight substrate: PTM trace generation and TPIU framing.
+
+The real RTAD taps the Cortex-A9's Program Trace Macrocell (PTM)
+through the Trace Port Interface Unit (TPIU).  This subpackage models
+that path bit-accurately enough for the IGM's trace analyzer to do real
+decode work:
+
+- :mod:`repro.coresight.packets` — the PFT-inspired packet grammar
+  (a-sync, i-sync, branch-address with 7-bit continuation compression,
+  atoms, context-ID, timestamps).
+- :mod:`repro.coresight.ptm` — encodes branch event streams into
+  packets, in branch-broadcast mode (every taken branch emits its
+  target address, as used when no program image is available offline).
+- :mod:`repro.coresight.tpiu` — 16-byte trace-port frames with periodic
+  full-sync, delivering 32-bit words to the IGM port.
+- :mod:`repro.coresight.decoder` — golden software decoder used to
+  verify the hardware trace analyzer.
+"""
+
+from repro.coresight.packets import (
+    AsyncPacket,
+    AtomPacket,
+    BranchAddressPacket,
+    ContextIdPacket,
+    ExceptionType,
+    ISyncPacket,
+    TimestampPacket,
+)
+from repro.coresight.ptm import Ptm, PtmConfig
+from repro.coresight.tpiu import Tpiu, TpiuDeframer, FRAME_SIZE
+from repro.coresight.decoder import PftDecoder, DecodedBranch
+from repro.coresight.driver import CoreSightDriver
+
+__all__ = [
+    "AsyncPacket",
+    "AtomPacket",
+    "BranchAddressPacket",
+    "ContextIdPacket",
+    "ExceptionType",
+    "ISyncPacket",
+    "TimestampPacket",
+    "Ptm",
+    "PtmConfig",
+    "Tpiu",
+    "TpiuDeframer",
+    "FRAME_SIZE",
+    "PftDecoder",
+    "DecodedBranch",
+    "CoreSightDriver",
+]

@@ -1,0 +1,233 @@
+"""Golden software decoder for the PFT-inspired packet stream.
+
+This is the reference the hardware trace analyzer (IGM) is verified
+against — the role the paper's step-4 "verify" plays for ML-MIAOW, here
+applied to the trace path.  The decoder is fully streaming: bytes can
+be fed in arbitrary chunks and packet state is carried across calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.coresight.packets import (
+    ASYNC_FILL_COUNT,
+    BRANCH_ADDR_MAX_BYTES,
+    ExceptionType,
+    HEADER_ASYNC_END,
+    HEADER_ASYNC_FILL,
+    HEADER_CONTEXT_ID,
+    HEADER_IGNORE,
+    HEADER_ISYNC,
+    HEADER_TIMESTAMP,
+    decode_atom_byte,
+    is_atom_header,
+    is_branch_header,
+    merge_compressed_address,
+)
+from repro.errors import PacketDecodeError
+
+_ADDR_BITS_BY_COUNT = [6, 13, 20, 27, 30]
+
+
+@dataclass(frozen=True)
+class DecodedBranch:
+    """One taken branch recovered from the stream."""
+
+    address: int
+    exception: ExceptionType = ExceptionType.NONE
+
+    @property
+    def is_syscall(self) -> bool:
+        return self.exception is ExceptionType.SVC
+
+
+@dataclass(frozen=True)
+class DecodedAtom:
+    taken: bool
+
+
+@dataclass(frozen=True)
+class DecodedISync:
+    address: int
+    context_id: int
+
+
+@dataclass(frozen=True)
+class DecodedContext:
+    context_id: int
+
+
+@dataclass(frozen=True)
+class DecodedTimestamp:
+    cycles: int
+
+
+class _State(enum.Enum):
+    IDLE = "idle"
+    ASYNC = "async"
+    ISYNC = "isync"
+    CONTEXT = "context"
+    TIMESTAMP = "timestamp"
+    BRANCH = "branch"
+    BRANCH_EXC = "branch-exc"
+
+
+class PftDecoder:
+    """Streaming packet decoder."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self._state = _State.IDLE
+        self._scratch: List[int] = []
+        self._zeros = 0
+        self._last_address = 0
+        self._branch_complete = False
+
+    # ------------------------------------------------------------------
+
+    def feed(self, data: bytes) -> List[object]:
+        """Decode a chunk; returns the packets completed by it."""
+        out: List[object] = []
+        for byte in data:
+            decoded = self._step(byte)
+            if decoded is not None:
+                out.extend(decoded)
+        return out
+
+    def branches(self, data: bytes) -> List[DecodedBranch]:
+        """Feed and keep only the branch-address packets."""
+        return [p for p in self.feed(data) if isinstance(p, DecodedBranch)]
+
+    def step_byte(self, byte: int) -> List[object]:
+        """Decode exactly one byte (the TA-unit per-lane granularity)."""
+        return self._step(byte) or []
+
+    # ------------------------------------------------------------------
+
+    def _step(self, byte: int) -> Optional[List[object]]:
+        state = self._state
+        if state is _State.IDLE:
+            return self._handle_header(byte)
+        if state is _State.ASYNC:
+            if byte == HEADER_ASYNC_FILL:
+                self._zeros += 1
+                return None
+            if byte == HEADER_ASYNC_END and self._zeros >= ASYNC_FILL_COUNT:
+                self._state = _State.IDLE
+                self._zeros = 0
+                return []
+            if self.strict:
+                raise PacketDecodeError(
+                    f"bad a-sync termination byte {byte:#04x}"
+                )
+            self._state = _State.IDLE
+            self._zeros = 0
+            return self._handle_header(byte)
+        if state is _State.ISYNC:
+            self._scratch.append(byte)
+            if len(self._scratch) == 5:
+                address = int.from_bytes(bytes(self._scratch[:4]), "little")
+                context = self._scratch[4]
+                self._scratch = []
+                self._state = _State.IDLE
+                self._last_address = address
+                return [DecodedISync(address=address, context_id=context)]
+            return None
+        if state is _State.CONTEXT:
+            self._scratch.append(byte)
+            if len(self._scratch) == 4:
+                context = int.from_bytes(bytes(self._scratch), "little")
+                self._scratch = []
+                self._state = _State.IDLE
+                return [DecodedContext(context_id=context)]
+            return None
+        if state is _State.TIMESTAMP:
+            self._scratch.append(byte)
+            if len(self._scratch) == 8:
+                cycles = int.from_bytes(bytes(self._scratch), "little")
+                self._scratch = []
+                self._state = _State.IDLE
+                return [DecodedTimestamp(cycles=cycles)]
+            return None
+        if state is _State.BRANCH:
+            self._scratch.append(byte)
+            return self._maybe_finish_branch()
+        if state is _State.BRANCH_EXC:
+            return self._finish_branch_with_exception(byte)
+        raise PacketDecodeError(f"decoder in impossible state {state}")
+
+    def _handle_header(self, byte: int) -> Optional[List[object]]:
+        if byte == HEADER_ASYNC_FILL:
+            self._state = _State.ASYNC
+            self._zeros = 1
+            return None
+        if byte == HEADER_IGNORE:
+            return []
+        if is_branch_header(byte):
+            self._scratch = [byte]
+            self._state = _State.BRANCH
+            return self._maybe_finish_branch()
+        if is_atom_header(byte):
+            return [DecodedAtom(taken=a) for a in decode_atom_byte(byte)]
+        if byte == HEADER_ISYNC:
+            self._state = _State.ISYNC
+            self._scratch = []
+            return None
+        if byte == HEADER_CONTEXT_ID:
+            self._state = _State.CONTEXT
+            self._scratch = []
+            return None
+        if byte == HEADER_TIMESTAMP:
+            self._state = _State.TIMESTAMP
+            self._scratch = []
+            return None
+        if self.strict:
+            raise PacketDecodeError(f"unknown header byte {byte:#04x}")
+        return []
+
+    def _maybe_finish_branch(self) -> Optional[List[object]]:
+        count = len(self._scratch)
+        last = self._scratch[-1]
+        full_length = count == BRANCH_ADDR_MAX_BYTES
+        if not full_length and (last & 0x80):
+            return None  # continuation bit set, more bytes coming
+        if full_length and (self._scratch[-1] & 0x40):
+            self._state = _State.BRANCH_EXC
+            return None
+        return self._complete_branch(ExceptionType.NONE)
+
+    def _finish_branch_with_exception(self, info_byte: int) -> List[object]:
+        try:
+            exception = ExceptionType(info_byte & 0x0F)
+        except ValueError:
+            if self.strict:
+                raise PacketDecodeError(
+                    f"unknown exception type {info_byte & 0x0F}"
+                ) from None
+            exception = ExceptionType.NONE
+        return self._complete_branch(exception)
+
+    def _complete_branch(self, exception: ExceptionType) -> List[object]:
+        word = 0
+        shift = 0
+        for index, byte in enumerate(self._scratch):
+            if index == 0:
+                word |= ((byte >> 1) & 0x3F) << shift
+                shift += 6
+            elif index == BRANCH_ADDR_MAX_BYTES - 1:
+                word |= (byte & 0x07) << shift
+                shift += 3
+            else:
+                word |= (byte & 0x7F) << shift
+                shift += 7
+        received_bits = _ADDR_BITS_BY_COUNT[len(self._scratch) - 1]
+        address = merge_compressed_address(
+            word, received_bits, self._last_address
+        )
+        self._last_address = address
+        self._scratch = []
+        self._state = _State.IDLE
+        return [DecodedBranch(address=address, exception=exception)]

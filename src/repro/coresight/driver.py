@@ -1,0 +1,87 @@
+"""Kernel-driver-style configuration facade for the CoreSight path.
+
+The paper notes: "To activate the functionalities of PTM and TPIU, we
+have also built a device driver running on the Linux kernel."  This
+class plays that role for the simulation: it owns the PTM and TPIU
+instances, exposes an enable/disable and configuration surface, and
+provides the end-to-end convenience used by data collection (training
+trace extraction through the same hardware path used at inference).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.coresight.ptm import Ptm, PtmConfig
+from repro.coresight.tpiu import Tpiu, TpiuDeframer
+from repro.errors import SocConfigError
+from repro.workloads.cfg import BranchEvent
+
+
+class CoreSightDriver:
+    """Configures and drives the PTM -> TPIU trace path."""
+
+    def __init__(
+        self,
+        ptm_config: Optional[PtmConfig] = None,
+        source_id: int = 0x1,
+        sync_period: int = 64,
+    ) -> None:
+        self.ptm_config = ptm_config or PtmConfig()
+        self.source_id = source_id
+        self.sync_period = sync_period
+        self._ptm: Optional[Ptm] = None
+        self._tpiu: Optional[Tpiu] = None
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Control-plane (what the kernel driver's ioctls would do)
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Power up PTM and TPIU with the current configuration."""
+        self._ptm = Ptm(self.ptm_config)
+        self._tpiu = Tpiu(source_id=self.source_id, sync_period=self.sync_period)
+        self.enabled = True
+
+    def disable(self) -> None:
+        self._ptm = None
+        self._tpiu = None
+        self.enabled = False
+
+    def set_context_id(self, context_id: int) -> None:
+        """Track a different process (takes effect on next enable)."""
+        if self.enabled:
+            raise SocConfigError("disable tracing before reconfiguring")
+        self.ptm_config.context_id = context_id
+
+    # ------------------------------------------------------------------
+    # Data-plane
+    # ------------------------------------------------------------------
+
+    def trace(self, event: BranchEvent) -> bytes:
+        """Push one branch event through PTM; returns TPIU frame bytes."""
+        if not self.enabled or self._ptm is None or self._tpiu is None:
+            raise SocConfigError("CoreSight path not enabled")
+        packet_bytes = self._ptm.feed(event)
+        return self._tpiu.push(packet_bytes)
+
+    def flush(self) -> bytes:
+        if not self.enabled or self._ptm is None or self._tpiu is None:
+            raise SocConfigError("CoreSight path not enabled")
+        out = self._tpiu.push(self._ptm.flush())
+        out += self._tpiu.flush()
+        return out
+
+    def trace_all(self, events: Iterable[BranchEvent]) -> bytes:
+        """Trace a whole event stream and flush (training collection)."""
+        out = bytearray()
+        for event in events:
+            out += self.trace(event)
+        out += self.flush()
+        return bytes(out)
+
+    @staticmethod
+    def new_deframer(source_id: int = 0x1) -> TpiuDeframer:
+        """Receiver for the framed stream (what IGM instantiates)."""
+        return TpiuDeframer(expected_source_id=source_id)

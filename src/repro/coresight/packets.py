@@ -1,0 +1,248 @@
+"""PFT-inspired trace packet grammar.
+
+The encoding follows the spirit of ARM's Program Flow Trace protocol
+while staying self-contained:
+
+========================  =========================================
+Header byte               Packet
+========================  =========================================
+``0x00`` × 5 + ``0x80``   A-sync (alignment synchronisation)
+``0x08``                  I-sync: 4-byte address + info byte
+``0x6E``                  Context ID: 4-byte context value
+``0x42``                  Timestamp: 8-byte cycle count
+``0x20``                  Ignore (padding inserted by the TPIU)
+bit0 == 1                 Branch address (1–5 bytes, + optional
+                          exception info byte)
+bits[2:0] == 0b100        Atom packet (1–4 atoms, stop-bit encoded)
+========================  =========================================
+
+Branch addresses are word aligned (ARM state), so ``address >> 2`` is
+what gets compressed: the first byte carries 6 low bits, continuation
+bytes 7 bits each, and the decoder merges the received low bits with
+the *previous* branch address's high bits — the same prefix compression
+PFT uses to keep the stream narrow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.errors import PacketDecodeError, PacketEncodeError
+
+HEADER_ASYNC_FILL = 0x00
+HEADER_ASYNC_END = 0x80
+HEADER_ISYNC = 0x08
+HEADER_CONTEXT_ID = 0x6E
+HEADER_TIMESTAMP = 0x42
+HEADER_IGNORE = 0x20
+
+ASYNC_FILL_COUNT = 5
+
+#: Maximum bytes in a branch-address packet (excluding exception byte).
+BRANCH_ADDR_MAX_BYTES = 5
+
+#: Address bits carried by each branch-packet byte position.
+_FIRST_BYTE_BITS = 6
+_MID_BYTE_BITS = 7
+_LAST_BYTE_BITS = 3  # 6 + 7*3 + 3 = 30 bits = full word-aligned address
+
+MAX_ATOMS_PER_PACKET = 4
+
+
+class ExceptionType(enum.IntEnum):
+    """Exception cause carried in a branch packet's info byte."""
+
+    NONE = 0
+    SVC = 1       # syscalls enter the kernel through SVC
+    IRQ = 2
+    FIQ = 3
+    PREFETCH_ABORT = 4
+    DATA_ABORT = 5
+
+
+@dataclass(frozen=True)
+class AsyncPacket:
+    """Alignment synchronisation: 5 × 0x00 then 0x80."""
+
+    def encode(self) -> bytes:
+        return bytes([HEADER_ASYNC_FILL] * ASYNC_FILL_COUNT + [HEADER_ASYNC_END])
+
+
+@dataclass(frozen=True)
+class ISyncPacket:
+    """Instruction synchronisation: full current address + state info."""
+
+    address: int
+    context_id: int = 0
+
+    def encode(self) -> bytes:
+        if self.address % 4:
+            raise PacketEncodeError(
+                f"i-sync address {self.address:#x} not word aligned"
+            )
+        if not 0 <= self.address <= 0xFFFFFFFF:
+            raise PacketEncodeError(f"address out of range: {self.address:#x}")
+        info = self.context_id & 0xFF
+        return bytes([HEADER_ISYNC]) + self.address.to_bytes(4, "little") + bytes([info])
+
+
+@dataclass(frozen=True)
+class ContextIdPacket:
+    """Current process context ID (emitted on context switches)."""
+
+    context_id: int
+
+    def encode(self) -> bytes:
+        if not 0 <= self.context_id <= 0xFFFFFFFF:
+            raise PacketEncodeError(f"context id out of range: {self.context_id:#x}")
+        return bytes([HEADER_CONTEXT_ID]) + self.context_id.to_bytes(4, "little")
+
+
+@dataclass(frozen=True)
+class TimestampPacket:
+    """Cycle-count timestamp."""
+
+    cycles: int
+
+    def encode(self) -> bytes:
+        if not 0 <= self.cycles < (1 << 64):
+            raise PacketEncodeError(f"timestamp out of range: {self.cycles}")
+        return bytes([HEADER_TIMESTAMP]) + self.cycles.to_bytes(8, "little")
+
+
+@dataclass(frozen=True)
+class AtomPacket:
+    """1–4 conditional-branch outcomes, stop-bit encoded.
+
+    bits[3 .. 3+n-1] hold the atom values (1 = taken / E, 0 = not
+    taken / N); bit[3+n] is the stop bit.
+    """
+
+    atoms: Tuple[bool, ...]
+
+    def encode(self) -> bytes:
+        n = len(self.atoms)
+        if not 1 <= n <= MAX_ATOMS_PER_PACKET:
+            raise PacketEncodeError(f"atom packet with {n} atoms")
+        byte = 0b100
+        for i, atom in enumerate(self.atoms):
+            if atom:
+                byte |= 1 << (3 + i)
+        byte |= 1 << (3 + n)  # stop bit
+        return bytes([byte])
+
+
+@dataclass(frozen=True)
+class BranchAddressPacket:
+    """A taken-branch target address, prefix-compressed.
+
+    ``previous`` (the last emitted branch address) determines how many
+    bytes are needed: only enough low bits to reach the highest
+    differing bit are transmitted.
+    """
+
+    address: int
+    exception: ExceptionType = ExceptionType.NONE
+
+    def encode(self, previous: int = 0) -> bytes:
+        if self.address % 4:
+            raise PacketEncodeError(
+                f"branch address {self.address:#x} not word aligned"
+            )
+        if not 0 <= self.address <= 0xFFFFFFFF:
+            raise PacketEncodeError(f"address out of range: {self.address:#x}")
+        word = self.address >> 2
+        prev_word = (previous >> 2) & 0x3FFFFFFF
+
+        # How many bytes must we send so the receiver can reconstruct
+        # the address by merging with the previous one's high bits?
+        diff = word ^ prev_word
+        cumulative = [_FIRST_BYTE_BITS]
+        for _ in range(BRANCH_ADDR_MAX_BYTES - 2):
+            cumulative.append(cumulative[-1] + _MID_BYTE_BITS)
+        cumulative.append(cumulative[-1] + _LAST_BYTE_BITS)
+        nbytes = BRANCH_ADDR_MAX_BYTES
+        for count, bits in enumerate(cumulative, start=1):
+            if diff < (1 << bits):
+                nbytes = count
+                break
+        # An exception marker lives in byte 5, so force full length.
+        if self.exception is not ExceptionType.NONE:
+            nbytes = BRANCH_ADDR_MAX_BYTES
+
+        out = []
+        remaining = word
+        # byte 0: marker bit0=1, 6 address bits in bits[6:1]
+        byte0 = 0x01 | ((remaining & 0x3F) << 1)
+        remaining >>= _FIRST_BYTE_BITS
+        if nbytes > 1:
+            byte0 |= 0x80
+        out.append(byte0)
+        for index in range(1, nbytes):
+            is_last_possible = index == BRANCH_ADDR_MAX_BYTES - 1
+            if is_last_possible:
+                byte = remaining & 0x07  # 3 bits
+                remaining >>= _LAST_BYTE_BITS
+                if self.exception is not ExceptionType.NONE:
+                    byte |= 0x40  # E bit: info byte follows
+                out.append(byte)
+            else:
+                byte = remaining & 0x7F
+                remaining >>= _MID_BYTE_BITS
+                if index < nbytes - 1:
+                    byte |= 0x80
+                out.append(byte)
+        encoded = bytes(out)
+        if self.exception is not ExceptionType.NONE:
+            encoded += bytes([int(self.exception) & 0x0F])
+        return encoded
+
+
+Packet = Union[
+    AsyncPacket,
+    ISyncPacket,
+    ContextIdPacket,
+    TimestampPacket,
+    AtomPacket,
+    BranchAddressPacket,
+]
+
+
+def is_branch_header(byte: int) -> bool:
+    return bool(byte & 0x01)
+
+
+def is_atom_header(byte: int) -> bool:
+    return (byte & 0x07) == 0b100
+
+
+def decode_atom_byte(byte: int) -> List[bool]:
+    """Recover the atom values from a stop-bit encoded atom byte."""
+    if not is_atom_header(byte):
+        raise PacketDecodeError(f"not an atom header: {byte:#04x}")
+    bits = byte >> 3
+    if bits == 0:
+        raise PacketDecodeError("atom byte missing stop bit")
+    stop = bits.bit_length() - 1
+    if stop < 1 or stop > MAX_ATOMS_PER_PACKET:
+        raise PacketDecodeError(f"atom count {stop} out of range")
+    return [bool((bits >> i) & 1) for i in range(stop)]
+
+
+def merge_compressed_address(
+    received_word: int, received_bits: int, previous_address: int
+) -> int:
+    """Combine received low address bits with the previous address.
+
+    ``received_word`` holds ``received_bits`` low bits of the new
+    word-aligned address; the rest come from ``previous_address``.
+    """
+    prev_word = (previous_address >> 2) & 0x3FFFFFFF
+    if received_bits >= 30:
+        word = received_word & 0x3FFFFFFF
+    else:
+        mask = (1 << received_bits) - 1
+        word = (received_word & mask) | (prev_word & ~mask)
+    return (word << 2) & 0xFFFFFFFF

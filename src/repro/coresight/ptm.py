@@ -1,0 +1,171 @@
+"""PTM model: branch event stream -> compressed trace packet stream.
+
+Operates in *branch-broadcast* mode: every taken branch emits a
+branch-address packet (prefix-compressed against the previous one),
+not-taken conditionals accumulate into atom packets.  This is the ETM
+configuration used when the trace sink cannot consult the program
+image — exactly RTAD's situation, where the IGM must recover target
+addresses from the stream alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.coresight.packets import (
+    AsyncPacket,
+    AtomPacket,
+    BranchAddressPacket,
+    ContextIdPacket,
+    ExceptionType,
+    ISyncPacket,
+    MAX_ATOMS_PER_PACKET,
+    TimestampPacket,
+)
+from repro.workloads.cfg import BranchEvent, BranchKind
+
+
+@dataclass
+class PtmConfig:
+    """PTM programming model (a subset of the real control registers)."""
+
+    context_id: int = 1
+    #: Re-emit a-sync + i-sync after this many trace bytes.
+    sync_interval_bytes: int = 1024
+    #: Emit cycle-count timestamps alongside i-sync packets.
+    timestamps_enabled: bool = False
+    #: Branch-broadcast: emit an address packet for every taken branch.
+    branch_broadcast: bool = True
+
+
+class Ptm:
+    """Stateful packet encoder for one traced context."""
+
+    def __init__(self, config: Optional[PtmConfig] = None) -> None:
+        self.config = config or PtmConfig()
+        self._last_address = 0
+        self._pending_atoms: List[bool] = []
+        self._bytes_since_sync = 0
+        self._started = False
+        self.total_bytes = 0
+        self.packet_counts = {
+            "async": 0, "isync": 0, "context": 0,
+            "timestamp": 0, "atom": 0, "branch": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def feed(self, event: BranchEvent) -> bytes:
+        """Encode one branch event; returns the bytes it produced.
+
+        The caller owns delivery timing — the PTM is a pure encoder,
+        and the SoC layer models the CPU-internal FIFO that batches
+        these bytes before the TPIU drains them.
+        """
+        out = bytearray()
+        if not self._started:
+            out += self._emit_sync(event)
+            self._started = True
+
+        if event.kind is BranchKind.CONDITIONAL and not event.taken:
+            self._pending_atoms.append(False)
+            if len(self._pending_atoms) >= MAX_ATOMS_PER_PACKET:
+                out += self._flush_atoms()
+        else:
+            out += self._flush_atoms()
+            if not self.config.branch_broadcast and event.kind in (
+                BranchKind.CONDITIONAL,
+                BranchKind.UNCONDITIONAL,
+            ):
+                # Waypoint-only mode: direct branches become E atoms.
+                self._pending_atoms.append(True)
+            else:
+                exception = (
+                    ExceptionType.SVC
+                    if event.kind is BranchKind.SYSCALL
+                    else ExceptionType.NONE
+                )
+                packet = BranchAddressPacket(event.target, exception)
+                encoded = packet.encode(previous=self._last_address)
+                self._last_address = event.target
+                self.packet_counts["branch"] += 1
+                out += encoded
+
+        self._account(out)
+        if self._bytes_since_sync >= self.config.sync_interval_bytes:
+            sync = self._emit_sync(event)
+            self._account(sync)
+            out += sync
+        return bytes(out)
+
+    def flush(self) -> bytes:
+        """Emit any buffered atoms (end of trace session)."""
+        out = self._flush_atoms()
+        self._account(out)
+        return bytes(out)
+
+    def switch_context(self, context_id: int) -> bytes:
+        """Process switch: flush atoms, emit a context-ID packet.
+
+        PTM "captures ... current process IDs"; the OS context-switch
+        hook updates the CONTEXTIDR register and the macrocell emits
+        the packet, letting downstream consumers attribute branches to
+        processes.
+        """
+        out = bytearray(self._flush_atoms())
+        self.config.context_id = context_id
+        out += ContextIdPacket(context_id).encode()
+        self.packet_counts["context"] += 1
+        self._account(out)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _account(self, chunk: bytes) -> None:
+        self.total_bytes += len(chunk)
+        self._bytes_since_sync += len(chunk)
+
+    def _flush_atoms(self) -> bytes:
+        if not self._pending_atoms:
+            return b""
+        packet = AtomPacket(tuple(self._pending_atoms))
+        self._pending_atoms = []
+        self.packet_counts["atom"] += 1
+        return packet.encode()
+
+    def _emit_sync(self, event: BranchEvent) -> bytes:
+        """A-sync, i-sync (+context, +timestamp) burst."""
+        self._bytes_since_sync = 0
+        out = bytearray()
+        out += AsyncPacket().encode()
+        self.packet_counts["async"] += 1
+        # Sync to the branch *source* block start (word aligned already).
+        out += ISyncPacket(
+            address=event.source & ~0x3, context_id=self.config.context_id
+        ).encode()
+        self.packet_counts["isync"] += 1
+        out += ContextIdPacket(self.config.context_id).encode()
+        self.packet_counts["context"] += 1
+        if self.config.timestamps_enabled:
+            out += TimestampPacket(max(0, event.cycle)).encode()
+            self.packet_counts["timestamp"] += 1
+        # After a sync point compression restarts from a known address.
+        self._last_address = event.source & ~0x3
+        return bytes(out)
+
+
+def encode_trace(
+    events, config: Optional[PtmConfig] = None
+) -> bytes:
+    """Convenience: encode a whole event sequence into one byte stream."""
+    ptm = Ptm(config)
+    out = bytearray()
+    for event in events:
+        out += ptm.feed(event)
+    out += ptm.flush()
+    return bytes(out)

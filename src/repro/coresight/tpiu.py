@@ -1,0 +1,145 @@
+"""TPIU model: trace byte stream -> framed 32-bit trace-port words.
+
+The Trace Port Interface Unit packs trace source bytes into 16-byte
+frames.  Our frame layout keeps the real TPIU's essentials — a source
+ID, periodic full-synchronisation, and fixed-size frames delivered as
+32-bit words — while replacing the data/ID bit-interleaving with an
+explicit header byte (source ID + payload length), which removes the
+ambiguity of value-based padding:
+
+    byte 0      bits[7:4] = source ID, bits[3:0] = payload length (<=15)
+    bytes 1..n  payload
+    bytes n+1.. zero padding to 16 bytes
+
+Every ``sync_period`` frames a full-sync frame (15 x 0xFF then 0x7F) is
+inserted so a late-attaching receiver can align.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.errors import FrameSyncError
+from repro.utils.bitstream import bytes_to_words, words_to_bytes
+
+FRAME_SIZE = 16
+PAYLOAD_PER_FRAME = FRAME_SIZE - 1
+SYNC_FRAME = bytes([0xFF] * (FRAME_SIZE - 1) + [0x7F])
+DEFAULT_SOURCE_ID = 0x1
+
+
+class Tpiu:
+    """Framer: accepts trace bytes, emits complete frames / words."""
+
+    def __init__(
+        self, source_id: int = DEFAULT_SOURCE_ID, sync_period: int = 64
+    ) -> None:
+        if not 0 <= source_id <= 0xF:
+            raise ValueError("source id must fit in 4 bits")
+        if sync_period < 1:
+            raise ValueError("sync_period must be >= 1")
+        self.source_id = source_id
+        self.sync_period = sync_period
+        self._buffer = bytearray()
+        self._frames_since_sync = sync_period  # sync immediately at start
+        self.frames_emitted = 0
+
+    def push(self, data: bytes) -> bytes:
+        """Buffer trace bytes; return any complete frames produced."""
+        self._buffer += data
+        out = bytearray()
+        while len(self._buffer) >= PAYLOAD_PER_FRAME:
+            payload = bytes(self._buffer[:PAYLOAD_PER_FRAME])
+            del self._buffer[:PAYLOAD_PER_FRAME]
+            out += self._frame(payload)
+        return bytes(out)
+
+    def flush(self) -> bytes:
+        """Emit a final (possibly short) frame with whatever remains."""
+        if not self._buffer:
+            return b""
+        payload = bytes(self._buffer)
+        self._buffer.clear()
+        return self._frame(payload)
+
+    def push_words(self, data: bytes) -> List[int]:
+        """Frame and return 32-bit words (the IGM ingest format)."""
+        return bytes_to_words(self.push(data))
+
+    def _frame(self, payload: bytes) -> bytes:
+        assert 1 <= len(payload) <= PAYLOAD_PER_FRAME
+        out = bytearray()
+        if self._frames_since_sync >= self.sync_period:
+            out += SYNC_FRAME
+            self._frames_since_sync = 0
+        header = (self.source_id << 4) | len(payload)
+        frame = bytes([header]) + payload
+        frame += bytes(FRAME_SIZE - len(frame))
+        out += frame
+        self.frames_emitted += 1
+        self._frames_since_sync += 1
+        return bytes(out)
+
+
+class TpiuDeframer:
+    """Receiver side: frames (or words) back to the trace byte stream.
+
+    Starts unsynchronised: discards bytes until a full-sync frame is
+    seen, then consumes 16-byte frames.  This mirrors how IGM attaches
+    to an already-running trace port.
+    """
+
+    def __init__(self, expected_source_id: Optional[int] = None) -> None:
+        self.expected_source_id = expected_source_id
+        self._synced = False
+        self._buffer = bytearray()
+        self.frames_consumed = 0
+        self.bytes_discarded = 0
+
+    @property
+    def synced(self) -> bool:
+        return self._synced
+
+    def push(self, data: bytes) -> bytes:
+        """Consume frame bytes; return recovered trace payload bytes."""
+        self._buffer += data
+        out = bytearray()
+        while True:
+            if not self._synced:
+                index = bytes(self._buffer).find(SYNC_FRAME)
+                if index < 0:
+                    # keep a tail that could be a sync prefix
+                    keep = min(len(self._buffer), FRAME_SIZE - 1)
+                    self.bytes_discarded += len(self._buffer) - keep
+                    del self._buffer[:len(self._buffer) - keep]
+                    break
+                self.bytes_discarded += index
+                del self._buffer[:index + FRAME_SIZE]
+                self._synced = True
+                continue
+            if len(self._buffer) < FRAME_SIZE:
+                break
+            frame = bytes(self._buffer[:FRAME_SIZE])
+            del self._buffer[:FRAME_SIZE]
+            if frame == SYNC_FRAME:
+                continue
+            header = frame[0]
+            source_id = header >> 4
+            length = header & 0x0F
+            if length > PAYLOAD_PER_FRAME:
+                raise FrameSyncError(f"impossible payload length {length}")
+            if (
+                self.expected_source_id is not None
+                and source_id != self.expected_source_id
+            ):
+                raise FrameSyncError(
+                    f"unexpected trace source {source_id:#x} "
+                    f"(wanted {self.expected_source_id:#x})"
+                )
+            out += frame[1:1 + length]
+            self.frames_consumed += 1
+        return bytes(out)
+
+    def push_words(self, words: Iterable[int]) -> bytes:
+        return self.push(words_to_bytes(list(words)))

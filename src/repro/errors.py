@@ -1,0 +1,109 @@
+"""Exception hierarchy for the RTAD reproduction.
+
+Every error raised by this package derives from :class:`RtadError`, so
+callers can catch one base class at the SoC boundary.  Sub-hierarchies
+mirror the hardware structure: trace-stream errors, GPU errors, and
+SoC-level simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class RtadError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Trace / CoreSight layer
+# ---------------------------------------------------------------------------
+
+class TraceError(RtadError):
+    """Base class for CoreSight trace-stream errors."""
+
+
+class PacketDecodeError(TraceError):
+    """A PTM packet could not be decoded (malformed or truncated)."""
+
+
+class PacketEncodeError(TraceError):
+    """A branch event could not be encoded into a PTM packet."""
+
+
+class FrameSyncError(TraceError):
+    """The TPIU frame stream lost synchronisation."""
+
+
+# ---------------------------------------------------------------------------
+# IGM layer
+# ---------------------------------------------------------------------------
+
+class IgmError(RtadError):
+    """Base class for Input Generation Module errors."""
+
+
+class MapperConfigError(IgmError):
+    """The address-mapper lookup table configuration is invalid."""
+
+
+class EncoderConfigError(IgmError):
+    """The vector-encoder conversion table configuration is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# GPU (MIAOW) layer
+# ---------------------------------------------------------------------------
+
+class GpuError(RtadError):
+    """Base class for MIAOW / ML-MIAOW simulator errors."""
+
+
+class AssemblerError(GpuError):
+    """Assembly source could not be assembled."""
+
+
+class IllegalInstructionError(GpuError):
+    """A wavefront executed an opcode the engine does not implement.
+
+    On a trimmed engine this is the hardware analogue of hitting logic
+    that was removed by the trimming flow.
+    """
+
+
+class GpuMemoryError(GpuError):
+    """Out-of-range or misaligned access to GPU global memory or LDS."""
+
+
+class KernelLaunchError(GpuError):
+    """A kernel launch request was malformed (bad NDRange, missing args)."""
+
+
+class TrimmingError(GpuError):
+    """The trimming flow failed (e.g. verification mismatch)."""
+
+
+# ---------------------------------------------------------------------------
+# MCM / SoC layer
+# ---------------------------------------------------------------------------
+
+class McmError(RtadError):
+    """Base class for ML Computing Module errors."""
+
+
+class FifoOverflowError(McmError):
+    """A push was attempted on a full FIFO configured to raise."""
+
+
+class FsmProtocolError(McmError):
+    """The MCM control FSM received an event illegal in its state."""
+
+
+class SocConfigError(RtadError):
+    """The RTAD SoC was wired or configured inconsistently."""
+
+
+class WorkloadError(RtadError):
+    """A synthetic workload description is invalid."""
+
+
+class ModelError(RtadError):
+    """An ML model was used before fit / with inconsistent shapes."""

@@ -1,0 +1,80 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.eval                    # everything (minutes)
+    python -m repro.eval table1 table2      # a subset
+    python -m repro.eval fig8 --trials 3 --benchmarks gcc omnetpp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.fig6 import format_fig6, run_fig6
+from repro.eval.fig7 import format_fig7, run_fig7
+from repro.eval.fig8 import format_fig8, run_fig8
+from repro.eval.table1 import format_table1, run_table1
+from repro.eval.table2 import format_table2, run_table2
+
+EXPERIMENTS = ("table1", "table2", "fig6", "fig7", "fig8")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Reproduce the RTAD paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"which experiments to run: {', '.join(EXPERIMENTS)} "
+             "(default: all)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=5,
+        help="attack trials per Fig. 8 cell (default 5)",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="benchmark subset for Fig. 8 (default: all twelve)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="experiment seed"
+    )
+    args = parser.parse_args(argv)
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiments {unknown}; choose from {EXPERIMENTS}"
+        )
+
+    for name in selected:
+        start = time.perf_counter()
+        if name == "table1":
+            output = format_table1(run_table1(seed=args.seed))
+        elif name == "table2":
+            output = format_table2(run_table2(seed=args.seed))
+        elif name == "fig6":
+            output = format_fig6(run_fig6())
+        elif name == "fig7":
+            output = format_fig7(run_fig7())
+        else:
+            output = format_fig8(
+                run_fig8(
+                    benchmarks=args.benchmarks,
+                    trials=args.trials,
+                    seed=args.seed,
+                )
+            )
+        elapsed = time.perf_counter() - start
+        print(output)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

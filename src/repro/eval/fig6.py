@@ -1,0 +1,87 @@
+"""Fig. 6: host performance overhead of RTAD vs software collection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.eval.report import format_table
+from repro.soc.software_baseline import (
+    RtadOverheadModel,
+    SoftwareInstrumentationModel,
+)
+from repro.utils.stats import geometric_mean
+from repro.workloads.profiles import SPEC_CINT2006, get_profile
+
+#: Fig. 6 geometric means reported in the paper, in percent.
+PAPER_GEOMEAN = {
+    "RTAD": 0.052,
+    "SW_SYS": 0.6,
+    "SW_FUNC": 10.7,
+    "SW_ALL": 43.4,
+}
+
+
+@dataclass
+class Fig6Row:
+    benchmark: str
+    rtad_pct: float
+    sw_sys_pct: float
+    sw_func_pct: float
+    sw_all_pct: float
+
+
+def run_fig6(
+    benchmarks: Optional[Sequence[str]] = None,
+    instrumentation: Optional[SoftwareInstrumentationModel] = None,
+    rtad: Optional[RtadOverheadModel] = None,
+) -> List[Fig6Row]:
+    instrumentation = instrumentation or SoftwareInstrumentationModel()
+    rtad = rtad or RtadOverheadModel()
+    profiles = (
+        [get_profile(b) for b in benchmarks]
+        if benchmarks is not None
+        else list(SPEC_CINT2006)
+    )
+    rows = []
+    for profile in profiles:
+        rows.append(
+            Fig6Row(
+                benchmark=profile.name,
+                rtad_pct=rtad.overhead(profile) * 100,
+                sw_sys_pct=instrumentation.sw_sys_overhead(profile) * 100,
+                sw_func_pct=instrumentation.sw_func_overhead(profile) * 100,
+                sw_all_pct=instrumentation.sw_all_overhead(profile) * 100,
+            )
+        )
+    return rows
+
+
+def fig6_geomeans(rows: Sequence[Fig6Row]) -> dict:
+    return {
+        "RTAD": geometric_mean([r.rtad_pct for r in rows]),
+        "SW_SYS": geometric_mean([r.sw_sys_pct for r in rows]),
+        "SW_FUNC": geometric_mean([r.sw_func_pct for r in rows]),
+        "SW_ALL": geometric_mean([r.sw_all_pct for r in rows]),
+    }
+
+
+def format_fig6(rows: Sequence[Fig6Row]) -> str:
+    body = [
+        (r.benchmark, r.rtad_pct, r.sw_sys_pct, r.sw_func_pct, r.sw_all_pct)
+        for r in rows
+    ]
+    means = fig6_geomeans(rows)
+    body.append(
+        ("geomean", means["RTAD"], means["SW_SYS"],
+         means["SW_FUNC"], means["SW_ALL"])
+    )
+    body.append(
+        ("paper geomean", PAPER_GEOMEAN["RTAD"], PAPER_GEOMEAN["SW_SYS"],
+         PAPER_GEOMEAN["SW_FUNC"], PAPER_GEOMEAN["SW_ALL"])
+    )
+    return format_table(
+        ["benchmark", "RTAD %", "SW_SYS %", "SW_FUNC %", "SW_ALL %"],
+        body,
+        title="Fig. 6 — performance overhead of RTAD (percent slowdown)",
+    )

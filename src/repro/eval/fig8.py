@@ -1,0 +1,205 @@
+"""Fig. 8: anomaly detection latency per benchmark and model, on the
+original MIAOW vs the trimmed ML-MIAOW engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.prep import get_bundle, make_miaow, make_ml_miaow
+from repro.eval.report import format_table
+from repro.utils.rng import derive_seed, make_rng
+from repro.workloads.profiles import profile_names
+
+#: Fig. 8 averages from the paper (microseconds).
+PAPER_LATENCY_US = {
+    ("elm", "MIAOW"): 13.83,
+    ("elm", "ML-MIAOW"): 4.21,
+    ("lstm", "MIAOW"): 53.16,
+    ("lstm", "ML-MIAOW"): 23.98,
+}
+PAPER_MEAN_SPEEDUP = 2.75
+
+GADGET_LENGTH = 10
+#: Cycles between gadget branches: an attacker sprinting through
+#: reused code emits monitored branches far faster than the program.
+GADGET_INTERVAL_US = 2.0
+TRIAL_STREAM_LENGTH = 400
+
+
+@dataclass
+class Fig8Cell:
+    """One benchmark x model x engine measurement."""
+
+    benchmark: str
+    model: str
+    engine: str
+    mean_latency_us: Optional[float]
+    detected_trials: int
+    total_trials: int
+    overflowed: bool
+    dropped_vectors: int
+
+
+@dataclass
+class Fig8Row:
+    benchmark: str
+    model: str
+    miaow: Fig8Cell
+    ml_miaow: Fig8Cell
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if (
+            self.miaow.mean_latency_us is None
+            or self.ml_miaow.mean_latency_us is None
+            or self.ml_miaow.mean_latency_us <= 0
+        ):
+            return None
+        return self.miaow.mean_latency_us / self.ml_miaow.mean_latency_us
+
+
+def _run_cell(
+    benchmark: str,
+    model: str,
+    engine_name: str,
+    trials: int,
+    seed: int,
+) -> Fig8Cell:
+    bundle = get_bundle(benchmark, model, seed)
+    # Engine-independent trial sampling: both engines face the same
+    # attack scenarios, so the speedup column is a paired comparison.
+    rng = make_rng(derive_seed(seed, "fig8", benchmark, model))
+    latencies: List[float] = []
+    overflowed = False
+    dropped = 0
+    detected = 0
+    for trial in range(trials):
+        gpu = make_miaow() if engine_name == "MIAOW" else make_ml_miaow()
+        soc = bundle.make_soc(gpu, execute_on_gpu=False)
+        stream_start = int(
+            rng.integers(0, max(1, len(bundle.normal_ids) - TRIAL_STREAM_LENGTH))
+        )
+        stream = bundle.normal_ids[
+            stream_start:stream_start + TRIAL_STREAM_LENGTH
+        ]
+        onset = int(rng.integers(len(stream) // 3, 2 * len(stream) // 3))
+        gadget = rng.choice(bundle.gadget_pool, size=GADGET_LENGTH)
+        result = soc.run_attack_trial(
+            normal_ids=stream,
+            mean_interval_us=bundle.mean_interval_us,
+            gadget_ids=[int(g) for g in gadget],
+            onset_index=onset,
+            gadget_interval_us=GADGET_INTERVAL_US,
+            seed=derive_seed(seed, "trial", benchmark, model, trial),
+        )
+        overflowed = overflowed or result.overflowed
+        dropped += result.dropped_vectors
+        if result.detected:
+            detected += 1
+        if result.detection_latency_us is not None:
+            latencies.append(result.detection_latency_us)
+    return Fig8Cell(
+        benchmark=benchmark,
+        model=model,
+        engine=engine_name,
+        mean_latency_us=float(np.mean(latencies)) if latencies else None,
+        detected_trials=detected,
+        total_trials=trials,
+        overflowed=overflowed,
+        dropped_vectors=dropped,
+    )
+
+
+def run_fig8(
+    benchmarks: Optional[Sequence[str]] = None,
+    models: Sequence[str] = ("elm", "lstm"),
+    trials: int = 5,
+    seed: int = 0,
+) -> List[Fig8Row]:
+    benchmarks = list(benchmarks) if benchmarks else profile_names()
+    rows: List[Fig8Row] = []
+    for benchmark in benchmarks:
+        for model in models:
+            miaow = _run_cell(benchmark, model, "MIAOW", trials, seed)
+            ml_miaow = _run_cell(benchmark, model, "ML-MIAOW", trials, seed)
+            rows.append(
+                Fig8Row(
+                    benchmark=benchmark, model=model,
+                    miaow=miaow, ml_miaow=ml_miaow,
+                )
+            )
+    return rows
+
+
+def fig8_summary(rows: Sequence[Fig8Row]) -> Dict[str, float]:
+    """Per-model mean latencies plus the overall mean speedup."""
+    summary: Dict[str, float] = {}
+    speedups: List[float] = []
+    for model in ("elm", "lstm"):
+        model_rows = [r for r in rows if r.model == model]
+        if not model_rows:
+            continue
+        for engine_key, attr in (("MIAOW", "miaow"), ("ML-MIAOW", "ml_miaow")):
+            values = [
+                getattr(r, attr).mean_latency_us
+                for r in model_rows
+                if getattr(r, attr).mean_latency_us is not None
+            ]
+            if values:
+                summary[f"{model}/{engine_key}"] = float(np.mean(values))
+        model_speedups = [r.speedup for r in model_rows if r.speedup]
+        if model_speedups:
+            summary[f"{model}/speedup"] = float(np.mean(model_speedups))
+            speedups.extend(model_speedups)
+    if speedups:
+        summary["mean_speedup"] = float(np.mean(speedups))
+    return summary
+
+
+def format_fig8(rows: Sequence[Fig8Row]) -> str:
+    def fmt_latency(cell: Fig8Cell) -> str:
+        if cell.mean_latency_us is None:
+            return "n/d"
+        flag = "*" if cell.overflowed else ""
+        return f"{cell.mean_latency_us:.1f}{flag}"
+
+    body = []
+    for row in rows:
+        body.append(
+            (
+                row.benchmark, row.model,
+                fmt_latency(row.miaow), fmt_latency(row.ml_miaow),
+                "-" if row.speedup is None else f"{row.speedup:.2f}x",
+                f"{row.miaow.detected_trials}/{row.miaow.total_trials}",
+                f"{row.ml_miaow.detected_trials}/{row.ml_miaow.total_trials}",
+            )
+        )
+    summary = fig8_summary(rows)
+    lines = [
+        format_table(
+            ["benchmark", "model", "MIAOW us", "ML-MIAOW us", "speedup",
+             "det(M)", "det(ML)"],
+            body,
+            title=(
+                "Fig. 8 — anomaly detection latency "
+                "(* = MCM FIFO overflow observed)"
+            ),
+        )
+    ]
+    for model in ("elm", "lstm"):
+        if f"{model}/MIAOW" in summary:
+            lines.append(
+                f"{model.upper()}: {summary[f'{model}/MIAOW']:.1f} -> "
+                f"{summary.get(f'{model}/ML-MIAOW', float('nan')):.1f} us "
+                f"(paper: {PAPER_LATENCY_US[(model, 'MIAOW')]} -> "
+                f"{PAPER_LATENCY_US[(model, 'ML-MIAOW')]} us)"
+            )
+    if "mean_speedup" in summary:
+        lines.append(
+            f"mean speedup {summary['mean_speedup']:.2f}x "
+            f"(paper: {PAPER_MEAN_SPEEDUP}x)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Table I: synthesized resources of the RTAD modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.eval.coverage_runs import deployed_model_runs, single_model_runs
+from repro.eval.report import format_table
+from repro.miaow.trimming import TrimmingFlow, TrimResult
+from repro.synthesis.area_model import rtad_module_areas
+from repro.synthesis.library import AreaVector
+
+#: Table I of the paper: (LUTs, FFs, BRAMs, gate count).
+PAPER_TABLE1 = {
+    ("IGM", "Trace Analyzer"): (11_962, 350, 0, 12_375),
+    ("IGM", "P2S"): (686, 1_074, 0, 14_363),
+    ("IGM", "Input Vector Generator"): (890, 1_067, 0, 10_430),
+    ("MCM", "Internal FIFO"): (13, 33, 10, 262),
+    ("MCM", "ML-MIAOW Driver"): (489, 265, 0, 5_971),
+    ("MCM", "Control FSM"): (1_609, 1_698, 0, 16_977),
+    ("MCM", "Interrupt Manager"): (42, 91, 0, 927),
+    ("MCM", "ML-MIAOW (5 CUs)"): (183_715, 76_375, 140, 1_865_989),
+    ("Total", ""): (199_406, 80_953, 150, 1_927_294),
+}
+
+ML_MIAOW_CUS = 5
+
+
+@dataclass
+class Table1Row:
+    module: str
+    submodule: str
+    area: AreaVector
+    paper: tuple
+
+
+def run_table1(
+    seed: int = 0, trim_result: Optional[TrimResult] = None
+) -> List[Table1Row]:
+    """Synthesize (account) every RTAD module.
+
+    ``trim_result`` may be passed to reuse an existing trimming run;
+    otherwise the flow executes here (ML-MIAOW's area is a product of
+    the live coverage measurement, not a constant).
+    """
+    if trim_result is None:
+        flow = TrimmingFlow()
+        trim_result = flow.run(
+            deployed_model_runs(seed),
+            single_model_runs=single_model_runs(seed),
+        )
+    modules = rtad_module_areas()
+    ml_miaow = trim_result.trimmed_area.times(ML_MIAOW_CUS).rounded()
+
+    rows = [
+        Table1Row("IGM", "Trace Analyzer", modules.trace_analyzer,
+                  PAPER_TABLE1[("IGM", "Trace Analyzer")]),
+        Table1Row("IGM", "P2S", modules.p2s, PAPER_TABLE1[("IGM", "P2S")]),
+        Table1Row("IGM", "Input Vector Generator",
+                  modules.input_vector_generator,
+                  PAPER_TABLE1[("IGM", "Input Vector Generator")]),
+        Table1Row("MCM", "Internal FIFO", modules.internal_fifo,
+                  PAPER_TABLE1[("MCM", "Internal FIFO")]),
+        Table1Row("MCM", "ML-MIAOW Driver", modules.ml_miaow_driver,
+                  PAPER_TABLE1[("MCM", "ML-MIAOW Driver")]),
+        Table1Row("MCM", "Control FSM", modules.control_fsm,
+                  PAPER_TABLE1[("MCM", "Control FSM")]),
+        Table1Row("MCM", "Interrupt Manager", modules.interrupt_manager,
+                  PAPER_TABLE1[("MCM", "Interrupt Manager")]),
+        Table1Row("MCM", f"ML-MIAOW ({ML_MIAOW_CUS} CUs)", ml_miaow,
+                  PAPER_TABLE1[("MCM", "ML-MIAOW (5 CUs)")]),
+    ]
+    total = AreaVector()
+    for row in rows:
+        total = total + row.area
+    rows.append(Table1Row("Total", "", total.rounded(),
+                          PAPER_TABLE1[("Total", "")]))
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    body = [
+        (
+            row.module, row.submodule,
+            int(row.area.luts), int(row.area.ffs),
+            int(row.area.brams), int(row.area.gates),
+            row.paper[0], row.paper[1], row.paper[2], row.paper[3],
+        )
+        for row in rows
+    ]
+    return format_table(
+        ["module", "submodule", "LUTs", "FFs", "BRAMs", "gates",
+         "pLUTs", "pFFs", "pBRAMs", "pgates"],
+        body,
+        title="Table I — synthesized results of RTAD (measured vs paper)",
+    )

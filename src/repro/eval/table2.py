@@ -1,0 +1,93 @@
+"""Table II: trimming results of ML-MIAOW vs MIAOW2.0 vs MIAOW."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.eval.coverage_runs import deployed_model_runs, single_model_runs
+from repro.eval.report import format_table
+from repro.miaow.trimming import TrimmingFlow, TrimResult
+
+#: Table II of the paper (LUTs, FFs).
+PAPER_TABLE2 = {
+    "MIAOW": (180_902, 107_001),
+    "MIAOW2.0": (97_222, 70_499),
+    "ML-MIAOW": (36_743, 15_275),
+}
+PAPER_REDUCTIONS = {"MIAOW2.0": 42.0, "ML-MIAOW": 82.0}
+PAPER_PERF_PER_AREA_VS_20 = 3.2
+
+
+@dataclass
+class Table2Row:
+    variant: str
+    luts: float
+    ffs: float
+    lut_ff_sum: float
+    area_reduction_pct: Optional[float]
+    paper_luts: int
+    paper_ffs: int
+    paper_reduction_pct: Optional[float]
+
+
+def run_table2(seed: int = 0) -> TrimResult:
+    """Execute the full trimming flow (simulate/merge/trim/verify)."""
+    flow = TrimmingFlow()
+    return flow.run(
+        deployed_model_runs(seed),
+        single_model_runs=single_model_runs(seed),
+    )
+
+
+def table2_rows(result: TrimResult) -> List[Table2Row]:
+    full = result.full_area
+    m20 = result.instruction_trimmed_area
+    ours = result.trimmed_area
+    rows = [
+        Table2Row(
+            "MIAOW", full.luts, full.ffs, full.lut_ff_sum, None,
+            *PAPER_TABLE2["MIAOW"], None,
+        ),
+        Table2Row(
+            "MIAOW2.0", m20.luts, m20.ffs, m20.lut_ff_sum,
+            result.instruction_reduction_pct,
+            *PAPER_TABLE2["MIAOW2.0"], PAPER_REDUCTIONS["MIAOW2.0"],
+        ),
+        Table2Row(
+            "ML-MIAOW", ours.luts, ours.ffs, ours.lut_ff_sum,
+            result.reduction_pct,
+            *PAPER_TABLE2["ML-MIAOW"], PAPER_REDUCTIONS["ML-MIAOW"],
+        ),
+    ]
+    return rows
+
+
+def format_table2(result: TrimResult) -> str:
+    rows = table2_rows(result)
+    body = [
+        (
+            row.variant, row.luts, row.ffs, row.lut_ff_sum,
+            "-" if row.area_reduction_pct is None
+            else f"-{row.area_reduction_pct:.0f}%",
+            row.paper_luts, row.paper_ffs,
+            "-" if row.paper_reduction_pct is None
+            else f"-{row.paper_reduction_pct:.0f}%",
+        )
+        for row in rows
+    ]
+    table = format_table(
+        ["variant", "LUTs", "FFs", "sum", "area",
+         "paper LUTs", "paper FFs", "paper area"],
+        body,
+        title="Table II — trimming results (measured vs paper)",
+    )
+    extras = (
+        f"\nperf/area vs MIAOW:    {result.perf_per_area_vs_full:.1f}x "
+        f"(paper: ~5x)"
+        f"\nperf/area vs MIAOW2.0: {result.perf_per_area_vs_instruction:.1f}x "
+        f"(paper: {PAPER_PERF_PER_AREA_VS_20:.1f}x)"
+        f"\ncoverage: {len(result.report.covered)} points hit across runs "
+        f"{result.report.runs}; verified={result.verified}"
+    )
+    return table + extras

@@ -1,0 +1,31 @@
+"""Input Generation Module (IGM).
+
+Hardware that turns the raw CoreSight trace-port stream into ML input
+vectors, mirroring Fig. 2 of the paper:
+
+    32-bit port -> Trace Analyzer (4 TA units) -> P2S -> IVG
+                   IVG = Address Mapper -> Vector Encoder
+
+The functional behaviour is verified against the golden software
+decoder; the cycle behaviour (one word per cycle into TA, one address
+per cycle out of P2S, 2-cycle vectorization) drives the Fig. 7 latency
+reproduction.
+"""
+
+from repro.igm.trace_analyzer import TraceAnalyzer, TaUnit
+from repro.igm.p2s import ParallelToSerial
+from repro.igm.address_mapper import AddressMapper
+from repro.igm.vector_encoder import VectorEncoder, InputVector, EncoderMode
+from repro.igm.igm import Igm, IgmConfig
+
+__all__ = [
+    "TraceAnalyzer",
+    "TaUnit",
+    "ParallelToSerial",
+    "AddressMapper",
+    "VectorEncoder",
+    "InputVector",
+    "EncoderMode",
+    "Igm",
+    "IgmConfig",
+]

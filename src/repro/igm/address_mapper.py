@@ -1,0 +1,82 @@
+"""Address mapper: the configurable relevance filter of the IVG.
+
+"The address mapper lets only the relevant branch addresses be passed
+by filtering out the addresses not existing within a lookup table.
+Users can configure the table to select branches related to their ML
+models, such as system calls or critical API function calls."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import MapperConfigError
+
+#: Hardware lookup-table capacity (CAM entries in the RTL).
+DEFAULT_CAPACITY = 1024
+
+
+class AddressMapper:
+    """Content-addressable lookup table over branch target addresses.
+
+    Each entry maps an address to a small dense index — the value the
+    vector encoder consumes.  Index 0 is never assigned; it is the
+    "miss" code on the hardware match bus.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise MapperConfigError("capacity must be positive")
+        self.capacity = capacity
+        self._table: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Configuration (host writes through the control bus)
+    # ------------------------------------------------------------------
+
+    def load(self, addresses: Iterable[int]) -> None:
+        """Program the table; indices are assigned in sorted order so a
+        given address set always yields the same encoding."""
+        addresses = sorted(set(int(a) for a in addresses))
+        if len(addresses) > self.capacity:
+            raise MapperConfigError(
+                f"{len(addresses)} entries exceed table capacity "
+                f"{self.capacity}"
+            )
+        for address in addresses:
+            if address < 0 or address > 0xFFFFFFFF:
+                raise MapperConfigError(f"bad address {address:#x}")
+        self._table = {
+            address: index + 1 for index, address in enumerate(addresses)
+        }
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> None:
+        self._table = {}
+
+    @property
+    def entries(self) -> List[int]:
+        return sorted(self._table)
+
+    @property
+    def size(self) -> int:
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+    # Match path
+    # ------------------------------------------------------------------
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Return the dense index for a monitored address, else None."""
+        index = self._table.get(int(address))
+        if index is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return index
+
+    def __contains__(self, address: int) -> bool:
+        return int(address) in self._table

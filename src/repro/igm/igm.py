@@ -1,0 +1,159 @@
+"""IGM top level: 32-bit trace port in, input vectors out.
+
+Wires TA -> P2S -> address mapper -> vector encoder with the cycle
+behaviour of the RTL: one trace word enters TA per IGM cycle, P2S
+serializes one address per cycle, and the IVG needs
+:data:`VECTORIZE_CYCLES` (two) cycles to map + encode — the "16 ns"
+step (2) of Fig. 7 at the 125 MHz module clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import IgmError
+from repro.igm.address_mapper import AddressMapper
+from repro.igm.p2s import P2sEntry, ParallelToSerial
+from repro.igm.trace_analyzer import TraceAnalyzer
+from repro.igm.vector_encoder import EncoderMode, InputVector, VectorEncoder
+
+#: IGM cycles from a serialized address to a completed vector element
+#: (address-map lookup + vector-encode register stage).
+VECTORIZE_CYCLES = 2
+
+
+@dataclass
+class IgmConfig:
+    """Host-visible IGM configuration registers."""
+
+    mode: EncoderMode = EncoderMode.SEQUENCE
+    window: int = 16
+    stride: int = 1
+    mapper_capacity: int = 1024
+    p2s_depth: int = 16
+    trace_source_id: int = 0x1
+    #: Only pass branches of this traced process (PTM context ID);
+    #: None monitors every context on the trace port.
+    monitored_context: Optional[int] = None
+
+
+class Igm:
+    """The Input Generation Module."""
+
+    def __init__(self, config: Optional[IgmConfig] = None) -> None:
+        self.config = config or IgmConfig()
+        self.trace_analyzer = TraceAnalyzer(
+            source_id=self.config.trace_source_id,
+            monitored_context=self.config.monitored_context,
+        )
+        self.p2s = ParallelToSerial(depth=self.config.p2s_depth)
+        self.mapper = AddressMapper(capacity=self.config.mapper_capacity)
+        self._encoder: Optional[VectorEncoder] = None
+        self.cycle = 0
+        self.vectors: List[InputVector] = []
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def configure(self, monitored_addresses: Sequence[int]) -> None:
+        """Program the mapper table and size the encoder vocabulary."""
+        self.mapper.load(monitored_addresses)
+        self._encoder = VectorEncoder(
+            mode=self.config.mode,
+            window=self.config.window,
+            vocabulary_size=self.mapper.size + 1,
+            stride=self.config.stride,
+        )
+
+    @property
+    def configured(self) -> bool:
+        return self._encoder is not None
+
+    @property
+    def encoder(self) -> VectorEncoder:
+        if self._encoder is None:
+            raise IgmError("IGM used before configure()")
+        return self._encoder
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def push_word(self, word: int) -> List[InputVector]:
+        """One IGM cycle: ingest a trace word, advance the pipeline."""
+        if self._encoder is None:
+            raise IgmError("IGM used before configure()")
+        self.cycle += 1
+        decoded = self.trace_analyzer.process_word(
+            word, decode=self._ta_may_decode()
+        )
+        burst = [
+            P2sEntry(
+                address=branch.address,
+                is_syscall=branch.is_syscall,
+                decode_cycle=self.cycle,
+            )
+            for branch in decoded
+        ]
+        self.p2s.push_burst(burst)
+        return self._drain_one()
+
+    def idle_cycle(self) -> List[InputVector]:
+        """Advance one cycle with no new trace word (drains backlogs)."""
+        if self._encoder is None:
+            raise IgmError("IGM used before configure()")
+        self.cycle += 1
+        if self._ta_may_decode():
+            decoded = self.trace_analyzer.idle_cycle()
+        else:
+            decoded = []
+        burst = [
+            P2sEntry(
+                address=branch.address,
+                is_syscall=branch.is_syscall,
+                decode_cycle=self.cycle,
+            )
+            for branch in decoded
+        ]
+        self.p2s.push_burst(burst)
+        return self._drain_one()
+
+    def drain(self) -> List[InputVector]:
+        """Run idle cycles until the TA backlog and P2S empty."""
+        out: List[InputVector] = []
+        while self.trace_analyzer.backlog or not self.p2s.empty:
+            out.extend(self.idle_cycle())
+        return out
+
+    def push_words(self, words: Iterable[int]) -> List[InputVector]:
+        """Stream many words, then drain."""
+        out: List[InputVector] = []
+        for word in words:
+            out.extend(self.push_word(word))
+        out.extend(self.drain())
+        return out
+
+    def _ta_may_decode(self) -> bool:
+        """Ready/valid back-pressure: the TA byte lanes only advance
+        when the P2S can absorb a worst-case 4-address burst."""
+        return len(self.p2s) <= self.p2s.depth - 4
+
+    def _drain_one(self) -> List[InputVector]:
+        """P2S pops one address per cycle into the IVG."""
+        entry = self.p2s.pop()
+        if entry is None:
+            return []
+        index = self.mapper.lookup(entry.address)
+        if index is None:
+            return []
+        vector = self.encoder.push(
+            index=index,
+            address=entry.address,
+            cycle=self.cycle + VECTORIZE_CYCLES,
+        )
+        if vector is None:
+            return []
+        self.vectors.append(vector)
+        return [vector]

@@ -1,0 +1,66 @@
+"""Parallel-to-serial converter between TA and IVG.
+
+"Since the incoming 32-bit input can be decoded into four branch
+addresses in the worst case, we install the parallel-to-serial
+converter (P2S) between TA and input vector generator" — the IVG
+accepts one address per cycle, so a burst of up to four decoded
+addresses must be spread over subsequent cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.errors import IgmError
+
+
+@dataclass(frozen=True)
+class P2sEntry:
+    """One queued address with the TA cycle it was decoded at."""
+
+    address: int
+    is_syscall: bool
+    decode_cycle: int
+
+
+class ParallelToSerial:
+    """Small hardware queue: up to 4 pushes per cycle, 1 pop per cycle."""
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 4:
+            raise IgmError("P2S must hold at least one worst-case word")
+        self.depth = depth
+        self._queue: Deque[P2sEntry] = deque()
+        self.max_occupancy = 0
+        self.pushes = 0
+        self.drops = 0
+
+    def push_burst(self, entries: List[P2sEntry]) -> None:
+        """Enqueue the addresses decoded in one TA cycle."""
+        if len(entries) > 4:
+            raise IgmError("TA cannot decode more than 4 addresses/cycle")
+        for entry in entries:
+            if len(self._queue) >= self.depth:
+                # Hardware would back-pressure the TA; bursts beyond the
+                # queue are counted as drops so the SoC layer can report
+                # loss instead of silently stalling.
+                self.drops += 1
+                continue
+            self._queue.append(entry)
+            self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._queue))
+
+    def pop(self) -> Optional[P2sEntry]:
+        """One serialized address per cycle (None when empty)."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue

@@ -1,0 +1,142 @@
+"""Trace Analyzer: the packet-decode front end of IGM.
+
+The TA receives the TPIU stream through a 32-bit port.  "Because the
+trace stream is constructed of multiple packets of one or more bytes of
+data, decoding for each packet must be done sequentially in bytes.  TA
+has four TA units responsible for each byte decoding" — so at most four
+payload bytes are decoded per TA cycle, and the worst case yields four
+branch addresses in a single cycle (four 1-byte address packets).
+
+Deframing runs ahead of decode: a completing TPIU frame releases up to
+15 payload bytes at once, which land in a small backlog buffer that the
+four byte lanes drain at 4 bytes/cycle.  Sustained payload rate is
+15/16 of the port rate, so the backlog is bounded by one frame.
+
+Each :class:`TaUnit` is a byte-granular decoder stage; the packet state
+machine threads through the four units exactly as a pipelined hardware
+decoder would thread its state across byte lanes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.coresight.decoder import (
+    DecodedBranch,
+    DecodedContext,
+    DecodedISync,
+    PftDecoder,
+)
+from repro.coresight.tpiu import TpiuDeframer
+
+
+@dataclass
+class TaUnit:
+    """One byte-lane decoder.
+
+    The four units share one packet-decoder state machine (in RTL this
+    is a forwarded state vector between lanes); each unit's ``decode``
+    consumes exactly one byte and reports any packet completed at that
+    byte boundary.
+    """
+
+    lane: int
+    bytes_decoded: int = 0
+    branches_decoded: int = 0
+
+    def decode(self, state: PftDecoder, byte: int) -> List[object]:
+        self.bytes_decoded += 1
+        completed = state.step_byte(byte)
+        self.branches_decoded += sum(
+            1 for p in completed if isinstance(p, DecodedBranch)
+        )
+        return completed
+
+
+class TraceAnalyzer:
+    """Four TA units fed from the 32-bit trace port, one word per cycle."""
+
+    NUM_UNITS = 4
+
+    def __init__(
+        self,
+        source_id: int = 0x1,
+        strict: bool = False,
+        monitored_context: Optional[int] = None,
+    ) -> None:
+        self._deframer = TpiuDeframer(expected_source_id=source_id)
+        self._decoder = PftDecoder(strict=strict)
+        self._pending: Deque[int] = deque()
+        self.units = [TaUnit(lane=i) for i in range(self.NUM_UNITS)]
+        self.cycles = 0
+        self.words_consumed = 0
+        self.max_backlog = 0
+        #: Filter branches to one traced process; None passes all.
+        self.monitored_context = monitored_context
+        self.current_context: Optional[int] = None
+        self.branches_filtered_by_context = 0
+
+    @property
+    def backlog(self) -> int:
+        """Payload bytes deframed but not yet decoded."""
+        return len(self._pending)
+
+    @property
+    def synced(self) -> bool:
+        return self._deframer.synced
+
+    def process_word(self, word: int, decode: bool = True) -> List[DecodedBranch]:
+        """Consume one 32-bit trace-port word (one TA cycle).
+
+        ``decode=False`` models downstream back-pressure: the word
+        still enters the deframer (the trace port cannot be stalled)
+        but the byte lanes hold their state this cycle.
+        """
+        self.words_consumed += 1
+        payload = self._deframer.push(int(word).to_bytes(4, "little"))
+        self._pending.extend(payload)
+        self.max_backlog = max(self.max_backlog, len(self._pending))
+        if not decode:
+            self.cycles += 1
+            return []
+        return self._decode_cycle()
+
+    def idle_cycle(self) -> List[DecodedBranch]:
+        """One TA cycle with no new port word: drain the backlog."""
+        return self._decode_cycle()
+
+    def _decode_cycle(self) -> List[DecodedBranch]:
+        self.cycles += 1
+        branches: List[DecodedBranch] = []
+        for lane in range(self.NUM_UNITS):
+            if not self._pending:
+                break
+            byte = self._pending.popleft()
+            for item in self.units[lane].decode(self._decoder, byte):
+                if isinstance(item, DecodedContext):
+                    self.current_context = item.context_id
+                elif isinstance(item, DecodedISync):
+                    self.current_context = item.context_id
+                elif isinstance(item, DecodedBranch):
+                    if (
+                        self.monitored_context is not None
+                        and self.current_context is not None
+                        and self.current_context != self.monitored_context
+                    ):
+                        self.branches_filtered_by_context += 1
+                        continue
+                    branches.append(item)
+        return branches
+
+    def process_words(self, words: List[int]) -> List[Tuple[int, DecodedBranch]]:
+        """Consume many words then drain; returns (cycle, branch) pairs."""
+        out: List[Tuple[int, DecodedBranch]] = []
+        for word in words:
+            for branch in self.process_word(word):
+                out.append((self.cycles, branch))
+        while self._pending:
+            for branch in self.idle_cycle():
+                out.append((self.cycles, branch))
+        return out

@@ -1,0 +1,118 @@
+"""Vector encoder: mapped branch indices -> ML input vectors.
+
+"The filtered address values are transferred in real time to VE as
+input and then converted into vector format following a conversion
+table that can be configured to match the need of target ML models."
+
+Two conversion modes cover the two deployed models:
+
+- ``SEQUENCE``: a sliding window of the last W mapped indices — the
+  LSTM input (branch sequence modeling, [8]).
+- ``HISTOGRAM``: a count vector over the table indices within a window
+  of W events — the ELM input (contiguous syscall-pattern features in
+  the spirit of [2]).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.errors import EncoderConfigError
+
+
+class EncoderMode(enum.Enum):
+    SEQUENCE = "sequence"
+    HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class InputVector:
+    """One vector handed to the MCM.
+
+    ``trigger_address`` / ``trigger_cycle`` identify the branch event
+    that completed the window — detection latency is measured from
+    that branch's retirement.
+    """
+
+    values: np.ndarray
+    sequence_number: int
+    trigger_address: int
+    trigger_cycle: int
+
+    @property
+    def width(self) -> int:
+        return int(self.values.shape[0])
+
+
+class VectorEncoder:
+    """Windowed conversion of mapped indices into input vectors."""
+
+    def __init__(
+        self,
+        mode: EncoderMode = EncoderMode.SEQUENCE,
+        window: int = 16,
+        vocabulary_size: int = 64,
+        stride: int = 1,
+    ) -> None:
+        if window < 1:
+            raise EncoderConfigError("window must be >= 1")
+        if stride < 1:
+            raise EncoderConfigError("stride must be >= 1")
+        if vocabulary_size < 2:
+            raise EncoderConfigError("vocabulary must hold >= 2 indices")
+        self.mode = mode
+        self.window = window
+        self.stride = stride
+        self.vocabulary_size = vocabulary_size
+        self._history: Deque[int] = deque(maxlen=window)
+        self._since_emit = 0
+        self._sequence_number = 0
+        self.vectors_emitted = 0
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._since_emit = 0
+
+    def push(
+        self, index: int, address: int, cycle: int
+    ) -> Optional[InputVector]:
+        """Accept one mapped index; emit a vector when a window fills.
+
+        Returns None until the first window is complete, then one
+        vector every ``stride`` further events.
+        """
+        if not 0 < index < self.vocabulary_size:
+            raise EncoderConfigError(
+                f"mapped index {index} outside vocabulary "
+                f"[1, {self.vocabulary_size})"
+            )
+        self._history.append(index)
+        if len(self._history) < self.window:
+            return None
+        self._since_emit += 1
+        if self._since_emit < self.stride and self._sequence_number > 0:
+            return None
+        self._since_emit = 0
+        values = self._convert()
+        vector = InputVector(
+            values=values,
+            sequence_number=self._sequence_number,
+            trigger_address=address,
+            trigger_cycle=cycle,
+        )
+        self._sequence_number += 1
+        self.vectors_emitted += 1
+        return vector
+
+    def _convert(self) -> np.ndarray:
+        if self.mode is EncoderMode.SEQUENCE:
+            return np.array(self._history, dtype=np.int64)
+        counts = np.zeros(self.vocabulary_size, dtype=np.int64)
+        for index in self._history:
+            counts[index] += 1
+        return counts

@@ -1,0 +1,31 @@
+"""ML Computing Module (MCM).
+
+The hardware wrapper around ML-MIAOW (Fig. 3 of the paper): an
+internal FIFO absorbing IGM vectors, a control FSM sequencing
+WAIT_INPUT -> READ_INPUT -> WRITE_INPUT -> WAIT_DONE -> READ_RESULT,
+TX/RX engines with a protocol converter moving data to/from the
+engine, an ML-MIAOW driver issuing kernel dispatches, and an interrupt
+manager notifying the host CPU on anomaly.
+"""
+
+from repro.mcm.fifo import InternalFifo
+from repro.mcm.fsm import ControlFsm, McmState
+from repro.mcm.engines import TxEngine, RxEngine, ProtocolConverter
+from repro.mcm.interrupt import InterruptManager, Interrupt
+from repro.mcm.driver import MlMiaowDriver, InferencePhases
+from repro.mcm.mcm import Mcm, InferenceRecord
+
+__all__ = [
+    "InternalFifo",
+    "ControlFsm",
+    "McmState",
+    "TxEngine",
+    "RxEngine",
+    "ProtocolConverter",
+    "InterruptManager",
+    "Interrupt",
+    "MlMiaowDriver",
+    "InferencePhases",
+    "Mcm",
+    "InferenceRecord",
+]

@@ -1,0 +1,193 @@
+"""ML-MIAOW driver: the kernel-sequencing layer of the MCM.
+
+Binds one deployed model to one GPU engine and runs inferences.  Two
+execution modes:
+
+- **exact** (``execute_on_gpu=True``): every inference actually runs
+  on the instruction-level GPU simulator.  Used by correctness tests
+  and the equivalence checks.
+- **calibrated** (``execute_on_gpu=False``): kernel cycle counts are
+  measured once on the real simulator (they are data-independent —
+  every kernel loop has a fixed trip count) and reused, while scores
+  come from the float32 reference twin.  Used by the long Fig. 8
+  queueing simulations, where thousands of inferences would otherwise
+  make wall-clock time explode without changing a single cycle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.miaow.gpu import Gpu
+from repro.ml.kernels import DeployedElm, DeployedLstm, DeployedMlp
+
+
+@dataclass(frozen=True)
+class InferencePhases:
+    """GPU cycle accounting of one inference."""
+
+    names: Sequence[str]
+    cycles: Sequence[int]
+
+    @property
+    def total_cycles(self) -> int:
+        return int(sum(self.cycles))
+
+    @property
+    def num_dispatches(self) -> int:
+        return len(self.cycles)
+
+
+@dataclass
+class DriverResult:
+    score: float
+    phases: InferencePhases
+
+
+class MlMiaowDriver:
+    """Host-side sequencing of kernel dispatches per inference."""
+
+    def __init__(
+        self,
+        deployment: Union[DeployedElm, DeployedLstm, DeployedMlp],
+        gpu: Gpu,
+        execute_on_gpu: bool = True,
+    ) -> None:
+        self.deployment = deployment
+        self.gpu = gpu
+        self.execute_on_gpu = execute_on_gpu
+        if isinstance(deployment, DeployedElm):
+            self.kind = "elm"
+        elif isinstance(deployment, DeployedMlp):
+            self.kind = "mlp"
+        else:
+            self.kind = "lstm"
+        deployment.load(gpu)
+        self._reference = None
+        self._cached_phases = self._measure_phases()
+        if not execute_on_gpu:
+            self._reference = self._make_reference()
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    def _measure_phases(self) -> InferencePhases:
+        """One warm-up inference to record per-phase cycles.
+
+        The ELM warm-up uses a typical all-in-dictionary input (M =
+        positions): normal traffic gathers one weight column per
+        n-gram position, while anomalous windows add a few unseen-bin
+        repeats.  Calibrated mode therefore reflects steady-state
+        service time; exact mode measures every inference faithfully.
+        """
+        if self.kind == "elm":
+            indices = np.ones(self.deployment.positions, dtype=np.int64)
+            result = self.deployment.infer_indices(indices)
+            phases = InferencePhases(
+                names=("elm_score",), cycles=(result.dispatch.cycles,)
+            )
+        elif self.kind == "mlp":
+            features = np.full(
+                self.deployment.model.input_dim,
+                1.0 / self.deployment.model.input_dim,
+                dtype=np.float32,
+            )
+            result = self.deployment.infer(features)
+            phases = InferencePhases(
+                names=tuple(d.kernel for d in result.dispatches),
+                cycles=tuple(d.cycles for d in result.dispatches),
+            )
+        else:
+            result = self.deployment.infer(0)
+            phases = InferencePhases(
+                names=tuple(d.kernel for d in result.dispatches),
+                cycles=tuple(d.cycles for d in result.dispatches),
+            )
+            self.deployment.reset_state()
+        return phases
+
+    def _make_reference(self):
+        if self.kind == "lstm":
+            return self.deployment.make_reference()
+        return None
+
+    @property
+    def phases(self) -> InferencePhases:
+        """The (data-independent) per-inference GPU cycle breakdown."""
+        return self._cached_phases
+
+    @property
+    def result_words(self) -> int:
+        """Words the RX engine reads back per inference."""
+        if self.kind == "elm":
+            return self.deployment.num_workgroups
+        return 1  # lstm and mlp both produce a single score word
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def run_inference(self, converted_input) -> DriverResult:
+        """Run one inference on the bound engine."""
+        if self.kind == "elm":
+            return self._run_elm(converted_input)
+        if self.kind == "mlp":
+            return self._run_mlp(converted_input)
+        return self._run_lstm(converted_input)
+
+    def _run_mlp(self, features: np.ndarray) -> DriverResult:
+        if self.execute_on_gpu:
+            result = self.deployment.infer(features)
+            return DriverResult(
+                score=result.score,
+                phases=InferencePhases(
+                    names=tuple(d.kernel for d in result.dispatches),
+                    cycles=tuple(d.cycles for d in result.dispatches),
+                ),
+            )
+        score = self.deployment.reference_score(features)
+        return DriverResult(score=score, phases=self._cached_phases)
+
+    def _run_elm(self, pattern_indices: np.ndarray) -> DriverResult:
+        if self.execute_on_gpu:
+            result = self.deployment.infer_indices(pattern_indices)
+            return DriverResult(
+                score=result.score,
+                phases=InferencePhases(
+                    names=("elm_score",), cycles=(result.dispatch.cycles,)
+                ),
+            )
+        # Calibrated mode: score via the f32 reference on dense features.
+        dictionary = self.deployment.dictionary
+        features = np.zeros((1, dictionary.size), dtype=np.float32)
+        for index in np.asarray(pattern_indices):
+            features[0, int(index)] += 1
+        features /= self.deployment.positions
+        score = float(
+            self.deployment.model.score_mahalanobis_f32(features)[0]
+        )
+        return DriverResult(score=score, phases=self._cached_phases)
+
+    def _run_lstm(self, branch_id: int) -> DriverResult:
+        if self.execute_on_gpu:
+            result = self.deployment.infer(int(branch_id))
+            return DriverResult(
+                score=result.surprisal,
+                phases=InferencePhases(
+                    names=tuple(d.kernel for d in result.dispatches),
+                    cycles=tuple(d.cycles for d in result.dispatches),
+                ),
+            )
+        score = self._reference.infer(int(branch_id))
+        return DriverResult(score=score, phases=self._cached_phases)
+
+    def reset(self) -> None:
+        """Reset recurrent state (new trace session)."""
+        if self.kind == "lstm":
+            self.deployment.reset_state()
+            if self._reference is not None:
+                self._reference = self.deployment.make_reference()

@@ -1,0 +1,73 @@
+"""MCM internal FIFO.
+
+"The vector value is temporarily stored in the internal FIFO" — and
+when the engine cannot keep up with the branch rate, "the buffer would
+overflow and lose newly sent data", which the paper observes for
+471.omnetpp under the original MIAOW.  Overflow therefore drops the
+*incoming* vector (newly sent data), not queued ones, and is counted
+so the SoC can report branch-information loss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, Optional, TypeVar
+
+from repro.errors import FifoOverflowError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class FifoEntry(Generic[T]):
+    item: T
+    arrival_ns: float
+
+
+class InternalFifo(Generic[T]):
+    """Bounded FIFO with overflow accounting."""
+
+    def __init__(self, depth: int = 16, raise_on_overflow: bool = False) -> None:
+        if depth < 1:
+            raise ValueError("FIFO depth must be >= 1")
+        self.depth = depth
+        self.raise_on_overflow = raise_on_overflow
+        self._queue: Deque[FifoEntry[T]] = deque()
+        self.pushes = 0
+        self.drops = 0
+        self.max_occupancy = 0
+
+    def push(self, item: T, arrival_ns: float) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if len(self._queue) >= self.depth:
+            self.drops += 1
+            if self.raise_on_overflow:
+                raise FifoOverflowError(
+                    f"FIFO overflow at t={arrival_ns:.0f} ns "
+                    f"(depth {self.depth})"
+                )
+            return False
+        self._queue.append(FifoEntry(item=item, arrival_ns=arrival_ns))
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._queue))
+        return True
+
+    def pop(self) -> Optional[FifoEntry[T]]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[FifoEntry[T]]:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def overflowed(self) -> bool:
+        return self.drops > 0

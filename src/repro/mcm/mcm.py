@@ -1,0 +1,199 @@
+"""MCM top level: FIFO + FSM + engines + driver + interrupt manager.
+
+Timing model per inference (all converted to nanoseconds):
+
+- FSM control transitions at the RTAD module clock (125 MHz),
+- TX engine write burst (vector + control registers),
+- kernel execution at the ML-MIAOW clock (50 MHz), one dispatch per
+  phase with an FSM round per dispatch,
+- RX engine result read,
+
+with a single-server queue in front (the internal FIFO): a vector
+arriving while the pipeline is busy waits, and arrivals that find the
+FIFO full are dropped — the branch-information loss the paper reports
+for branch-heavy workloads under the untrimmed engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import McmError
+from repro.igm.vector_encoder import InputVector
+from repro.mcm.driver import MlMiaowDriver
+from repro.mcm.engines import ProtocolConverter, RxEngine, TxEngine
+from repro.mcm.fifo import InternalFifo
+from repro.mcm.fsm import ControlFsm
+from repro.mcm.interrupt import InterruptManager
+from repro.ml.detector import ThresholdDetector
+
+RTAD_CLOCK_HZ = 125_000_000
+GPU_CLOCK_HZ = 50_000_000
+
+
+@dataclass(frozen=True)
+class McmConfig:
+    fifo_depth: int = 16
+    rtad_clock_hz: float = RTAD_CLOCK_HZ
+    gpu_clock_hz: float = GPU_CLOCK_HZ
+    #: Judge the rolling mean of the last k scores rather than single
+    #: scores.  Sequence models ([8]) score *runs* of branches: one
+    #: surprising branch is normal, a run of them is an attack.  The
+    #: hardware analogue is a small accumulator in the interrupt
+    #: manager.  k=1 disables smoothing (the ELM configuration).
+    score_smoothing: int = 1
+
+
+@dataclass(frozen=True)
+class InferenceRecord:
+    """One completed inference with its full latency breakdown."""
+
+    sequence_number: int
+    trigger_cycle: int        # CPU cycle of the branch that triggered it
+    arrival_ns: float         # vector arrival at the MCM FIFO
+    start_ns: float           # service start (READ_INPUT)
+    done_ns: float            # judgment available (interrupt time)
+    score: float
+    anomalous: Optional[bool]
+    gpu_cycles: int
+
+    @property
+    def queue_ns(self) -> float:
+        return self.start_ns - self.arrival_ns
+
+    @property
+    def service_ns(self) -> float:
+        return self.done_ns - self.start_ns
+
+
+class Mcm:
+    """The ML Computing Module."""
+
+    def __init__(
+        self,
+        driver: MlMiaowDriver,
+        converter: ProtocolConverter,
+        detector: Optional[ThresholdDetector] = None,
+        config: Optional[McmConfig] = None,
+    ) -> None:
+        if converter.kind != driver.kind:
+            raise McmError(
+                f"converter kind {converter.kind!r} does not match "
+                f"driver kind {driver.kind!r}"
+            )
+        self.driver = driver
+        self.converter = converter
+        self.detector = detector
+        self.config = config or McmConfig()
+        self.fifo: InternalFifo[InputVector] = InternalFifo(
+            depth=self.config.fifo_depth
+        )
+        self.fsm = ControlFsm()
+        self.tx = TxEngine()
+        self.rx = RxEngine()
+        self.interrupts = InterruptManager()
+        self.records: List[InferenceRecord] = []
+        self._busy_until_ns = 0.0
+        self._recent_scores: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Clock conversions
+    # ------------------------------------------------------------------
+
+    def _rtad_ns(self, cycles: int) -> float:
+        return cycles / self.config.rtad_clock_hz * 1e9
+
+    def _gpu_ns(self, cycles: int) -> float:
+        return cycles / self.config.gpu_clock_hz * 1e9
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def push(self, vector: InputVector, arrival_ns: float) -> bool:
+        """Vector arrival from the IGM; returns False if dropped."""
+        self._drain(until_ns=arrival_ns)
+        return self.fifo.push(vector, arrival_ns)
+
+    def finalize(self) -> List[InferenceRecord]:
+        """Process everything still queued; returns all records."""
+        self._drain(until_ns=float("inf"))
+        return self.records
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+
+    def _drain(self, until_ns: float) -> None:
+        """Start (and finish) services that begin before ``until_ns``."""
+        while not self.fifo.empty:
+            head = self.fifo.peek()
+            start_ns = max(head.arrival_ns, self._busy_until_ns)
+            if start_ns >= until_ns:
+                break
+            entry = self.fifo.pop()
+            self._serve(entry.item, entry.arrival_ns, start_ns)
+
+    def _serve(
+        self, vector: InputVector, arrival_ns: float, start_ns: float
+    ) -> None:
+        converted = self.converter.convert(vector.values)
+        result = self.driver.run_inference(converted)
+        phases = result.phases
+
+        control_ns = self._rtad_ns(
+            self.fsm.control_cycles_per_inference * phases.num_dispatches
+        )
+        tx_ns = self._rtad_ns(
+            self.tx.cycles(self.converter.words_for(converted))
+        )
+        gpu_ns = self._gpu_ns(phases.total_cycles)
+        rx_ns = self._rtad_ns(self.rx.cycles(self.driver.result_words))
+        done_ns = start_ns + control_ns + tx_ns + gpu_ns + rx_ns
+        self.fsm.run_inference_sequence(time_ns=start_ns)
+
+        judged_score = result.score
+        k = self.config.score_smoothing
+        if k > 1:
+            self._recent_scores.append(result.score)
+            if len(self._recent_scores) > k:
+                self._recent_scores.pop(0)
+            judged_score = float(np.mean(self._recent_scores))
+
+        anomalous: Optional[bool] = None
+        if self.detector is not None:
+            anomalous = bool(self.detector.is_anomalous(judged_score))
+            if anomalous:
+                self.interrupts.fire(
+                    time_ns=done_ns,
+                    score=judged_score,
+                    sequence_number=vector.sequence_number,
+                )
+        self.records.append(
+            InferenceRecord(
+                sequence_number=vector.sequence_number,
+                trigger_cycle=vector.trigger_cycle,
+                arrival_ns=arrival_ns,
+                start_ns=start_ns,
+                done_ns=done_ns,
+                score=result.score,
+                anomalous=anomalous,
+                gpu_cycles=phases.total_cycles,
+            )
+        )
+        self._busy_until_ns = done_ns
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def dropped_vectors(self) -> int:
+        return self.fifo.drops
+
+    @property
+    def overflowed(self) -> bool:
+        return self.fifo.overflowed

@@ -1,0 +1,61 @@
+"""MIAOW GPU substrate: a Southern-Islands-subset GPGPU simulator.
+
+MIAOW is an open-source RTL GPGPU implementing a subset of AMD's
+Southern Islands ISA; the paper trims it into ML-MIAOW via merged HDL
+code coverage.  This subpackage is the Python stand-in: an
+instruction-level functional + timing simulator whose "RTL blocks" are
+instrumented coverage points, so the same four-step trimming flow
+(simulate with coverage -> merge -> trim -> verify) runs against it.
+
+Layers:
+
+- :mod:`repro.miaow.isa` / :mod:`repro.miaow.assembler` — instruction
+  set and a two-pass text assembler.
+- :mod:`repro.miaow.wavefront` / :mod:`repro.miaow.alu` — 64-lane
+  execution state and operation semantics.
+- :mod:`repro.miaow.memory` — global memory and per-CU local memory.
+- :mod:`repro.miaow.compute_unit` / :mod:`repro.miaow.gpu` — timing
+  model: 1 instruction issued per CU cycle, round-robin wavefronts.
+- :mod:`repro.miaow.runtime` — OpenCL-like host API.
+- :mod:`repro.miaow.coverage` / :mod:`repro.miaow.trimming` — the
+  trimming flow of Section III.
+"""
+
+from repro.miaow.isa import OPCODES, Instruction, OpcodeInfo, SReg, VReg, Lit, Special
+from repro.miaow.assembler import assemble, Kernel
+from repro.miaow.memory import GlobalMemory, LocalMemory
+from repro.miaow.wavefront import Wavefront, WAVE_SIZE
+from repro.miaow.compute_unit import ComputeUnit, GpuTimings
+from repro.miaow.gpu import Gpu, DispatchResult
+from repro.miaow.runtime import GpuRuntime, Buffer
+from repro.miaow.binary import decode_kernel, encode_kernel
+from repro.miaow.coverage import CoverageCollector, CoverageReport
+from repro.miaow.trimming import TrimmingFlow, TrimResult
+
+__all__ = [
+    "OPCODES",
+    "Instruction",
+    "OpcodeInfo",
+    "SReg",
+    "VReg",
+    "Lit",
+    "Special",
+    "assemble",
+    "Kernel",
+    "GlobalMemory",
+    "LocalMemory",
+    "Wavefront",
+    "WAVE_SIZE",
+    "ComputeUnit",
+    "GpuTimings",
+    "Gpu",
+    "DispatchResult",
+    "GpuRuntime",
+    "Buffer",
+    "CoverageCollector",
+    "CoverageReport",
+    "TrimmingFlow",
+    "TrimResult",
+    "encode_kernel",
+    "decode_kernel",
+]

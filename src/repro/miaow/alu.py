@@ -1,0 +1,544 @@
+"""Operation semantics for the SI-subset ISA.
+
+Each handler mutates a :class:`Wavefront` given the owning compute
+unit (for memory access).  Vector operations are numpy-vectorized
+across the 64 lanes and respect the EXEC write mask; VCC-writing
+compares clear inactive lanes, matching SI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import GpuError, IllegalInstructionError
+from repro.miaow.isa import Instruction, Lit, Special, SReg, VReg, WAVE_SIZE
+from repro.miaow.wavefront import Wavefront
+
+_U32 = np.uint32
+_MASK32 = np.uint32(0xFFFFFFFF)
+
+
+# ---------------------------------------------------------------------------
+# Operand access
+# ---------------------------------------------------------------------------
+
+def read_scalar(wf: Wavefront, operand) -> int:
+    """Read an operand as one 32-bit value (raw bits)."""
+    if isinstance(operand, SReg):
+        return wf.s_u32(operand.index)
+    if isinstance(operand, Lit):
+        return operand.bits
+    if isinstance(operand, Special):
+        if operand.name == "scc":
+            return int(wf.scc)
+        if operand.name == "vcc":
+            return int(np.packbits(wf.vcc[:32][::-1]).view(">u4")[0])
+        if operand.name == "exec":
+            return int(np.packbits(wf.exec_mask[:32][::-1]).view(">u4")[0])
+        raise GpuError(f"unreadable special register {operand.name}")
+    if isinstance(operand, VReg):
+        raise GpuError(f"scalar operand expected, got {operand}")
+    raise GpuError(f"bad operand {operand!r}")
+
+
+def read_vector(wf: Wavefront, operand) -> np.ndarray:
+    """Read an operand as a 64-lane uint32 array (broadcast scalars)."""
+    if isinstance(operand, VReg):
+        return wf.v_u32(operand.index)
+    value = read_scalar(wf, operand)
+    return np.full(WAVE_SIZE, _U32(value), dtype=np.uint32)
+
+
+def _f32(bits: np.ndarray) -> np.ndarray:
+    return bits.view(np.float32) if bits.dtype == np.uint32 else bits
+
+
+def _to_bits(values: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+
+
+def _write_scc_cmp(wf: Wavefront, op: str, a: int, b: int) -> None:
+    a_signed = int(np.int32(np.uint32(a)))
+    b_signed = int(np.int32(np.uint32(b)))
+    table = {
+        "eq": a_signed == b_signed,
+        "lg": a_signed != b_signed,
+        "lt": a_signed < b_signed,
+        "le": a_signed <= b_signed,
+        "gt": a_signed > b_signed,
+        "ge": a_signed >= b_signed,
+    }
+    wf.scc = bool(table[op])
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+Handler = Callable[[Wavefront, Instruction, "object"], None]
+HANDLERS: Dict[str, Handler] = {}
+
+
+def handler(name: str) -> Callable[[Handler], Handler]:
+    def register(fn: Handler) -> Handler:
+        HANDLERS[name] = fn
+        return fn
+    return register
+
+
+# -- scalar -----------------------------------------------------------------
+
+@handler("s_mov_b32")
+def _s_mov(wf, inst, cu):
+    wf.set_sgpr(inst.operands[0].index, read_scalar(wf, inst.operands[1]))
+
+
+def _salu_binop(fn):
+    def run(wf, inst, cu):
+        a = read_scalar(wf, inst.operands[1])
+        b = read_scalar(wf, inst.operands[2])
+        wf.set_sgpr(inst.operands[0].index, fn(a, b))
+    return run
+
+
+HANDLERS["s_add_i32"] = _salu_binop(lambda a, b: (a + b) & 0xFFFFFFFF)
+HANDLERS["s_sub_i32"] = _salu_binop(lambda a, b: (a - b) & 0xFFFFFFFF)
+HANDLERS["s_mul_i32"] = _salu_binop(lambda a, b: (a * b) & 0xFFFFFFFF)
+HANDLERS["s_and_b32"] = _salu_binop(lambda a, b: a & b)
+HANDLERS["s_or_b32"] = _salu_binop(lambda a, b: a | b)
+HANDLERS["s_xor_b32"] = _salu_binop(lambda a, b: a ^ b)
+HANDLERS["s_lshl_b32"] = _salu_binop(lambda a, b: (a << (b & 31)) & 0xFFFFFFFF)
+HANDLERS["s_lshr_b32"] = _salu_binop(lambda a, b: (a & 0xFFFFFFFF) >> (b & 31))
+HANDLERS["s_ashr_i32"] = _salu_binop(
+    lambda a, b: (int(np.int32(np.uint32(a))) >> (b & 31)) & 0xFFFFFFFF
+)
+HANDLERS["s_min_i32"] = _salu_binop(
+    lambda a, b: min(int(np.int32(np.uint32(a))), int(np.int32(np.uint32(b)))) & 0xFFFFFFFF
+)
+HANDLERS["s_max_i32"] = _salu_binop(
+    lambda a, b: max(int(np.int32(np.uint32(a))), int(np.int32(np.uint32(b)))) & 0xFFFFFFFF
+)
+
+
+def _salu_unop(fn):
+    def run(wf, inst, cu):
+        wf.set_sgpr(
+            inst.operands[0].index,
+            fn(read_scalar(wf, inst.operands[1])) & 0xFFFFFFFF,
+        )
+    return run
+
+
+HANDLERS["s_not_b32"] = _salu_unop(lambda a: ~a)
+HANDLERS["s_bcnt1_i32_b32"] = _salu_unop(lambda a: bin(a & 0xFFFFFFFF).count("1"))
+# find-first-1 from the LSB; all-zero input yields 0xFFFFFFFF (SI: -1)
+HANDLERS["s_ff1_i32_b32"] = _salu_unop(
+    lambda a: ((a & -a).bit_length() - 1) if a else 0xFFFFFFFF
+)
+
+
+def _scmp(op):
+    def run(wf, inst, cu):
+        a = read_scalar(wf, inst.operands[0])
+        b = read_scalar(wf, inst.operands[1])
+        _write_scc_cmp(wf, op, a, b)
+    return run
+
+
+for _cmp in ("eq", "lg", "lt", "le", "gt", "ge"):
+    HANDLERS[f"s_cmp_{_cmp}_i32"] = _scmp(_cmp)
+
+
+@handler("s_load_dword")
+def _s_load(wf, inst, cu):
+    base = read_scalar(wf, inst.operands[1])
+    offset = read_scalar(wf, inst.operands[2])
+    wf.set_sgpr(inst.operands[0].index, cu.global_memory.load_u32(base + offset))
+
+
+# -- control flow (pc updates resolved by the CU via kernel labels) ---------
+
+@handler("s_branch")
+def _s_branch(wf, inst, cu):
+    wf.pc = cu.resolve_label(inst.target)
+
+
+def _cond_branch(predicate):
+    def run(wf, inst, cu):
+        if predicate(wf):
+            wf.pc = cu.resolve_label(inst.target)
+    return run
+
+
+HANDLERS["s_cbranch_scc0"] = _cond_branch(lambda wf: not wf.scc)
+HANDLERS["s_cbranch_scc1"] = _cond_branch(lambda wf: wf.scc)
+HANDLERS["s_cbranch_vccz"] = _cond_branch(lambda wf: not wf.vcc.any())
+HANDLERS["s_cbranch_vccnz"] = _cond_branch(lambda wf: wf.vcc.any())
+HANDLERS["s_cbranch_execz"] = _cond_branch(lambda wf: not wf.exec_mask.any())
+
+
+@handler("s_endpgm")
+def _s_endpgm(wf, inst, cu):
+    wf.done = True
+
+
+@handler("s_nop")
+def _s_nop(wf, inst, cu):
+    return None
+
+
+@handler("s_barrier")
+def _s_barrier(wf, inst, cu):
+    # Workgroup == wavefront in this simulator, so a barrier is a no-op.
+    return None
+
+
+@handler("s_waitcnt")
+def _s_waitcnt(wf, inst, cu):
+    # The timing model charges memory latency at issue; nothing to wait on.
+    return None
+
+
+# -- vector moves / arithmetic -----------------------------------------------
+
+@handler("v_mov_b32")
+def _v_mov(wf, inst, cu):
+    wf.write_vgpr_masked(inst.operands[0].index, read_vector(wf, inst.operands[1]))
+
+
+def _vfp_binop(fn):
+    def run(wf, inst, cu):
+        a = _f32(read_vector(wf, inst.operands[1]))
+        b = _f32(read_vector(wf, inst.operands[2]))
+        with np.errstate(all="ignore"):
+            result = fn(a, b).astype(np.float32)
+        wf.write_vgpr_masked(inst.operands[0].index, _to_bits(result))
+    return run
+
+
+HANDLERS["v_add_f32"] = _vfp_binop(lambda a, b: a + b)
+HANDLERS["v_sub_f32"] = _vfp_binop(lambda a, b: a - b)
+HANDLERS["v_mul_f32"] = _vfp_binop(lambda a, b: a * b)
+HANDLERS["v_max_f32"] = _vfp_binop(np.maximum)
+HANDLERS["v_min_f32"] = _vfp_binop(np.minimum)
+
+
+@handler("v_mac_f32")
+def _v_mac(wf, inst, cu):
+    dst = inst.operands[0].index
+    a = _f32(read_vector(wf, inst.operands[1]))
+    b = _f32(read_vector(wf, inst.operands[2]))
+    acc = wf.v_f32(dst).copy()
+    with np.errstate(all="ignore"):
+        result = (acc + a * b).astype(np.float32)
+    wf.write_vgpr_masked(dst, _to_bits(result))
+
+
+def _vint_binop(fn):
+    def run(wf, inst, cu):
+        a = read_vector(wf, inst.operands[1]).astype(np.int64)
+        b = read_vector(wf, inst.operands[2]).astype(np.int64)
+        result = (fn(a, b) & 0xFFFFFFFF).astype(np.uint32)
+        wf.write_vgpr_masked(inst.operands[0].index, result)
+    return run
+
+
+HANDLERS["v_add_i32"] = _vint_binop(lambda a, b: a + b)
+HANDLERS["v_sub_i32"] = _vint_binop(lambda a, b: a - b)
+HANDLERS["v_mul_lo_i32"] = _vint_binop(lambda a, b: a * b)
+HANDLERS["v_mul_hi_u32"] = _vint_binop(lambda a, b: (a * b) >> 32)
+HANDLERS["v_and_b32"] = _vint_binop(lambda a, b: a & b)
+HANDLERS["v_or_b32"] = _vint_binop(lambda a, b: a | b)
+HANDLERS["v_xor_b32"] = _vint_binop(lambda a, b: a ^ b)
+# *rev shifts: src0 is the shift amount, src1 the value (SI convention)
+HANDLERS["v_lshlrev_b32"] = _vint_binop(lambda a, b: b << (a & 31))
+HANDLERS["v_lshrrev_b32"] = _vint_binop(lambda a, b: (b & 0xFFFFFFFF) >> (a & 31))
+
+
+def _vint_signed_binop(fn):
+    def run(wf, inst, cu):
+        a = read_vector(wf, inst.operands[1]).view(np.int32).astype(np.int64)
+        b = read_vector(wf, inst.operands[2]).view(np.int32).astype(np.int64)
+        result = (fn(a, b) & 0xFFFFFFFF).astype(np.uint32)
+        wf.write_vgpr_masked(inst.operands[0].index, result)
+    return run
+
+
+HANDLERS["v_min_i32"] = _vint_signed_binop(np.minimum)
+HANDLERS["v_max_i32"] = _vint_signed_binop(np.maximum)
+
+
+@handler("v_ashrrev_i32")
+def _v_ashr(wf, inst, cu):
+    shift = read_vector(wf, inst.operands[1]).astype(np.int64) & 31
+    value = read_vector(wf, inst.operands[2]).view(np.int32).astype(np.int64)
+    result = (value >> shift).astype(np.int64) & 0xFFFFFFFF
+    wf.write_vgpr_masked(inst.operands[0].index, result.astype(np.uint32))
+
+
+@handler("v_cndmask_b32")
+def _v_cndmask(wf, inst, cu):
+    a = read_vector(wf, inst.operands[1])
+    b = read_vector(wf, inst.operands[2])
+    result = np.where(wf.vcc, b, a).astype(np.uint32)
+    wf.write_vgpr_masked(inst.operands[0].index, result)
+
+
+@handler("v_fma_f32")
+def _v_fma(wf, inst, cu):
+    a = _f32(read_vector(wf, inst.operands[1]))
+    b = _f32(read_vector(wf, inst.operands[2]))
+    c = _f32(read_vector(wf, inst.operands[3]))
+    with np.errstate(all="ignore"):
+        result = (a * b + c).astype(np.float32)
+    wf.write_vgpr_masked(inst.operands[0].index, _to_bits(result))
+
+
+@handler("v_bfe_u32")
+def _v_bfe(wf, inst, cu):
+    value = read_vector(wf, inst.operands[1]).astype(np.int64)
+    offset = read_vector(wf, inst.operands[2]).astype(np.int64) & 31
+    width = read_vector(wf, inst.operands[3]).astype(np.int64) & 31
+    mask = (np.int64(1) << width) - 1
+    result = ((value >> offset) & mask).astype(np.uint32)
+    wf.write_vgpr_masked(inst.operands[0].index, result)
+
+
+@handler("v_bfi_b32")
+def _v_bfi(wf, inst, cu):
+    select = read_vector(wf, inst.operands[1]).astype(np.int64)
+    insert = read_vector(wf, inst.operands[2]).astype(np.int64)
+    base = read_vector(wf, inst.operands[3]).astype(np.int64)
+    result = ((select & insert) | (~select & base)) & 0xFFFFFFFF
+    wf.write_vgpr_masked(
+        inst.operands[0].index, result.astype(np.uint32)
+    )
+
+
+@handler("v_cvt_f32_u32")
+def _v_cvt_f32_u32(wf, inst, cu):
+    value = read_vector(wf, inst.operands[1]).astype(np.float64)
+    wf.write_vgpr_masked(
+        inst.operands[0].index, _to_bits(value.astype(np.float32))
+    )
+
+
+@handler("v_cvt_u32_f32")
+def _v_cvt_u32_f32(wf, inst, cu):
+    value = _f32(read_vector(wf, inst.operands[1]))
+    with np.errstate(all="ignore"):
+        clipped = np.nan_to_num(value, nan=0.0)
+        clipped = np.clip(clipped, 0.0, 4294967295.0)
+        result = clipped.astype(np.uint64).astype(np.uint32)
+    wf.write_vgpr_masked(inst.operands[0].index, result)
+
+
+def _vfp_unop(fn):
+    def run(wf, inst, cu):
+        value = _f32(read_vector(wf, inst.operands[1]))
+        with np.errstate(all="ignore"):
+            result = fn(value).astype(np.float32)
+        wf.write_vgpr_masked(inst.operands[0].index, _to_bits(result))
+    return run
+
+
+HANDLERS["v_trunc_f32"] = _vfp_unop(np.trunc)
+HANDLERS["v_floor_f32"] = _vfp_unop(np.floor)
+
+
+@handler("v_cvt_f32_i32")
+def _v_cvt_f32_i32(wf, inst, cu):
+    value = read_vector(wf, inst.operands[1]).view(np.int32)
+    wf.write_vgpr_masked(
+        inst.operands[0].index, _to_bits(value.astype(np.float32))
+    )
+
+
+@handler("v_cvt_i32_f32")
+def _v_cvt_i32_f32(wf, inst, cu):
+    value = _f32(read_vector(wf, inst.operands[1]))
+    with np.errstate(all="ignore"):
+        clipped = np.nan_to_num(value, nan=0.0)
+        clipped = np.clip(clipped, -2147483648.0, 2147483647.0)
+        result = clipped.astype(np.int64).astype(np.uint32)
+    wf.write_vgpr_masked(inst.operands[0].index, result)
+
+
+def _vtrans(fn):
+    def run(wf, inst, cu):
+        value = _f32(read_vector(wf, inst.operands[1]))
+        with np.errstate(all="ignore"):
+            result = fn(value.astype(np.float64)).astype(np.float32)
+        wf.write_vgpr_masked(inst.operands[0].index, _to_bits(result))
+    return run
+
+
+HANDLERS["v_exp_f32"] = _vtrans(np.exp2)       # SI: base-2 exponential
+HANDLERS["v_log_f32"] = _vtrans(np.log2)       # SI: base-2 logarithm
+HANDLERS["v_rcp_f32"] = _vtrans(lambda x: 1.0 / x)
+HANDLERS["v_rsq_f32"] = _vtrans(lambda x: 1.0 / np.sqrt(x))
+HANDLERS["v_sqrt_f32"] = _vtrans(np.sqrt)
+
+
+def _vcmp_f32(fn):
+    def run(wf, inst, cu):
+        a = _f32(read_vector(wf, inst.operands[0]))
+        b = _f32(read_vector(wf, inst.operands[1]))
+        with np.errstate(all="ignore"):
+            result = fn(a, b)
+        wf.vcc = np.where(wf.exec_mask, result, False)
+    return run
+
+
+HANDLERS["v_cmp_eq_f32"] = _vcmp_f32(lambda a, b: a == b)
+HANDLERS["v_cmp_lt_f32"] = _vcmp_f32(lambda a, b: a < b)
+HANDLERS["v_cmp_gt_f32"] = _vcmp_f32(lambda a, b: a > b)
+HANDLERS["v_cmp_le_f32"] = _vcmp_f32(lambda a, b: a <= b)
+HANDLERS["v_cmp_ge_f32"] = _vcmp_f32(lambda a, b: a >= b)
+
+
+def _vcmp_i32(fn):
+    def run(wf, inst, cu):
+        a = read_vector(wf, inst.operands[0]).view(np.int32)
+        b = read_vector(wf, inst.operands[1]).view(np.int32)
+        result = fn(a, b)
+        wf.vcc = np.where(wf.exec_mask, result, False)
+    return run
+
+
+HANDLERS["v_cmp_eq_i32"] = _vcmp_i32(lambda a, b: a == b)
+HANDLERS["v_cmp_lt_i32"] = _vcmp_i32(lambda a, b: a < b)
+HANDLERS["v_cmp_gt_i32"] = _vcmp_i32(lambda a, b: a > b)
+
+
+def _vcmpx_f32(fn):
+    def run(wf, inst, cu):
+        a = _f32(read_vector(wf, inst.operands[0]))
+        b = _f32(read_vector(wf, inst.operands[1]))
+        with np.errstate(all="ignore"):
+            result = fn(a, b)
+        masked = np.where(wf.exec_mask, result, False)
+        wf.vcc = masked
+        wf.exec_mask = wf.exec_mask & masked
+    return run
+
+
+def _vcmpx_i32(fn):
+    def run(wf, inst, cu):
+        a = read_vector(wf, inst.operands[0]).view(np.int32)
+        b = read_vector(wf, inst.operands[1]).view(np.int32)
+        masked = np.where(wf.exec_mask, fn(a, b), False)
+        wf.vcc = masked
+        wf.exec_mask = wf.exec_mask & masked
+    return run
+
+
+HANDLERS["v_cmpx_lt_f32"] = _vcmpx_f32(lambda a, b: a < b)
+HANDLERS["v_cmpx_gt_f32"] = _vcmpx_f32(lambda a, b: a > b)
+HANDLERS["v_cmpx_eq_i32"] = _vcmpx_i32(lambda a, b: a == b)
+HANDLERS["v_cmpx_lt_i32"] = _vcmpx_i32(lambda a, b: a < b)
+HANDLERS["v_cmpx_ge_i32"] = _vcmpx_i32(lambda a, b: a >= b)
+
+
+def _mask_to_words(mask: np.ndarray) -> tuple:
+    low = high = 0
+    for lane in range(32):
+        if mask[lane]:
+            low |= 1 << lane
+        if mask[lane + 32]:
+            high |= 1 << lane
+    return low, high
+
+
+def _words_to_mask(low: int, high: int) -> np.ndarray:
+    mask = np.zeros(WAVE_SIZE, dtype=bool)
+    for lane in range(32):
+        mask[lane] = bool((low >> lane) & 1)
+        mask[lane + 32] = bool((high >> lane) & 1)
+    return mask
+
+
+@handler("s_saveexec_b64")
+def _s_saveexec(wf, inst, cu):
+    index = inst.operands[0].index
+    low, high = _mask_to_words(wf.exec_mask)
+    wf.set_sgpr(index, low)
+    wf.set_sgpr(index + 1, high)
+
+
+@handler("s_mov_exec_b64")
+def _s_mov_exec(wf, inst, cu):
+    index = inst.operands[0].index
+    wf.exec_mask = _words_to_mask(
+        wf.s_u32(index), wf.s_u32(index + 1)
+    )
+
+
+@handler("v_readfirstlane_b32")
+def _v_readfirstlane(wf, inst, cu):
+    src = read_vector(wf, inst.operands[1])
+    active = np.nonzero(wf.exec_mask)[0]
+    lane = int(active[0]) if active.size else 0
+    wf.set_sgpr(inst.operands[0].index, int(src[lane]))
+
+
+# -- local data share ---------------------------------------------------------
+
+@handler("ds_read_b32")
+def _ds_read(wf, inst, cu):
+    addresses = read_vector(wf, inst.operands[1])
+    values = cu.local_memory.gather_u32(addresses, wf.exec_mask)
+    wf.write_vgpr_masked(inst.operands[0].index, values)
+
+
+@handler("ds_write_b32")
+def _ds_write(wf, inst, cu):
+    addresses = read_vector(wf, inst.operands[0])
+    values = read_vector(wf, inst.operands[1])
+    cu.local_memory.scatter_u32(addresses, values, wf.exec_mask)
+
+
+@handler("ds_add_u32")
+def _ds_add(wf, inst, cu):
+    addresses = read_vector(wf, inst.operands[0])
+    values = read_vector(wf, inst.operands[1])
+    cu.local_memory.atomic_add_u32(addresses, values, wf.exec_mask)
+
+
+@handler("ds_swizzle_b32")
+def _ds_swizzle(wf, inst, cu):
+    """Butterfly lane shuffle: lane i reads src lane (i XOR imm)."""
+    src = read_vector(wf, inst.operands[1])
+    xor_mask = read_scalar(wf, inst.operands[2]) & (WAVE_SIZE - 1)
+    lanes = np.arange(WAVE_SIZE) ^ xor_mask
+    wf.write_vgpr_masked(inst.operands[0].index, src[lanes])
+
+
+# -- global memory -------------------------------------------------------------
+
+@handler("flat_load_dword")
+def _flat_load(wf, inst, cu):
+    addresses = read_vector(wf, inst.operands[1])
+    values = cu.global_memory.gather_u32(addresses, wf.exec_mask)
+    wf.write_vgpr_masked(inst.operands[0].index, values)
+
+
+@handler("flat_store_dword")
+def _flat_store(wf, inst, cu):
+    addresses = read_vector(wf, inst.operands[0])
+    values = read_vector(wf, inst.operands[1])
+    cu.global_memory.scatter_u32(addresses, values, wf.exec_mask)
+
+
+def execute(wf: Wavefront, inst: Instruction, cu) -> None:
+    """Run one instruction's semantics on a wavefront."""
+    try:
+        run = HANDLERS[inst.op]
+    except KeyError:
+        raise IllegalInstructionError(
+            f"no semantics for opcode {inst.op!r}"
+        ) from None
+    run(wf, inst, cu)
+    wf.instructions_executed += 1

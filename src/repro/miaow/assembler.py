@@ -1,0 +1,211 @@
+"""Two-pass text assembler for the SI-subset ISA.
+
+Syntax::
+
+    ; comment
+    .kernel matvec          ; kernel name (optional, default "kernel")
+    .vgprs 8                ; VGPRs used (allocation hint)
+    loop:                   ; label
+        v_mac_f32 v2, v0, v1
+        s_sub_i32 s4, s4, 1
+        s_cmp_gt_i32 s4, 0
+        s_cbranch_scc1 loop
+        s_endpgm
+
+Literals accept decimal, hex (``0x..``) and float (``1.0``, ``-2.5e3``)
+forms; floats are stored as IEEE-754 single bits, matching how SI
+encodes inline constants.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.miaow.isa import (
+    Instruction,
+    Lit,
+    NUM_SGPRS,
+    NUM_VGPRS,
+    Operand,
+    opcode_info,
+    Special,
+    SReg,
+    VReg,
+)
+
+_SREG_RE = re.compile(r"^s(\d+)$")
+_VREG_RE = re.compile(r"^v(\d+)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.]*):$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+[eE][+-]?\d+|\d+\.\d*[eE][+-]?\d+)$")
+
+
+@dataclass
+class Kernel:
+    """An assembled kernel: instructions plus labels and metadata."""
+
+    name: str
+    instructions: List[Instruction]
+    labels: Dict[str, int]
+    vgprs_used: int = 16
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def resolve(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblerError(
+                f"kernel {self.name}: unknown label {label!r}"
+            ) from None
+
+    def disassemble(self) -> str:
+        """Text form (labels re-inserted) — round-trips via assemble()."""
+        by_pc: Dict[int, List[str]] = {}
+        for label, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(label)
+        lines = [f".kernel {self.name}", f".vgprs {self.vgprs_used}"]
+        for pc, inst in enumerate(self.instructions):
+            for label in sorted(by_pc.get(pc, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    {inst}")
+        for label in sorted(by_pc.get(len(self.instructions), [])):
+            lines.append(f"{label}:")
+        return "\n".join(lines) + "\n"
+
+
+def float_bits(value: float) -> int:
+    """IEEE-754 single-precision bit pattern of a float."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _parse_operand(token: str, line_no: int) -> Operand:
+    token = token.strip()
+    match = _SREG_RE.match(token)
+    if match:
+        index = int(match.group(1))
+        if index >= NUM_SGPRS:
+            raise AssemblerError(f"line {line_no}: sgpr s{index} out of range")
+        return SReg(index)
+    match = _VREG_RE.match(token)
+    if match:
+        index = int(match.group(1))
+        if index >= NUM_VGPRS:
+            raise AssemblerError(f"line {line_no}: vgpr v{index} out of range")
+        return VReg(index)
+    if token in ("vcc", "exec", "scc"):
+        return Special(token)
+    if _FLOAT_RE.match(token):
+        return Lit(float_bits(float(token)))
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: cannot parse operand {token!r}"
+        ) from None
+    if value < 0:
+        value &= 0xFFFFFFFF
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise AssemblerError(f"line {line_no}: literal {token} out of range")
+    return Lit(value)
+
+
+def _check_signature(
+    op: str, signature: str, operands: Tuple[Operand, ...],
+    target: Optional[str], line_no: int,
+) -> None:
+    wants_label = signature.endswith("L")
+    reg_signature = signature[:-1] if wants_label else signature
+    if wants_label and target is None:
+        raise AssemblerError(f"line {line_no}: {op} needs a branch target")
+    if not wants_label and target is not None:
+        raise AssemblerError(f"line {line_no}: {op} takes no branch target")
+    if len(operands) != len(reg_signature):
+        raise AssemblerError(
+            f"line {line_no}: {op} wants {len(reg_signature)} operands, "
+            f"got {len(operands)}"
+        )
+    for operand, code in zip(operands, reg_signature):
+        if code == "s" and not isinstance(operand, (SReg, Special)):
+            raise AssemblerError(
+                f"line {line_no}: {op} needs a scalar register, got {operand}"
+            )
+        if code == "v" and not isinstance(operand, VReg):
+            raise AssemblerError(
+                f"line {line_no}: {op} needs a vector register, got {operand}"
+            )
+        # 'x' accepts anything
+
+
+def assemble(source: str, default_name: str = "kernel") -> Kernel:
+    """Assemble text into a :class:`Kernel`."""
+    name = default_name
+    vgprs_used = 16
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";")[0].split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AssemblerError(f"line {line_no}: bad .kernel directive")
+            name = parts[1]
+            continue
+        if line.startswith(".vgprs"):
+            parts = line.split()
+            try:
+                vgprs_used = int(parts[1])
+            except (IndexError, ValueError):
+                raise AssemblerError(
+                    f"line {line_no}: bad .vgprs directive"
+                ) from None
+            if not 1 <= vgprs_used <= NUM_VGPRS:
+                raise AssemblerError(f"line {line_no}: .vgprs out of range")
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            label = match.group(1)
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        info = opcode_info(op)
+        rest = parts[1] if len(parts) > 1 else ""
+        tokens = [t.strip() for t in rest.split(",")] if rest else []
+        tokens = [t for t in tokens if t]
+
+        target: Optional[str] = None
+        if info.signature.endswith("L"):
+            if not tokens:
+                raise AssemblerError(f"line {line_no}: {op} needs a target")
+            target = tokens.pop()
+        operands = tuple(_parse_operand(t, line_no) for t in tokens)
+        _check_signature(op, info.signature, operands, target, line_no)
+        instructions.append(
+            Instruction(op=op, operands=operands, target=target, line=line_no)
+        )
+
+    # Verify all branch targets exist.
+    for inst in instructions:
+        if inst.target is not None and inst.target not in labels:
+            raise AssemblerError(
+                f"line {inst.line}: undefined label {inst.target!r}"
+            )
+    if not instructions or instructions[-1].op != "s_endpgm":
+        raise AssemblerError(f"kernel {name}: must end with s_endpgm")
+    return Kernel(
+        name=name,
+        instructions=instructions,
+        labels=labels,
+        vgprs_used=vgprs_used,
+    )

@@ -1,0 +1,218 @@
+"""Binary machine-code format for SI-subset kernels.
+
+Kernels travel to the engine as data: the host runtime writes the
+program image into device memory before dispatch.  This module defines
+that image — a fixed 64-bit base instruction with 32-bit extension
+words, mirroring Southern Islands' 32/64-bit encodings plus literal
+constants:
+
+``word0``
+    ======== =====================================================
+    bits     field
+    ======== =====================================================
+    [7:0]    opcode index (position in the sorted opcode table)
+    [10:8]   operand-0 type  (see ``_OperandType``)
+    [13:11]  operand-1 type
+    [16:14]  operand-2 type
+    [19:17]  operand-3 type
+    [20]     has branch target
+    [31:24]  magic (0xA6) — catches endianness/alignment mistakes
+    ======== =====================================================
+
+``word1``
+    one register-payload byte per operand slot (unused for
+    literal/special operands).
+
+Extension words follow in operand order: one 32-bit word per literal
+operand, then one word holding the branch-target pc when bit 20 is
+set.  Labels are structural (absolute pcs); decoding synthesizes
+``L<pc>`` label names, so encode -> decode -> encode is a fixed point.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import AssemblerError
+from repro.miaow.assembler import Kernel
+from repro.miaow.isa import (
+    Instruction,
+    Lit,
+    OPCODES,
+    Special,
+    SReg,
+    VReg,
+)
+
+MAGIC = 0xA6
+_OPCODE_LIST = sorted(OPCODES)
+_OPCODE_INDEX = {name: i for i, name in enumerate(_OPCODE_LIST)}
+
+
+class _OperandType(enum.IntEnum):
+    ABSENT = 0
+    SREG = 1
+    VREG = 2
+    LITERAL = 3
+    VCC = 4
+    EXEC = 5
+    SCC = 6
+
+
+_SPECIAL_BY_NAME = {
+    "vcc": _OperandType.VCC,
+    "exec": _OperandType.EXEC,
+    "scc": _OperandType.SCC,
+}
+_NAME_BY_SPECIAL = {v: k for k, v in _SPECIAL_BY_NAME.items()}
+
+
+def encode_instruction(
+    inst: Instruction, labels: Dict[str, int]
+) -> List[int]:
+    """Encode one instruction to its word sequence."""
+    try:
+        opcode_index = _OPCODE_INDEX[inst.op]
+    except KeyError:
+        raise AssemblerError(f"cannot encode unknown opcode {inst.op!r}")
+    if len(inst.operands) > 4:
+        raise AssemblerError(f"{inst.op}: more than 4 operands")
+
+    types = [_OperandType.ABSENT] * 4
+    payloads = [0] * 4
+    literals: List[int] = []
+    for index, operand in enumerate(inst.operands):
+        if isinstance(operand, SReg):
+            types[index] = _OperandType.SREG
+            payloads[index] = operand.index
+        elif isinstance(operand, VReg):
+            types[index] = _OperandType.VREG
+            payloads[index] = operand.index
+        elif isinstance(operand, Lit):
+            types[index] = _OperandType.LITERAL
+            literals.append(operand.bits)
+        elif isinstance(operand, Special):
+            types[index] = _SPECIAL_BY_NAME[operand.name]
+        else:
+            raise AssemblerError(f"cannot encode operand {operand!r}")
+
+    word0 = (
+        opcode_index
+        | (int(types[0]) << 8)
+        | (int(types[1]) << 11)
+        | (int(types[2]) << 14)
+        | (int(types[3]) << 17)
+        | ((1 if inst.target is not None else 0) << 20)
+        | (MAGIC << 24)
+    )
+    word1 = (
+        payloads[0]
+        | (payloads[1] << 8)
+        | (payloads[2] << 16)
+        | (payloads[3] << 24)
+    )
+    words = [word0, word1, *literals]
+    if inst.target is not None:
+        try:
+            words.append(labels[inst.target])
+        except KeyError:
+            raise AssemblerError(
+                f"unresolved branch target {inst.target!r}"
+            ) from None
+    return words
+
+
+def encode_kernel(kernel: Kernel) -> np.ndarray:
+    """Lower an assembled kernel to its binary image (uint32 array).
+
+    Layout: [instruction_count, vgprs_used, <instruction words>...].
+    """
+    words: List[int] = [len(kernel.instructions), kernel.vgprs_used]
+    for inst in kernel.instructions:
+        words.extend(encode_instruction(inst, kernel.labels))
+    return np.array(words, dtype=np.uint32)
+
+
+def decode_kernel(image: np.ndarray, name: str = "binary") -> Kernel:
+    """Recover a Kernel from its binary image."""
+    words = [int(w) for w in np.asarray(image, dtype=np.uint32)]
+    if len(words) < 2:
+        raise AssemblerError("binary image too short")
+    count, vgprs_used = words[0], words[1]
+    cursor = 2
+    instructions: List[Instruction] = []
+    branch_targets: Dict[int, int] = {}  # instruction index -> pc
+
+    for pc in range(count):
+        if cursor + 2 > len(words):
+            raise AssemblerError(f"truncated image at instruction {pc}")
+        word0, word1 = words[cursor], words[cursor + 1]
+        cursor += 2
+        if (word0 >> 24) & 0xFF != MAGIC:
+            raise AssemblerError(
+                f"bad instruction magic at pc {pc}: {word0:#010x}"
+            )
+        opcode_index = word0 & 0xFF
+        if opcode_index >= len(_OPCODE_LIST):
+            raise AssemblerError(f"unknown opcode index {opcode_index}")
+        op = _OPCODE_LIST[opcode_index]
+        types = [
+            _OperandType((word0 >> shift) & 0x7)
+            for shift in (8, 11, 14, 17)
+        ]
+        payloads = [
+            word1 & 0xFF, (word1 >> 8) & 0xFF,
+            (word1 >> 16) & 0xFF, (word1 >> 24) & 0xFF,
+        ]
+        operands = []
+        for index, op_type in enumerate(types):
+            if op_type is _OperandType.ABSENT:
+                continue
+            if op_type is _OperandType.SREG:
+                operands.append(SReg(payloads[index]))
+            elif op_type is _OperandType.VREG:
+                operands.append(VReg(payloads[index]))
+            elif op_type is _OperandType.LITERAL:
+                if cursor >= len(words):
+                    raise AssemblerError(
+                        f"missing literal word at pc {pc}"
+                    )
+                operands.append(Lit(words[cursor]))
+                cursor += 1
+            else:
+                operands.append(Special(_NAME_BY_SPECIAL[op_type]))
+        target = None
+        if (word0 >> 20) & 1:
+            if cursor >= len(words):
+                raise AssemblerError(f"missing branch word at pc {pc}")
+            branch_targets[pc] = words[cursor]
+            target = f"L{words[cursor]}"
+            cursor += 1
+        instructions.append(
+            Instruction(op=op, operands=tuple(operands), target=target)
+        )
+    if cursor != len(words):
+        raise AssemblerError(
+            f"{len(words) - cursor} trailing words after the image"
+        )
+
+    labels = {
+        f"L{pc}": pc for pc in sorted(set(branch_targets.values()))
+    }
+    for pc in labels.values():
+        if pc > len(instructions):
+            raise AssemblerError(f"branch target {pc} out of range")
+    return Kernel(
+        name=name,
+        instructions=instructions,
+        labels=labels,
+        vgprs_used=vgprs_used,
+    )
+
+
+def image_bytes(kernel: Kernel) -> int:
+    """Size of the kernel's binary image in bytes."""
+    return int(encode_kernel(kernel).size * 4)

@@ -1,0 +1,162 @@
+"""Compute unit: wavefront scheduling and the cycle model.
+
+The CU issues one instruction per cycle, round-robin over resident
+wavefronts by readiness; an instruction occupies its wavefront for the
+functional-unit latency, so with a single resident wavefront latency is
+fully exposed (the FPGA MIAOW regime) while multiple wavefronts
+overlap.  ``max_resident`` is the occupancy knob — the ablation
+benchmarks sweep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Set
+
+from collections import deque
+
+from repro.errors import GpuError, IllegalInstructionError, KernelLaunchError
+from repro.miaow.alu import execute
+from repro.miaow.assembler import Kernel
+from repro.miaow.coverage import CoverageCollector
+from repro.miaow.isa import NUM_SGPRS, opcode_info
+from repro.miaow.memory import GlobalMemory, LocalMemory
+from repro.miaow.wavefront import Wavefront
+
+
+@dataclass(frozen=True)
+class GpuTimings:
+    """Per-unit instruction occupancy in GPU cycles.
+
+    Values model MIAOW on FPGA: full-rate VALU takes 4 cycles
+    (64 lanes over 16 SIMD lanes), transcendentals are quarter rate,
+    LDS is a 4-cycle banked access, global memory hits the AXI DDR
+    path.
+    """
+
+    issue: int = 1
+    salu: int = 1
+    valu: int = 4
+    vtrans: int = 8
+    lds: int = 2
+    vmem: int = 8
+    smem: int = 2
+    branch: int = 1
+    special: int = 1
+
+    def cost(self, unit: str) -> int:
+        try:
+            return getattr(self, unit)
+        except AttributeError:
+            raise GpuError(f"no timing class {unit!r}") from None
+
+
+#: Safety valve against infinite kernel loops.
+MAX_INSTRUCTIONS_PER_WAVE = 5_000_000
+
+
+class ComputeUnit:
+    """One MIAOW compute unit."""
+
+    def __init__(
+        self,
+        cu_id: int,
+        global_memory: GlobalMemory,
+        timings: Optional[GpuTimings] = None,
+        lds_bytes: int = 64 * 1024,
+        max_resident: int = 1,
+        coverage: Optional[CoverageCollector] = None,
+        allowed_ops: Optional[Set[str]] = None,
+    ) -> None:
+        if max_resident < 1:
+            raise GpuError("max_resident must be >= 1")
+        self.cu_id = cu_id
+        self.global_memory = global_memory
+        self.local_memory = LocalMemory(lds_bytes)
+        self.timings = timings or GpuTimings()
+        self.max_resident = max_resident
+        self.coverage = coverage
+        self.allowed_ops = allowed_ops
+        self._kernel: Optional[Kernel] = None
+        self.total_cycles = 0
+        self.total_instructions = 0
+
+    # ------------------------------------------------------------------
+    # Label resolution used by branch handlers
+    # ------------------------------------------------------------------
+
+    def resolve_label(self, label: str) -> int:
+        if self._kernel is None:
+            raise GpuError("branch outside of a running kernel")
+        return self._kernel.resolve(label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_workgroups(
+        self,
+        kernel: Kernel,
+        workgroup_ids: Sequence[int],
+        num_workgroups_total: int,
+        args: Sequence[int],
+    ) -> int:
+        """Execute the given workgroups; returns elapsed CU cycles."""
+        if len(args) > NUM_SGPRS - 2:
+            raise KernelLaunchError("too many kernel arguments")
+        self._kernel = kernel
+        pending: Deque[int] = deque(workgroup_ids)
+        resident: List[Wavefront] = []
+        now = 0
+        cycles_end = 0
+        try:
+            while pending or resident:
+                while pending and len(resident) < self.max_resident:
+                    wg_id = pending.popleft()
+                    wf = Wavefront(wave_id=wg_id, vgprs=kernel.vgprs_used)
+                    wf.set_sgpr(0, wg_id)
+                    wf.set_sgpr(1, num_workgroups_total)
+                    for index, value in enumerate(args):
+                        wf.set_sgpr(2 + index, int(value) & 0xFFFFFFFF)
+                    wf.ready_cycle = now
+                    resident.append(wf)
+
+                wf = min(resident, key=lambda w: w.ready_cycle)
+                if wf.ready_cycle > now:
+                    now = wf.ready_cycle
+                self._step(wf, now)
+                now += self.timings.issue
+                if wf.done:
+                    cycles_end = max(cycles_end, wf.ready_cycle)
+                    resident.remove(wf)
+        finally:
+            self._kernel = None
+        elapsed = max(now, cycles_end)
+        self.total_cycles += elapsed
+        return elapsed
+
+    def _step(self, wf: Wavefront, now: int) -> None:
+        kernel = self._kernel
+        assert kernel is not None
+        if wf.instructions_executed > MAX_INSTRUCTIONS_PER_WAVE:
+            raise GpuError(
+                f"kernel {kernel.name}: wavefront {wf.wave_id} exceeded "
+                f"{MAX_INSTRUCTIONS_PER_WAVE} instructions (runaway loop?)"
+            )
+        if not 0 <= wf.pc < len(kernel.instructions):
+            raise GpuError(
+                f"kernel {kernel.name}: pc {wf.pc} out of range"
+            )
+        inst = kernel.instructions[wf.pc]
+        wf.pc += 1
+        if self.allowed_ops is not None and inst.op not in self.allowed_ops:
+            raise IllegalInstructionError(
+                f"opcode {inst.op!r} was trimmed out of this engine "
+                f"(kernel {kernel.name}, line {inst.line})"
+            )
+        if self.coverage is not None:
+            self.coverage.hit_opcode(inst.op)
+        info = opcode_info(inst.op)
+        execute(wf, inst, self)
+        wf.ready_cycle = now + self.timings.cost(info.unit)
+        self.total_instructions += 1

@@ -1,0 +1,94 @@
+"""Code-coverage instrumentation for the GPU simulator.
+
+The paper's trimming flow turns on HDL line coverage in dynamic
+simulation (Cadence IES), merges runs with ICCR, and trims the lines
+never hit.  Our simulator's "lines" are coverage points at two
+granularities:
+
+- ``decode.<opcode>`` — the decoder entry + datapath slice for one
+  opcode (what MIAOW2.0's instruction-analysis trimmer can also find);
+- ``block.<block>``  — a whole RTL block (what only full-coverage
+  trimming can remove when no opcode of that block ever runs).
+
+A point that is never hit across the merged runs represents circuits
+not required for the deployed models and is eligible for trimming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.miaow.isa import OPCODES
+
+
+def all_coverage_points() -> Set[str]:
+    """The complete point universe for the MIAOW design."""
+    points = {f"decode.{name}" for name in OPCODES}
+    points.update(f"block.{info.block}" for info in OPCODES.values())
+    return points
+
+
+class CoverageCollector:
+    """Records which coverage points a simulation run hits."""
+
+    def __init__(self, label: str = "run") -> None:
+        self.label = label
+        self.hits: Dict[str, int] = {}
+
+    def hit(self, point: str) -> None:
+        self.hits[point] = self.hits.get(point, 0) + 1
+
+    def hit_opcode(self, opcode: str) -> None:
+        info = OPCODES[opcode]
+        self.hit(f"decode.{opcode}")
+        self.hit(f"block.{info.block}")
+
+    @property
+    def covered(self) -> Set[str]:
+        return set(self.hits)
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+
+@dataclass
+class CoverageReport:
+    """Merged coverage across runs (the ICCR step)."""
+
+    covered: Set[str] = field(default_factory=set)
+    runs: List[str] = field(default_factory=list)
+
+    @classmethod
+    def merge(cls, collectors: Iterable[CoverageCollector]) -> "CoverageReport":
+        report = cls()
+        for collector in collectors:
+            report.covered |= collector.covered
+            report.runs.append(collector.label)
+        return report
+
+    @property
+    def uncovered(self) -> Set[str]:
+        return all_coverage_points() - self.covered
+
+    @property
+    def covered_opcodes(self) -> Set[str]:
+        return {
+            point.split(".", 1)[1]
+            for point in self.covered
+            if point.startswith("decode.")
+        }
+
+    @property
+    def covered_blocks(self) -> Set[str]:
+        return {
+            point.split(".", 1)[1]
+            for point in self.covered
+            if point.startswith("block.")
+        }
+
+    def coverage_ratio(self) -> float:
+        universe = all_coverage_points()
+        if not universe:
+            return 0.0
+        return len(self.covered & universe) / len(universe)

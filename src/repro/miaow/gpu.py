@@ -1,0 +1,137 @@
+"""Multi-CU GPU: dispatcher over compute units.
+
+The original MIAOW fits one CU in the ZC706 fabric; ML-MIAOW fits five
+trimmed ones.  A dispatch spreads workgroups round-robin over CUs and
+completes when the slowest CU finishes — CUs share global memory but
+have private LDS (each holding its own copy of the model weights, the
+way the MCM loads them at application-load time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import GpuError, KernelLaunchError
+from repro.miaow.assembler import Kernel
+from repro.miaow.compute_unit import ComputeUnit, GpuTimings
+from repro.miaow.coverage import CoverageCollector
+from repro.miaow.memory import GlobalMemory
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Outcome of one kernel dispatch."""
+
+    kernel: str
+    cycles: int
+    instructions: int
+    per_cu_cycles: Dict[int, int]
+
+    def microseconds(self, clock_hz: float) -> float:
+        return self.cycles / clock_hz * 1e6
+
+
+class Gpu:
+    """A MIAOW-style GPU with ``num_cus`` compute units."""
+
+    def __init__(
+        self,
+        num_cus: int = 1,
+        timings: Optional[GpuTimings] = None,
+        global_memory: Optional[GlobalMemory] = None,
+        lds_bytes: int = 64 * 1024,
+        max_resident: int = 1,
+        coverage: Optional[CoverageCollector] = None,
+        allowed_ops: Optional[Set[str]] = None,
+        name: str = "MIAOW",
+    ) -> None:
+        if num_cus < 1:
+            raise GpuError("need at least one CU")
+        self.name = name
+        self.timings = timings or GpuTimings()
+        self.global_memory = global_memory or GlobalMemory()
+        self.coverage = coverage
+        self.allowed_ops = allowed_ops
+        self.compute_units = [
+            ComputeUnit(
+                cu_id=index,
+                global_memory=self.global_memory,
+                timings=self.timings,
+                lds_bytes=lds_bytes,
+                max_resident=max_resident,
+                coverage=coverage,
+                allowed_ops=allowed_ops,
+            )
+            for index in range(num_cus)
+        ]
+        self.dispatches = 0
+
+    @property
+    def num_cus(self) -> int:
+        return len(self.compute_units)
+
+    # ------------------------------------------------------------------
+    # Model preload (LDS is per-CU, every CU gets a copy)
+    # ------------------------------------------------------------------
+
+    def write_lds_all(self, address: int, data: np.ndarray) -> None:
+        for cu in self.compute_units:
+            cu.local_memory.write_block(address, data)
+
+    def write_lds_f32_all(self, address: int, data: np.ndarray) -> None:
+        for cu in self.compute_units:
+            cu.local_memory.write_f32(address, data)
+
+    def clear_lds(self) -> None:
+        for cu in self.compute_units:
+            cu.local_memory.clear()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self,
+        kernel: Kernel,
+        num_workgroups: int,
+        args: Sequence[int] = (),
+    ) -> DispatchResult:
+        """Run ``num_workgroups`` workgroups of ``kernel``.
+
+        Workgroup ids are distributed round-robin across CUs; the
+        dispatch's latency is the slowest CU's elapsed cycles.
+        """
+        if num_workgroups < 1:
+            raise KernelLaunchError("num_workgroups must be >= 1")
+        assignment: Dict[int, List[int]] = {
+            cu.cu_id: [] for cu in self.compute_units
+        }
+        for wg_id in range(num_workgroups):
+            assignment[wg_id % self.num_cus].append(wg_id)
+
+        per_cu_cycles: Dict[int, int] = {}
+        instructions_before = sum(
+            cu.total_instructions for cu in self.compute_units
+        )
+        for cu in self.compute_units:
+            wg_ids = assignment[cu.cu_id]
+            if not wg_ids:
+                per_cu_cycles[cu.cu_id] = 0
+                continue
+            per_cu_cycles[cu.cu_id] = cu.run_workgroups(
+                kernel, wg_ids, num_workgroups, args
+            )
+        instructions = (
+            sum(cu.total_instructions for cu in self.compute_units)
+            - instructions_before
+        )
+        self.dispatches += 1
+        return DispatchResult(
+            kernel=kernel.name,
+            cycles=max(per_cu_cycles.values()),
+            instructions=instructions,
+            per_cu_cycles=per_cu_cycles,
+        )

@@ -1,0 +1,253 @@
+"""Instruction set: the Southern Islands subset MIAOW implements.
+
+Opcode naming follows AMD SI conventions (``s_`` scalar, ``v_``
+vector, ``ds_`` local data share, ``flat_`` global memory).  Each
+opcode carries its functional-unit class and the hardware *block* it
+belongs to — the granularity at which the trimming flow removes logic.
+
+SI quirks preserved on purpose (they matter for kernel authors):
+
+- ``v_exp_f32`` / ``v_log_f32`` are base-2, not base-e.
+- ``v_*rev`` shifts take the shift amount as src0.
+- ``v_cndmask_b32`` selects src1 where VCC is set, src0 elsewhere.
+- ``v_mac_f32`` accumulates into its destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import AssemblerError
+
+#: Lanes per wavefront.
+WAVE_SIZE = 64
+
+#: Architectural register-file sizes.
+NUM_SGPRS = 104
+NUM_VGPRS = 64
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SReg:
+    index: int
+
+    def __str__(self) -> str:
+        return f"s{self.index}"
+
+
+@dataclass(frozen=True)
+class VReg:
+    index: int
+
+    def __str__(self) -> str:
+        return f"v{self.index}"
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A 32-bit literal, stored as raw bits."""
+
+    bits: int
+
+    def __str__(self) -> str:
+        return f"{self.bits:#x}"
+
+
+@dataclass(frozen=True)
+class Special:
+    """Named special register: vcc, exec, scc."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[SReg, VReg, Lit, Special]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: str
+    operands: Tuple[Operand, ...] = ()
+    target: Optional[str] = None  # branch target label
+    line: int = 0
+
+    def __str__(self) -> str:
+        parts = ", ".join(str(o) for o in self.operands)
+        if self.target is not None:
+            parts = (parts + ", " if parts else "") + self.target
+        return f"{self.op} {parts}".strip()
+
+
+# ---------------------------------------------------------------------------
+# Opcode table
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode.
+
+    ``unit`` is the timing class (salu / valu / vtrans / lds / vmem /
+    branch / export / special); ``block`` is the RTL block the decode +
+    datapath logic for this opcode lives in — the trimming granularity.
+    ``signature`` is the operand pattern checked by the assembler:
+    's' scalar dst/src, 'v' vector dst/src, 'x' any src (scalar, vector
+    literal or special), 'L' label.
+    """
+
+    name: str
+    unit: str
+    block: str
+    signature: str
+
+
+OPCODES: Dict[str, OpcodeInfo] = {}
+
+
+def _op(name: str, unit: str, block: str, signature: str) -> None:
+    if name in OPCODES:
+        raise AssemblerError(f"duplicate opcode {name}")
+    OPCODES[name] = OpcodeInfo(name=name, unit=unit, block=block, signature=signature)
+
+
+# --- scalar ALU ------------------------------------------------------------
+_op("s_mov_b32", "salu", "salu_move", "sx")
+_op("s_add_i32", "salu", "salu_arith", "sxx")
+_op("s_sub_i32", "salu", "salu_arith", "sxx")
+_op("s_mul_i32", "salu", "salu_mul", "sxx")
+_op("s_and_b32", "salu", "salu_logic", "sxx")
+_op("s_or_b32", "salu", "salu_logic", "sxx")
+_op("s_xor_b32", "salu", "salu_logic", "sxx")
+_op("s_lshl_b32", "salu", "salu_shift", "sxx")
+_op("s_lshr_b32", "salu", "salu_shift", "sxx")
+_op("s_ashr_i32", "salu", "salu_shift", "sxx")
+_op("s_min_i32", "salu", "salu_minmax", "sxx")
+_op("s_max_i32", "salu", "salu_minmax", "sxx")
+_op("s_not_b32", "salu", "salu_logic", "sx")
+_op("s_bcnt1_i32_b32", "salu", "salu_bitcount", "sx")
+_op("s_ff1_i32_b32", "salu", "salu_bitcount", "sx")
+
+# scalar compares set SCC
+_op("s_cmp_eq_i32", "salu", "salu_cmp", "xx")
+_op("s_cmp_lg_i32", "salu", "salu_cmp", "xx")
+_op("s_cmp_lt_i32", "salu", "salu_cmp", "xx")
+_op("s_cmp_le_i32", "salu", "salu_cmp", "xx")
+_op("s_cmp_gt_i32", "salu", "salu_cmp", "xx")
+_op("s_cmp_ge_i32", "salu", "salu_cmp", "xx")
+
+# scalar memory (SMRD)
+_op("s_load_dword", "smem", "smrd", "sxx")
+
+# control flow
+_op("s_branch", "branch", "branch_unit", "L")
+_op("s_cbranch_scc0", "branch", "branch_unit", "L")
+_op("s_cbranch_scc1", "branch", "branch_unit", "L")
+_op("s_cbranch_vccz", "branch", "branch_unit", "L")
+_op("s_cbranch_vccnz", "branch", "branch_unit", "L")
+_op("s_cbranch_execz", "branch", "branch_unit", "L")
+_op("s_barrier", "special", "sync_unit", "")
+_op("s_waitcnt", "special", "sync_unit", "")
+_op("s_nop", "special", "sequencer", "")
+_op("s_endpgm", "special", "sequencer", "")
+
+# --- vector ALU ------------------------------------------------------------
+_op("v_mov_b32", "valu", "valu_move", "vx")
+_op("v_add_f32", "valu", "valu_fadd", "vxx")
+_op("v_sub_f32", "valu", "valu_fadd", "vxx")
+_op("v_mul_f32", "valu", "valu_fmul", "vxx")
+_op("v_mac_f32", "valu", "valu_fmac", "vxx")
+_op("v_max_f32", "valu", "valu_fminmax", "vxx")
+_op("v_min_f32", "valu", "valu_fminmax", "vxx")
+_op("v_add_i32", "valu", "valu_iadd", "vxx")
+_op("v_sub_i32", "valu", "valu_iadd", "vxx")
+_op("v_mul_lo_i32", "valu", "valu_imul", "vxx")
+_op("v_mul_hi_u32", "valu", "valu_imul", "vxx")
+_op("v_and_b32", "valu", "valu_logic", "vxx")
+_op("v_or_b32", "valu", "valu_logic", "vxx")
+_op("v_xor_b32", "valu", "valu_logic", "vxx")
+_op("v_lshlrev_b32", "valu", "valu_shift", "vxx")
+_op("v_lshrrev_b32", "valu", "valu_shift", "vxx")
+_op("v_ashrrev_i32", "valu", "valu_shift", "vxx")
+_op("v_cndmask_b32", "valu", "valu_select", "vxx")
+_op("v_min_i32", "valu", "valu_iminmax", "vxx")
+_op("v_max_i32", "valu", "valu_iminmax", "vxx")
+# fused multiply-add: dst = src0 * src1 + dst's previous value is NOT
+# implied — VOP3 fma reads three sources; we expose the 2-src + dst
+# accumulate as v_mac_f32 and the explicit 3-src form here.
+_op("v_fma_f32", "valu", "valu_fmac", "vxxx")
+# bitfield extract/insert (VOP3 in SI)
+_op("v_bfe_u32", "valu", "valu_bitfield", "vxxx")
+_op("v_bfi_b32", "valu", "valu_bitfield", "vxxx")
+
+# conversions
+_op("v_cvt_f32_i32", "valu", "valu_cvt", "vx")
+_op("v_cvt_i32_f32", "valu", "valu_cvt", "vx")
+_op("v_cvt_f32_u32", "valu", "valu_cvt", "vx")
+_op("v_cvt_u32_f32", "valu", "valu_cvt", "vx")
+_op("v_trunc_f32", "valu", "valu_cvt", "vx")
+_op("v_floor_f32", "valu", "valu_cvt", "vx")
+
+# transcendental (quarter-rate on real SI)
+_op("v_exp_f32", "vtrans", "valu_trans_exp", "vx")
+_op("v_log_f32", "vtrans", "valu_trans_log", "vx")
+_op("v_rcp_f32", "vtrans", "valu_trans_rcp", "vx")
+_op("v_rsq_f32", "vtrans", "valu_trans_rsq", "vx")
+_op("v_sqrt_f32", "vtrans", "valu_trans_sqrt", "vx")
+
+# vector compares set VCC
+_op("v_cmp_eq_f32", "valu", "valu_fcmp", "xx")
+_op("v_cmp_lt_f32", "valu", "valu_fcmp", "xx")
+_op("v_cmp_gt_f32", "valu", "valu_fcmp", "xx")
+_op("v_cmp_le_f32", "valu", "valu_fcmp", "xx")
+_op("v_cmp_ge_f32", "valu", "valu_fcmp", "xx")
+_op("v_cmp_eq_i32", "valu", "valu_icmp", "xx")
+_op("v_cmp_lt_i32", "valu", "valu_icmp", "xx")
+_op("v_cmp_gt_i32", "valu", "valu_icmp", "xx")
+
+# compare-and-mask: like v_cmp_* but additionally ANDs the result into
+# EXEC — the SI mechanism for structured control-flow divergence.
+_op("v_cmpx_lt_f32", "valu", "valu_cmpx", "xx")
+_op("v_cmpx_gt_f32", "valu", "valu_cmpx", "xx")
+_op("v_cmpx_eq_i32", "valu", "valu_cmpx", "xx")
+_op("v_cmpx_lt_i32", "valu", "valu_cmpx", "xx")
+_op("v_cmpx_ge_i32", "valu", "valu_cmpx", "xx")
+
+# EXEC save/restore across a divergent region (the 64-bit mask spans
+# an aligned SGPR pair: sdst holds lanes 0-31, sdst+1 lanes 32-63).
+_op("s_saveexec_b64", "salu", "exec_mask_unit", "s")
+_op("s_mov_exec_b64", "salu", "exec_mask_unit", "s")
+
+# lane management
+_op("v_readfirstlane_b32", "valu", "valu_lane", "sx")
+
+# --- local data share ------------------------------------------------------
+_op("ds_read_b32", "lds", "lds_unit", "vx")
+_op("ds_write_b32", "lds", "lds_unit", "xx")
+# butterfly swizzle for tree reductions: lane i reads lane i^imm
+_op("ds_swizzle_b32", "lds", "lds_swizzle", "vxx")
+# LDS atomics (per-address integer add; collisions accumulate)
+_op("ds_add_u32", "lds", "lds_atomic", "xx")
+
+# --- global memory ---------------------------------------------------------
+_op("flat_load_dword", "vmem", "vmem_unit", "vx")
+_op("flat_store_dword", "vmem", "vmem_unit", "xx")
+
+
+def opcode_info(name: str) -> OpcodeInfo:
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise AssemblerError(f"unknown opcode {name!r}") from None
+
+
+def all_blocks() -> List[str]:
+    """Every RTL block referenced by the opcode table."""
+    return sorted({info.block for info in OPCODES.values()})

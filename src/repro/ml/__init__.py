@@ -1,0 +1,42 @@
+"""ML models for branch-behavior anomaly inference.
+
+Two deployed models, following the paper's choices:
+
+- :mod:`repro.ml.elm` — Extreme Learning Machine over system-call
+  histogram features (after Creech & Hu [2]): a fixed random hidden
+  layer; training only fits the hidden-space statistics and a ridge
+  readout, which is what makes ELM "more lightweight than a
+  traditional MLP while providing similar accuracy".
+- :mod:`repro.ml.lstm` — LSTM over general branch sequences (after
+  Yi et al. [8]): next-branch prediction; anomaly score is the
+  negative log-likelihood of the observed sequence.
+
+Baselines (:mod:`repro.ml.mlp`, :mod:`repro.ml.ngram`) and the
+deployment path (:mod:`repro.ml.kernels` compiles trained models into
+MIAOW kernels, :mod:`repro.ml.quantize` provides the fixed-point
+variant) complete the stack.
+"""
+
+from repro.ml.features import (
+    histogram_features,
+    normalize_histogram,
+    one_hot,
+)
+from repro.ml.elm import ExtremeLearningMachine
+from repro.ml.lstm import LstmModel
+from repro.ml.mlp import MlpAutoencoder
+from repro.ml.ngram import NgramModel
+from repro.ml.detector import ThresholdDetector, DetectionMetrics, roc_auc
+
+__all__ = [
+    "histogram_features",
+    "normalize_histogram",
+    "one_hot",
+    "ExtremeLearningMachine",
+    "LstmModel",
+    "MlpAutoencoder",
+    "NgramModel",
+    "ThresholdDetector",
+    "DetectionMetrics",
+    "roc_auc",
+]

@@ -1,0 +1,110 @@
+"""Threshold calibration and detection metrics.
+
+"If the model discerns the probability of the given branch sequence to
+be unlikely, the inference engine recognizes it as an anomaly" — this
+module turns raw model scores into that yes/no judgment: the threshold
+is the chosen quantile of scores on held-out *normal* data (bounding
+the false-positive rate), and anything above it fires the interrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Standard one-class detection summary."""
+
+    detection_rate: float     # true-positive rate on anomalous samples
+    false_positive_rate: float
+    auc: float
+    threshold: float
+
+    def __str__(self) -> str:
+        return (
+            f"DR={self.detection_rate:.3f} FPR={self.false_positive_rate:.3f} "
+            f"AUC={self.auc:.3f} thr={self.threshold:.4g}"
+        )
+
+
+def roc_auc(normal_scores: np.ndarray, anomalous_scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Equals P(anomalous score > normal score) with ties at half weight —
+    the Mann-Whitney U formulation, exact and O(n log n).
+    """
+    normal = np.asarray(normal_scores, dtype=np.float64)
+    anomalous = np.asarray(anomalous_scores, dtype=np.float64)
+    if normal.size == 0 or anomalous.size == 0:
+        raise ModelError("AUC needs both normal and anomalous scores")
+    combined = np.concatenate([normal, anomalous])
+    order = combined.argsort(kind="mergesort")
+    ranks = np.empty(len(combined), dtype=np.float64)
+    # average ranks for ties
+    sorted_vals = combined[order]
+    ranks[order] = np.arange(1, len(combined) + 1)
+    start = 0
+    while start < len(sorted_vals):
+        end = start
+        while (
+            end + 1 < len(sorted_vals)
+            and sorted_vals[end + 1] == sorted_vals[start]
+        ):
+            end += 1
+        if end > start:
+            ranks[order[start:end + 1]] = (start + 1 + end + 1) / 2.0
+        start = end + 1
+    rank_sum = ranks[len(normal):].sum()
+    n_pos, n_neg = len(anomalous), len(normal)
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+class ThresholdDetector:
+    """Quantile-calibrated anomaly decision."""
+
+    def __init__(self, quantile: float = 0.995) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ModelError("quantile must be in (0, 1)")
+        self.quantile = quantile
+        self._threshold: Optional[float] = None
+
+    def fit(self, normal_scores: Sequence[float]) -> "ThresholdDetector":
+        scores = np.asarray(normal_scores, dtype=np.float64)
+        if scores.size < 10:
+            raise ModelError("need at least 10 calibration scores")
+        self._threshold = float(np.quantile(scores, self.quantile))
+        return self
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise ModelError("detector used before fit()")
+        return self._threshold
+
+    def is_anomalous(self, score: float) -> bool:
+        return score > self.threshold
+
+    def classify(self, scores: Sequence[float]) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        return scores > self.threshold
+
+    def evaluate(
+        self,
+        normal_scores: Sequence[float],
+        anomalous_scores: Sequence[float],
+    ) -> DetectionMetrics:
+        normal = np.asarray(normal_scores, dtype=np.float64)
+        anomalous = np.asarray(anomalous_scores, dtype=np.float64)
+        return DetectionMetrics(
+            detection_rate=float((anomalous > self.threshold).mean()),
+            false_positive_rate=float((normal > self.threshold).mean()),
+            auc=roc_auc(normal, anomalous),
+            threshold=self.threshold,
+        )

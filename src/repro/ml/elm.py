@@ -1,0 +1,150 @@
+"""Extreme Learning Machine for one-class anomaly detection.
+
+The hidden layer is a fixed random projection followed by a sigmoid —
+ELM's defining trait; nothing about it is trained.  Training fits only
+
+- the per-neuron hidden-activation statistics (mean / variance), which
+  give the *deployed* anomaly score — a diagonal Mahalanobis distance
+  in hidden space that reduces per-lane on the GPU; and
+- a ridge-regression autoencoder readout, the conventional
+  reconstruction-error score kept as the software reference metric.
+
+Both scores rise for windows whose histogram lies off the training
+manifold, i.e. legitimate syscalls appearing with the wrong mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.features import sigmoid
+from repro.utils.rng import derive_seed, make_rng
+
+
+@dataclass
+class ElmWeights:
+    """Everything the deployment path needs, in float32."""
+
+    w_hidden: np.ndarray   # (H, D)
+    b_hidden: np.ndarray   # (H,)
+    mean: np.ndarray       # (H,)
+    inv_var: np.ndarray    # (H,)
+
+
+class ExtremeLearningMachine:
+    """One-class ELM over histogram feature vectors."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int = 256,
+        ridge_lambda: float = 1e-2,
+        seed: int = 0,
+    ) -> None:
+        if input_dim < 1 or hidden_dim < 1:
+            raise ModelError("dimensions must be positive")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.ridge_lambda = ridge_lambda
+        rng = make_rng(derive_seed(seed, "elm", input_dim, hidden_dim))
+        scale = np.sqrt(2.0 / input_dim)
+        self.w_hidden = rng.normal(0.0, scale, (hidden_dim, input_dim))
+        self.b_hidden = rng.uniform(-0.5, 0.5, hidden_dim)
+        self._mean: Optional[np.ndarray] = None
+        self._inv_var: Optional[np.ndarray] = None
+        self._beta: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Core transform
+    # ------------------------------------------------------------------
+
+    def hidden(self, features: np.ndarray) -> np.ndarray:
+        """sigma(W x + b) for each row of ``features``."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.shape[1] != self.input_dim:
+            raise ModelError(
+                f"expected {self.input_dim} features, got {features.shape[1]}"
+            )
+        return sigmoid(features @ self.w_hidden.T + self.b_hidden)
+
+    # ------------------------------------------------------------------
+    # Training (normal data only)
+    # ------------------------------------------------------------------
+
+    def fit(self, features: np.ndarray) -> "ExtremeLearningMachine":
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if len(features) < 2:
+            raise ModelError("need at least two training vectors")
+        h = self.hidden(features)
+        self._mean = h.mean(axis=0)
+        variance = h.var(axis=0) + 1e-4
+        self._inv_var = 1.0 / variance
+        # Ridge autoencoder readout: H beta ~= X.
+        gram = h.T @ h + self.ridge_lambda * np.eye(self.hidden_dim)
+        self._beta = np.linalg.solve(gram, h.T @ features)
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self._mean is not None
+
+    def _require_fit(self) -> None:
+        if not self.fitted:
+            raise ModelError("ELM used before fit()")
+
+    # ------------------------------------------------------------------
+    # Scores (higher = more anomalous)
+    # ------------------------------------------------------------------
+
+    def score_mahalanobis(self, features: np.ndarray) -> np.ndarray:
+        """Deployed score: sum_i (h_i - mu_i)^2 / var_i."""
+        self._require_fit()
+        h = self.hidden(features)
+        deviation = h - self._mean
+        return (deviation * deviation * self._inv_var).sum(axis=1)
+
+    def score_reconstruction(self, features: np.ndarray) -> np.ndarray:
+        """Reference score: autoencoder reconstruction error."""
+        self._require_fit()
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        recon = self.hidden(features) @ self._beta
+        return ((recon - features) ** 2).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Deployment export
+    # ------------------------------------------------------------------
+
+    def export_weights(self) -> ElmWeights:
+        """Float32 weights for the GPU kernel compiler."""
+        self._require_fit()
+        return ElmWeights(
+            w_hidden=self.w_hidden.astype(np.float32),
+            b_hidden=self.b_hidden.astype(np.float32),
+            mean=self._mean.astype(np.float32),
+            inv_var=self._inv_var.astype(np.float32),
+        )
+
+    def score_mahalanobis_f32(self, features: np.ndarray) -> np.ndarray:
+        """The deployed score computed in float32 like the hardware.
+
+        Used by deployment-equivalence tests: the GPU kernel must match
+        this, not the float64 reference, bit-for-bit-ish.
+        """
+        weights = self.export_weights()
+        features = np.atleast_2d(np.asarray(features, dtype=np.float32))
+        pre = (features @ weights.w_hidden.T + weights.b_hidden).astype(
+            np.float32
+        )
+        # The kernel computes sigmoid as 1 / (1 + exp2(-x * log2(e))).
+        log2e = np.float32(1.4426950408889634)
+        h = (
+            np.float32(1.0)
+            / (np.float32(1.0) + np.exp2(-(pre * log2e), dtype=np.float32))
+        ).astype(np.float32)
+        deviation = (h - weights.mean).astype(np.float32)
+        terms = (deviation * deviation * weights.inv_var).astype(np.float32)
+        return terms.sum(axis=1, dtype=np.float32)

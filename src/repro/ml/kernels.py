@@ -1,0 +1,768 @@
+"""Compile trained models into MIAOW kernels (the deployment path).
+
+The inference engine the paper runs on MCM is "existing ML models
+designed to run on a GPGPU"; here each trained numpy model is lowered
+to Southern-Islands-subset assembly:
+
+- **ELM** — one kernel, ``H/64`` workgroups.  Each lane evaluates one
+  hidden neuron: sparse gather of the pattern-dictionary weight
+  columns from device memory, sigmoid via ``v_exp_f32`` (base-2), the
+  diagonal-Mahalanobis term from LDS statistics, then a butterfly
+  (``ds_swizzle_b32``) tree reduction; each workgroup stores one
+  partial score.
+- **LSTM** — three kernels per inference, matching the streaming
+  semantics (score the observed branch with the *previous* prediction,
+  then advance the state):
+
+  1. ``lstm_score`` (1 WG): per-lane output logits + softmax reduce +
+     surprisal of the observed ID;
+  2. ``lstm_gates`` (4 WGs, one per gate): gate pre-activations from
+     LDS weights, sigmoid/tanh;
+  3. ``lstm_update`` (1 WG): cell/hidden update in device memory.
+
+  The 4-way gate parallelism is what a 5-CU ML-MIAOW exploits and a
+  1-CU MIAOW serializes — the mechanism behind Fig. 8's LSTM speedup.
+
+Model weights live in per-CU local memory ("ML-MIAOW has in its local
+memory the model of the target program"); recurrent state lives in
+shared device memory so it survives workgroup-to-CU reassignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import KernelLaunchError, ModelError
+from repro.miaow.assembler import Kernel, assemble, float_bits
+from repro.miaow.gpu import DispatchResult, Gpu
+from repro.miaow.runtime import Buffer, GpuRuntime
+from repro.ml.elm import ExtremeLearningMachine
+from repro.ml.features import PatternDictionary
+from repro.ml.lstm import LstmModel
+
+LOG2E = 1.4426950408889634
+LN2 = 0.6931471805599453
+
+#: LSTM vocabulary is padded to exactly one wavefront so every lane
+#: owns one output row; padded rows get a large negative output bias.
+LSTM_DEPLOY_VOCAB = 64
+PAD_LOGIT_BIAS = -30.0
+
+_REDUCE_STRIDES = (32, 16, 8, 4, 2, 1)
+
+
+def _butterfly(op: str, value_reg: str, scratch_reg: str) -> str:
+    """Full-wave butterfly reduction; leaves the result in every lane."""
+    lines = []
+    for stride in _REDUCE_STRIDES:
+        lines.append(f"    ds_swizzle_b32 {scratch_reg}, {value_reg}, {stride}")
+        lines.append(f"    {op} {value_reg}, {value_reg}, {scratch_reg}")
+    return "\n".join(lines)
+
+
+_SIGMOID = """\
+    v_mul_f32 {r}, {r}, 1.4426950408889634
+    v_sub_f32 {r}, 0.0, {r}
+    v_exp_f32 {r}, {r}
+    v_add_f32 {r}, {r}, 1.0
+    v_rcp_f32 {r}, {r}"""
+
+#: tanh(x) = (e^{2x} - 1) / (e^{2x} + 1); the input is clamped to
+#: +/-15 first or e^{2x} overflows to inf and (inf-1)*rcp(inf+1) is
+#: NaN on the hardware datapath exactly as it is in float32 numpy.
+TANH_CLAMP = 15.0
+
+_TANH = """\
+    v_max_f32 {r}, {r}, -15.0
+    v_min_f32 {r}, {r}, 15.0
+    v_mul_f32 {r}, {r}, 2.8853900817779268
+    v_exp_f32 {r}, {r}
+    v_sub_f32 {t}, {r}, 1.0
+    v_add_f32 {r}, {r}, 1.0
+    v_rcp_f32 {r}, {r}
+    v_mul_f32 {r}, {t}, {r}"""
+
+
+# ---------------------------------------------------------------------------
+# ELM deployment
+# ---------------------------------------------------------------------------
+
+def build_elm_kernel() -> Kernel:
+    """The ELM scoring kernel (shape-independent; sizes are arguments).
+
+    Args: s2=W base, s3=input base, s4=out base, s5=M (pattern count),
+    s6=H, s7=1/M bits, s8/s9/s10 = LDS byte offsets of bias/mean/invvar.
+    """
+    source = f"""
+.kernel elm_score
+.vgprs 10
+    s_mov_b32 s12, 64
+    s_mul_i32 s12, s0, s12
+    v_mov_b32 v1, s12
+    v_add_i32 v1, v1, v0            ; neuron index h
+    v_lshlrev_b32 v8, 2, v1         ; h*4 (per-lane byte offset)
+    v_mov_b32 v2, 0.0               ; accumulator
+    s_mov_b32 s13, 0                ; j
+    s_mov_b32 s14, 0                ; input byte offset
+elm_loop:
+    s_load_dword s15, s3, s14       ; pattern index idx_j
+    s_mul_i32 s15, s15, s6          ; idx*H
+    s_lshl_b32 s15, s15, 2
+    s_add_i32 s15, s15, s2          ; column base address
+    v_add_i32 v3, v8, s15
+    flat_load_dword v4, v3          ; W[h, idx_j]
+    v_add_f32 v2, v2, v4
+    s_add_i32 s14, s14, 4
+    s_add_i32 s13, s13, 1
+    s_cmp_lt_i32 s13, s5
+    s_cbranch_scc1 elm_loop
+    v_mul_f32 v2, v2, s7            ; x 1/M
+    v_lshlrev_b32 v3, 2, v1
+    v_add_i32 v4, v3, s8
+    ds_read_b32 v5, v4
+    v_add_f32 v2, v2, v5            ; + bias
+{_SIGMOID.format(r='v2')}
+    v_add_i32 v4, v3, s9
+    ds_read_b32 v5, v4
+    v_sub_f32 v2, v2, v5            ; h - mean
+    v_mul_f32 v2, v2, v2
+    v_add_i32 v4, v3, s10
+    ds_read_b32 v5, v4
+    v_mul_f32 v2, v2, v5            ; * inv_var
+{_butterfly('v_add_f32', 'v2', 'v6')}
+    v_mov_b32 v7, s4
+    s_lshl_b32 s16, s0, 2
+    v_add_i32 v7, v7, s16
+    flat_store_dword v7, v2         ; partial score for this WG
+    s_endpgm
+"""
+    return assemble(source)
+
+
+@dataclass
+class ElmInferenceResult:
+    score: float
+    dispatch: DispatchResult
+
+
+class DeployedElm:
+    """A trained ELM bound to a GPU engine."""
+
+    def __init__(
+        self,
+        model: ExtremeLearningMachine,
+        dictionary: PatternDictionary,
+        window: int,
+    ) -> None:
+        if model.hidden_dim % 64:
+            raise ModelError("deployed ELM hidden size must be 64-aligned")
+        if model.input_dim != dictionary.size:
+            raise ModelError(
+                "ELM input dim must equal the pattern-dictionary size"
+            )
+        self.model = model
+        self.dictionary = dictionary
+        self.window = window
+        self.num_workgroups = model.hidden_dim // 64
+        self.positions = window - dictionary.n + 1
+        self.kernel = build_elm_kernel()
+        self._runtime: Optional[GpuRuntime] = None
+        self._weights = model.export_weights()
+        self._buffers: Dict[str, Buffer] = {}
+        self._lds_offsets: Dict[str, int] = {}
+
+    # -- load -------------------------------------------------------------
+
+    def load(self, gpu: Gpu) -> None:
+        """Write weights into device + local memory (model load time)."""
+        runtime = GpuRuntime(gpu)
+        w = self._weights
+        h, d = self.model.hidden_dim, self.model.input_dim
+        # W column-major by pattern index: element (idx*H + h).
+        w_cols = np.ascontiguousarray(w.w_hidden.T, dtype=np.float32)
+        w_buf = runtime.alloc_f32(h * d)
+        runtime.write(w_buf, w_cols.ravel())
+        input_buf = runtime.alloc(
+            self.dictionary.max_indices(self.window) * 4
+        )
+        out_buf = runtime.alloc_f32(self.num_workgroups)
+        # LDS: bias / mean / inv_var back to back.
+        offsets = {"bias": 0, "mean": h * 4, "inv_var": 2 * h * 4}
+        gpu.write_lds_f32_all(offsets["bias"], w.b_hidden)
+        gpu.write_lds_f32_all(offsets["mean"], w.mean)
+        gpu.write_lds_f32_all(offsets["inv_var"], w.inv_var)
+        self._runtime = runtime
+        self._buffers = {"w": w_buf, "input": input_buf, "out": out_buf}
+        self._lds_offsets = offsets
+
+    @property
+    def loaded(self) -> bool:
+        return self._runtime is not None
+
+    # -- inference ----------------------------------------------------------
+
+    def infer(self, window_ids: np.ndarray) -> ElmInferenceResult:
+        """Score one ID window on the GPU."""
+        indices = self.dictionary.indices(window_ids)
+        return self.infer_indices(indices)
+
+    def infer_indices(self, indices: np.ndarray) -> ElmInferenceResult:
+        """Score from already-converted pattern indices (the MCM path)."""
+        if self._runtime is None:
+            raise KernelLaunchError("DeployedElm used before load()")
+        runtime = self._runtime
+        runtime.write(
+            self._buffers["input"], np.asarray(indices, dtype=np.uint32)
+        )
+        dispatch = runtime.launch(
+            self.kernel,
+            num_workgroups=self.num_workgroups,
+            args=[
+                self._buffers["w"],
+                self._buffers["input"],
+                self._buffers["out"],
+                len(indices),
+                self.model.hidden_dim,
+                float_bits(1.0 / self.positions),
+                self._lds_offsets["bias"],
+                self._lds_offsets["mean"],
+                self._lds_offsets["inv_var"],
+            ],
+        )
+        partials = runtime.read_f32(self._buffers["out"])
+        return ElmInferenceResult(
+            score=float(partials.sum()), dispatch=dispatch
+        )
+
+    def reference_score(self, window_ids: np.ndarray) -> float:
+        """Float32 software reference the GPU result must match."""
+        features = self.dictionary.features(
+            np.asarray(window_ids)[None, :]
+        )
+        return float(self.model.score_mahalanobis_f32(features)[0])
+
+
+# ---------------------------------------------------------------------------
+# LSTM deployment
+# ---------------------------------------------------------------------------
+
+def build_lstm_gates_kernel() -> Kernel:
+    """Gate pre-activation + activation; one workgroup per gate.
+
+    Args: s2=id, s3=h_state base, s4=gates base, s5=H,
+    s6/s7/s8 = LDS byte offsets of W_x / U / b.
+    Gate order [i, f, g, o]; workgroup 2 (g) uses tanh.
+    """
+    source = f"""
+.kernel lstm_gates
+.vgprs 10
+    v_mov_b32 v1, s5
+    v_sub_i32 v1, v1, 1
+    v_min_i32 v1, v0, v1            ; l = min(lane, H-1)
+    s_mul_i32 s10, s0, s5
+    v_mov_b32 v2, s10
+    v_add_i32 v2, v2, v1            ; row r = gate*H + l
+    s_lshl_b32 s11, s5, 2           ; 4H
+    s_mul_i32 s11, s2, s11          ; id*4H
+    v_mov_b32 v3, s11
+    v_add_i32 v3, v3, v2
+    v_lshlrev_b32 v3, 2, v3
+    v_add_i32 v3, v3, s6
+    ds_read_b32 v4, v3              ; z = W_x[id*4H + r]
+    v_mul_lo_i32 v5, v2, s5         ; r*H
+    v_lshlrev_b32 v5, 2, v5
+    v_add_i32 v5, v5, s7            ; &U[r, 0] (per-lane, incremented)
+    s_mov_b32 s12, 0                ; k
+    s_mov_b32 s13, 0                ; h byte offset
+lstm_gates_loop:
+    s_load_dword s14, s3, s13       ; h_prev[k]
+    ds_read_b32 v7, v5              ; U[r, k]
+    v_mac_f32 v4, v7, s14
+    v_add_i32 v5, v5, 4
+    s_add_i32 s13, s13, 4
+    s_add_i32 s12, s12, 1
+    s_cmp_lt_i32 s12, s5
+    s_cbranch_scc1 lstm_gates_loop
+    v_lshlrev_b32 v6, 2, v2
+    v_add_i32 v6, v6, s8
+    ds_read_b32 v7, v6
+    v_add_f32 v4, v4, v7            ; + b[r]
+    s_cmp_eq_i32 s0, 2
+    s_cbranch_scc1 lstm_gates_tanh
+{_SIGMOID.format(r='v4')}
+    s_branch lstm_gates_store
+lstm_gates_tanh:
+{_TANH.format(r='v4', t='v8')}
+lstm_gates_store:
+    v_lshlrev_b32 v6, 2, v2
+    v_add_i32 v6, v6, s4
+    flat_store_dword v6, v4         ; gates[r]
+    s_endpgm
+"""
+    return assemble(source)
+
+
+def build_lstm_update_kernel() -> Kernel:
+    """Cell/hidden update.  Args: s2=gates, s3=c_state, s4=h_state, s5=H."""
+    source = f"""
+.kernel lstm_update
+.vgprs 12
+    v_mov_b32 v1, s5
+    v_sub_i32 v1, v1, 1
+    v_min_i32 v1, v0, v1
+    v_lshlrev_b32 v2, 2, v1
+    v_mov_b32 v3, v2
+    v_add_i32 v3, v3, s2
+    flat_load_dword v4, v3          ; i
+    s_lshl_b32 s6, s5, 2
+    v_add_i32 v3, v3, s6
+    flat_load_dword v5, v3          ; f
+    v_add_i32 v3, v3, s6
+    flat_load_dword v6, v3          ; g
+    v_add_i32 v3, v3, s6
+    flat_load_dword v7, v3          ; o
+    v_mov_b32 v8, v2
+    v_add_i32 v8, v8, s3
+    flat_load_dword v9, v8          ; c_prev
+    v_mul_f32 v9, v5, v9
+    v_mac_f32 v9, v4, v6            ; c = f*c_prev + i*g
+    flat_store_dword v8, v9
+    v_mov_b32 v10, v9
+{_TANH.format(r='v10', t='v11')}
+    v_mul_f32 v10, v7, v10          ; h = o * tanh(c)
+    v_mov_b32 v8, v2
+    v_add_i32 v8, v8, s4
+    flat_store_dword v8, v10
+    s_endpgm
+"""
+    return assemble(source)
+
+
+def build_lstm_score_kernel() -> Kernel:
+    """Output logits + softmax + surprisal of the observed ID.
+
+    Args: s2=id, s3=h_state, s4=score out, s5=H,
+    s6/s7 = LDS byte offsets of W_out / b_out.
+    One workgroup; lane r owns vocabulary row r (V == 64).
+    """
+    source = f"""
+.kernel lstm_score
+.vgprs 12
+    v_mul_lo_i32 v1, v0, s5         ; r*H
+    v_lshlrev_b32 v1, 2, v1
+    v_add_i32 v1, v1, s6            ; &W_out[r, 0] (incremented)
+    v_lshlrev_b32 v2, 2, v0
+    v_add_i32 v2, v2, s7
+    ds_read_b32 v3, v2              ; logit = b_out[r]
+    s_mov_b32 s8, 0
+    s_mov_b32 s9, 0                 ; h byte offset
+lstm_score_loop:
+    s_load_dword s10, s3, s9        ; h[k]
+    ds_read_b32 v5, v1              ; W_out[r, k]
+    v_mac_f32 v3, v5, s10
+    v_add_i32 v1, v1, 4
+    s_add_i32 s9, s9, 4
+    s_add_i32 s8, s8, 1
+    s_cmp_lt_i32 s8, s5
+    s_cbranch_scc1 lstm_score_loop
+    v_mov_b32 v4, v3                ; running max
+{_butterfly('v_max_f32', 'v4', 'v6')}
+    v_sub_f32 v5, v3, v4            ; logit - max
+    v_mul_f32 v5, v5, 1.4426950408889634
+    v_exp_f32 v5, v5                ; exp(logit - max)
+    v_mov_b32 v7, v5
+{_butterfly('v_add_f32', 'v7', 'v6')}
+    v_cmp_eq_i32 v0, s2             ; vcc: lane == observed id
+    v_mov_b32 v9, 0.0
+    v_cndmask_b32 v9, v9, v5        ; e_id on the id lane
+{_butterfly('v_add_f32', 'v9', 'v6')}
+    v_rcp_f32 v10, v7
+    v_mul_f32 v9, v9, v10           ; p = e_id / sum
+    v_log_f32 v9, v9
+    v_mul_f32 v9, v9, 0.6931471805599453
+    v_sub_f32 v9, 0.0, v9           ; -ln p
+    v_mov_b32 v11, s4
+    flat_store_dword v11, v9
+    s_endpgm
+"""
+    return assemble(source)
+
+
+@dataclass
+class LstmInferenceResult:
+    surprisal: float
+    dispatches: List[DispatchResult]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(d.cycles for d in self.dispatches)
+
+
+class DeployedLstm:
+    """A trained LSTM bound to a GPU engine (streaming inference)."""
+
+    NUM_GATE_WORKGROUPS = 4
+
+    def __init__(self, model: LstmModel) -> None:
+        if model.vocabulary_size > LSTM_DEPLOY_VOCAB:
+            raise ModelError(
+                f"deployed LSTM vocabulary must fit {LSTM_DEPLOY_VOCAB} "
+                f"(got {model.vocabulary_size}); shrink the mapper table"
+            )
+        if model.hidden_size > 64:
+            raise ModelError("deployed LSTM hidden size must be <= 64")
+        self.model = model
+        self.kernels = {
+            "score": build_lstm_score_kernel(),
+            "gates": build_lstm_gates_kernel(),
+            "update": build_lstm_update_kernel(),
+        }
+        self._padded = self._pad_weights()
+        self._runtime: Optional[GpuRuntime] = None
+        self._buffers: Dict[str, Buffer] = {}
+        self._lds_offsets: Dict[str, int] = {}
+
+    def _pad_weights(self):
+        """Pad the vocabulary dimension to one full wavefront."""
+        w = self.model.export_weights()
+        v_pad = LSTM_DEPLOY_VOCAB
+        v, h = self.model.vocabulary_size, self.model.hidden_size
+        w_x = np.zeros((4 * h, v_pad), dtype=np.float32)
+        w_x[:, :v] = w.w_x
+        w_out = np.zeros((v_pad, h), dtype=np.float32)
+        w_out[:v] = w.w_out
+        b_out = np.full(v_pad, PAD_LOGIT_BIAS, dtype=np.float32)
+        b_out[:v] = w.b_out
+        return {"w_x": w_x, "u": w.u, "b": w.b, "w_out": w_out, "b_out": b_out}
+
+    # -- load ----------------------------------------------------------------
+
+    def load(self, gpu: Gpu) -> None:
+        runtime = GpuRuntime(gpu)
+        h = self.model.hidden_size
+        p = self._padded
+        # LDS layout: W_x (column-major by id) | U | b | W_out | b_out.
+        w_x_cols = np.ascontiguousarray(p["w_x"].T)  # (V, 4H) -> id-major
+        blocks = [
+            ("w_x", w_x_cols.ravel()),
+            ("u", p["u"].ravel()),
+            ("b", p["b"]),
+            ("w_out", p["w_out"].ravel()),
+            ("b_out", p["b_out"]),
+        ]
+        offsets: Dict[str, int] = {}
+        cursor = 0
+        for name, data in blocks:
+            offsets[name] = cursor
+            gpu.write_lds_f32_all(cursor, data.astype(np.float32))
+            cursor += data.size * 4
+        self._lds_offsets = offsets
+
+        self._buffers = {
+            "h": runtime.alloc_f32(h),
+            "c": runtime.alloc_f32(h),
+            "gates": runtime.alloc_f32(4 * h),
+            "score": runtime.alloc_f32(1),
+        }
+        self._runtime = runtime
+        self.reset_state()
+
+    @property
+    def loaded(self) -> bool:
+        return self._runtime is not None
+
+    def reset_state(self) -> None:
+        if self._runtime is None:
+            raise KernelLaunchError("DeployedLstm used before load()")
+        h = self.model.hidden_size
+        zeros = np.zeros(h, dtype=np.float32)
+        self._runtime.write(self._buffers["h"], zeros)
+        self._runtime.write(self._buffers["c"], zeros)
+
+    # -- inference --------------------------------------------------------------
+
+    def infer(self, branch_id: int) -> LstmInferenceResult:
+        """Score the observed branch, then advance the state."""
+        if self._runtime is None:
+            raise KernelLaunchError("DeployedLstm used before load()")
+        if not 0 <= branch_id < self.model.vocabulary_size:
+            raise ModelError(f"branch id {branch_id} outside vocabulary")
+        runtime = self._runtime
+        h = self.model.hidden_size
+        off = self._lds_offsets
+        buffers = self._buffers
+        dispatches = [
+            runtime.launch(
+                self.kernels["score"], 1,
+                args=[branch_id, buffers["h"], buffers["score"], h,
+                      off["w_out"], off["b_out"]],
+            ),
+            runtime.launch(
+                self.kernels["gates"], self.NUM_GATE_WORKGROUPS,
+                args=[branch_id, buffers["h"], buffers["gates"], h,
+                      off["w_x"], off["u"], off["b"]],
+            ),
+            runtime.launch(
+                self.kernels["update"], 1,
+                args=[buffers["gates"], buffers["c"], buffers["h"], h],
+            ),
+        ]
+        surprisal = float(runtime.read_f32(buffers["score"], 1)[0])
+        return LstmInferenceResult(surprisal=surprisal, dispatches=dispatches)
+
+    # -- float32 software reference ------------------------------------------
+
+    def make_reference(self) -> "LstmReference":
+        return LstmReference(self._padded, self.model.hidden_size)
+
+
+_MLP_HIDDEN_SRC = f"""
+.kernel mlp_hidden
+.vgprs 8
+    ; s2 = x base (D f32), s3 = h base, s4 = D, s5 = H,
+    ; s6/s7 = LDS byte offsets of W1 / b1.  Lane l computes neuron
+    ; min(l, H-1); duplicate writes collide with identical values.
+    v_mov_b32 v1, s5
+    v_sub_i32 v1, v1, 1
+    v_min_i32 v1, v0, v1            ; l
+    v_mul_lo_i32 v2, v1, s4         ; l*D
+    v_lshlrev_b32 v2, 2, v2
+    v_add_i32 v2, v2, s6            ; &W1[l, 0]
+    v_mov_b32 v3, 0.0               ; acc
+    s_mov_b32 s8, 0                 ; d
+    s_mov_b32 s9, 0                 ; x byte offset
+mlp_hidden_loop:
+    s_load_dword s10, s2, s9        ; x[d]
+    ds_read_b32 v4, v2              ; W1[l, d]
+    v_mac_f32 v3, v4, s10
+    v_add_i32 v2, v2, 4
+    s_add_i32 s9, s9, 4
+    s_add_i32 s8, s8, 1
+    s_cmp_lt_i32 s8, s4
+    s_cbranch_scc1 mlp_hidden_loop
+    v_lshlrev_b32 v5, 2, v1
+    v_add_i32 v6, v5, s7
+    ds_read_b32 v7, v6
+    v_add_f32 v3, v3, v7            ; + b1[l]
+{_SIGMOID.format(r='v3')}
+    v_add_i32 v6, v5, s3
+    flat_store_dword v6, v3         ; h[l]
+    s_endpgm
+"""
+
+_MLP_RECON_SRC = f"""
+.kernel mlp_recon
+.vgprs 10
+    ; s2 = x base, s3 = h base, s4 = D, s5 = H, s6 = score out,
+    ; s7/s8 = LDS byte offsets of W2 / b2.  Lane d reconstructs
+    ; feature min(d, D-1); lanes beyond D contribute zero error.
+    v_mov_b32 v1, s4
+    v_sub_i32 v1, v1, 1
+    v_min_i32 v1, v0, v1            ; d
+    v_mul_lo_i32 v2, v1, s5         ; d*H
+    v_lshlrev_b32 v2, 2, v2
+    v_add_i32 v2, v2, s7            ; &W2[d, 0]
+    v_mov_b32 v3, 0.0               ; recon acc
+    s_mov_b32 s9, 0                 ; k
+    s_mov_b32 s10, 0                ; h byte offset
+mlp_recon_loop:
+    s_load_dword s11, s3, s10       ; h[k]
+    ds_read_b32 v4, v2              ; W2[d, k]
+    v_mac_f32 v3, v4, s11
+    v_add_i32 v2, v2, 4
+    s_add_i32 s10, s10, 4
+    s_add_i32 s9, s9, 1
+    s_cmp_lt_i32 s9, s5
+    s_cbranch_scc1 mlp_recon_loop
+    v_lshlrev_b32 v5, 2, v1
+    v_add_i32 v6, v5, s8
+    ds_read_b32 v7, v6
+    v_add_f32 v3, v3, v7            ; + b2[d]
+    v_add_i32 v6, v5, s2
+    flat_load_dword v7, v6          ; x[d]
+    v_sub_f32 v3, v3, v7
+    v_mul_f32 v3, v3, v3            ; (recon - x)^2
+    v_cmp_lt_i32 v0, s4             ; vcc: lane owns a real feature
+    v_mov_b32 v8, 0.0
+    v_cndmask_b32 v3, v8, v3        ; zero the duplicate lanes
+{_butterfly('v_add_f32', 'v3', 'v9')}
+    v_mov_b32 v8, s6
+    flat_store_dword v8, v3
+    s_endpgm
+"""
+
+
+def build_mlp_hidden_kernel() -> Kernel:
+    """MLP encoder: hidden = sigmoid(W1 x + b1), one workgroup."""
+    return assemble(_MLP_HIDDEN_SRC)
+
+
+def build_mlp_recon_kernel() -> Kernel:
+    """MLP decoder + error: score = sum((W2 h + b2 - x)^2)."""
+    return assemble(_MLP_RECON_SRC)
+
+
+@dataclass
+class MlpInferenceResult:
+    score: float
+    dispatches: List[DispatchResult]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(d.cycles for d in self.dispatches)
+
+
+class DeployedMlp:
+    """A trained MLP autoencoder bound to a GPU engine.
+
+    The third model of the programmability story: same runtime, same
+    protocol, different kernels.  Note the structural contrast with
+    the ELM — both phases are single-workgroup and *sequential*
+    (reconstruction needs the complete hidden vector), so extra CUs
+    buy the MLP nothing.  That, plus its training cost, is the quiet
+    half of the paper's "ELM over MLP" argument.
+    """
+
+    def __init__(self, model) -> None:
+        from repro.ml.mlp import MlpAutoencoder
+
+        if not isinstance(model, MlpAutoencoder):
+            raise ModelError("DeployedMlp wraps an MlpAutoencoder")
+        if model.input_dim > 64 or model.hidden_dim > 64:
+            raise ModelError(
+                "deployed MLP dims must each fit one wavefront"
+            )
+        if not model.trained:
+            raise ModelError("deploy requires a trained MLP")
+        self.model = model
+        self.kernels = {
+            "hidden": build_mlp_hidden_kernel(),
+            "recon": build_mlp_recon_kernel(),
+        }
+        self._runtime: Optional[GpuRuntime] = None
+        self._buffers: Dict[str, Buffer] = {}
+        self._lds_offsets: Dict[str, int] = {}
+
+    def load(self, gpu: Gpu) -> None:
+        runtime = GpuRuntime(gpu)
+        model = self.model
+        blocks = [
+            ("w1", model.w1.astype(np.float32).ravel()),
+            ("b1", model.b1.astype(np.float32)),
+            ("w2", model.w2.astype(np.float32).ravel()),
+            ("b2", model.b2.astype(np.float32)),
+        ]
+        offsets: Dict[str, int] = {}
+        cursor = 0
+        for name, data in blocks:
+            offsets[name] = cursor
+            gpu.write_lds_f32_all(cursor, data)
+            cursor += data.size * 4
+        self._lds_offsets = offsets
+        self._buffers = {
+            "x": runtime.alloc_f32(model.input_dim),
+            "h": runtime.alloc_f32(model.hidden_dim),
+            "score": runtime.alloc_f32(1),
+        }
+        self._runtime = runtime
+
+    @property
+    def loaded(self) -> bool:
+        return self._runtime is not None
+
+    def infer(self, features: np.ndarray) -> MlpInferenceResult:
+        """Score one (already normalized) feature vector."""
+        if self._runtime is None:
+            raise KernelLaunchError("DeployedMlp used before load()")
+        features = np.asarray(features, dtype=np.float32)
+        if features.shape != (self.model.input_dim,):
+            raise ModelError(
+                f"expected {self.model.input_dim} features, got "
+                f"{features.shape}"
+            )
+        runtime = self._runtime
+        runtime.write(self._buffers["x"], features)
+        off = self._lds_offsets
+        buffers = self._buffers
+        d, h = self.model.input_dim, self.model.hidden_dim
+        dispatches = [
+            runtime.launch(
+                self.kernels["hidden"], 1,
+                args=[buffers["x"], buffers["h"], d, h,
+                      off["w1"], off["b1"]],
+            ),
+            runtime.launch(
+                self.kernels["recon"], 1,
+                args=[buffers["x"], buffers["h"], d, h, buffers["score"],
+                      off["w2"], off["b2"]],
+            ),
+        ]
+        score = float(runtime.read_f32(buffers["score"], 1)[0])
+        return MlpInferenceResult(score=score, dispatches=dispatches)
+
+    def reference_score(self, features: np.ndarray) -> float:
+        """Float32 twin of the kernel pipeline."""
+        x = np.asarray(features, dtype=np.float32)
+        w1 = self.model.w1.astype(np.float32)
+        b1 = self.model.b1.astype(np.float32)
+        w2 = self.model.w2.astype(np.float32)
+        b2 = self.model.b2.astype(np.float32)
+        pre = (w1 @ x + b1).astype(np.float32)
+        log2e = np.float32(LOG2E)
+        hidden = (
+            np.float32(1.0)
+            / (np.float32(1.0) + np.exp2(-(pre * log2e), dtype=np.float32))
+        ).astype(np.float32)
+        recon = (w2 @ hidden + b2).astype(np.float32)
+        error = (recon - x).astype(np.float32)
+        return float((error * error).sum(dtype=np.float32))
+
+
+class LstmReference:
+    """Numpy float32 twin of the GPU pipeline (same formulas/order)."""
+
+    def __init__(self, padded: Dict[str, np.ndarray], hidden: int) -> None:
+        self.p = {k: v.astype(np.float32) for k, v in padded.items()}
+        self.hidden = hidden
+        self.h = np.zeros(hidden, dtype=np.float32)
+        self.c = np.zeros(hidden, dtype=np.float32)
+
+    @staticmethod
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        log2e = np.float32(LOG2E)
+        return (
+            np.float32(1.0)
+            / (np.float32(1.0) + np.exp2(-(x * log2e), dtype=np.float32))
+        ).astype(np.float32)
+
+    @staticmethod
+    def _tanh(x: np.ndarray) -> np.ndarray:
+        clamped = np.clip(x, -TANH_CLAMP, TANH_CLAMP).astype(np.float32)
+        e = np.exp2(clamped * np.float32(2 * LOG2E), dtype=np.float32)
+        return ((e - np.float32(1.0)) / (e + np.float32(1.0))).astype(
+            np.float32
+        )
+
+    def infer(self, branch_id: int) -> float:
+        p = self.p
+        hs = self.hidden
+        logits = (p["w_out"] @ self.h + p["b_out"]).astype(np.float32)
+        m = logits.max()
+        exps = np.exp2((logits - m) * np.float32(LOG2E), dtype=np.float32)
+        prob = exps[branch_id] / exps.sum(dtype=np.float32)
+        surprisal = float(
+            -np.log2(prob) * np.float32(LN2)
+        )
+        z = (p["w_x"][:, branch_id] + p["u"] @ self.h + p["b"]).astype(
+            np.float32
+        )
+        i = self._sigmoid(z[:hs])
+        f = self._sigmoid(z[hs:2 * hs])
+        g = self._tanh(z[2 * hs:3 * hs])
+        o = self._sigmoid(z[3 * hs:])
+        self.c = (f * self.c + i * g).astype(np.float32)
+        self.h = (o * self._tanh(self.c)).astype(np.float32)
+        return surprisal

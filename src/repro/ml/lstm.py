@@ -1,0 +1,276 @@
+"""LSTM next-branch model, implemented from scratch in numpy.
+
+Follows the mimicry-resilient branch-modeling approach of [8]: train a
+next-ID predictor on normal branch sequences; at inference each
+observed branch is scored by the negative log-probability the model
+assigned to it, so sequences of individually-legitimate branches in an
+order the program never produces score high.
+
+Training is full BPTT over fixed-length windows with Adam; inference
+additionally offers a *stateful streaming* mode, which is what the GPU
+deployment uses (hidden/cell state carried in device memory between
+inferences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.features import log_softmax, sigmoid
+from repro.utils.rng import derive_seed, make_rng
+
+
+@dataclass
+class LstmWeights:
+    """Deployment weights in float32.  Gate order is [i, f, g, o]."""
+
+    w_x: np.ndarray     # (4H, V)
+    u: np.ndarray       # (4H, H)
+    b: np.ndarray       # (4H,)
+    w_out: np.ndarray   # (V, H)
+    b_out: np.ndarray   # (V,)
+
+
+@dataclass
+class LstmState:
+    """Streaming inference state."""
+
+    h: np.ndarray
+    c: np.ndarray
+    log_probs: np.ndarray  # model's prediction for the *next* ID
+
+
+class _Adam:
+    """Minimal Adam optimizer over a dict of parameter arrays."""
+
+    def __init__(self, params: Dict[str, np.ndarray], lr: float) -> None:
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = 0.9, 0.999, 1e-8
+        self.m = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v = {k: np.zeros_like(v) for k, v in params.items()}
+        self.t = 0
+
+    def step(
+        self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]
+    ) -> None:
+        self.t += 1
+        correction1 = 1 - self.beta1 ** self.t
+        correction2 = 1 - self.beta2 ** self.t
+        for key, grad in grads.items():
+            self.m[key] = self.beta1 * self.m[key] + (1 - self.beta1) * grad
+            self.v[key] = self.beta2 * self.v[key] + (1 - self.beta2) * grad ** 2
+            m_hat = self.m[key] / correction1
+            v_hat = self.v[key] / correction2
+            params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LstmModel:
+    """Single-layer LSTM language model over branch-ID sequences."""
+
+    def __init__(
+        self,
+        vocabulary_size: int,
+        hidden_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if vocabulary_size < 2:
+            raise ModelError("vocabulary must have at least 2 IDs")
+        if hidden_size < 1:
+            raise ModelError("hidden_size must be positive")
+        self.vocabulary_size = vocabulary_size
+        self.hidden_size = hidden_size
+        rng = make_rng(derive_seed(seed, "lstm", vocabulary_size, hidden_size))
+        v, h = vocabulary_size, hidden_size
+        scale_x = np.sqrt(1.0 / v)
+        scale_h = np.sqrt(1.0 / h)
+        self.params: Dict[str, np.ndarray] = {
+            "w_x": rng.normal(0, scale_x, (4 * h, v)),
+            "u": rng.normal(0, scale_h, (4 * h, h)),
+            "b": np.zeros(4 * h),
+            "w_out": rng.normal(0, scale_h, (v, h)),
+            "b_out": np.zeros(v),
+        }
+        # Positive forget-gate bias stabilizes early training.
+        self.params["b"][h:2 * h] = 1.0
+        self.trained = False
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+
+    def _step_batch(
+        self, ids: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> Tuple[np.ndarray, ...]:
+        """One LSTM step for a batch of IDs; returns caches for BPTT."""
+        p = self.params
+        hs = self.hidden_size
+        # One-hot input: x @ w_x.T is a column gather.
+        z = p["w_x"][:, ids].T + h_prev @ p["u"].T + p["b"]
+        i = sigmoid(z[:, :hs])
+        f = sigmoid(z[:, hs:2 * hs])
+        g = np.tanh(z[:, 2 * hs:3 * hs])
+        o = sigmoid(z[:, 3 * hs:])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        return h, c, (i, f, g, o, tanh_c, c_prev, h_prev, ids)
+
+    def _logits(self, h: np.ndarray) -> np.ndarray:
+        return h @ self.params["w_out"].T + self.params["b_out"]
+
+    def window_nll(self, windows: np.ndarray) -> np.ndarray:
+        """Mean per-step negative log-likelihood of each window.
+
+        Each window of T IDs yields T-1 predictions (ID t predicts
+        ID t+1); state starts at zero per window.
+        """
+        windows = np.atleast_2d(np.asarray(windows, dtype=np.int64))
+        batch, steps = windows.shape
+        if steps < 2:
+            raise ModelError("windows must have at least 2 IDs")
+        h = np.zeros((batch, self.hidden_size))
+        c = np.zeros((batch, self.hidden_size))
+        total = np.zeros(batch)
+        for t in range(steps - 1):
+            h, c, _ = self._step_batch(windows[:, t], h, c)
+            log_p = log_softmax(self._logits(h))
+            total -= log_p[np.arange(batch), windows[:, t + 1]]
+        return total / (steps - 1)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        windows: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 64,
+        learning_rate: float = 5e-3,
+        clip: float = 5.0,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> List[float]:
+        """Train with BPTT + Adam; returns per-epoch mean losses."""
+        windows = np.atleast_2d(np.asarray(windows, dtype=np.int64))
+        if windows.shape[0] < 1 or windows.shape[1] < 2:
+            raise ModelError("need non-empty windows of length >= 2")
+        optimizer = _Adam(self.params, learning_rate)
+        rng = make_rng(derive_seed(seed, "lstm-train"))
+        losses: List[float] = []
+        for epoch in range(epochs):
+            order = rng.permutation(len(windows))
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, len(windows), batch_size):
+                batch = windows[order[start:start + batch_size]]
+                loss, grads = self._loss_and_grads(batch)
+                for key in grads:
+                    np.clip(grads[key], -clip, clip, out=grads[key])
+                optimizer.step(self.params, grads)
+                epoch_loss += loss
+                batches += 1
+            losses.append(epoch_loss / max(1, batches))
+            if verbose:
+                print(f"epoch {epoch}: loss {losses[-1]:.4f}")
+        self.trained = True
+        return losses
+
+    def _loss_and_grads(
+        self, windows: np.ndarray
+    ) -> Tuple[float, Dict[str, np.ndarray]]:
+        p = self.params
+        hs = self.hidden_size
+        batch, steps = windows.shape
+        h = np.zeros((batch, hs))
+        c = np.zeros((batch, hs))
+        caches = []
+        logit_caches = []
+        loss = 0.0
+        count = batch * (steps - 1)
+        for t in range(steps - 1):
+            h, c, cache = self._step_batch(windows[:, t], h, c)
+            logits = self._logits(h)
+            log_p = log_softmax(logits)
+            targets = windows[:, t + 1]
+            loss -= log_p[np.arange(batch), targets].sum()
+            probs = np.exp(log_p)
+            probs[np.arange(batch), targets] -= 1.0
+            caches.append((cache, h.copy()))
+            logit_caches.append(probs / count)
+        loss /= count
+
+        grads = {key: np.zeros_like(value) for key, value in p.items()}
+        dh_next = np.zeros((batch, hs))
+        dc_next = np.zeros((batch, hs))
+        for t in reversed(range(steps - 1)):
+            (i, f, g, o, tanh_c, c_prev, h_prev, ids), h_t = caches[t]
+            dprobs = logit_caches[t]
+            grads["w_out"] += dprobs.T @ h_t
+            grads["b_out"] += dprobs.sum(axis=0)
+            dh = dprobs @ p["w_out"] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1 - tanh_c ** 2) + dc_next
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dz = np.concatenate(
+                [
+                    di * i * (1 - i),
+                    df * f * (1 - f),
+                    dg * (1 - g ** 2),
+                    do * o * (1 - o),
+                ],
+                axis=1,
+            )
+            # dWx via one-hot gather: accumulate per target column.
+            np.add.at(grads["w_x"].T, ids, dz)
+            grads["u"] += dz.T @ h_prev
+            grads["b"] += dz.sum(axis=0)
+            dh_next = dz @ p["u"]
+            dc_next = dc * f
+        return float(loss), grads
+
+    # ------------------------------------------------------------------
+    # Streaming inference (the deployment semantics)
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> LstmState:
+        h = np.zeros(self.hidden_size)
+        c = np.zeros(self.hidden_size)
+        log_probs = log_softmax(self._logits(h[None, :]))[0]
+        return LstmState(h=h, c=c, log_probs=log_probs)
+
+    def stream_step(self, state: LstmState, branch_id: int) -> Tuple[float, LstmState]:
+        """Score the observed ID, then advance the state.
+
+        Returns ``(surprisal, new_state)`` — surprisal is
+        ``-log P(branch_id | history)`` under the prediction made
+        *before* seeing the branch, matching the hardware pipeline.
+        """
+        if not 0 <= branch_id < self.vocabulary_size:
+            raise ModelError(f"branch id {branch_id} outside vocabulary")
+        surprisal = float(-state.log_probs[branch_id])
+        h, c, _ = self._step_batch(
+            np.array([branch_id]), state.h[None, :], state.c[None, :]
+        )
+        log_probs = log_softmax(self._logits(h))[0]
+        return surprisal, LstmState(h=h[0], c=c[0], log_probs=log_probs)
+
+    # ------------------------------------------------------------------
+    # Deployment export
+    # ------------------------------------------------------------------
+
+    def export_weights(self) -> LstmWeights:
+        p = self.params
+        return LstmWeights(
+            w_x=p["w_x"].astype(np.float32),
+            u=p["u"].astype(np.float32),
+            b=p["b"].astype(np.float32),
+            w_out=p["w_out"].astype(np.float32),
+            b_out=p["b_out"].astype(np.float32),
+        )

@@ -1,0 +1,61 @@
+"""STIDE-style n-gram baseline.
+
+The classic host-based IDS approach (Forrest et al. [1]): memorize the
+n-grams of normal traces; score a window by the fraction of its
+n-grams never seen in training.  Cheap, deterministic, and the
+baseline every learned model must beat on mimicry-style attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class NgramModel:
+    """Set-of-known-n-grams detector."""
+
+    def __init__(self, n: int = 3) -> None:
+        if n < 1:
+            raise ModelError("n must be >= 1")
+        self.n = n
+        self._known: Set[Tuple[int, ...]] = set()
+        self.trained = False
+
+    def _grams(self, sequence: np.ndarray) -> Iterable[Tuple[int, ...]]:
+        sequence = np.asarray(sequence, dtype=np.int64)
+        for start in range(len(sequence) - self.n + 1):
+            yield tuple(int(v) for v in sequence[start:start + self.n])
+
+    def fit(self, windows: np.ndarray) -> "NgramModel":
+        windows = np.atleast_2d(np.asarray(windows, dtype=np.int64))
+        if windows.shape[1] < self.n:
+            raise ModelError(
+                f"windows of length {windows.shape[1]} cannot hold "
+                f"{self.n}-grams"
+            )
+        for row in windows:
+            self._known.update(self._grams(row))
+        self.trained = True
+        return self
+
+    @property
+    def table_size(self) -> int:
+        return len(self._known)
+
+    def score(self, windows: np.ndarray) -> np.ndarray:
+        """Fraction of unknown n-grams per window (0 = all familiar)."""
+        if not self.trained:
+            raise ModelError("n-gram model used before fit()")
+        windows = np.atleast_2d(np.asarray(windows, dtype=np.int64))
+        scores = np.zeros(len(windows))
+        for index, row in enumerate(windows):
+            grams = list(self._grams(row))
+            if not grams:
+                continue
+            unknown = sum(1 for gram in grams if gram not in self._known)
+            scores[index] = unknown / len(grams)
+        return scores

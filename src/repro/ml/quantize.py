@@ -1,0 +1,200 @@
+"""Fixed-point deployment path (extension).
+
+ML-MIAOW inherits MIAOW's float32 datapath, but the trimming flow's
+logic is per-block: a deployment that avoids the float units entirely
+would let the flow remove them too.  This module provides the
+quantized variant of the ELM scoring pipeline that such a deployment
+would run — signed Qm.n weights and activations with a 256-entry
+sigmoid lookup table (the standard fixed-point idiom; the LUT replaces
+``v_exp_f32``/``v_rcp_f32`` with a ``ds_read_b32``).
+
+The quality trade is quantified by ``bench_ablation_quantization.py``:
+how much detection AUC each precision gives up relative to float32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.elm import ExtremeLearningMachine
+from repro.utils.fixed_point import FixedPointFormat, Q4_12, Q8_8, Q16_16
+
+#: Sigmoid lookup-table resolution (matches one LDS bank's worth).
+SIGMOID_LUT_ENTRIES = 256
+#: Input range covered by the LUT; saturates outside.
+SIGMOID_LUT_RANGE = 8.0
+
+
+def build_sigmoid_lut(fmt: FixedPointFormat) -> np.ndarray:
+    """Quantized sigmoid samples over [-RANGE, +RANGE]."""
+    x = np.linspace(
+        -SIGMOID_LUT_RANGE, SIGMOID_LUT_RANGE, SIGMOID_LUT_ENTRIES
+    )
+    y = 1.0 / (1.0 + np.exp(-x))
+    return fmt.quantize_array(y)
+
+
+def sigmoid_lut_lookup(
+    pre_activation: np.ndarray, lut: np.ndarray, fmt: FixedPointFormat
+) -> np.ndarray:
+    """LUT-based sigmoid on raw fixed-point pre-activations."""
+    real = fmt.dequantize_array(pre_activation)
+    position = (real + SIGMOID_LUT_RANGE) / (2 * SIGMOID_LUT_RANGE)
+    index = np.clip(
+        np.rint(position * (SIGMOID_LUT_ENTRIES - 1)),
+        0, SIGMOID_LUT_ENTRIES - 1,
+    ).astype(np.int64)
+    return lut[index]
+
+
+@dataclass
+class QuantizedElm:
+    """A trained ELM lowered to fixed point.
+
+    ``weight_format`` holds weights/biases; ``activation_format``
+    holds hidden activations and the score accumulation.  The deployed
+    score stays the diagonal Mahalanobis distance, computed entirely
+    in integer arithmetic.
+    """
+
+    w_hidden: np.ndarray       # raw ints, (H, D), weight format
+    b_hidden: np.ndarray       # raw ints, (H,), weight format
+    mean: np.ndarray           # raw ints, (H,), activation format
+    inv_var: np.ndarray        # raw ints, (H,), statistics format
+    sigmoid_lut: np.ndarray    # raw ints, (SIGMOID_LUT_ENTRIES,)
+    weight_format: FixedPointFormat
+    activation_format: FixedPointFormat
+    statistics_format: FixedPointFormat
+
+    @classmethod
+    def from_model(
+        cls,
+        model: ExtremeLearningMachine,
+        weight_format: FixedPointFormat = Q4_12,
+        activation_format: FixedPointFormat = Q8_8,
+        statistics_format: FixedPointFormat = Q16_16,
+    ) -> "QuantizedElm":
+        """Lower a fitted ELM to fixed point.
+
+        ``inv_var`` spans several orders of magnitude (tight neurons
+        have tiny variances), so the per-neuron statistics get their
+        own wide format — 64 extra words of model memory, versus
+        saturating the score's most informative terms.
+        """
+        if not model.fitted:
+            raise ModelError("quantize requires a fitted ELM")
+        weights = model.export_weights()
+        inv_var = np.clip(
+            weights.inv_var,
+            statistics_format.min_value,
+            statistics_format.max_value,
+        )
+        return cls(
+            w_hidden=weight_format.quantize_array(weights.w_hidden),
+            b_hidden=weight_format.quantize_array(weights.b_hidden),
+            mean=activation_format.quantize_array(weights.mean),
+            inv_var=statistics_format.quantize_array(inv_var),
+            sigmoid_lut=build_sigmoid_lut(activation_format),
+            weight_format=weight_format,
+            activation_format=activation_format,
+            statistics_format=statistics_format,
+        )
+
+    # ------------------------------------------------------------------
+    # Inference (integer arithmetic throughout)
+    # ------------------------------------------------------------------
+
+    def hidden_raw(self, features: np.ndarray) -> np.ndarray:
+        """Quantized hidden activations (raw ints in the activation
+        format) for float feature rows."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.shape[1] != self.w_hidden.shape[1]:
+            raise ModelError("feature width mismatch")
+        x_raw = self.weight_format.quantize_array(features)
+        # integer matmul accumulates in int64; product carries
+        # 2*fraction_bits, rescale to the activation format.
+        acc = x_raw @ self.w_hidden.T.astype(np.int64)
+        shift = (
+            2 * self.weight_format.fraction_bits
+            - self.activation_format.fraction_bits
+        )
+        # bias: weight format -> activation format
+        ratio = (
+            self.activation_format.fraction_bits
+            - self.weight_format.fraction_bits
+        )
+        bias = self.b_hidden.astype(np.int64)
+        bias = bias << ratio if ratio >= 0 else bias >> -ratio
+        pre = (acc >> shift) + bias
+        pre = np.clip(
+            pre,
+            self.activation_format.min_raw,
+            self.activation_format.max_raw,
+        )
+        return sigmoid_lut_lookup(
+            pre, self.sigmoid_lut, self.activation_format
+        )
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        """Quantized Mahalanobis score, returned in real units."""
+        h = self.hidden_raw(features).astype(np.int64)
+        deviation = h - self.mean.astype(np.int64)
+        act_frac = self.activation_format.fraction_bits
+        stat_frac = self.statistics_format.fraction_bits
+        # Defer all rescaling to the end of the per-term product:
+        # dev^2 carries 2*act fraction bits, inv_var stat bits; one
+        # final shift brings the term back to the activation format
+        # without flooring the small squares first.  dev^2 <= 2^30 and
+        # inv_var < 2^32, so the product stays inside int64.
+        products = deviation * deviation * self.inv_var.astype(np.int64)
+        terms = products >> (act_frac + stat_frac)
+        total = terms.sum(axis=1)
+        return total / self.activation_format.scale
+
+    # ------------------------------------------------------------------
+    # Footprint / fidelity reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def weight_bits(self) -> int:
+        return (
+            (self.w_hidden.size + self.b_hidden.size)
+            * self.weight_format.width
+            + self.mean.size * self.activation_format.width
+            + self.inv_var.size * self.statistics_format.width
+        )
+
+    def memory_savings_vs_f32(self) -> float:
+        """Fraction of model-memory saved relative to float32."""
+        f32_bits = (
+            self.w_hidden.size + self.b_hidden.size
+            + self.mean.size + self.inv_var.size
+        ) * 32
+        return 1.0 - self.weight_bits / f32_bits
+
+
+def quantization_agreement(
+    model: ExtremeLearningMachine,
+    features: np.ndarray,
+    weight_format: FixedPointFormat = Q4_12,
+    activation_format: FixedPointFormat = Q8_8,
+) -> float:
+    """Spearman-style rank agreement between float and quantized
+    scores — what matters for a threshold detector is ordering, not
+    magnitude."""
+    quantized = QuantizedElm.from_model(
+        model, weight_format, activation_format
+    )
+    float_scores = model.score_mahalanobis(features)
+    fixed_scores = quantized.score(features)
+    ranks_a = np.argsort(np.argsort(float_scores)).astype(np.float64)
+    ranks_b = np.argsort(np.argsort(fixed_scores)).astype(np.float64)
+    ranks_a -= ranks_a.mean()
+    ranks_b -= ranks_b.mean()
+    denominator = np.sqrt((ranks_a ** 2).sum() * (ranks_b ** 2).sum())
+    if denominator == 0:
+        return 0.0
+    return float((ranks_a * ranks_b).sum() / denominator)

@@ -1,0 +1,38 @@
+"""AXI interconnect cost model (ARM NIC-301).
+
+Only the costs matter to the evaluation: how long a CPU-driven copy
+into peripheral memory takes (the dominant term of the software
+baseline's Fig. 7 step (3)) versus a hardware master's burst write.
+CPU stores to a device region are non-posted single beats each paying
+the full interconnect round trip; the hardware TX engine bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AxiBus:
+    """Transfer-cost parameters, in nanoseconds."""
+
+    #: Software path: driver entry, pointer setup, cache maintenance.
+    cpu_copy_setup_ns: float = 7980.0
+    #: Per 32-bit beat for uncached CPU stores through the NIC-301.
+    cpu_beat_ns: float = 220.0
+    #: Hardware master burst setup (address phase + arbitration).
+    hw_burst_setup_ns: float = 180.0
+    #: Per-beat cost within a hardware burst.
+    hw_beat_ns: float = 16.0
+
+    def cpu_copy_ns(self, words: int) -> float:
+        """CPU memcpy of ``words`` 32-bit words into peripheral memory."""
+        if words < 0:
+            raise ValueError("negative transfer size")
+        return self.cpu_copy_setup_ns + words * self.cpu_beat_ns
+
+    def hw_burst_ns(self, words: int) -> float:
+        """DMA-style burst by a hardware bus master."""
+        if words < 0:
+            raise ValueError("negative transfer size")
+        return self.hw_burst_setup_ns + words * self.hw_beat_ns

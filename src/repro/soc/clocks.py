@@ -1,0 +1,47 @@
+"""Clock domains of the RTAD prototype.
+
+"RTAD modules are configured to operate at 125 MHz except for
+ML-MIAOW which can satisfy timing constraints only when the clock
+frequency set to 50 MHz.  The CPU clock is lowered to 250 MHz to
+emulate the performance ratio between the host and the coprocessors
+in most AP systems."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SocConfigError
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with cycle/time conversions."""
+
+    name: str
+    hz: float
+
+    def __post_init__(self) -> None:
+        if self.hz <= 0:
+            raise SocConfigError(f"clock {self.name} must be positive")
+
+    @property
+    def period_ns(self) -> float:
+        return 1e9 / self.hz
+
+    def to_ns(self, cycles: float) -> float:
+        return cycles * self.period_ns
+
+    def to_us(self, cycles: float) -> float:
+        return self.to_ns(cycles) / 1e3
+
+    def cycles(self, ns: float) -> float:
+        return ns / self.period_ns
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.hz / 1e6:.0f}MHz"
+
+
+CPU_CLOCK = ClockDomain("cpu", 250_000_000)
+RTAD_CLOCK = ClockDomain("rtad", 125_000_000)
+GPU_CLOCK = ClockDomain("ml_miaow", 50_000_000)

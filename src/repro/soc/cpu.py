@@ -1,0 +1,132 @@
+"""Host-CPU side of the trace path: the PTM output FIFO and a
+convenience wrapper that runs a workload through CoreSight.
+
+Fig. 7's analysis attributes most of RTAD's residual latency to step
+(1): "PTM does not send the packets until enough packets are buffered
+in the FIFO inside the ARM CPU".  :class:`PtmFifoModel` reproduces
+that batching: trace bytes accumulate and are drained to the TPIU
+port only once the occupancy threshold is reached (or on an explicit
+flush), so a branch's bytes leave the CPU some time *after* it
+retired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.coresight.driver import CoreSightDriver
+from repro.errors import SocConfigError
+from repro.soc.clocks import CPU_CLOCK, RTAD_CLOCK, ClockDomain
+from repro.workloads.cfg import BranchEvent
+from repro.workloads.program import SyntheticProgram
+
+
+@dataclass
+class PtmFifoModel:
+    """Byte-batching model of the CPU-internal PTM FIFO.
+
+    ``push(time_ns, nbytes)`` returns the *drain completion time* of
+    those bytes if this push triggered a flush, else None; queued
+    bytes flush together once occupancy reaches ``threshold_bytes``.
+    The drain itself moves 4 bytes per trace-port cycle (125 MHz).
+    """
+
+    threshold_bytes: int = 176
+    port_clock: ClockDomain = RTAD_CLOCK
+    _pending: List[Tuple[float, int]] = field(default_factory=list)
+    _occupancy: int = 0
+
+    def push(self, time_ns: float, nbytes: int) -> Optional[float]:
+        if nbytes < 0:
+            raise SocConfigError("negative byte count")
+        if nbytes == 0:
+            return None
+        self._pending.append((time_ns, nbytes))
+        self._occupancy += nbytes
+        if self._occupancy >= self.threshold_bytes:
+            return self._flush(time_ns)
+        return None
+
+    def flush(self, time_ns: float) -> Optional[float]:
+        """Explicit drain (trace-session end)."""
+        if self._occupancy == 0:
+            return None
+        return self._flush(time_ns)
+
+    def _flush(self, time_ns: float) -> float:
+        drain_cycles = (self._occupancy + 3) // 4
+        done = time_ns + self.port_clock.to_ns(drain_cycles)
+        self._pending.clear()
+        self._occupancy = 0
+        return done
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    def mean_buffer_delay_ns(self, byte_rate_per_ns: float) -> float:
+        """Analytic expected delay of a byte through the FIFO.
+
+        A byte waits on average for half the threshold to accumulate;
+        used by the Fig. 7 step-(1) decomposition.
+        """
+        if byte_rate_per_ns <= 0:
+            raise SocConfigError("byte rate must be positive")
+        fill_ns = self.threshold_bytes / byte_rate_per_ns
+        drain_ns = self.port_clock.to_ns((self.threshold_bytes + 3) // 4)
+        return fill_ns / 2.0 + drain_ns
+
+
+@dataclass(frozen=True)
+class TimedTraceByte:
+    """Bytes leaving the CPU trace port with their departure time."""
+
+    depart_ns: float
+    data: bytes
+
+
+class HostCpu:
+    """The Cortex-A9 host: workload + CoreSight trace emission."""
+
+    def __init__(
+        self,
+        program: SyntheticProgram,
+        ptm_fifo: Optional[PtmFifoModel] = None,
+        clock: ClockDomain = CPU_CLOCK,
+    ) -> None:
+        self.program = program
+        self.clock = clock
+        self.ptm_fifo = ptm_fifo or PtmFifoModel()
+        self.coresight = CoreSightDriver()
+        self.coresight.enable()
+
+    def event_time_ns(self, event: BranchEvent) -> float:
+        return self.clock.to_ns(event.cycle)
+
+    def trace_events(
+        self, events: Iterable[BranchEvent]
+    ) -> List[TimedTraceByte]:
+        """Run events through PTM/TPIU with FIFO-batched departures."""
+        out: List[TimedTraceByte] = []
+        buffered = bytearray()
+        last_ns = 0.0
+        for event in events:
+            time_ns = self.event_time_ns(event)
+            last_ns = max(last_ns, time_ns)
+            chunk = self.coresight.trace(event)
+            if not chunk:
+                continue
+            buffered += chunk
+            done = self.ptm_fifo.push(time_ns, len(chunk))
+            if done is not None:
+                out.append(TimedTraceByte(depart_ns=done, data=bytes(buffered)))
+                buffered.clear()
+        tail = self.coresight.flush()
+        if tail:
+            buffered += tail
+            self.ptm_fifo.push(last_ns, len(tail))
+        done = self.ptm_fifo.flush(last_ns)
+        if done is not None and buffered:
+            out.append(TimedTraceByte(depart_ns=done, data=bytes(buffered)))
+        return out

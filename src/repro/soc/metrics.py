@@ -1,0 +1,78 @@
+"""Latency decompositions used by the Fig. 7 reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mcm.engines import TxEngine
+from repro.soc.clocks import RTAD_CLOCK
+from repro.soc.cpu import PtmFifoModel
+from repro.soc.software_baseline import SoftwareTransferModel
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Average PTM trace bytes per branch event (measured on the encoder:
+#: compressed branch-address packets plus atoms and periodic syncs).
+TRACE_BYTES_PER_EVENT = 1.05
+
+#: IGM pipeline: decode at the TA (amortized ~1 cycle) plus the
+#: 2-cycle map+encode stage of the IVG.
+IGM_DECODE_CYCLES = 1
+IGM_VECTORIZE_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class TransferBreakdown:
+    """Fig. 7's three steps, in microseconds."""
+
+    read_us: float        # (1) obtain the branch data
+    vectorize_us: float   # (2) refine into the input vector
+    copy_us: float        # (3) move it into engine memory
+
+    @property
+    def total_us(self) -> float:
+        return self.read_us + self.vectorize_us + self.copy_us
+
+
+def sw_transfer_breakdown(
+    window: int = 16,
+    model: Optional[SoftwareTransferModel] = None,
+) -> TransferBreakdown:
+    """The pure-software path (SW bars of Fig. 7)."""
+    model = model or SoftwareTransferModel()
+    return TransferBreakdown(
+        read_us=model.read_ns(window) / 1e3,
+        vectorize_us=model.vectorize_ns(window) / 1e3,
+        copy_us=model.copy_ns(window) / 1e3,
+    )
+
+
+def rtad_transfer_breakdown(
+    profile: BenchmarkProfile,
+    window: int = 16,
+    ptm_fifo: Optional[PtmFifoModel] = None,
+    tx_engine: Optional[TxEngine] = None,
+) -> TransferBreakdown:
+    """The RTAD hardware path (RTAD bars of Fig. 7).
+
+    Step (1) is dominated by the CPU-internal PTM FIFO batching, which
+    depends on the benchmark's trace byte rate; step (2) is the fixed
+    2-cycle IGM vectorization (16 ns at 125 MHz); step (3) is the TX
+    engine's burst write into ML-MIAOW memory.
+    """
+    ptm_fifo = ptm_fifo or PtmFifoModel()
+    tx_engine = tx_engine or TxEngine()
+    byte_rate_per_ns = (
+        profile.branch_rate_hz * TRACE_BYTES_PER_EVENT / 1e9
+    )
+    read_ns = (
+        ptm_fifo.mean_buffer_delay_ns(byte_rate_per_ns)
+        + RTAD_CLOCK.to_ns(IGM_DECODE_CYCLES)
+    )
+    vectorize_ns = RTAD_CLOCK.to_ns(IGM_VECTORIZE_CYCLES)
+    copy_ns = RTAD_CLOCK.to_ns(tx_engine.cycles(window))
+    return TransferBreakdown(
+        read_us=read_ns / 1e3,
+        vectorize_us=vectorize_ns / 1e3,
+        copy_us=copy_ns / 1e3,
+    )

@@ -1,0 +1,110 @@
+"""Software baselines: the comparison points of Figs. 6 and 7.
+
+Fig. 6 compares RTAD's host overhead against three software
+collection mechanisms:
+
+- ``SW_SYS``  — strace-style syscall interception (two ptrace stops
+  per call, each a context-switch round trip);
+- ``SW_FUNC`` — binary instrumentation at function entries (spill a
+  register pair, store caller/callee, advance a buffer pointer);
+- ``SW_ALL``  — inline instrumentation on *every* branch (a single
+  address store plus pointer bump — the cheapest possible dump).
+
+Each mechanism's overhead is its per-event instruction tax times the
+benchmark's event rate; RTAD's is the (nearly free) PTM interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.bus import AxiBus
+from repro.soc.clocks import CPU_CLOCK
+from repro.workloads.profiles import BenchmarkProfile
+
+
+@dataclass(frozen=True)
+class SoftwareInstrumentationModel:
+    """Per-event costs of the three software mechanisms."""
+
+    #: strace: 2 ptrace stops x (context switch + decode) per syscall.
+    syscall_trace_ns: float = 26_500.0
+    #: per traced function call: spill, stores, reload (~13.5 insts).
+    func_dump_instructions: float = 13.5
+    #: per traced branch: one store + pointer increment (~2.5 insts).
+    branch_dump_instructions: float = 2.46
+
+    def sw_sys_overhead(self, profile: BenchmarkProfile) -> float:
+        """Fractional slowdown of syscall tracing."""
+        return profile.syscall_rate_hz * self.syscall_trace_ns * 1e-9
+
+    def sw_func_overhead(self, profile: BenchmarkProfile) -> float:
+        """Fractional slowdown of function-entry instrumentation:
+        extra instructions per instruction executed."""
+        return (
+            profile.calls_per_kinst / 1e3 * self.func_dump_instructions
+        )
+
+    def sw_all_overhead(self, profile: BenchmarkProfile) -> float:
+        """Fractional slowdown of all-branch instrumentation."""
+        return (
+            profile.branches_per_kinst / 1e3 * self.branch_dump_instructions
+        )
+
+
+@dataclass(frozen=True)
+class RtadOverheadModel:
+    """Host cost of running with the MLPU attached.
+
+    "MLPU has no feedback signal to the CPU that interferes with the
+    processor critical paths" — the only cost is the enabled PTM
+    interface occasionally back-pressuring the core's store buffer
+    when the trace FIFO drains.
+    """
+
+    #: CPU stall cycles per retired branch due to the PTM interface.
+    ptm_stall_cycles_per_branch: float = 0.0037
+
+    def overhead(self, profile: BenchmarkProfile) -> float:
+        branches_per_cycle = (
+            profile.branches_per_kinst / 1e3 / profile.cpi
+        )
+        return branches_per_cycle * self.ptm_stall_cycles_per_branch
+
+
+@dataclass(frozen=True)
+class SoftwareTransferModel:
+    """The pure-software inference data path of Fig. 7.
+
+    (1) read the gathered branch addresses out of the instrumentation
+    buffer, (2) refine them into the input-vector form, (3) copy the
+    vector into the MCM peripheral memory.  Step costs are CPU work at
+    250 MHz plus the AXI copy model.
+    """
+
+    bus: AxiBus = AxiBus()
+    #: cycles to read one gathered branch record (buffer + bounds).
+    read_cycles_per_event: float = 17.0
+    #: cycles per event for the address-map lookup + vector encode.
+    vectorize_cycles_per_event: float = 103.0
+    #: fixed vectorization overhead (function calls, window bookkeeping).
+    vectorize_setup_cycles: float = 197.0
+
+    def read_ns(self, window: int) -> float:
+        return CPU_CLOCK.to_ns(self.read_cycles_per_event * window)
+
+    def vectorize_ns(self, window: int) -> float:
+        return CPU_CLOCK.to_ns(
+            self.vectorize_setup_cycles
+            + self.vectorize_cycles_per_event * window
+        )
+
+    def copy_ns(self, words: int) -> float:
+        return self.bus.cpu_copy_ns(words)
+
+    def total_ns(self, window: int, words: int) -> float:
+        return (
+            self.read_ns(window)
+            + self.vectorize_ns(window)
+            + self.copy_ns(words)
+        )

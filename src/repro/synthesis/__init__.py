@@ -1,0 +1,35 @@
+"""Synthesis accounting: FPGA (LUT/FF/BRAM) and ASIC (gate-equivalent)
+area models for every RTAD module.
+
+The paper reports two syntheses — Vivado mapping onto the ZC706 fabric
+(Table I/II LUT+FF+BRAM columns) and Synopsys Design Compiler on a
+commercial 45 nm library (gate counts).  We cannot run either tool, so
+this subpackage reproduces the *accounting*: a structural estimator
+whose per-block constants are calibrated against the paper's totals,
+combined with the live coverage results of the trimming flow.
+"""
+
+from repro.synthesis.library import AreaVector, GateLibrary, DEFAULT_LIBRARY
+from repro.synthesis.area_model import (
+    CuAreaModel,
+    ModuleAreas,
+    rtad_module_areas,
+    FULL_CU_LUTS,
+    FULL_CU_FFS,
+    REFERENCE_COVERAGE,
+)
+from repro.synthesis.power import EnergyReport, PowerModel
+
+__all__ = [
+    "AreaVector",
+    "GateLibrary",
+    "DEFAULT_LIBRARY",
+    "CuAreaModel",
+    "ModuleAreas",
+    "rtad_module_areas",
+    "FULL_CU_LUTS",
+    "FULL_CU_FFS",
+    "REFERENCE_COVERAGE",
+    "EnergyReport",
+    "PowerModel",
+]

@@ -1,0 +1,135 @@
+"""Power and energy accounting (extension).
+
+Section III: "This area saving can bring not only power efficiency but
+also more computation power..." — the paper asserts the power half of
+the trade without numbers.  This model quantifies it on our substrate:
+
+- **static power** scales with the powered silicon (LUT+FF area after
+  trimming) — the direct dividend of removing logic;
+- **dynamic energy** scales with work actually done: instructions
+  retired, weighted per functional-unit class (a 64-lane VALU op
+  toggles far more capacitance than an SALU op).
+
+Constants are representative 45 nm figures (order-of-magnitude, like
+any pre-layout estimate); the *ratios* between engines are the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import RtadError
+from repro.miaow.gpu import Gpu
+from repro.miaow.isa import OPCODES
+from repro.synthesis.library import AreaVector
+
+#: Dynamic energy per retired instruction, picojoules, by unit class.
+#: VALU-class ops pay for 64 lanes; transcendentals iterate; memory
+#: ops drive long wires.
+DYNAMIC_ENERGY_PJ: Dict[str, float] = {
+    "salu": 6.0,
+    "valu": 180.0,
+    "vtrans": 420.0,
+    "lds": 95.0,
+    "vmem": 260.0,
+    "smem": 40.0,
+    "branch": 8.0,
+    "special": 4.0,
+}
+
+#: Static (leakage) power per LUT+FF at 45 nm, microwatts.
+STATIC_UW_PER_LUTFF = 0.55
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting for a measured engine run."""
+
+    engine: str
+    elapsed_cycles: int
+    clock_hz: float
+    dynamic_pj: float
+    static_area_lutff: float
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_cycles / self.clock_hz
+
+    @property
+    def static_uw(self) -> float:
+        return self.static_area_lutff * STATIC_UW_PER_LUTFF
+
+    @property
+    def static_pj(self) -> float:
+        return self.static_uw * 1e-6 * self.elapsed_s * 1e12
+
+    @property
+    def total_pj(self) -> float:
+        return self.dynamic_pj + self.static_pj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    def __str__(self) -> str:
+        return (
+            f"{self.engine}: {self.total_uj:.3f} uJ "
+            f"(dynamic {self.dynamic_pj / 1e6:.3f} uJ, "
+            f"static {self.static_pj / 1e6:.3f} uJ over "
+            f"{self.elapsed_s * 1e6:.1f} us)"
+        )
+
+
+class PowerModel:
+    """Estimates inference energy for an engine configuration."""
+
+    def __init__(
+        self,
+        engine_area: AreaVector,
+        clock_hz: float = 50e6,
+        dynamic_energy_pj: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if clock_hz <= 0:
+            raise RtadError("clock must be positive")
+        self.engine_area = engine_area
+        self.clock_hz = clock_hz
+        self.dynamic_energy_pj = dict(
+            dynamic_energy_pj or DYNAMIC_ENERGY_PJ
+        )
+
+    def energy_of_run(
+        self,
+        gpu: Gpu,
+        elapsed_cycles: int,
+        opcode_counts: Optional[Dict[str, int]] = None,
+    ) -> EnergyReport:
+        """Energy for a run of ``elapsed_cycles`` on ``gpu``.
+
+        ``opcode_counts`` maps opcode name to retired count; when
+        omitted, per-unit totals are taken from a coverage collector
+        attached to the GPU (``hits`` carries exact retire counts).
+        """
+        if opcode_counts is None:
+            if gpu.coverage is None:
+                raise RtadError(
+                    "need opcode_counts or a coverage-enabled GPU"
+                )
+            opcode_counts = {
+                point.split(".", 1)[1]: count
+                for point, count in gpu.coverage.hits.items()
+                if point.startswith("decode.")
+            }
+        dynamic = 0.0
+        for opcode, count in opcode_counts.items():
+            info = OPCODES.get(opcode)
+            if info is None:
+                raise RtadError(f"unknown opcode in counts: {opcode!r}")
+            dynamic += self.dynamic_energy_pj[info.unit] * count
+        return EnergyReport(
+            engine=gpu.name,
+            elapsed_cycles=elapsed_cycles,
+            clock_hz=self.clock_hz,
+            dynamic_pj=dynamic,
+            static_area_lutff=self.engine_area.lut_ff_sum,
+        )

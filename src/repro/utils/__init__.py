@@ -1,0 +1,21 @@
+"""Shared low-level utilities: bitstreams, fixed point, RNG, statistics."""
+
+from repro.utils.bitstream import BitReader, BitWriter, bytes_to_words, words_to_bytes
+from repro.utils.fixed_point import FixedPointFormat, Q16_16, Q8_8
+from repro.utils.rng import make_rng, derive_seed
+from repro.utils.stats import geometric_mean, summarize, Summary
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bytes_to_words",
+    "words_to_bytes",
+    "FixedPointFormat",
+    "Q16_16",
+    "Q8_8",
+    "make_rng",
+    "derive_seed",
+    "geometric_mean",
+    "summarize",
+    "Summary",
+]

@@ -1,0 +1,157 @@
+"""Byte/word stream helpers used by the CoreSight trace path.
+
+The PTM emits a *byte* stream; the TPIU forwards it to IGM over a 32-bit
+port.  These helpers convert between the two representations and provide
+little bit-level readers/writers for packet payload fields.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import PacketDecodeError
+
+WORD_BYTES = 4
+
+
+class BitWriter:
+    """Accumulates little-endian bit fields into a byte buffer.
+
+    Bits are written LSB-first within each byte, matching the 7-bit
+    continuation chunks used by PTM branch-address packets.
+    """
+
+    def __init__(self) -> None:
+        self._bytes: List[int] = []
+        self._bit_pos = 0  # bits already used in the last byte
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` (LSB first)."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for i in range(width):
+            bit = (value >> i) & 1
+            if self._bit_pos == 0:
+                self._bytes.append(0)
+            if bit:
+                self._bytes[-1] |= 1 << self._bit_pos
+            self._bit_pos = (self._bit_pos + 1) % 8
+
+    def write_byte(self, value: int) -> None:
+        """Append a full byte; requires byte alignment."""
+        if self._bit_pos != 0:
+            raise ValueError("write_byte requires byte alignment")
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"byte out of range: {value}")
+        self._bytes.append(value)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        self._bit_pos = 0
+
+    def getvalue(self) -> bytes:
+        return bytes(self._bytes)
+
+    def __len__(self) -> int:
+        return len(self._bytes)
+
+
+class BitReader:
+    """Reads little-endian bit fields from a byte buffer."""
+
+    def __init__(self, data: bytes, start: int = 0) -> None:
+        self._data = data
+        self._byte_pos = start
+        self._bit_pos = 0
+
+    @property
+    def byte_pos(self) -> int:
+        return self._byte_pos
+
+    def exhausted(self) -> bool:
+        return self._byte_pos >= len(self._data)
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for i in range(width):
+            if self._byte_pos >= len(self._data):
+                raise PacketDecodeError("bit read past end of stream")
+            bit = (self._data[self._byte_pos] >> self._bit_pos) & 1
+            value |= bit << i
+            self._bit_pos += 1
+            if self._bit_pos == 8:
+                self._bit_pos = 0
+                self._byte_pos += 1
+        return value
+
+    def read_byte(self) -> int:
+        if self._bit_pos != 0:
+            raise PacketDecodeError("read_byte requires byte alignment")
+        if self._byte_pos >= len(self._data):
+            raise PacketDecodeError("byte read past end of stream")
+        value = self._data[self._byte_pos]
+        self._byte_pos += 1
+        return value
+
+    def peek_byte(self) -> int:
+        if self._byte_pos >= len(self._data):
+            raise PacketDecodeError("peek past end of stream")
+        return self._data[self._byte_pos]
+
+    def align(self) -> None:
+        if self._bit_pos != 0:
+            self._bit_pos = 0
+            self._byte_pos += 1
+
+
+def bytes_to_words(data: bytes, pad_byte: int = 0x00) -> List[int]:
+    """Pack a byte stream into 32-bit little-endian words.
+
+    The TPIU hands IGM one 32-bit word per beat; a trailing partial word
+    is padded with ``pad_byte``.
+    """
+    words = []
+    for offset in range(0, len(data), WORD_BYTES):
+        chunk = data[offset:offset + WORD_BYTES]
+        if len(chunk) < WORD_BYTES:
+            chunk = chunk + bytes([pad_byte]) * (WORD_BYTES - len(chunk))
+        words.append(int.from_bytes(chunk, "little"))
+    return words
+
+
+def words_to_bytes(words: Sequence[int]) -> bytes:
+    """Unpack 32-bit little-endian words back into a byte stream."""
+    out = bytearray()
+    for word in words:
+        if not 0 <= word <= 0xFFFFFFFF:
+            raise ValueError(f"word out of range: {word:#x}")
+        out += word.to_bytes(WORD_BYTES, "little")
+    return bytes(out)
+
+
+def chunk7(value: int) -> List[int]:
+    """Split a non-negative integer into 7-bit little-endian chunks.
+
+    Used by PTM branch-address compression: each byte carries 7 address
+    bits plus a continuation bit.  At least one chunk is always produced.
+    """
+    if value < 0:
+        raise ValueError("chunk7 requires a non-negative value")
+    chunks = [value & 0x7F]
+    value >>= 7
+    while value:
+        chunks.append(value & 0x7F)
+        value >>= 7
+    return chunks
+
+
+def unchunk7(chunks: Iterable[int]) -> int:
+    """Inverse of :func:`chunk7`."""
+    value = 0
+    for i, chunk in enumerate(chunks):
+        if not 0 <= chunk <= 0x7F:
+            raise ValueError(f"chunk out of range: {chunk}")
+        value |= chunk << (7 * i)
+    return value

@@ -1,0 +1,98 @@
+"""Fixed-point formats for the quantized ML deployment path.
+
+ML-MIAOW inherits MIAOW's FP32 datapath, but the paper's trimming flow
+keeps only the circuits the deployed models exercise; a quantized
+deployment exercises strictly fewer, so ``repro.ml.quantize`` offers a
+fixed-point path.  This module holds the signed Qm.n arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement Qm.n fixed-point format.
+
+    ``integer_bits`` includes the sign bit, so total width is
+    ``integer_bits + fraction_bits``.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise ValueError("need at least the sign bit")
+        if self.fraction_bits < 0:
+            raise ValueError("fraction_bits must be non-negative")
+
+    @property
+    def width(self) -> int:
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.fraction_bits
+
+    @property
+    def max_raw(self) -> int:
+        return (1 << (self.width - 1)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        return -(1 << (self.width - 1))
+
+    @property
+    def max_value(self) -> float:
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+    def quantize(self, value: float) -> int:
+        """Convert a float to the nearest representable raw integer,
+        saturating at the format limits."""
+        raw = int(round(value * self.scale))
+        return max(self.min_raw, min(self.max_raw, raw))
+
+    def dequantize(self, raw: int) -> float:
+        return raw / self.scale
+
+    def quantize_array(self, values: np.ndarray) -> np.ndarray:
+        raw = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(raw, self.min_raw, self.max_raw).astype(np.int64)
+
+    def dequantize_array(self, raw: np.ndarray) -> np.ndarray:
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize — the value the hardware would see."""
+        return self.dequantize_array(self.quantize_array(values))
+
+    def saturating_add(self, a: int, b: int) -> int:
+        return max(self.min_raw, min(self.max_raw, a + b))
+
+    def multiply(self, a: int, b: int) -> int:
+        """Raw fixed-point multiply with rounding and saturation."""
+        product = a * b
+        # round-to-nearest on the discarded fraction bits
+        rounding = 1 << (self.fraction_bits - 1) if self.fraction_bits else 0
+        shifted = (product + rounding) >> self.fraction_bits
+        return max(self.min_raw, min(self.max_raw, shifted))
+
+    def __str__(self) -> str:
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+
+Q16_16 = FixedPointFormat(integer_bits=16, fraction_bits=16)
+Q8_8 = FixedPointFormat(integer_bits=8, fraction_bits=8)
+Q4_12 = FixedPointFormat(integer_bits=4, fraction_bits=12)

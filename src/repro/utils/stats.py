@@ -1,0 +1,58 @@
+"""Small statistics helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, as used for the Fig. 6 overhead summary.
+
+    Values must be positive; the paper reports overhead percentages
+    which we pass through as (1 + overhead) would hide small values, so
+    like the paper we take the plain geomean of the raw percentages.
+    """
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(array <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a latency sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} p50={self.p50:.3f} "
+            f"p95={self.p95:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        p50=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+    )

@@ -1,0 +1,44 @@
+"""Synthetic workload substrate.
+
+The paper exercises RTAD with the SPEC CINT2006 suite running on an ARM
+Cortex-A9.  We cannot run SPEC, so this subpackage provides CFG-driven
+synthetic programs whose *branch event streams* carry the same load
+characteristics the RTAD hardware reacts to: branch frequency, call and
+system-call frequency, and a benchmark-specific working set of branch
+addresses.
+"""
+
+from repro.workloads.cfg import (
+    BasicBlock,
+    BranchEvent,
+    BranchKind,
+    ControlFlowGraph,
+    generate_cfg,
+)
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    SPEC_CINT2006,
+    get_profile,
+    profile_names,
+)
+from repro.workloads.program import SyntheticProgram, TraceRecorder
+from repro.workloads.attacks import AttackInjector, InjectedAttack
+from repro.workloads.dataset import TraceDataset, build_dataset
+
+__all__ = [
+    "BasicBlock",
+    "BranchEvent",
+    "BranchKind",
+    "ControlFlowGraph",
+    "generate_cfg",
+    "BenchmarkProfile",
+    "SPEC_CINT2006",
+    "get_profile",
+    "profile_names",
+    "SyntheticProgram",
+    "TraceRecorder",
+    "AttackInjector",
+    "InjectedAttack",
+    "TraceDataset",
+    "build_dataset",
+]

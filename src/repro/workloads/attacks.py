@@ -1,0 +1,140 @@
+"""Attack emulation: legitimate-branch insertion.
+
+The paper emulates attacks "by randomly inserting legitimate branch
+data (i.e., branch addresses that can be observed during normal
+execution) in normal branch traces because inserting any random branch
+address would be trivial for detection".  This mirrors control-flow
+hijacks (ROP/JOP, data-only attacks) that reuse existing code but in an
+order the program never produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import derive_seed, make_rng
+from repro.workloads.cfg import BranchEvent, BranchKind
+
+
+@dataclass(frozen=True)
+class InjectedAttack:
+    """Metadata describing one injected anomaly.
+
+    ``position`` is the index in the *output* event list of the first
+    injected event; ``onset_cycle`` is its CPU cycle timestamp, which
+    the SoC evaluation uses as time zero for detection latency.
+    """
+
+    position: int
+    length: int
+    onset_cycle: int
+    injected_targets: Sequence[int]
+
+
+class AttackInjector:
+    """Inserts out-of-context but legitimate branch sequences."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        gadget_length: int = 8,
+        inter_branch_cycles: int = 12,
+    ) -> None:
+        if gadget_length < 1:
+            raise WorkloadError("gadget_length must be >= 1")
+        self.seed = seed
+        self.gadget_length = gadget_length
+        self.inter_branch_cycles = inter_branch_cycles
+
+    def _legitimate_targets(self, events: Sequence[BranchEvent]) -> List[int]:
+        """The set of branch targets observed in the normal trace."""
+        targets = sorted({e.target for e in events})
+        if not targets:
+            raise WorkloadError("cannot attack an empty trace")
+        return targets
+
+    def inject(
+        self,
+        events: Sequence[BranchEvent],
+        position: Optional[int] = None,
+        label: str = "attack",
+        target_pool: Optional[Sequence[int]] = None,
+    ) -> tuple:
+        """Return ``(new_events, attack)`` with a gadget chain inserted.
+
+        The injected events reuse *observed* (source, target) addresses
+        but pair them in an order the program never executes; subsequent
+        normal events are shifted in time by the gadget's duration.
+        ``target_pool`` restricts the gadget targets — e.g. to the
+        monitored addresses, modeling an attacker who necessarily
+        traverses critical functions to do anything useful.
+        """
+        rng = make_rng(derive_seed(self.seed, label))
+        events = list(events)
+        if len(events) < 2:
+            raise WorkloadError("trace too short to attack")
+        if position is None:
+            position = int(rng.integers(1, len(events)))
+        if not 1 <= position <= len(events):
+            raise WorkloadError(f"position {position} out of range")
+
+        if target_pool is not None:
+            targets = sorted(set(int(t) for t in target_pool))
+            if not targets:
+                raise WorkloadError("empty target_pool")
+        else:
+            targets = self._legitimate_targets(events)
+        sources = sorted({e.source for e in events})
+        onset_cycle = events[position - 1].cycle + 1
+
+        injected: List[BranchEvent] = []
+        cycle = onset_cycle
+        chosen_targets: List[int] = []
+        for _ in range(self.gadget_length):
+            source = int(rng.choice(sources))
+            target = int(rng.choice(targets))
+            injected.append(
+                BranchEvent(cycle, source, target, BranchKind.INDIRECT)
+            )
+            chosen_targets.append(target)
+            cycle += self.inter_branch_cycles
+
+        shift = cycle - onset_cycle
+        shifted_tail = [
+            BranchEvent(e.cycle + shift, e.source, e.target, e.kind, e.taken)
+            for e in events[position:]
+        ]
+        new_events = events[:position] + injected + shifted_tail
+        attack = InjectedAttack(
+            position=position,
+            length=self.gadget_length,
+            onset_cycle=onset_cycle,
+            injected_targets=tuple(chosen_targets),
+        )
+        return new_events, attack
+
+    def inject_many(
+        self,
+        events: Sequence[BranchEvent],
+        count: int,
+        label: str = "attacks",
+        target_pool: Optional[Sequence[int]] = None,
+    ) -> List[tuple]:
+        """Produce ``count`` independently attacked copies of a trace."""
+        rng = make_rng(derive_seed(self.seed, label, "positions"))
+        results = []
+        for i in range(count):
+            position = int(rng.integers(1, len(events)))
+            results.append(
+                self.inject(
+                    events,
+                    position=position,
+                    label=f"{label}/{i}",
+                    target_pool=target_pool,
+                )
+            )
+        return results

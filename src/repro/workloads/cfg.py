@@ -1,0 +1,351 @@
+"""Control-flow-graph model of a synthetic program.
+
+A program is a set of functions; each function is a small CFG of basic
+blocks.  Walking the CFG emits :class:`BranchEvent` records — exactly
+the information the ARM CoreSight PTM observes: the branch source, its
+target, its kind, and the cycle at which it retired.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: Byte size of one (ARM) instruction; blocks are laid out contiguously.
+INSTRUCTION_BYTES = 4
+
+#: Base virtual address of the synthetic text segment.
+TEXT_BASE = 0x0001_0000
+
+#: Base address of the syscall stubs ("kernel entry" targets).
+SYSCALL_BASE = 0xFFFF_0000
+
+
+class BranchKind(enum.Enum):
+    """Taxonomy of control-flow transfers the PTM can observe."""
+
+    CONDITIONAL = "cond"
+    UNCONDITIONAL = "uncond"
+    CALL = "call"
+    RETURN = "ret"
+    INDIRECT = "indirect"
+    SYSCALL = "syscall"
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """One retired control-flow transfer.
+
+    ``cycle`` counts CPU core cycles from program start; the SoC layer
+    converts to wall-clock using the CPU clock domain.
+    """
+
+    cycle: int
+    source: int
+    target: int
+    kind: BranchKind
+    taken: bool = True
+
+    def __str__(self) -> str:
+        return (
+            f"@{self.cycle} {self.kind.value} "
+            f"{self.source:#010x} -> {self.target:#010x}"
+            f"{'' if self.taken else ' (not taken)'}"
+        )
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions ending in a branch.
+
+    ``terminator`` decides which successor fields are meaningful:
+
+    - ``CONDITIONAL``: ``taken_target`` / ``fallthrough`` with
+      ``taken_probability``.
+    - ``UNCONDITIONAL`` / ``INDIRECT``: ``taken_target`` (for INDIRECT a
+      target is sampled from ``indirect_targets``).
+    - ``CALL``: ``callee`` function entry; control returns to
+      ``fallthrough``.
+    - ``RETURN``: pops the call stack.
+    - ``SYSCALL``: branches to a syscall stub then to ``fallthrough``.
+    """
+
+    address: int
+    size: int  # instruction count, including the terminator
+    terminator: BranchKind
+    taken_target: Optional[int] = None
+    fallthrough: Optional[int] = None
+    taken_probability: float = 0.5
+    callee: Optional[int] = None
+    syscall_number: Optional[int] = None
+    indirect_targets: Tuple[int, ...] = ()
+    indirect_weights: Tuple[float, ...] = ()
+
+    @property
+    def branch_address(self) -> int:
+        """Address of the terminating branch instruction."""
+        return self.address + (self.size - 1) * INSTRUCTION_BYTES
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.size * INSTRUCTION_BYTES
+
+
+@dataclass
+class FunctionInfo:
+    """Metadata for one synthetic function."""
+
+    name: str
+    entry: int
+    blocks: List[int] = field(default_factory=list)  # block addresses
+
+
+class ControlFlowGraph:
+    """The static structure of a synthetic program."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.functions: List[FunctionInfo] = []
+        self.syscall_stubs: Dict[int, int] = {}  # syscall number -> address
+        self.entry: Optional[int] = None
+
+    def add_block(self, block: BasicBlock) -> None:
+        if block.address in self.blocks:
+            raise WorkloadError(f"duplicate block at {block.address:#x}")
+        self.blocks[block.address] = block
+
+    def block_at(self, address: int) -> BasicBlock:
+        try:
+            return self.blocks[address]
+        except KeyError:
+            raise WorkloadError(f"no basic block at {address:#x}") from None
+
+    @property
+    def call_targets(self) -> List[int]:
+        """Entry addresses of all functions (candidate mapper entries)."""
+        return [f.entry for f in self.functions]
+
+    @property
+    def syscall_addresses(self) -> List[int]:
+        """Addresses of all syscall stubs."""
+        return sorted(self.syscall_stubs.values())
+
+    def all_branch_sources(self) -> List[int]:
+        """Addresses of every terminating branch instruction."""
+        return sorted(b.branch_address for b in self.blocks.values())
+
+    def validate(self) -> None:
+        """Check referential integrity of every successor edge."""
+        for block in self.blocks.values():
+            refs: List[Optional[int]] = []
+            if block.terminator is BranchKind.CONDITIONAL:
+                refs = [block.taken_target, block.fallthrough]
+            elif block.terminator is BranchKind.UNCONDITIONAL:
+                refs = [block.taken_target]
+            elif block.terminator is BranchKind.CALL:
+                refs = [block.callee, block.fallthrough]
+            elif block.terminator is BranchKind.SYSCALL:
+                refs = [block.fallthrough]
+                if block.syscall_number not in self.syscall_stubs:
+                    raise WorkloadError(
+                        f"block {block.address:#x} uses unknown syscall "
+                        f"{block.syscall_number}"
+                    )
+            elif block.terminator is BranchKind.INDIRECT:
+                if not block.indirect_targets:
+                    raise WorkloadError(
+                        f"indirect block {block.address:#x} has no targets"
+                    )
+                refs = list(block.indirect_targets)
+            for ref in refs:
+                if ref is None:
+                    raise WorkloadError(
+                        f"block {block.address:#x} missing successor"
+                    )
+                if ref not in self.blocks:
+                    raise WorkloadError(
+                        f"block {block.address:#x} references unknown "
+                        f"target {ref:#x}"
+                    )
+        if self.entry is None or self.entry not in self.blocks:
+            raise WorkloadError("CFG entry point not set or unknown")
+
+
+def _layout_function(
+    cfg: ControlFlowGraph,
+    name: str,
+    entry: int,
+    num_blocks: int,
+    mean_block_size: float,
+    syscall_block_fraction: float,
+    call_block_fraction: float,
+    indirect_block_fraction: float,
+    rng: np.random.Generator,
+) -> FunctionInfo:
+    """Create one function's blocks; call/return edges wired later."""
+    info = FunctionInfo(name=name, entry=entry)
+    address = entry
+    sizes = []
+    for _ in range(num_blocks):
+        size = max(2, int(rng.geometric(1.0 / mean_block_size)))
+        sizes.append(size)
+    addresses = []
+    for size in sizes:
+        addresses.append(address)
+        address += size * INSTRUCTION_BYTES
+
+    for index, (addr, size) in enumerate(zip(addresses, sizes)):
+        is_last = index == num_blocks - 1
+        if is_last:
+            terminator = BranchKind.RETURN
+        else:
+            draw = rng.random()
+            if draw < syscall_block_fraction:
+                terminator = BranchKind.SYSCALL
+            elif draw < syscall_block_fraction + call_block_fraction:
+                terminator = BranchKind.CALL
+            elif draw < (
+                syscall_block_fraction
+                + call_block_fraction
+                + indirect_block_fraction
+            ):
+                terminator = BranchKind.INDIRECT
+            else:
+                terminator = BranchKind.CONDITIONAL
+        fallthrough = addresses[index + 1] if not is_last else None
+        if terminator is BranchKind.CONDITIONAL:
+            # Backward edge with some probability gives loops.
+            if index > 0 and rng.random() < 0.3:
+                target = addresses[rng.integers(0, index)]
+                taken_p = float(rng.uniform(0.5, 0.85))  # loops mostly taken
+            else:
+                target = addresses[min(num_blocks - 1, index + int(rng.integers(1, 3)))]
+                taken_p = float(rng.uniform(0.2, 0.8))
+            block = BasicBlock(
+                address=addr,
+                size=size,
+                terminator=terminator,
+                taken_target=target,
+                fallthrough=fallthrough,
+                taken_probability=taken_p,
+            )
+        elif terminator is BranchKind.SYSCALL:
+            block = BasicBlock(
+                address=addr,
+                size=size,
+                terminator=terminator,
+                fallthrough=fallthrough,
+            )
+        elif terminator is BranchKind.CALL:
+            block = BasicBlock(
+                address=addr,
+                size=size,
+                terminator=terminator,
+                fallthrough=fallthrough,
+            )
+        elif terminator is BranchKind.INDIRECT:
+            block = BasicBlock(
+                address=addr,
+                size=size,
+                terminator=terminator,
+                fallthrough=fallthrough,
+            )
+        else:  # RETURN
+            block = BasicBlock(address=addr, size=size, terminator=terminator)
+        cfg.add_block(block)
+        info.blocks.append(addr)
+    return info
+
+
+def generate_cfg(
+    num_functions: int,
+    blocks_per_function: int,
+    mean_block_size: float,
+    syscall_block_fraction: float,
+    call_block_fraction: float,
+    indirect_block_fraction: float,
+    num_syscalls: int,
+    seed_rng: np.random.Generator,
+) -> ControlFlowGraph:
+    """Generate a random but well-formed program CFG.
+
+    The fractions control what share of non-terminal blocks end in each
+    branch kind; the remainder end in conditional branches.
+    """
+    if num_functions < 1:
+        raise WorkloadError("need at least one function")
+    cfg = ControlFlowGraph()
+
+    # Syscall stubs live in a distinct "kernel" region.
+    for i in range(num_syscalls):
+        stub_addr = SYSCALL_BASE + i * 0x20
+        cfg.syscall_stubs[i] = stub_addr
+
+    address = TEXT_BASE
+    for f_index in range(num_functions):
+        blocks = max(
+            2, int(seed_rng.normal(blocks_per_function, blocks_per_function * 0.3))
+        )
+        info = _layout_function(
+            cfg,
+            name=f"func_{f_index}",
+            entry=address,
+            num_blocks=blocks,
+            mean_block_size=mean_block_size,
+            syscall_block_fraction=syscall_block_fraction,
+            call_block_fraction=call_block_fraction,
+            indirect_block_fraction=indirect_block_fraction,
+            rng=seed_rng,
+        )
+        cfg.functions.append(info)
+        last_block = cfg.blocks[info.blocks[-1]]
+        address = last_block.end_address + int(seed_rng.integers(4, 64)) * 4
+
+    # Wire call edges, indirect target sets and syscall numbers now that
+    # every function exists.
+    entries = [f.entry for f in cfg.functions]
+    for block in cfg.blocks.values():
+        if block.terminator is BranchKind.CALL:
+            block.callee = int(seed_rng.choice(entries))
+        elif block.terminator is BranchKind.INDIRECT:
+            count = int(seed_rng.integers(2, 6))
+            targets = seed_rng.choice(entries, size=count, replace=True)
+            weights = seed_rng.dirichlet(np.ones(count))
+            block.indirect_targets = tuple(int(t) for t in targets)
+            block.indirect_weights = tuple(float(w) for w in weights)
+        elif block.terminator is BranchKind.SYSCALL:
+            block.syscall_number = int(
+                seed_rng.integers(0, len(cfg.syscall_stubs))
+            )
+
+    # The walker re-enters function 0 when the call stack drains, so if
+    # function 0 happens to contain no call sites the walk never leaves
+    # it — unlike any real `main`.  Guarantee at least two call blocks
+    # there by converting conditionals (call-rate calibration then
+    # proceeds from a connected CFG).
+    entry_info = cfg.functions[0]
+    entry_calls = sum(
+        1
+        for addr in entry_info.blocks[:-1]
+        if cfg.blocks[addr].terminator is BranchKind.CALL
+    )
+    convertible = [
+        addr
+        for addr in entry_info.blocks[:-1]
+        if cfg.blocks[addr].terminator is BranchKind.CONDITIONAL
+    ]
+    need = max(0, 2 - entry_calls)
+    for addr in convertible[:need]:
+        block = cfg.blocks[addr]
+        block.terminator = BranchKind.CALL
+        block.callee = int(seed_rng.choice(entries))
+        block.taken_target = None
+
+    cfg.entry = cfg.functions[0].entry
+    cfg.validate()
+    return cfg

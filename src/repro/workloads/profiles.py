@@ -1,0 +1,170 @@
+"""SPEC CINT2006-like benchmark profiles.
+
+Each profile captures the dynamic characteristics of one SPEC CINT2006
+benchmark that matter to RTAD: how often branches / calls / syscalls
+retire, how memory-bound the benchmark is (CPI), and how large its code
+working set is.  The rates are drawn from published characterization
+studies of the suite; they do not need to be exact — the evaluation
+only relies on the *relative ordering* (e.g. 471.omnetpp being the most
+call-intensive workload, which is what makes it overflow the MCM FIFO
+under the untrimmed MIAOW engine in Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+
+#: Host CPU clock in Hz (paper: Cortex-A9 down-clocked to 250 MHz).
+CPU_CLOCK_HZ = 250_000_000
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Dynamic characteristics of one synthetic benchmark.
+
+    Rates are per 1000 retired instructions (``*_per_kinst``) except
+    syscalls, which are rare enough to be expressed per million
+    (``syscalls_per_minst``).
+    """
+
+    name: str
+    description: str
+    branches_per_kinst: float
+    calls_per_kinst: float
+    indirect_per_kinst: float
+    syscalls_per_minst: float
+    cpi: float
+    num_functions: int
+    blocks_per_function: int
+    #: Fraction of dynamic call events whose target is in the IGM
+    #: address-mapper table when monitoring "general branches" (LSTM
+    #: configuration).  Chosen so filtered event intervals land in the
+    #: tens-of-microseconds regime the paper's Fig. 8 discussion implies.
+    monitored_call_fraction: float
+
+    # ------------------------------------------------------------------
+    # Derived rates
+    # ------------------------------------------------------------------
+
+    @property
+    def instructions_per_second(self) -> float:
+        return CPU_CLOCK_HZ / self.cpi
+
+    @property
+    def branch_rate_hz(self) -> float:
+        """Retired branches per second (all kinds)."""
+        return self.instructions_per_second * self.branches_per_kinst / 1e3
+
+    @property
+    def call_rate_hz(self) -> float:
+        return self.instructions_per_second * self.calls_per_kinst / 1e3
+
+    @property
+    def syscall_rate_hz(self) -> float:
+        return self.instructions_per_second * self.syscalls_per_minst / 1e6
+
+    @property
+    def monitored_call_rate_hz(self) -> float:
+        """Rate of call events that survive the address mapper (LSTM)."""
+        return self.call_rate_hz * self.monitored_call_fraction
+
+    @property
+    def monitored_call_interval_us(self) -> float:
+        rate = self.monitored_call_rate_hz
+        if rate <= 0:
+            raise WorkloadError(f"{self.name}: no monitored calls")
+        return 1e6 / rate
+
+    @property
+    def syscall_interval_us(self) -> float:
+        rate = self.syscall_rate_hz
+        if rate <= 0:
+            raise WorkloadError(f"{self.name}: no syscalls")
+        return 1e6 / rate
+
+    @property
+    def mean_block_size(self) -> float:
+        """Instructions per basic block implied by the branch rate."""
+        return 1e3 / self.branches_per_kinst
+
+    # Fractions of blocks ending in each terminator kind, for CFG
+    # generation (remainder are conditional branches).
+    @property
+    def call_block_fraction(self) -> float:
+        return self.calls_per_kinst / self.branches_per_kinst
+
+    @property
+    def indirect_block_fraction(self) -> float:
+        return self.indirect_per_kinst / self.branches_per_kinst
+
+    @property
+    def syscall_block_fraction(self) -> float:
+        return (self.syscalls_per_minst / 1e3) / self.branches_per_kinst
+
+
+def _p(name, desc, br, call, ind, sysc, cpi, funcs, blocks, monitored):
+    return BenchmarkProfile(
+        name=name,
+        description=desc,
+        branches_per_kinst=br,
+        calls_per_kinst=call,
+        indirect_per_kinst=ind,
+        syscalls_per_minst=sysc,
+        cpi=cpi,
+        num_functions=funcs,
+        blocks_per_function=blocks,
+        monitored_call_fraction=monitored,
+    )
+
+
+#: The twelve SPEC CINT2006 benchmarks, in suite order.  The monitored
+#: fractions put the filtered LSTM event interval at ~100-160 us for
+#: ordinary benchmarks and well below the untrimmed engine's service
+#: time only for the call-heaviest workloads (471.omnetpp first among
+#: them, 483.xalancbmk marginal) — the regime Fig. 8 describes.
+SPEC_CINT2006: List[BenchmarkProfile] = [
+    _p("400.perlbench", "Perl interpreter; branchy, call-heavy, syscall-busy",
+       210.0, 15.0, 6.0, 8.0, 1.1, 320, 10, 0.00226),
+    _p("401.bzip2", "Compression; tight loops, few calls",
+       150.0, 2.5, 0.3, 1.0, 1.0, 60, 12, 0.00941),
+    _p("403.gcc", "C compiler; large code footprint, branchy",
+       220.0, 10.0, 3.5, 6.0, 1.3, 480, 9, 0.00386),
+    _p("429.mcf", "Network simplex; memory-bound (high CPI)",
+       190.0, 5.0, 0.5, 0.5, 2.5, 40, 10, 0.01111),
+    _p("445.gobmk", "Go AI; deep recursion, branchy",
+       200.0, 12.0, 2.0, 2.0, 1.2, 280, 10, 0.00320),
+    _p("456.hmmer", "HMM search; straight-line numeric loops",
+       80.0, 1.2, 0.2, 0.3, 0.9, 50, 14, 0.01500),
+    _p("458.sjeng", "Chess AI; branchy search",
+       210.0, 8.0, 1.5, 0.5, 1.1, 140, 10, 0.00379),
+    _p("462.libquantum", "Quantum simulation; loop-dominated",
+       270.0, 4.0, 0.3, 0.2, 1.4, 30, 12, 0.00875),
+    _p("464.h264ref", "Video encoder; numeric kernels",
+       80.0, 6.0, 1.0, 1.0, 0.9, 160, 12, 0.00343),
+    _p("471.omnetpp", "Discrete-event simulator; heaviest call pressure",
+       210.0, 30.0, 9.0, 2.0, 1.4, 420, 8, 0.00233),
+    _p("473.astar", "Path-finding; pointer-chasing",
+       170.0, 12.0, 2.5, 0.5, 1.6, 90, 10, 0.00356),
+    _p("483.xalancbmk", "XSLT processor; C++ virtual-call heavy",
+       260.0, 28.0, 10.0, 3.0, 1.3, 520, 8, 0.00196),
+]
+
+_BY_NAME: Dict[str, BenchmarkProfile] = {p.name: p for p in SPEC_CINT2006}
+# Accept short names ("omnetpp") as well as full ("471.omnetpp").
+_BY_NAME.update({p.name.split(".", 1)[1]: p for p in SPEC_CINT2006})
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by full or short name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(p.name for p in SPEC_CINT2006)
+        raise WorkloadError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def profile_names() -> List[str]:
+    return [p.name for p in SPEC_CINT2006]

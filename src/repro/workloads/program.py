@@ -1,0 +1,280 @@
+"""Executable synthetic program: CFG + profile -> branch event stream."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import derive_seed, make_rng
+from repro.workloads.cfg import (
+    BasicBlock,
+    BranchEvent,
+    BranchKind,
+    ControlFlowGraph,
+    generate_cfg,
+)
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Cycles spent inside a syscall stub before the kernel returns.
+SYSCALL_KERNEL_CYCLES = 900
+
+#: Recursion guard — beyond this the walker forces returns.
+MAX_CALL_DEPTH = 64
+
+
+@dataclass
+class TraceRecorder:
+    """Collects a branch event stream plus useful summary columns."""
+
+    events: List[BranchEvent] = field(default_factory=list)
+
+    def record(self, event: BranchEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def targets(self) -> np.ndarray:
+        return np.array([e.target for e in self.events], dtype=np.uint64)
+
+    def cycles(self) -> np.ndarray:
+        return np.array([e.cycle for e in self.events], dtype=np.int64)
+
+    def of_kind(self, kind: BranchKind) -> List[BranchEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+
+class SyntheticProgram:
+    """A runnable synthetic benchmark.
+
+    The program owns a randomly generated CFG shaped by its profile and
+    can be *run* for a bounded number of branch events.  Runs are
+    deterministic given (profile, seed, run label).
+    """
+
+    #: Pilot-walk length and rounds used to calibrate the generated CFG
+    #: so the *dynamic* branch-kind mix matches the profile's rates
+    #: (loops make conditional blocks execute far more often than their
+    #: static share, so static fractions must be compensated).
+    CALIBRATION_EVENTS = 4000
+    CALIBRATION_ROUNDS = 3
+
+    def __init__(
+        self, profile: BenchmarkProfile, seed: int = 0, calibrate: bool = True
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+
+        target_call = profile.call_block_fraction
+        target_indirect = profile.indirect_block_fraction
+        target_syscall = profile.syscall_block_fraction
+        call_f, indirect_f, syscall_f = target_call, target_indirect, target_syscall
+        block_size = profile.mean_block_size
+
+        rounds = self.CALIBRATION_ROUNDS if calibrate else 1
+        for round_index in range(rounds):
+            structure_rng = make_rng(
+                derive_seed(seed, profile.name, "structure", round_index)
+            )
+            self.cfg = generate_cfg(
+                num_functions=profile.num_functions,
+                blocks_per_function=profile.blocks_per_function,
+                mean_block_size=block_size,
+                syscall_block_fraction=min(0.5, syscall_f),
+                call_block_fraction=min(0.6, call_f),
+                indirect_block_fraction=min(0.3, indirect_f),
+                num_syscalls=32,
+                seed_rng=structure_rng,
+            )
+            if round_index == rounds - 1:
+                break
+            call_f, indirect_f, syscall_f, block_size = self._recalibrate(
+                call_f, indirect_f, syscall_f, block_size,
+                target_call, target_indirect, target_syscall,
+                round_index,
+            )
+
+    def _recalibrate(
+        self,
+        call_f: float,
+        indirect_f: float,
+        syscall_f: float,
+        block_size: float,
+        target_call: float,
+        target_indirect: float,
+        target_syscall: float,
+        round_index: int,
+    ) -> tuple:
+        """One calibration step: pilot-walk, compare dynamic fractions
+        against the profile targets, adjust multiplicatively."""
+        pilot = TraceRecorder()
+        for event in self.iter_events(
+            self.CALIBRATION_EVENTS, run_label=f"calibration/{round_index}"
+        ):
+            pilot.record(event)
+        total = max(1, len(pilot))
+        counts = {kind: 0 for kind in BranchKind}
+        instructions = 0.0
+        for event in pilot.events:
+            counts[event.kind] += 1
+        if pilot.events:
+            instructions = pilot.events[-1].cycle / self.profile.cpi
+
+        def adjust(current: float, target: float, observed_count: int) -> float:
+            observed = observed_count / total
+            if observed <= 0:
+                return min(0.6, current * 3.0)
+            factor = target / observed
+            factor = max(0.25, min(4.0, factor))
+            return min(0.6, current * factor)
+
+        call_f = adjust(call_f, target_call, counts[BranchKind.CALL])
+        indirect_f = adjust(
+            indirect_f, target_indirect, counts[BranchKind.INDIRECT]
+        )
+        syscall_f = adjust(
+            syscall_f, target_syscall, counts[BranchKind.SYSCALL]
+        )
+        # Match instructions-per-branch: the dynamic block size drifts
+        # from the static mean because loops revisit small hot blocks.
+        if instructions > 0:
+            observed_ipb = instructions / total
+            factor = self.profile.mean_block_size / observed_ipb
+            block_size = max(2.0, block_size * max(0.5, min(2.0, factor)))
+        return call_f, indirect_f, syscall_f, block_size
+
+    def run(
+        self,
+        max_branches: int,
+        run_label: str = "run",
+        recorder: Optional[TraceRecorder] = None,
+    ) -> TraceRecorder:
+        """Walk the CFG and record up to ``max_branches`` events."""
+        if recorder is None:
+            recorder = TraceRecorder()
+        for event in self.iter_events(max_branches, run_label):
+            recorder.record(event)
+        return recorder
+
+    def iter_events(
+        self, max_branches: int, run_label: str = "run"
+    ) -> Iterator[BranchEvent]:
+        """Generator form of :meth:`run` for streaming consumers."""
+        if max_branches < 0:
+            raise WorkloadError("max_branches must be non-negative")
+        rng = make_rng(derive_seed(self.seed, self.profile.name, run_label))
+        cfg = self.cfg
+        cpi = self.profile.cpi
+        cycle = 0.0
+        call_stack: List[int] = []
+        current = cfg.blocks[cfg.entry]
+        emitted = 0
+
+        while emitted < max_branches:
+            cycle += current.size * cpi
+            branch_addr = current.branch_address
+            kind = current.terminator
+
+            if kind is BranchKind.CONDITIONAL:
+                taken = bool(rng.random() < current.taken_probability)
+                target = current.taken_target if taken else current.fallthrough
+                yield BranchEvent(int(cycle), branch_addr, target, kind, taken)
+                emitted += 1
+                current = cfg.blocks[target]
+
+            elif kind is BranchKind.UNCONDITIONAL:
+                yield BranchEvent(
+                    int(cycle), branch_addr, current.taken_target, kind
+                )
+                emitted += 1
+                current = cfg.blocks[current.taken_target]
+
+            elif kind is BranchKind.CALL:
+                if len(call_stack) >= MAX_CALL_DEPTH:
+                    # recursion guard: skip the call, fall through
+                    yield BranchEvent(
+                        int(cycle),
+                        branch_addr,
+                        current.fallthrough,
+                        BranchKind.UNCONDITIONAL,
+                    )
+                    emitted += 1
+                    current = cfg.blocks[current.fallthrough]
+                else:
+                    call_stack.append(current.fallthrough)
+                    yield BranchEvent(
+                        int(cycle), branch_addr, current.callee, kind
+                    )
+                    emitted += 1
+                    current = cfg.blocks[current.callee]
+
+            elif kind is BranchKind.INDIRECT:
+                target = int(
+                    rng.choice(
+                        current.indirect_targets, p=current.indirect_weights
+                    )
+                )
+                # Indirect jumps to a function entry behave like calls.
+                if len(call_stack) < MAX_CALL_DEPTH:
+                    call_stack.append(current.fallthrough)
+                yield BranchEvent(int(cycle), branch_addr, target, kind)
+                emitted += 1
+                current = cfg.blocks[target]
+
+            elif kind is BranchKind.SYSCALL:
+                stub = cfg.syscall_stubs[current.syscall_number]
+                yield BranchEvent(int(cycle), branch_addr, stub, kind)
+                emitted += 1
+                cycle += SYSCALL_KERNEL_CYCLES
+                if emitted < max_branches:
+                    yield BranchEvent(
+                        int(cycle),
+                        stub + 4,
+                        current.fallthrough,
+                        BranchKind.RETURN,
+                    )
+                    emitted += 1
+                current = cfg.blocks[current.fallthrough]
+
+            elif kind is BranchKind.RETURN:
+                if call_stack:
+                    target = call_stack.pop()
+                else:
+                    target = cfg.entry  # main loop wraps around
+                yield BranchEvent(int(cycle), branch_addr, target, kind)
+                emitted += 1
+                current = cfg.blocks[target]
+
+            else:  # pragma: no cover - exhaustive enum
+                raise WorkloadError(f"unhandled terminator {kind}")
+
+    # ------------------------------------------------------------------
+    # Introspection used by IGM configuration and the ML feature layer
+    # ------------------------------------------------------------------
+
+    def monitored_call_targets(
+        self, count: Optional[int] = None, run_label: str = "mapper"
+    ) -> List[int]:
+        """Function entries placed in the IGM address-mapper table.
+
+        A deterministic sample of function entry points — the "critical
+        API functions" a user would configure the mapper with.  By
+        default the sample is sized by the profile's
+        ``monitored_call_fraction`` (the sparse configuration used for
+        the timing experiments); pass ``count`` for a denser table, as
+        used when collecting training data.
+        """
+        entries = self.cfg.call_targets
+        if count is None:
+            fraction = self.profile.monitored_call_fraction
+            count = max(1, int(round(len(entries) * fraction)))
+        rng = make_rng(derive_seed(self.seed, self.profile.name, run_label))
+        chosen = rng.choice(entries, size=min(count, len(entries)), replace=False)
+        return sorted(int(a) for a in chosen)
+
+    def syscall_targets(self) -> List[int]:
+        """Syscall stub addresses (ELM mapper configuration)."""
+        return self.cfg.syscall_addresses

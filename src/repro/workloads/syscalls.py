@@ -1,0 +1,142 @@
+"""System-call sequence substrate for the ELM configuration.
+
+The ELM model the paper deploys ([2], Creech & Hu) learns from
+*system-call sequences*.  Syscalls are rare relative to branches (a few
+per million instructions), so collecting a training corpus by walking
+the full CFG would need billions of simulated branches.  Instead this
+module models each benchmark's syscall behaviour directly as a sparse
+first-order Markov chain with phase structure: programs alternate
+between phases (startup / compute / IO) with distinct syscall
+repertoires — the structure host-based IDS work exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import derive_seed, make_rng
+from repro.workloads.cfg import SYSCALL_BASE
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Number of distinct syscalls a benchmark uses.
+NUM_SYSCALLS = 32
+
+#: Likely successors per state — low entropy makes sequences learnable,
+#: matching real syscall traces which are highly repetitive.
+SUCCESSORS_PER_STATE = 3
+
+
+def stub_address(syscall_id: int) -> int:
+    """Address of the kernel-entry stub for a syscall number."""
+    if not 0 <= syscall_id < NUM_SYSCALLS:
+        raise WorkloadError(f"syscall id {syscall_id} out of range")
+    return SYSCALL_BASE + syscall_id * 0x20
+
+
+@dataclass
+class SyscallPhase:
+    """One execution phase: a transition matrix over the repertoire."""
+
+    transition: np.ndarray  # (NUM_SYSCALLS, NUM_SYSCALLS) row-stochastic
+    mean_length: int
+
+
+class SyscallSequenceModel:
+    """Per-benchmark generative model of syscall ID sequences."""
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        seed: int = 0,
+        num_phases: int = 3,
+    ) -> None:
+        if num_phases < 1:
+            raise WorkloadError("need at least one phase")
+        self.profile = profile
+        self.seed = seed
+        rng = make_rng(derive_seed(seed, profile.name, "syscall-model"))
+        self.phases: List[SyscallPhase] = [
+            self._make_phase(rng) for _ in range(num_phases)
+        ]
+
+    @staticmethod
+    def _make_phase(rng: np.random.Generator) -> SyscallPhase:
+        transition = np.full(
+            (NUM_SYSCALLS, NUM_SYSCALLS), 1e-4, dtype=np.float64
+        )
+        for state in range(NUM_SYSCALLS):
+            successors = rng.choice(
+                NUM_SYSCALLS, size=SUCCESSORS_PER_STATE, replace=False
+            )
+            weights = rng.dirichlet(np.ones(SUCCESSORS_PER_STATE) * 0.6)
+            for succ, weight in zip(successors, weights):
+                transition[state, succ] += weight
+        transition /= transition.sum(axis=1, keepdims=True)
+        mean_length = int(rng.integers(200, 600))
+        return SyscallPhase(transition=transition, mean_length=mean_length)
+
+    def generate(
+        self, length: int, run_label: str = "run"
+    ) -> np.ndarray:
+        """Generate a syscall ID sequence of the given length."""
+        if length < 0:
+            raise WorkloadError("length must be non-negative")
+        rng = make_rng(
+            derive_seed(self.seed, self.profile.name, "syscall-run", run_label)
+        )
+        out = np.empty(length, dtype=np.int64)
+        phase_index = 0
+        phase = self.phases[phase_index]
+        remaining = phase.mean_length
+        state = int(rng.integers(0, NUM_SYSCALLS))
+        for i in range(length):
+            out[i] = state
+            state = int(
+                rng.choice(NUM_SYSCALLS, p=phase.transition[state])
+            )
+            remaining -= 1
+            if remaining <= 0:
+                phase_index = (phase_index + 1) % len(self.phases)
+                phase = self.phases[phase_index]
+                remaining = max(
+                    1, int(rng.normal(phase.mean_length, phase.mean_length * 0.2))
+                )
+        return out
+
+    def generate_addresses(
+        self, length: int, run_label: str = "run"
+    ) -> np.ndarray:
+        """Same sequence expressed as stub addresses (what the IGM sees)."""
+        ids = self.generate(length, run_label)
+        return np.array([stub_address(int(i)) for i in ids], dtype=np.uint64)
+
+    def inject_anomaly(
+        self,
+        sequence: np.ndarray,
+        gadget_length: int = 8,
+        position: Optional[int] = None,
+        label: str = "attack",
+    ) -> tuple:
+        """Insert legitimate-but-out-of-context syscalls.
+
+        Mirrors the paper's attack emulation: inserted IDs are drawn
+        from the *observed* repertoire (marginal distribution), so each
+        individual syscall is legitimate while the local sequence is
+        not.  Returns ``(new_sequence, position)``.
+        """
+        rng = make_rng(derive_seed(self.seed, label))
+        sequence = np.asarray(sequence, dtype=np.int64)
+        if len(sequence) < 2:
+            raise WorkloadError("sequence too short to attack")
+        if position is None:
+            position = int(rng.integers(1, len(sequence)))
+        observed = np.unique(sequence)
+        gadget = rng.choice(observed, size=gadget_length, replace=True)
+        new_sequence = np.concatenate(
+            [sequence[:position], gadget, sequence[position:]]
+        )
+        return new_sequence, position

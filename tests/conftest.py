@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+Expensive artifacts (trained models, programs) are session-scoped and
+deliberately small — unit tests exercise behaviour, not scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.elm import ExtremeLearningMachine
+from repro.ml.features import PatternDictionary
+from repro.ml.lstm import LstmModel
+from repro.workloads.dataset import build_dataset
+from repro.workloads.profiles import get_profile
+from repro.workloads.program import SyntheticProgram
+
+
+@pytest.fixture(scope="session")
+def small_program():
+    """A modest synthetic benchmark used across integration tests."""
+    return SyntheticProgram(get_profile("403.gcc"), seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_program):
+    return small_program.run(6_000, run_label="fixture")
+
+
+@pytest.fixture(scope="session")
+def syscall_dataset(small_program):
+    return build_dataset(
+        small_program,
+        feature="syscall",
+        window=12,
+        train_events=8_000,
+        test_events=3_000,
+        num_attacks=6,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def call_dataset(small_program):
+    return build_dataset(
+        small_program,
+        feature="call",
+        window=8,
+        train_events=60_000,
+        test_events=25_000,
+        num_attacks=6,
+        seed=3,
+        mapper_size=30,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dictionary(syscall_dataset):
+    dictionary = PatternDictionary(n=2, capacity=255, unseen_gain=2)
+    dictionary.fit(syscall_dataset.train_windows)
+    return dictionary
+
+
+@pytest.fixture(scope="session")
+def tiny_elm(syscall_dataset, tiny_dictionary):
+    features = tiny_dictionary.features(syscall_dataset.train_windows)
+    model = ExtremeLearningMachine(
+        input_dim=tiny_dictionary.size, hidden_dim=64, seed=7
+    )
+    return model.fit(features)
+
+
+@pytest.fixture(scope="session")
+def tiny_lstm(call_dataset):
+    model = LstmModel(
+        vocabulary_size=call_dataset.vocabulary.size, hidden_size=16, seed=7
+    )
+    windows = call_dataset.train_windows[:2500]
+    model.fit(windows, epochs=4, seed=7)
+    return model

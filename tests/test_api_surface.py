@@ -1,0 +1,58 @@
+"""Public API surface: exports exist, __all__ is honest."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.utils",
+    "repro.workloads",
+    "repro.coresight",
+    "repro.igm",
+    "repro.miaow",
+    "repro.synthesis",
+    "repro.ml",
+    "repro.mcm",
+    "repro.soc",
+    "repro.eval",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_imports(package_name):
+    importlib.import_module(package_name)
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_key_entry_points_callable():
+    from repro.eval import (
+        run_fig6, run_fig7, run_fig8, run_table1, run_table2,
+    )
+    from repro.eval.prep import get_bundle, make_miaow, make_ml_miaow
+
+    for fn in (run_fig6, run_fig7, run_fig8, run_table1, run_table2,
+               get_bundle, make_miaow, make_ml_miaow):
+        assert callable(fn)
+
+
+def test_submodules_not_shadowed():
+    """Module-level names must not accidentally shadow submodules."""
+    import repro.ml
+    import repro.ml.kernels
+    import repro.ml.quantize
+
+    assert repro.ml.kernels.DeployedElm
+    assert repro.ml.quantize.QuantizedElm

@@ -1,0 +1,115 @@
+"""PTM configuration modes and encoder statistics."""
+
+import numpy as np
+import pytest
+
+from repro.coresight.decoder import DecodedAtom, DecodedBranch, PftDecoder
+from repro.coresight.ptm import Ptm, PtmConfig
+from repro.workloads.cfg import BranchEvent, BranchKind
+
+
+def events_mixed(n=200):
+    out = []
+    rng = np.random.default_rng(0)
+    for i in range(n):
+        kind = [
+            BranchKind.CONDITIONAL, BranchKind.UNCONDITIONAL,
+            BranchKind.INDIRECT, BranchKind.CALL,
+        ][int(rng.integers(0, 4))]
+        taken = bool(rng.random() < 0.6)
+        out.append(
+            BranchEvent(
+                cycle=i * 12,
+                source=0x10000 + 4 * i,
+                target=int(0x20000 + 4 * rng.integers(0, 64)),
+                kind=kind,
+                taken=taken if kind is BranchKind.CONDITIONAL else True,
+            )
+        )
+    return out
+
+
+class TestWaypointMode:
+    """branch_broadcast=False: direct branches become atoms, only
+    indirect control flow emits addresses (classic PFT)."""
+
+    def encode(self, events):
+        ptm = Ptm(PtmConfig(branch_broadcast=False))
+        data = b"".join(ptm.feed(e) for e in events) + ptm.flush()
+        return PftDecoder().feed(data), ptm
+
+    def test_direct_branches_have_no_addresses(self):
+        events = [
+            BranchEvent(0, 0x1000, 0x2000, BranchKind.INDIRECT),
+            BranchEvent(1, 0x1010, 0x1020, BranchKind.CONDITIONAL,
+                        taken=True),
+            BranchEvent(2, 0x1020, 0x1030, BranchKind.UNCONDITIONAL),
+        ]
+        items, _ = self.encode(events)
+        branches = [i for i in items if isinstance(i, DecodedBranch)]
+        atoms = [i for i in items if isinstance(i, DecodedAtom)]
+        # only the indirect branch carries an address
+        assert len(branches) == 1
+        assert branches[0].address == 0x2000
+        # the two direct taken branches became E atoms
+        assert sum(1 for a in atoms if a.taken) == 2
+
+    def test_waypoint_stream_smaller_than_broadcast(self):
+        events = events_mixed(400)
+        broadcast = Ptm(PtmConfig(branch_broadcast=True))
+        waypoint = Ptm(PtmConfig(branch_broadcast=False))
+        size_b = len(
+            b"".join(broadcast.feed(e) for e in events) + broadcast.flush()
+        )
+        size_w = len(
+            b"".join(waypoint.feed(e) for e in events) + waypoint.flush()
+        )
+        assert size_w < size_b
+
+    def test_atom_taken_mix_preserved(self):
+        events = [
+            BranchEvent(0, 0x1000, 0x2000, BranchKind.INDIRECT),
+            BranchEvent(1, 0x1010, 0x1020, BranchKind.CONDITIONAL,
+                        taken=True),
+            BranchEvent(2, 0x1020, 0x1014, BranchKind.CONDITIONAL,
+                        taken=False),
+            BranchEvent(3, 0x1024, 0x1030, BranchKind.CONDITIONAL,
+                        taken=True),
+        ]
+        items, _ = self.encode(events)
+        atoms = [i.taken for i in items if isinstance(i, DecodedAtom)]
+        assert atoms == [True, False, True]
+
+
+class TestEncoderStatistics:
+    def test_packet_counts_consistent_with_stream(self):
+        events = events_mixed(300)
+        ptm = Ptm()
+        data = b"".join(ptm.feed(e) for e in events) + ptm.flush()
+        assert ptm.total_bytes == len(data)
+        items = PftDecoder().feed(data)
+        decoded_branches = sum(
+            1 for i in items if isinstance(i, DecodedBranch)
+        )
+        assert decoded_branches == ptm.packet_counts["branch"]
+
+    def test_sync_interval_respected(self):
+        config = PtmConfig(sync_interval_bytes=100)
+        ptm = Ptm(config)
+        for event in events_mixed(500):
+            ptm.feed(event)
+        # At least one sync per ~100 bytes of trace.
+        assert ptm.packet_counts["isync"] >= ptm.total_bytes // 200
+
+    def test_context_id_travels(self):
+        from repro.coresight.decoder import DecodedContext
+
+        ptm = Ptm(PtmConfig(context_id=0xBEEF))
+        data = ptm.feed(
+            BranchEvent(0, 0x1000, 0x2000, BranchKind.UNCONDITIONAL)
+        )
+        contexts = [
+            i for i in PftDecoder().feed(data)
+            if isinstance(i, DecodedContext)
+        ]
+        assert contexts[0].context_id == 0xBEEF

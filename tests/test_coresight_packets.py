@@ -1,0 +1,151 @@
+"""Packet grammar: encodings, compression, atom stop-bit format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PacketDecodeError, PacketEncodeError
+from repro.coresight.packets import (
+    AsyncPacket,
+    AtomPacket,
+    BranchAddressPacket,
+    ContextIdPacket,
+    ExceptionType,
+    HEADER_ASYNC_END,
+    HEADER_CONTEXT_ID,
+    HEADER_ISYNC,
+    HEADER_TIMESTAMP,
+    ISyncPacket,
+    TimestampPacket,
+    decode_atom_byte,
+    is_atom_header,
+    is_branch_header,
+    merge_compressed_address,
+)
+
+word_aligned = st.integers(0, (1 << 30) - 1).map(lambda w: w << 2)
+
+
+class TestAsync:
+    def test_layout(self):
+        data = AsyncPacket().encode()
+        assert data == b"\x00" * 5 + bytes([HEADER_ASYNC_END])
+
+
+class TestISync:
+    def test_layout(self):
+        data = ISyncPacket(address=0x1234_5678 & ~3, context_id=9).encode()
+        assert data[0] == HEADER_ISYNC
+        assert int.from_bytes(data[1:5], "little") == 0x1234_5678 & ~3
+        assert data[5] == 9
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(PacketEncodeError):
+            ISyncPacket(address=0x1001).encode()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PacketEncodeError):
+            ISyncPacket(address=1 << 33).encode()
+
+
+class TestContextAndTimestamp:
+    def test_context_layout(self):
+        data = ContextIdPacket(context_id=0xDEADBEEF).encode()
+        assert data[0] == HEADER_CONTEXT_ID
+        assert int.from_bytes(data[1:], "little") == 0xDEADBEEF
+
+    def test_context_range(self):
+        with pytest.raises(PacketEncodeError):
+            ContextIdPacket(context_id=1 << 32).encode()
+
+    def test_timestamp_layout(self):
+        data = TimestampPacket(cycles=123456789).encode()
+        assert data[0] == HEADER_TIMESTAMP
+        assert int.from_bytes(data[1:], "little") == 123456789
+
+    def test_timestamp_range(self):
+        with pytest.raises(PacketEncodeError):
+            TimestampPacket(cycles=1 << 64).encode()
+
+
+class TestAtoms:
+    def test_single_atom(self):
+        data = AtomPacket((True,)).encode()
+        assert len(data) == 1
+        assert is_atom_header(data[0])
+        assert decode_atom_byte(data[0]) == [True]
+
+    def test_four_atoms(self):
+        atoms = (True, False, True, True)
+        byte = AtomPacket(atoms).encode()[0]
+        assert decode_atom_byte(byte) == list(atoms)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PacketEncodeError):
+            AtomPacket(()).encode()
+
+    def test_five_rejected(self):
+        with pytest.raises(PacketEncodeError):
+            AtomPacket((True,) * 5).encode()
+
+    def test_decode_non_atom_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            decode_atom_byte(0x01)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=4))
+    def test_roundtrip(self, atoms):
+        byte = AtomPacket(tuple(atoms)).encode()[0]
+        assert decode_atom_byte(byte) == atoms
+        assert not is_branch_header(byte)
+
+
+class TestBranchAddress:
+    def test_same_address_single_byte(self):
+        packet = BranchAddressPacket(address=0x1000)
+        assert len(packet.encode(previous=0x1000)) == 1
+
+    def test_far_address_full_length(self):
+        packet = BranchAddressPacket(address=0x8000_0000)
+        assert len(packet.encode(previous=0)) == 5
+
+    def test_exception_forces_full_plus_info(self):
+        packet = BranchAddressPacket(
+            address=0x1000, exception=ExceptionType.SVC
+        )
+        data = packet.encode(previous=0x1000)
+        assert len(data) == 6
+        assert data[-1] == int(ExceptionType.SVC)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(PacketEncodeError):
+            BranchAddressPacket(address=0x1002).encode()
+
+    def test_marker_bit_set(self):
+        data = BranchAddressPacket(address=0x1000).encode(previous=0)
+        assert data[0] & 0x01
+
+    def test_nearby_address_short(self):
+        data = BranchAddressPacket(address=0x1010).encode(previous=0x1000)
+        assert len(data) <= 2
+
+    @given(word_aligned, word_aligned)
+    def test_merge_recovers_address(self, address, previous):
+        """encode + merge is the identity given the previous address."""
+        from repro.coresight.decoder import PftDecoder
+
+        packet = BranchAddressPacket(address=address)
+        decoder = PftDecoder()
+        decoder._last_address = previous
+        results = decoder.feed(packet.encode(previous=previous))
+        assert len(results) == 1
+        assert results[0].address == address
+
+
+class TestMergeCompression:
+    def test_full_width_ignores_previous(self):
+        assert merge_compressed_address(0x3FFFFFFF, 30, 0) == 0xFFFFFFFC
+
+    def test_partial_uses_previous_high_bits(self):
+        previous = 0xAABB_CC00
+        merged = merge_compressed_address(0x1, 6, previous)
+        expected = ((previous >> 2) & ~0x3F | 0x1) << 2
+        assert merged == expected

@@ -1,0 +1,109 @@
+"""Property-based round trips over arbitrary branch event streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coresight.decoder import DecodedAtom, DecodedBranch, PftDecoder
+from repro.coresight.driver import CoreSightDriver
+from repro.coresight.ptm import Ptm, PtmConfig, encode_trace
+from repro.coresight.tpiu import TpiuDeframer
+from repro.workloads.cfg import BranchEvent, BranchKind
+
+word_aligned = st.integers(0, (1 << 30) - 1).map(lambda w: w << 2)
+
+branch_events = st.builds(
+    BranchEvent,
+    cycle=st.integers(0, 1 << 40),
+    source=word_aligned,
+    target=word_aligned,
+    kind=st.sampled_from([
+        BranchKind.CONDITIONAL, BranchKind.UNCONDITIONAL,
+        BranchKind.CALL, BranchKind.RETURN, BranchKind.INDIRECT,
+        BranchKind.SYSCALL,
+    ]),
+    taken=st.booleans(),
+)
+
+
+def taken_events(events):
+    return [
+        e for e in events
+        if not (e.kind is BranchKind.CONDITIONAL and not e.taken)
+    ]
+
+
+class TestPtmRoundTripProperties:
+    @given(st.lists(branch_events, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_every_taken_branch_recovered(self, events):
+        data = encode_trace(events)
+        branches = [
+            i for i in PftDecoder().feed(data)
+            if isinstance(i, DecodedBranch)
+        ]
+        expected = taken_events(events)
+        assert [b.address for b in branches] == [
+            e.target for e in expected
+        ]
+
+    @given(st.lists(branch_events, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_atom_count_matches_not_taken(self, events):
+        data = encode_trace(events)
+        atoms = [
+            i for i in PftDecoder().feed(data)
+            if isinstance(i, DecodedAtom)
+        ]
+        not_taken = [
+            e for e in events
+            if e.kind is BranchKind.CONDITIONAL and not e.taken
+        ]
+        assert len(atoms) == len(not_taken)
+        assert all(not a.taken for a in atoms)
+
+    @given(st.lists(branch_events, min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_syscalls_marked(self, events):
+        data = encode_trace(events)
+        branches = [
+            i for i in PftDecoder().feed(data)
+            if isinstance(i, DecodedBranch)
+        ]
+        expected = taken_events(events)
+        for branch, event in zip(branches, expected):
+            assert branch.is_syscall == (event.kind is BranchKind.SYSCALL)
+
+    @given(st.lists(branch_events, max_size=40), st.integers(1, 13))
+    @settings(max_examples=30, deadline=None)
+    def test_full_port_roundtrip_any_chunking(self, events, chunk):
+        """PTM -> TPIU -> deframe -> decode across arbitrary frame
+        chunk boundaries."""
+        driver = CoreSightDriver()
+        driver.enable()
+        framed = driver.trace_all(events)
+        deframer = TpiuDeframer()
+        decoder = PftDecoder()
+        branches = []
+        for start in range(0, len(framed), chunk):
+            payload = deframer.push(framed[start:start + chunk])
+            branches.extend(
+                i for i in decoder.feed(payload)
+                if isinstance(i, DecodedBranch)
+            )
+        expected = taken_events(events)
+        assert [b.address for b in branches] == [
+            e.target for e in expected
+        ]
+
+    @given(st.lists(branch_events, max_size=50))
+    @settings(max_examples=20, deadline=None)
+    def test_encoding_is_deterministic(self, events):
+        assert encode_trace(events) == encode_trace(events)
+
+    @given(st.lists(branch_events, min_size=5, max_size=80))
+    @settings(max_examples=20, deadline=None)
+    def test_compression_bounded(self, events):
+        """Worst case: full address + exception byte + syncs."""
+        data = encode_trace(events)
+        assert len(data) <= 8 * len(events) + 64

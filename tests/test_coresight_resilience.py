@@ -1,0 +1,108 @@
+"""Failure injection on the trace path: corruption and resync.
+
+A real trace port can glitch; the PFT design recovers because (a) the
+a-sync pattern (five 0x00 then 0x80) cannot appear inside any packet's
+header position run for long, and (b) the i-sync that follows carries
+a full absolute address, resetting the branch-address compression
+state.  These tests corrupt the stream and check the decoder re-locks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coresight.decoder import DecodedBranch, DecodedISync, PftDecoder
+from repro.coresight.ptm import Ptm, PtmConfig
+from repro.errors import PacketDecodeError
+from repro.workloads.cfg import BranchEvent, BranchKind
+
+
+def make_stream(num_events=400, sync_interval=128):
+    ptm = Ptm(PtmConfig(sync_interval_bytes=sync_interval))
+    rng = np.random.default_rng(1)
+    events = [
+        BranchEvent(
+            cycle=i * 10,
+            source=0x40000 + 4 * i,
+            target=int(0x50000 + 4 * rng.integers(0, 4096)),
+            kind=BranchKind.UNCONDITIONAL,
+        )
+        for i in range(num_events)
+    ]
+    chunks = [ptm.feed(e) for e in events]
+    chunks.append(ptm.flush())
+    return b"".join(chunks), events
+
+
+class TestCorruptionRecovery:
+    def test_clean_stream_decodes_fully(self):
+        stream, events = make_stream()
+        branches = [
+            i for i in PftDecoder().feed(stream)
+            if isinstance(i, DecodedBranch)
+        ]
+        assert len(branches) == len(events)
+
+    def test_strict_decoder_raises_on_corruption(self):
+        stream, _ = make_stream()
+        corrupted = bytearray(stream)
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        with pytest.raises(PacketDecodeError):
+            PftDecoder(strict=True).feed(bytes(corrupted))
+
+    def test_lenient_decoder_relocks_after_sync(self):
+        stream, events = make_stream(sync_interval=96)
+        corrupted = bytearray(stream)
+        hit = len(corrupted) // 2
+        for offset in range(4):  # clobber a few bytes
+            corrupted[hit + offset] ^= 0xA5
+        items = PftDecoder(strict=False).feed(bytes(corrupted))
+        branches = [i for i in items if isinstance(i, DecodedBranch)]
+        # Most of the stream survives: everything before the hit plus
+        # everything after the next sync point.
+        assert len(branches) > 0.8 * len(events)
+        # Late branches decode to *correct* addresses again (i-sync
+        # reset the compression state): the tail must match the clean
+        # decode's tail.
+        clean = [
+            i for i in PftDecoder().feed(stream)
+            if isinstance(i, DecodedBranch)
+        ]
+        assert [b.address for b in branches[-40:]] == [
+            b.address for b in clean[-40:]
+        ]
+
+    def test_truncated_stream_keeps_prefix(self):
+        stream, events = make_stream()
+        cut = PftDecoder(strict=False).feed(stream[: len(stream) // 2])
+        branches = [i for i in cut if isinstance(i, DecodedBranch)]
+        clean = [
+            i for i in PftDecoder().feed(stream)
+            if isinstance(i, DecodedBranch)
+        ]
+        assert [b.address for b in branches] == [
+            b.address for b in clean[: len(branches)]
+        ]
+
+    def test_isync_resets_address_compression(self):
+        stream, _ = make_stream(sync_interval=64)
+        items = PftDecoder().feed(stream)
+        isyncs = [i for i in items if isinstance(i, DecodedISync)]
+        assert len(isyncs) > 3
+        # every i-sync carries a full absolute (word-aligned) address
+        assert all(s.address % 4 == 0 for s in isyncs)
+
+    def test_garbage_prefix_ignored_until_async(self):
+        stream, events = make_stream()
+        # lenient decoder fed garbage, then the real stream (which
+        # begins with an a-sync burst)
+        garbage = bytes([0x22, 0x6A, 0x42] * 5)  # harmless junk headers
+        decoder = PftDecoder(strict=False)
+        items = decoder.feed(garbage + stream)
+        branches = [i for i in items if isinstance(i, DecodedBranch)]
+        clean = [
+            i for i in PftDecoder().feed(stream)
+            if isinstance(i, DecodedBranch)
+        ]
+        assert [b.address for b in branches[-50:]] == [
+            b.address for b in clean[-50:]
+        ]

@@ -1,0 +1,35 @@
+"""Examples stay importable (full runs are manual/demo-time)."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(
+        str(path), cfile=str(tmp_path / (path.stem + ".pyc")), doraise=True
+    )
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_has_main_guard_and_docstring(path):
+    source = path.read_text()
+    assert '__name__ == "__main__"' in source
+    assert source.lstrip().startswith('"""')
+    assert "Run:" in source  # usage line in the docstring

@@ -1,0 +1,231 @@
+"""IGM: trace analyzer, P2S, address mapper, vector encoder, top level."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coresight.driver import CoreSightDriver
+from repro.coresight.ptm import encode_trace
+from repro.coresight.tpiu import Tpiu
+from repro.errors import EncoderConfigError, IgmError, MapperConfigError
+from repro.igm.address_mapper import AddressMapper
+from repro.igm.igm import Igm, IgmConfig, VECTORIZE_CYCLES
+from repro.igm.p2s import P2sEntry, ParallelToSerial
+from repro.igm.trace_analyzer import TraceAnalyzer
+from repro.igm.vector_encoder import EncoderMode, VectorEncoder
+from repro.utils.bitstream import bytes_to_words
+from repro.workloads.cfg import BranchKind
+from repro.workloads.dataset import Vocabulary, sliding_windows
+
+
+def framed_words(events):
+    driver = CoreSightDriver()
+    driver.enable()
+    return bytes_to_words(driver.trace_all(events))
+
+
+class TestTraceAnalyzer:
+    def test_decodes_full_stream(self, small_trace):
+        events = small_trace.events[:1000]
+        ta = TraceAnalyzer()
+        pairs = ta.process_words(framed_words(events))
+        taken = [
+            e for e in events
+            if not (e.kind is BranchKind.CONDITIONAL and not e.taken)
+        ]
+        assert [b.address for _, b in pairs] == [e.target for e in taken]
+
+    def test_rate_limited_to_four_bytes_per_cycle(self, small_trace):
+        events = small_trace.events[:1000]
+        words = framed_words(events)
+        ta = TraceAnalyzer()
+        ta.process_words(words)
+        total_bytes = sum(u.bytes_decoded for u in ta.units)
+        assert total_bytes <= 4 * ta.cycles
+
+    def test_backlog_bounded_by_frame(self, small_trace):
+        words = framed_words(small_trace.events[:2000])
+        ta = TraceAnalyzer()
+        ta.process_words(words)
+        assert ta.max_backlog <= 32
+
+    def test_backpressure_holds_bytes(self):
+        ta = TraceAnalyzer()
+        words = framed_words([])  # nothing
+        # push a word without decode permission
+        ta.process_word(0x12345678, decode=False)
+        assert ta.cycles == 1
+
+    def test_lane_utilization_spread(self, small_trace):
+        ta = TraceAnalyzer()
+        ta.process_words(framed_words(small_trace.events[:1000]))
+        counts = [u.bytes_decoded for u in ta.units]
+        assert all(c > 0 for c in counts)
+
+
+class TestP2s:
+    def test_fifo_order(self):
+        p2s = ParallelToSerial(depth=8)
+        entries = [P2sEntry(i, False, 0) for i in range(4)]
+        p2s.push_burst(entries)
+        assert [p2s.pop().address for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_burst_limit(self):
+        p2s = ParallelToSerial(depth=16)
+        with pytest.raises(IgmError):
+            p2s.push_burst([P2sEntry(i, False, 0) for i in range(5)])
+
+    def test_overflow_counted(self):
+        p2s = ParallelToSerial(depth=4)
+        p2s.push_burst([P2sEntry(i, False, 0) for i in range(4)])
+        p2s.push_burst([P2sEntry(9, False, 0)])
+        assert p2s.drops == 1
+        assert len(p2s) == 4
+
+    def test_pop_empty_returns_none(self):
+        assert ParallelToSerial().pop() is None
+
+    def test_min_depth(self):
+        with pytest.raises(IgmError):
+            ParallelToSerial(depth=3)
+
+    def test_max_occupancy_tracked(self):
+        p2s = ParallelToSerial(depth=8)
+        p2s.push_burst([P2sEntry(i, False, 0) for i in range(3)])
+        assert p2s.max_occupancy == 3
+
+
+class TestAddressMapper:
+    def test_load_and_lookup(self):
+        mapper = AddressMapper()
+        mapper.load([0x3000, 0x1000, 0x2000])
+        assert mapper.lookup(0x1000) == 1
+        assert mapper.lookup(0x2000) == 2
+        assert mapper.lookup(0x3000) == 3
+
+    def test_miss_returns_none_and_counts(self):
+        mapper = AddressMapper()
+        mapper.load([0x1000])
+        assert mapper.lookup(0x9999) is None
+        assert mapper.misses == 1
+        assert mapper.hits == 0
+
+    def test_capacity_enforced(self):
+        mapper = AddressMapper(capacity=2)
+        with pytest.raises(MapperConfigError):
+            mapper.load([1 << 2, 2 << 2, 3 << 2])
+
+    def test_duplicates_collapse(self):
+        mapper = AddressMapper()
+        mapper.load([0x1000, 0x1000])
+        assert mapper.size == 1
+
+    def test_bad_address_rejected(self):
+        mapper = AddressMapper()
+        with pytest.raises(MapperConfigError):
+            mapper.load([-4])
+
+    def test_contains(self):
+        mapper = AddressMapper()
+        mapper.load([0x1000])
+        assert 0x1000 in mapper
+        assert 0x2000 not in mapper
+
+    def test_deterministic_index_assignment(self):
+        a, b = AddressMapper(), AddressMapper()
+        a.load([0x30, 0x10])
+        b.load([0x10, 0x30])
+        assert a.entries == b.entries
+        assert a.lookup(0x30) == b.lookup(0x30)
+
+
+class TestVectorEncoder:
+    def test_sequence_mode_window(self):
+        encoder = VectorEncoder(EncoderMode.SEQUENCE, window=3,
+                                vocabulary_size=8)
+        outs = [encoder.push(i, 0, 0) for i in (1, 2, 3, 4)]
+        assert outs[0] is None and outs[1] is None
+        assert (outs[2].values == [1, 2, 3]).all()
+        assert (outs[3].values == [2, 3, 4]).all()
+
+    def test_histogram_mode_counts(self):
+        encoder = VectorEncoder(EncoderMode.HISTOGRAM, window=4,
+                                vocabulary_size=6)
+        vec = None
+        for i in (2, 2, 3, 5):
+            vec = encoder.push(i, 0, 0)
+        assert vec.values[2] == 2
+        assert vec.values[3] == 1
+        assert vec.values[5] == 1
+        assert vec.values.sum() == 4
+
+    def test_stride_respected(self):
+        encoder = VectorEncoder(EncoderMode.SEQUENCE, window=2,
+                                vocabulary_size=8, stride=3)
+        emitted = [
+            encoder.push(i % 7 + 1, 0, 0) is not None for i in range(12)
+        ]
+        assert sum(emitted) == 4
+
+    def test_rejects_out_of_vocab_index(self):
+        encoder = VectorEncoder(window=2, vocabulary_size=4)
+        with pytest.raises(EncoderConfigError):
+            encoder.push(4, 0, 0)
+        with pytest.raises(EncoderConfigError):
+            encoder.push(0, 0, 0)
+
+    def test_sequence_numbers_increment(self):
+        encoder = VectorEncoder(window=1, vocabulary_size=4)
+        a = encoder.push(1, 0, 0)
+        b = encoder.push(2, 0, 0)
+        assert (a.sequence_number, b.sequence_number) == (0, 1)
+
+    def test_trigger_metadata(self):
+        encoder = VectorEncoder(window=1, vocabulary_size=4)
+        vec = encoder.push(1, address=0xABC0, cycle=99)
+        assert vec.trigger_address == 0xABC0
+        assert vec.trigger_cycle == 99
+
+    def test_reset_clears_history(self):
+        encoder = VectorEncoder(window=2, vocabulary_size=4)
+        encoder.push(1, 0, 0)
+        encoder.reset()
+        assert encoder.push(2, 0, 0) is None
+
+
+class TestIgmTopLevel:
+    def make_igm(self, program, window=6, count=24):
+        igm = Igm(IgmConfig(mode=EncoderMode.SEQUENCE, window=window))
+        igm.configure(program.monitored_call_targets(count=count))
+        return igm
+
+    def test_unconfigured_use_rejected(self):
+        igm = Igm()
+        with pytest.raises(IgmError):
+            igm.push_word(0)
+
+    def test_matches_golden_software_path(self, small_program, small_trace):
+        igm = self.make_igm(small_program)
+        monitored = igm.mapper.entries
+        vectors = igm.push_words(framed_words(small_trace.events))
+        vocab = Vocabulary.from_addresses(monitored)
+        golden_ids = vocab.encode_events(small_trace.events)
+        golden = sliding_windows(golden_ids, 6)
+        assert len(vectors) == len(golden)
+        assert all(
+            (v.values == g).all() for v, g in zip(vectors, golden)
+        )
+
+    def test_no_loss_under_backpressure(self, small_program, small_trace):
+        igm = self.make_igm(small_program)
+        igm.push_words(framed_words(small_trace.events))
+        assert igm.p2s.drops == 0
+
+    def test_vector_cycles_increase(self, small_program, small_trace):
+        igm = self.make_igm(small_program, window=2)
+        vectors = igm.push_words(framed_words(small_trace.events))
+        cycles = [v.trigger_cycle for v in vectors]
+        assert cycles == sorted(cycles)
+
+    def test_vectorize_latency_constant(self):
+        assert VECTORIZE_CYCLES == 2

@@ -1,0 +1,314 @@
+"""ALU semantics: every operation against a numpy reference."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GpuError, IllegalInstructionError
+from repro.miaow.alu import execute, read_scalar, read_vector
+from repro.miaow.assembler import float_bits
+from repro.miaow.isa import Instruction, Lit, Special, SReg, VReg, WAVE_SIZE
+from repro.miaow.memory import GlobalMemory, LocalMemory
+from repro.miaow.wavefront import Wavefront
+
+
+class FakeCu:
+    """Just enough compute-unit surface for the handlers."""
+
+    def __init__(self):
+        self.global_memory = GlobalMemory(64 * 1024)
+        self.local_memory = LocalMemory(16 * 1024)
+        self.labels = {}
+
+    def resolve_label(self, label):
+        return self.labels[label]
+
+
+@pytest.fixture
+def cu():
+    return FakeCu()
+
+
+@pytest.fixture
+def wf():
+    return Wavefront(vgprs=16)
+
+
+def run(wf, cu, op, *operands, target=None):
+    execute(wf, Instruction(op=op, operands=tuple(operands), target=target), cu)
+
+
+def f32(wf, index):
+    return wf.v_f32(index).copy()
+
+
+class TestScalarOps:
+    def test_mov(self, wf, cu):
+        run(wf, cu, "s_mov_b32", SReg(3), Lit(0xDEADBEEF))
+        assert wf.s_u32(3) == 0xDEADBEEF
+
+    def test_add_wraps(self, wf, cu):
+        run(wf, cu, "s_mov_b32", SReg(1), Lit(0xFFFFFFFF))
+        run(wf, cu, "s_add_i32", SReg(2), SReg(1), Lit(2))
+        assert wf.s_u32(2) == 1
+
+    def test_sub_negative(self, wf, cu):
+        run(wf, cu, "s_sub_i32", SReg(2), Lit(3), Lit(5))
+        assert wf.s_i32(2) == -2
+
+    def test_mul(self, wf, cu):
+        run(wf, cu, "s_mul_i32", SReg(2), Lit(7), Lit(6))
+        assert wf.s_u32(2) == 42
+
+    def test_logic_ops(self, wf, cu):
+        run(wf, cu, "s_and_b32", SReg(2), Lit(0xF0), Lit(0x3C))
+        assert wf.s_u32(2) == 0x30
+        run(wf, cu, "s_or_b32", SReg(2), Lit(0xF0), Lit(0x0C))
+        assert wf.s_u32(2) == 0xFC
+        run(wf, cu, "s_xor_b32", SReg(2), Lit(0xFF), Lit(0x0F))
+        assert wf.s_u32(2) == 0xF0
+
+    def test_shifts(self, wf, cu):
+        run(wf, cu, "s_lshl_b32", SReg(2), Lit(1), Lit(4))
+        assert wf.s_u32(2) == 16
+        run(wf, cu, "s_lshr_b32", SReg(2), Lit(0x80000000), Lit(31))
+        assert wf.s_u32(2) == 1
+        run(wf, cu, "s_ashr_i32", SReg(2), Lit(0x80000000), Lit(31))
+        assert wf.s_u32(2) == 0xFFFFFFFF
+
+    def test_min_max(self, wf, cu):
+        run(wf, cu, "s_min_i32", SReg(2), Lit(0xFFFFFFFE), Lit(5))
+        assert wf.s_i32(2) == -2
+        run(wf, cu, "s_max_i32", SReg(2), Lit(0xFFFFFFFE), Lit(5))
+        assert wf.s_i32(2) == 5
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("s_cmp_eq_i32", 5, 5, True),
+            ("s_cmp_lg_i32", 5, 5, False),
+            ("s_cmp_lt_i32", -1 & 0xFFFFFFFF, 0, True),
+            ("s_cmp_le_i32", 3, 3, True),
+            ("s_cmp_gt_i32", 4, 3, True),
+            ("s_cmp_ge_i32", 2, 3, False),
+        ],
+    )
+    def test_compares_signed(self, wf, cu, op, a, b, expected):
+        run(wf, cu, op, Lit(a), Lit(b))
+        assert wf.scc is expected
+
+    def test_s_load(self, wf, cu):
+        cu.global_memory.store_u32(0x100, 0xCAFE)
+        run(wf, cu, "s_load_dword", SReg(2), Lit(0x100), Lit(0))
+        assert wf.s_u32(2) == 0xCAFE
+
+
+class TestBranches:
+    def test_unconditional(self, wf, cu):
+        cu.labels["x"] = 17
+        run(wf, cu, "s_branch", target="x")
+        assert wf.pc == 17
+
+    def test_scc_variants(self, wf, cu):
+        cu.labels["x"] = 9
+        wf.scc = True
+        run(wf, cu, "s_cbranch_scc0", target="x")
+        assert wf.pc == 0
+        run(wf, cu, "s_cbranch_scc1", target="x")
+        assert wf.pc == 9
+
+    def test_vcc_variants(self, wf, cu):
+        cu.labels["x"] = 4
+        wf.vcc[:] = False
+        run(wf, cu, "s_cbranch_vccz", target="x")
+        assert wf.pc == 4
+        wf.pc = 0
+        wf.vcc[3] = True
+        run(wf, cu, "s_cbranch_vccnz", target="x")
+        assert wf.pc == 4
+
+    def test_execz(self, wf, cu):
+        cu.labels["x"] = 2
+        wf.exec_mask[:] = False
+        run(wf, cu, "s_cbranch_execz", target="x")
+        assert wf.pc == 2
+
+    def test_endpgm_sets_done(self, wf, cu):
+        run(wf, cu, "s_endpgm")
+        assert wf.done
+
+
+class TestVectorFloat:
+    def setup_lanes(self, wf, index, values):
+        wf.vgpr[index] = np.asarray(values, dtype=np.float32).view(np.uint32)
+
+    def test_add(self, wf, cu):
+        a = np.linspace(-4, 4, WAVE_SIZE).astype(np.float32)
+        self.setup_lanes(wf, 1, a)
+        run(wf, cu, "v_add_f32", VReg(2), VReg(1), VReg(1))
+        assert np.allclose(f32(wf, 2), a + a)
+
+    def test_mac_accumulates(self, wf, cu):
+        a = np.full(WAVE_SIZE, 2.0, np.float32)
+        b = np.full(WAVE_SIZE, 3.0, np.float32)
+        self.setup_lanes(wf, 1, a)
+        self.setup_lanes(wf, 2, b)
+        self.setup_lanes(wf, 3, np.ones(WAVE_SIZE, np.float32))
+        run(wf, cu, "v_mac_f32", VReg(3), VReg(1), VReg(2))
+        assert np.allclose(f32(wf, 3), 7.0)
+
+    def test_exec_mask_gates_writes(self, wf, cu):
+        self.setup_lanes(wf, 1, np.zeros(WAVE_SIZE, np.float32))
+        wf.exec_mask[:] = False
+        wf.exec_mask[5] = True
+        run(wf, cu, "v_add_f32", VReg(1), Lit(float_bits(1.0)),
+            Lit(float_bits(2.0)))
+        out = f32(wf, 1)
+        assert out[5] == 3.0
+        assert (out[np.arange(WAVE_SIZE) != 5] == 0).all()
+
+    def test_scalar_broadcast_source(self, wf, cu):
+        wf.set_sgpr(4, float_bits(2.5))
+        self.setup_lanes(wf, 1, np.arange(WAVE_SIZE, dtype=np.float32))
+        run(wf, cu, "v_mul_f32", VReg(2), VReg(1), SReg(4))
+        assert np.allclose(f32(wf, 2), np.arange(WAVE_SIZE) * 2.5)
+
+    def test_min_max(self, wf, cu):
+        a = np.linspace(-2, 2, WAVE_SIZE).astype(np.float32)
+        self.setup_lanes(wf, 1, a)
+        run(wf, cu, "v_max_f32", VReg(2), VReg(1), Lit(float_bits(0.0)))
+        assert np.allclose(f32(wf, 2), np.maximum(a, 0))
+        run(wf, cu, "v_min_f32", VReg(2), VReg(1), Lit(float_bits(0.0)))
+        assert np.allclose(f32(wf, 2), np.minimum(a, 0))
+
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            ("v_exp_f32", np.exp2),
+            ("v_log_f32", np.log2),
+            ("v_rcp_f32", lambda x: 1.0 / x),
+            ("v_rsq_f32", lambda x: 1.0 / np.sqrt(x)),
+            ("v_sqrt_f32", np.sqrt),
+        ],
+    )
+    def test_transcendentals_base2(self, wf, cu, op, ref):
+        x = np.linspace(0.25, 4.0, WAVE_SIZE).astype(np.float32)
+        self.setup_lanes(wf, 1, x)
+        run(wf, cu, op, VReg(2), VReg(1))
+        assert np.allclose(f32(wf, 2), ref(x.astype(np.float64)), rtol=1e-6)
+
+    def test_cndmask_selects_by_vcc(self, wf, cu):
+        wf.vcc[:] = False
+        wf.vcc[::2] = True
+        run(wf, cu, "v_cndmask_b32", VReg(1), Lit(float_bits(1.0)),
+            Lit(float_bits(9.0)))
+        out = f32(wf, 1)
+        assert (out[::2] == 9.0).all()
+        assert (out[1::2] == 1.0).all()
+
+    def test_cmp_writes_vcc_under_exec(self, wf, cu):
+        self.setup_lanes(wf, 1, np.linspace(-1, 1, WAVE_SIZE))
+        wf.exec_mask[:] = True
+        wf.exec_mask[0] = False
+        run(wf, cu, "v_cmp_gt_f32", VReg(1), Lit(float_bits(0.0)))
+        assert not wf.vcc[0]
+        assert wf.vcc[-1]
+
+
+class TestVectorInteger:
+    def test_add_sub_mul(self, wf, cu):
+        wf.vgpr[1] = np.arange(WAVE_SIZE, dtype=np.uint32)
+        run(wf, cu, "v_add_i32", VReg(2), VReg(1), Lit(10))
+        assert (wf.v_u32(2) == np.arange(WAVE_SIZE) + 10).all()
+        run(wf, cu, "v_sub_i32", VReg(2), VReg(1), Lit(1))
+        assert wf.v_i32(2)[0] == -1
+        run(wf, cu, "v_mul_lo_i32", VReg(2), VReg(1), Lit(3))
+        assert (wf.v_u32(2) == np.arange(WAVE_SIZE) * 3).all()
+
+    def test_rev_shifts_take_amount_first(self, wf, cu):
+        wf.vgpr[1] = np.full(WAVE_SIZE, 1, np.uint32)
+        run(wf, cu, "v_lshlrev_b32", VReg(2), Lit(4), VReg(1))
+        assert (wf.v_u32(2) == 16).all()
+        wf.vgpr[1] = np.full(WAVE_SIZE, 0x80000000, np.uint32)
+        run(wf, cu, "v_lshrrev_b32", VReg(2), Lit(31), VReg(1))
+        assert (wf.v_u32(2) == 1).all()
+        run(wf, cu, "v_ashrrev_i32", VReg(2), Lit(31), VReg(1))
+        assert (wf.v_u32(2) == 0xFFFFFFFF).all()
+
+    def test_min_max_signed(self, wf, cu):
+        wf.vgpr[1] = np.array(
+            [0xFFFFFFFE] * WAVE_SIZE, dtype=np.uint32
+        )  # -2
+        run(wf, cu, "v_min_i32", VReg(2), VReg(1), Lit(1))
+        assert (wf.v_i32(2) == -2).all()
+        run(wf, cu, "v_max_i32", VReg(2), VReg(1), Lit(1))
+        assert (wf.v_i32(2) == 1).all()
+
+    def test_conversions(self, wf, cu):
+        wf.vgpr[1] = np.array([0xFFFFFFFF] * WAVE_SIZE, np.uint32)  # -1
+        run(wf, cu, "v_cvt_f32_i32", VReg(2), VReg(1))
+        assert (f32(wf, 2) == -1.0).all()
+        run(wf, cu, "v_cvt_i32_f32", VReg(3), VReg(2))
+        assert (wf.v_i32(3) == -1).all()
+
+    def test_readfirstlane(self, wf, cu):
+        wf.vgpr[1] = np.arange(WAVE_SIZE, dtype=np.uint32)
+        wf.exec_mask[:] = False
+        wf.exec_mask[7] = True
+        run(wf, cu, "v_readfirstlane_b32", SReg(2), VReg(1))
+        assert wf.s_u32(2) == 7
+
+
+class TestMemoryOps:
+    def test_flat_load_store_roundtrip(self, wf, cu):
+        addresses = (np.arange(WAVE_SIZE, dtype=np.uint32) * 4) + 0x200
+        wf.vgpr[1] = addresses
+        wf.vgpr[2] = np.arange(WAVE_SIZE, dtype=np.uint32) + 100
+        run(wf, cu, "flat_store_dword", VReg(1), VReg(2))
+        run(wf, cu, "flat_load_dword", VReg(3), VReg(1))
+        assert (wf.v_u32(3) == wf.v_u32(2)).all()
+
+    def test_flat_respects_exec(self, wf, cu):
+        addresses = (np.arange(WAVE_SIZE, dtype=np.uint32) * 4) + 0x400
+        wf.vgpr[1] = addresses
+        wf.vgpr[2] = np.full(WAVE_SIZE, 7, np.uint32)
+        wf.exec_mask[:] = False
+        wf.exec_mask[0] = True
+        run(wf, cu, "flat_store_dword", VReg(1), VReg(2))
+        assert cu.global_memory.load_u32(0x400) == 7
+        assert cu.global_memory.load_u32(0x404) == 0
+
+    def test_ds_read_write(self, wf, cu):
+        addresses = (np.arange(WAVE_SIZE, dtype=np.uint32) * 4)
+        wf.vgpr[1] = addresses
+        wf.vgpr[2] = np.arange(WAVE_SIZE, dtype=np.uint32) * 11
+        run(wf, cu, "ds_write_b32", VReg(1), VReg(2))
+        run(wf, cu, "ds_read_b32", VReg(3), VReg(1))
+        assert (wf.v_u32(3) == wf.v_u32(2)).all()
+
+    def test_ds_swizzle_butterfly(self, wf, cu):
+        wf.vgpr[1] = np.arange(WAVE_SIZE, dtype=np.uint32)
+        run(wf, cu, "ds_swizzle_b32", VReg(2), VReg(1), Lit(1))
+        expected = np.arange(WAVE_SIZE) ^ 1
+        assert (wf.v_u32(2) == expected).all()
+
+    def test_unknown_opcode_raises(self, wf, cu):
+        with pytest.raises(IllegalInstructionError):
+            execute(wf, Instruction(op="v_made_up"), cu)
+
+
+class TestOperandAccess:
+    def test_read_scalar_special(self, wf):
+        wf.scc = True
+        assert read_scalar(wf, Special("scc")) == 1
+
+    def test_read_scalar_rejects_vreg(self, wf):
+        with pytest.raises(GpuError):
+            read_scalar(wf, VReg(0))
+
+    def test_read_vector_broadcast(self, wf):
+        out = read_vector(wf, Lit(0x42))
+        assert out.shape == (WAVE_SIZE,)
+        assert (out == 0x42).all()

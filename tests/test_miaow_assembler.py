@@ -1,0 +1,164 @@
+"""Assembler: parsing, validation, disassembly round-trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblerError
+from repro.miaow.assembler import Kernel, assemble, float_bits
+from repro.miaow.isa import Lit, OPCODES, SReg, Special, VReg
+
+
+MINIMAL = """
+.kernel mini
+    s_endpgm
+"""
+
+
+class TestParsing:
+    def test_minimal_kernel(self):
+        kernel = assemble(MINIMAL)
+        assert kernel.name == "mini"
+        assert len(kernel) == 1
+
+    def test_comments_stripped(self):
+        kernel = assemble("""
+        ; full-line comment
+        s_mov_b32 s1, 5   ; trailing
+        s_endpgm // c++ style
+        """)
+        assert len(kernel) == 2
+
+    def test_registers_parsed(self):
+        kernel = assemble("v_add_f32 v1, v2, s3\ns_endpgm")
+        inst = kernel.instructions[0]
+        assert inst.operands[0] == VReg(1)
+        assert inst.operands[1] == VReg(2)
+        assert inst.operands[2] == SReg(3)
+
+    def test_float_literal_stored_as_bits(self):
+        kernel = assemble("v_mov_b32 v0, 1.0\ns_endpgm")
+        assert kernel.instructions[0].operands[1] == Lit(0x3F800000)
+
+    def test_negative_float(self):
+        kernel = assemble("v_mov_b32 v0, -2.5\ns_endpgm")
+        assert kernel.instructions[0].operands[1] == Lit(float_bits(-2.5))
+
+    def test_hex_and_decimal_literals(self):
+        kernel = assemble("s_mov_b32 s0, 0xFF\ns_mov_b32 s1, 255\ns_endpgm")
+        assert kernel.instructions[0].operands[1] == Lit(0xFF)
+        assert kernel.instructions[1].operands[1] == Lit(255)
+
+    def test_negative_int_wraps(self):
+        kernel = assemble("s_mov_b32 s0, -1\ns_endpgm")
+        assert kernel.instructions[0].operands[1] == Lit(0xFFFFFFFF)
+
+    def test_special_registers(self):
+        kernel = assemble("s_mov_b32 s0, vcc\ns_endpgm")
+        assert kernel.instructions[0].operands[1] == Special("vcc")
+
+    def test_labels_resolve(self):
+        kernel = assemble("""
+        start:
+            s_branch end
+        end:
+            s_endpgm
+        """)
+        assert kernel.resolve("start") == 0
+        assert kernel.resolve("end") == 1
+
+    def test_vgprs_directive(self):
+        kernel = assemble(".vgprs 12\ns_endpgm")
+        assert kernel.vgprs_used == 12
+
+
+class TestValidation:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError):
+            assemble("v_frobnicate v0, v1\ns_endpgm")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("v_add_f32 v0, v1\ns_endpgm")
+
+    def test_scalar_dst_required(self):
+        with pytest.raises(AssemblerError):
+            assemble("s_mov_b32 v0, 1\ns_endpgm")
+
+    def test_vector_dst_required(self):
+        with pytest.raises(AssemblerError):
+            assemble("v_mov_b32 s0, 1\ns_endpgm")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("s_branch nowhere\ns_endpgm")
+
+    def test_branch_needs_target(self):
+        with pytest.raises(AssemblerError):
+            assemble("s_branch\ns_endpgm")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nx:\ns_endpgm")
+
+    def test_missing_endpgm(self):
+        with pytest.raises(AssemblerError):
+            assemble("s_mov_b32 s0, 1")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("s_mov_b32 s200, 1\ns_endpgm")
+        with pytest.raises(AssemblerError):
+            assemble("v_mov_b32 v99, 1\ns_endpgm")
+
+    def test_vgprs_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble(".vgprs 0\ns_endpgm")
+
+    def test_bad_operand_token(self):
+        with pytest.raises(AssemblerError):
+            assemble("s_mov_b32 s0, twelve\ns_endpgm")
+
+
+class TestDisassembly:
+    SAMPLE = """
+.kernel sample
+.vgprs 6
+    v_mov_b32 v1, 0x3f800000
+    s_mov_b32 s4, 3
+loop:
+    v_add_f32 v1, v1, v1
+    s_sub_i32 s4, s4, 1
+    s_cmp_gt_i32 s4, 0
+    s_cbranch_scc1 loop
+    s_endpgm
+"""
+
+    def test_roundtrip(self):
+        kernel = assemble(self.SAMPLE)
+        text = kernel.disassemble()
+        again = assemble(text)
+        assert len(again) == len(kernel)
+        assert again.labels == kernel.labels
+        assert [str(i) for i in again.instructions] == [
+            str(i) for i in kernel.instructions
+        ]
+
+    def test_disassembly_contains_labels(self):
+        text = assemble(self.SAMPLE).disassemble()
+        assert "loop:" in text
+        assert ".kernel sample" in text
+
+
+class TestOpcodeTable:
+    def test_every_opcode_has_semantics(self):
+        from repro.miaow.alu import HANDLERS
+
+        missing = set(OPCODES) - set(HANDLERS)
+        assert not missing, f"opcodes without semantics: {missing}"
+
+    def test_every_opcode_has_area_estimate(self):
+        from repro.synthesis.area_model import CuAreaModel, _build_inventory
+
+        names = {item.name for item in _build_inventory()}
+        for op in OPCODES:
+            assert f"decode.{op}" in names

@@ -1,0 +1,159 @@
+"""Binary program images: encode/decode round trips, device loading."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblerError
+from repro.miaow.assembler import assemble, float_bits
+from repro.miaow.binary import (
+    MAGIC,
+    decode_kernel,
+    encode_kernel,
+    image_bytes,
+)
+from repro.miaow.gpu import Gpu
+from repro.miaow.runtime import GpuRuntime
+
+LOOPY = """
+.kernel loopy
+.vgprs 6
+    v_mov_b32 v1, 0.0
+    s_mov_b32 s3, 0
+top:
+    v_add_f32 v1, v1, 1.5
+    s_add_i32 s3, s3, 1
+    s_cmp_lt_i32 s3, s2
+    s_cbranch_scc1 top
+    v_lshlrev_b32 v2, 2, v0
+    v_add_i32 v2, v2, s4
+    flat_store_dword v2, v1
+    s_endpgm
+"""
+
+
+def roundtrip(kernel):
+    return decode_kernel(encode_kernel(kernel), name=kernel.name)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        kernel = assemble(LOOPY)
+        again = roundtrip(kernel)
+        assert len(again) == len(kernel)
+        assert again.vgprs_used == kernel.vgprs_used
+        assert [i.op for i in again.instructions] == [
+            i.op for i in kernel.instructions
+        ]
+
+    def test_branch_targets_resolve_to_same_pcs(self):
+        kernel = assemble(LOOPY)
+        again = roundtrip(kernel)
+        for original, decoded in zip(kernel.instructions,
+                                     again.instructions):
+            if original.target is not None:
+                assert again.resolve(decoded.target) == kernel.resolve(
+                    original.target
+                )
+
+    def test_encode_is_fixed_point(self):
+        kernel = assemble(LOOPY)
+        once = encode_kernel(kernel)
+        twice = encode_kernel(decode_kernel(once))
+        assert (once == twice).all()
+
+    def test_ml_kernels_roundtrip(self):
+        from repro.ml.kernels import (
+            build_elm_kernel,
+            build_lstm_gates_kernel,
+            build_lstm_score_kernel,
+            build_lstm_update_kernel,
+        )
+
+        for kernel in (
+            build_elm_kernel(), build_lstm_gates_kernel(),
+            build_lstm_score_kernel(), build_lstm_update_kernel(),
+        ):
+            again = roundtrip(kernel)
+            assert [str(i.operands) for i in again.instructions] == [
+                str(i.operands) for i in kernel.instructions
+            ]
+
+    def test_decoded_kernel_executes_identically(self):
+        gpu_a, gpu_b = Gpu(), Gpu()
+        rt_a, rt_b = GpuRuntime(gpu_a), GpuRuntime(gpu_b)
+        kernel = rt_a.build_program(LOOPY)
+        decoded = decode_kernel(encode_kernel(kernel), name="loopy")
+        out_a, out_b = rt_a.alloc_f32(64), rt_b.alloc_f32(64)
+        result_a = rt_a.launch(kernel, 1, [7, 0, out_a])
+        result_b = gpu_b.dispatch(decoded, 1, [7, 0, out_b.address])
+        assert (rt_a.read_f32(out_a) == rt_b.read_f32(out_b)).all()
+        assert result_a.cycles == result_b.cycles
+
+    def test_image_bytes(self):
+        kernel = assemble("s_endpgm\n")
+        # header (2) + word0 + word1
+        assert image_bytes(kernel) == 16
+
+
+class TestDeviceLoading:
+    def test_upload_and_load_from_device(self):
+        runtime = GpuRuntime(Gpu())
+        kernel = runtime.build_program(LOOPY)
+        image_buffer = runtime.upload_binary(kernel)
+        loaded = runtime.load_binary(image_buffer, name="from-device")
+        assert runtime.get_kernel("from-device") is loaded
+        assert len(loaded) == len(kernel)
+
+
+class TestRobustness:
+    def test_bad_magic_rejected(self):
+        image = encode_kernel(assemble("s_endpgm\n")).copy()
+        image[2] ^= 0xFF000000  # clobber the magic byte of word0
+        with pytest.raises(AssemblerError):
+            decode_kernel(image)
+
+    def test_truncated_image_rejected(self):
+        image = encode_kernel(assemble(LOOPY))
+        with pytest.raises(AssemblerError):
+            decode_kernel(image[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        image = encode_kernel(assemble("s_endpgm\n"))
+        padded = np.concatenate([image, np.array([0], dtype=np.uint32)])
+        with pytest.raises(AssemblerError):
+            decode_kernel(padded)
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(AssemblerError):
+            decode_kernel(np.array([], dtype=np.uint32))
+
+    def test_unknown_opcode_index_rejected(self):
+        image = encode_kernel(assemble("s_endpgm\n")).copy()
+        image[2] = (image[2] & ~np.uint32(0xFF)) | np.uint32(0xFE)
+        with pytest.raises(AssemblerError):
+            decode_kernel(image)
+
+
+@given(
+    st.lists(
+        st.sampled_from([
+            "v_add_f32 v1, v2, v3",
+            "s_mov_b32 s4, 0x1234",
+            "v_mul_f32 v1, v1, 2.5",
+            "ds_read_b32 v2, v3",
+            "v_cndmask_b32 v1, v2, v3",
+            "s_cmp_lt_i32 s4, 10",
+            "v_mov_b32 v5, vcc",
+        ]),
+        max_size=12,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_programs_roundtrip(lines):
+    source = "\n".join(lines + ["s_endpgm"])
+    kernel = assemble(source)
+    again = decode_kernel(encode_kernel(kernel))
+    assert [str(i) for i in again.instructions] == [
+        str(i) for i in kernel.instructions
+    ]

@@ -1,0 +1,124 @@
+"""Control-flow divergence via EXEC masking (v_cmpx + save/restore)."""
+
+import numpy as np
+import pytest
+
+from repro.miaow.alu import execute
+from repro.miaow.assembler import assemble, float_bits
+from repro.miaow.gpu import Gpu
+from repro.miaow.isa import Instruction, Lit, SReg, VReg, WAVE_SIZE
+from repro.miaow.memory import GlobalMemory, LocalMemory
+from repro.miaow.runtime import GpuRuntime
+from repro.miaow.wavefront import Wavefront
+
+
+class FakeCu:
+    def __init__(self):
+        self.global_memory = GlobalMemory(16 * 1024)
+        self.local_memory = LocalMemory(4 * 1024)
+
+
+def run(wf, cu, op, *operands):
+    execute(wf, Instruction(op=op, operands=tuple(operands)), cu)
+
+
+class TestCmpx:
+    def test_narrows_exec(self):
+        wf, cu = Wavefront(vgprs=8), FakeCu()
+        run(wf, cu, "v_cmpx_lt_i32", VReg(0), Lit(10))
+        assert wf.exec_mask[:10].all()
+        assert not wf.exec_mask[10:].any()
+        assert (wf.vcc == wf.exec_mask).all()
+
+    def test_respects_prior_mask(self):
+        wf, cu = Wavefront(vgprs=8), FakeCu()
+        wf.exec_mask[:] = False
+        wf.exec_mask[5:20] = True
+        run(wf, cu, "v_cmpx_lt_i32", VReg(0), Lit(10))
+        assert wf.exec_mask[5:10].all()
+        assert not wf.exec_mask[0:5].any()
+        assert not wf.exec_mask[10:].any()
+
+    def test_float_variant(self):
+        wf, cu = Wavefront(vgprs=8), FakeCu()
+        wf.vgpr[1] = np.linspace(-1, 1, WAVE_SIZE).astype(
+            np.float32
+        ).view(np.uint32)
+        run(wf, cu, "v_cmpx_gt_f32", VReg(1), Lit(float_bits(0.0)))
+        assert wf.exec_mask.sum() == (
+            np.linspace(-1, 1, WAVE_SIZE) > 0
+        ).sum()
+
+
+class TestSaveRestore:
+    def test_roundtrip(self):
+        wf, cu = Wavefront(vgprs=8), FakeCu()
+        wf.exec_mask[:] = False
+        wf.exec_mask[::3] = True
+        original = wf.exec_mask.copy()
+        run(wf, cu, "s_saveexec_b64", SReg(10))
+        wf.exec_mask[:] = True
+        run(wf, cu, "s_mov_exec_b64", SReg(10))
+        assert (wf.exec_mask == original).all()
+
+    def test_spans_sgpr_pair(self):
+        wf, cu = Wavefront(vgprs=8), FakeCu()
+        wf.exec_mask[:] = False
+        wf.exec_mask[0] = True
+        wf.exec_mask[63] = True
+        run(wf, cu, "s_saveexec_b64", SReg(10))
+        assert wf.s_u32(10) == 1
+        assert wf.s_u32(11) == 0x80000000
+
+
+class TestDivergentKernel:
+    IF_ELSE = """
+    .kernel ifelse
+    .vgprs 8
+        ; out[lane] = lane < 32 ? lane * 2 : lane + 100
+        s_saveexec_b64 s10
+        v_cmpx_lt_i32 v0, 32
+        v_mul_lo_i32 v1, v0, 2          ; then-branch
+        s_mov_exec_b64 s10
+        v_cmpx_ge_i32 v0, 32
+        v_add_i32 v1, v0, 100           ; else-branch
+        s_mov_exec_b64 s10
+        v_lshlrev_b32 v2, 2, v0
+        v_add_i32 v2, v2, s2
+        flat_store_dword v2, v1
+        s_endpgm
+    """
+
+    def test_both_branches_execute_correctly(self):
+        runtime = GpuRuntime(Gpu())
+        kernel = runtime.build_program(self.IF_ELSE)
+        out = runtime.alloc(64 * 4)
+        runtime.launch(kernel, 1, [out])
+        values = runtime.read_u32(out, 64).astype(np.int64)
+        lanes = np.arange(64)
+        expected = np.where(lanes < 32, lanes * 2, lanes + 100)
+        assert (values == expected).all()
+
+    def test_execz_branch_skips_empty_side(self):
+        source = """
+        .kernel skipempty
+        .vgprs 6
+            s_saveexec_b64 s10
+            v_cmpx_lt_i32 v0, 0          ; no lane qualifies
+            s_cbranch_execz skip
+            v_mov_b32 v1, 0x29A          ; must never run
+        skip:
+            s_mov_exec_b64 s10
+            v_mov_b32 v1, 7
+            v_lshlrev_b32 v2, 2, v0
+            v_add_i32 v2, v2, s2
+            flat_store_dword v2, v1
+            s_endpgm
+        """
+        runtime = GpuRuntime(Gpu())
+        kernel = runtime.build_program(source)
+        out = runtime.alloc(64 * 4)
+        result = runtime.launch(kernel, 1, [out])
+        assert (runtime.read_u32(out, 64) == 7).all()
+        # and the skipped v_mov was never issued
+        assert result.instructions == len(kernel.instructions) - 1

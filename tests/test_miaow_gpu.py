@@ -1,0 +1,300 @@
+"""Memory, compute unit scheduling, multi-CU dispatch, runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    GpuError,
+    GpuMemoryError,
+    IllegalInstructionError,
+    KernelLaunchError,
+)
+from repro.miaow.assembler import assemble, float_bits
+from repro.miaow.compute_unit import ComputeUnit, GpuTimings
+from repro.miaow.gpu import Gpu
+from repro.miaow.memory import GlobalMemory, LocalMemory
+from repro.miaow.runtime import GpuRuntime
+
+SAXPY = """
+.kernel saxpy
+.vgprs 8
+    s_mov_b32 s6, 64
+    s_mul_i32 s7, s0, s6
+    v_mov_b32 v1, s7
+    v_add_i32 v1, v1, v0
+    v_lshlrev_b32 v2, 2, v1
+    v_mov_b32 v3, s3
+    v_add_i32 v3, v3, v2
+    v_mov_b32 v4, s4
+    v_add_i32 v4, v4, v2
+    flat_load_dword v5, v3
+    flat_load_dword v6, v4
+    v_mov_b32 v7, s2
+    v_mac_f32 v6, v7, v5
+    flat_store_dword v4, v6
+    s_endpgm
+"""
+
+COUNTDOWN = """
+.kernel countdown
+.vgprs 4
+    s_mov_b32 s3, 0
+loop:
+    s_add_i32 s3, s3, 1
+    s_cmp_lt_i32 s3, s2
+    s_cbranch_scc1 loop
+    s_endpgm
+"""
+
+REDUCE = """
+.kernel reduce
+.vgprs 6
+    v_cvt_f32_i32 v1, v0
+    ds_swizzle_b32 v2, v1, 32
+    v_add_f32 v1, v1, v2
+    ds_swizzle_b32 v2, v1, 16
+    v_add_f32 v1, v1, v2
+    ds_swizzle_b32 v2, v1, 8
+    v_add_f32 v1, v1, v2
+    ds_swizzle_b32 v2, v1, 4
+    v_add_f32 v1, v1, v2
+    ds_swizzle_b32 v2, v1, 2
+    v_add_f32 v1, v1, v2
+    ds_swizzle_b32 v2, v1, 1
+    v_add_f32 v1, v1, v2
+    v_mov_b32 v3, s2
+    flat_store_dword v3, v1
+    s_endpgm
+"""
+
+
+class TestGlobalMemory:
+    def test_alloc_alignment(self):
+        mem = GlobalMemory(4096)
+        a = mem.alloc(10, align=64)
+        b = mem.alloc(10, align=64)
+        assert a % 64 == 0 and b % 64 == 0 and b > a
+
+    def test_alloc_exhaustion(self):
+        mem = GlobalMemory(1024)
+        with pytest.raises(GpuMemoryError):
+            mem.alloc(2048)
+
+    def test_unaligned_access_rejected(self):
+        mem = GlobalMemory(1024)
+        with pytest.raises(GpuMemoryError):
+            mem.load_u32(2)
+
+    def test_out_of_range_rejected(self):
+        mem = GlobalMemory(1024)
+        with pytest.raises(GpuMemoryError):
+            mem.store_u32(1024, 1)
+
+    def test_block_f32_roundtrip(self):
+        mem = GlobalMemory(1024)
+        data = np.linspace(-1, 1, 16).astype(np.float32)
+        mem.write_f32(0, data)
+        assert np.allclose(mem.read_f32(0, 16), data)
+
+    def test_gather_scatter_masked(self):
+        mem = GlobalMemory(1024)
+        addresses = np.arange(64, dtype=np.uint32) * 4
+        values = np.arange(64, dtype=np.uint32)
+        mask = np.zeros(64, bool)
+        mask[10:20] = True
+        mem.scatter_u32(addresses, values, mask)
+        out = mem.gather_u32(addresses, np.ones(64, bool))
+        assert (out[10:20] == values[10:20]).all()
+        assert (out[:10] == 0).all()
+
+
+class TestLocalMemory:
+    def test_persists_across_clears_only(self):
+        lds = LocalMemory(1024)
+        lds.write_f32(0, np.array([1.5, 2.5], np.float32))
+        assert np.allclose(lds.read_f32(0, 2), [1.5, 2.5])
+        lds.clear()
+        assert (lds.read_f32(0, 2) == 0).all()
+
+    def test_bounds(self):
+        lds = LocalMemory(64)
+        with pytest.raises(GpuMemoryError):
+            lds.write_f32(60, np.array([1, 2, 3], np.float32))
+
+
+class TestComputeUnit:
+    def test_loop_trip_count_affects_cycles(self):
+        kernel = assemble(COUNTDOWN)
+        mem = GlobalMemory(1024)
+        cu = ComputeUnit(0, mem)
+        c_short = cu.run_workgroups(kernel, [0], 1, [5])
+        cu2 = ComputeUnit(0, mem)
+        c_long = cu2.run_workgroups(kernel, [0], 1, [50])
+        assert c_long > c_short * 5
+
+    def test_single_wavefront_cycles_are_sum_of_costs(self):
+        source = "v_add_f32 v1, v1, v1\nv_add_f32 v1, v1, v1\ns_endpgm\n"
+        kernel = assemble(source)
+        timings = GpuTimings()
+        cu = ComputeUnit(0, GlobalMemory(1024), timings=timings)
+        cycles = cu.run_workgroups(kernel, [0], 1, [])
+        expected = 2 * timings.valu + timings.special
+        assert cycles == pytest.approx(expected, abs=3)
+
+    def test_multi_resident_overlaps_memory_latency(self):
+        # A load-heavy loop stalls a single wavefront; a second
+        # resident wavefront fills the idle issue slots.
+        source = """
+        .vgprs 4
+        s_mov_b32 s3, 0
+        v_mov_b32 v1, 0
+        loop:
+        flat_load_dword v2, v1
+        s_add_i32 s3, s3, 1
+        s_cmp_lt_i32 s3, s2
+        s_cbranch_scc1 loop
+        s_endpgm
+        """
+        kernel = assemble(source)
+        serial = ComputeUnit(0, GlobalMemory(1024), max_resident=1)
+        t_serial = serial.run_workgroups(kernel, [0, 1], 2, [40])
+        overlapped = ComputeUnit(0, GlobalMemory(1024), max_resident=2)
+        t_overlap = overlapped.run_workgroups(kernel, [0, 1], 2, [40])
+        assert t_overlap < t_serial
+
+    def test_runaway_loop_guard(self):
+        source = "loop:\ns_branch loop\ns_endpgm\n"
+        kernel = assemble(source)
+        from repro.miaow import compute_unit
+
+        cu = ComputeUnit(0, GlobalMemory(1024))
+        original = compute_unit.MAX_INSTRUCTIONS_PER_WAVE
+        compute_unit.MAX_INSTRUCTIONS_PER_WAVE = 1000
+        try:
+            with pytest.raises(GpuError):
+                cu.run_workgroups(kernel, [0], 1, [])
+        finally:
+            compute_unit.MAX_INSTRUCTIONS_PER_WAVE = original
+
+    def test_workgroup_id_in_s0(self):
+        source = """
+        v_mov_b32 v1, s0
+        v_lshlrev_b32 v2, 2, v0
+        v_add_i32 v2, v2, s2
+        s_mov_b32 s3, 256
+        s_mul_i32 s3, s0, s3
+        v_add_i32 v2, v2, s3
+        flat_store_dword v2, v1
+        s_endpgm
+        """
+        kernel = assemble(source)
+        mem = GlobalMemory(4096)
+        cu = ComputeUnit(0, mem)
+        cu.run_workgroups(kernel, [0, 1], 2, [0])
+        assert mem.load_u32(0) == 0
+        assert mem.load_u32(256) == 1
+
+    def test_trimmed_opcode_rejected(self):
+        kernel = assemble("v_add_f32 v1, v1, v1\ns_endpgm\n")
+        cu = ComputeUnit(
+            0, GlobalMemory(1024), allowed_ops={"s_endpgm"}
+        )
+        with pytest.raises(IllegalInstructionError):
+            cu.run_workgroups(kernel, [0], 1, [])
+
+
+class TestGpuDispatch:
+    def test_saxpy_multi_cu_correct(self):
+        for num_cus in (1, 2, 5):
+            gpu = Gpu(num_cus=num_cus)
+            rt = GpuRuntime(gpu)
+            kernel = rt.build_program(SAXPY)
+            n = 320
+            x = np.arange(n, dtype=np.float32)
+            y = np.ones(n, dtype=np.float32)
+            bx, by = rt.alloc_f32(n), rt.alloc_f32(n)
+            rt.write(bx, x)
+            rt.write(by, y)
+            rt.launch(kernel, n // 64, [float_bits(2.0), bx, by, n])
+            assert np.allclose(rt.read_f32(by, n), 2 * x + 1)
+
+    def test_more_cus_fewer_cycles(self):
+        results = {}
+        for num_cus in (1, 5):
+            gpu = Gpu(num_cus=num_cus)
+            rt = GpuRuntime(gpu)
+            kernel = rt.build_program(SAXPY)
+            n = 320
+            bx, by = rt.alloc_f32(n), rt.alloc_f32(n)
+            rt.write(bx, np.zeros(n, np.float32))
+            rt.write(by, np.zeros(n, np.float32))
+            results[num_cus] = rt.launch(
+                kernel, 5, [float_bits(1.0), bx, by, n]
+            ).cycles
+        assert results[5] * 4 < results[1] * 5
+        assert results[5] >= results[1] // 5
+
+    def test_butterfly_reduction(self):
+        gpu = Gpu(num_cus=1)
+        rt = GpuRuntime(gpu)
+        kernel = rt.build_program(REDUCE)
+        out = rt.alloc_f32(1)
+        rt.launch(kernel, 1, [out])
+        # Every lane holds the total after the butterfly; they all
+        # store the same value to the same address.
+        assert rt.read_f32(out, 1)[0] == np.arange(64).sum()
+
+    def test_lds_preload_visible_to_all_cus(self):
+        gpu = Gpu(num_cus=3)
+        weights = np.linspace(0, 1, 32).astype(np.float32)
+        gpu.write_lds_f32_all(0, weights)
+        for cu in gpu.compute_units:
+            assert np.allclose(cu.local_memory.read_f32(0, 32), weights)
+
+    def test_bad_workgroup_count(self):
+        gpu = Gpu()
+        kernel = assemble("s_endpgm\n")
+        with pytest.raises(KernelLaunchError):
+            gpu.dispatch(kernel, 0)
+
+    def test_per_cu_cycles_reported(self):
+        gpu = Gpu(num_cus=2)
+        kernel = assemble(COUNTDOWN)
+        result = gpu.dispatch(kernel, 3, [10])
+        assert set(result.per_cu_cycles) == {0, 1}
+        assert result.cycles == max(result.per_cu_cycles.values())
+
+    def test_microseconds_conversion(self):
+        gpu = Gpu()
+        kernel = assemble(COUNTDOWN)
+        result = gpu.dispatch(kernel, 1, [10])
+        assert result.microseconds(50e6) == pytest.approx(
+            result.cycles / 50
+        )
+
+
+class TestRuntime:
+    def test_named_program_registry(self):
+        rt = GpuRuntime(Gpu())
+        rt.build_program("s_endpgm\n", name="nop")
+        assert rt.get_kernel("nop").name == "nop"
+        with pytest.raises(KernelLaunchError):
+            rt.get_kernel("missing")
+
+    def test_buffer_write_too_large(self):
+        rt = GpuRuntime(Gpu())
+        buf = rt.alloc_f32(4)
+        with pytest.raises(KernelLaunchError):
+            rt.write(buf, np.zeros(8, np.float32))
+
+    def test_buffer_args_flattened_to_addresses(self):
+        rt = GpuRuntime(Gpu())
+        buf = rt.alloc_f32(4)
+        flat = rt._flatten_args([buf, 7])
+        assert flat == [buf.address, 7]
+
+    def test_read_u32(self):
+        rt = GpuRuntime(Gpu())
+        buf = rt.alloc(16)
+        rt.write(buf, np.array([1, 2, 3, 4], np.uint32))
+        assert (rt.read_u32(buf) == [1, 2, 3, 4]).all()

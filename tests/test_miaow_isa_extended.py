@@ -1,0 +1,169 @@
+"""Extended ISA: bit manipulation, FMA, conversions, LDS atomics."""
+
+import numpy as np
+import pytest
+
+from repro.miaow.alu import execute
+from repro.miaow.assembler import assemble, float_bits
+from repro.miaow.binary import decode_kernel, encode_kernel
+from repro.miaow.isa import Instruction, Lit, SReg, VReg, WAVE_SIZE
+from repro.miaow.memory import GlobalMemory, LocalMemory
+from repro.miaow.wavefront import Wavefront
+
+
+class FakeCu:
+    def __init__(self):
+        self.global_memory = GlobalMemory(64 * 1024)
+        self.local_memory = LocalMemory(16 * 1024)
+
+
+@pytest.fixture
+def cu():
+    return FakeCu()
+
+
+@pytest.fixture
+def wf():
+    return Wavefront(vgprs=16)
+
+
+def run(wf, cu, op, *operands):
+    execute(wf, Instruction(op=op, operands=tuple(operands)), cu)
+
+
+class TestScalarBitOps:
+    def test_not(self, wf, cu):
+        run(wf, cu, "s_not_b32", SReg(2), Lit(0x0000FFFF))
+        assert wf.s_u32(2) == 0xFFFF0000
+
+    def test_popcount(self, wf, cu):
+        run(wf, cu, "s_bcnt1_i32_b32", SReg(2), Lit(0xF0F0))
+        assert wf.s_u32(2) == 8
+
+    def test_popcount_zero(self, wf, cu):
+        run(wf, cu, "s_bcnt1_i32_b32", SReg(2), Lit(0))
+        assert wf.s_u32(2) == 0
+
+    def test_find_first_one(self, wf, cu):
+        run(wf, cu, "s_ff1_i32_b32", SReg(2), Lit(0b101000))
+        assert wf.s_u32(2) == 3
+
+    def test_find_first_one_empty(self, wf, cu):
+        run(wf, cu, "s_ff1_i32_b32", SReg(2), Lit(0))
+        assert wf.s_u32(2) == 0xFFFFFFFF
+
+
+class TestVectorExtended:
+    def test_fma(self, wf, cu):
+        wf.vgpr[1] = np.full(WAVE_SIZE, float_bits(2.0), np.uint32)
+        wf.vgpr[2] = np.full(WAVE_SIZE, float_bits(3.0), np.uint32)
+        wf.vgpr[3] = np.full(WAVE_SIZE, float_bits(0.5), np.uint32)
+        run(wf, cu, "v_fma_f32", VReg(4), VReg(1), VReg(2), VReg(3))
+        assert np.allclose(wf.v_f32(4), 6.5)
+
+    def test_mul_hi_u32(self, wf, cu):
+        wf.vgpr[1] = np.full(WAVE_SIZE, 0x80000000, np.uint32)
+        run(wf, cu, "v_mul_hi_u32", VReg(2), VReg(1), Lit(4))
+        assert (wf.v_u32(2) == 2).all()
+
+    def test_bfe(self, wf, cu):
+        wf.vgpr[1] = np.full(WAVE_SIZE, 0xABCD1234, np.uint32)
+        run(wf, cu, "v_bfe_u32", VReg(2), VReg(1), Lit(8), Lit(8))
+        assert (wf.v_u32(2) == 0x12).all()
+
+    def test_bfi(self, wf, cu):
+        # select mask 0xFF00: insert bits from src1, keep base elsewhere
+        run(
+            wf, cu, "v_bfi_b32", VReg(2),
+            Lit(0xFF00), Lit(0xAB00), Lit(0x1234),
+        )
+        assert (wf.v_u32(2) == 0xAB34).all()
+
+    def test_cvt_unsigned_roundtrip(self, wf, cu):
+        wf.vgpr[1] = np.full(WAVE_SIZE, 3_000_000_000, np.uint32)
+        run(wf, cu, "v_cvt_f32_u32", VReg(2), VReg(1))
+        run(wf, cu, "v_cvt_u32_f32", VReg(3), VReg(2))
+        assert np.allclose(
+            wf.v_u32(3).astype(np.float64), 3_000_000_000, rtol=1e-7
+        )
+
+    def test_trunc_floor_differ_on_negatives(self, wf, cu):
+        wf.vgpr[1] = np.full(WAVE_SIZE, float_bits(-1.5), np.uint32)
+        run(wf, cu, "v_trunc_f32", VReg(2), VReg(1))
+        run(wf, cu, "v_floor_f32", VReg(3), VReg(1))
+        assert (wf.v_f32(2) == -1.0).all()
+        assert (wf.v_f32(3) == -2.0).all()
+
+
+class TestLdsAtomic:
+    def test_colliding_lanes_accumulate(self, wf, cu):
+        # all 64 lanes add 1 to the same word
+        wf.vgpr[1] = np.zeros(WAVE_SIZE, np.uint32)  # address 0
+        wf.vgpr[2] = np.ones(WAVE_SIZE, np.uint32)
+        run(wf, cu, "ds_add_u32", VReg(1), VReg(2))
+        assert cu.local_memory.read_block(0, 1)[0] == WAVE_SIZE
+
+    def test_respects_exec_mask(self, wf, cu):
+        wf.vgpr[1] = np.zeros(WAVE_SIZE, np.uint32)
+        wf.vgpr[2] = np.ones(WAVE_SIZE, np.uint32)
+        wf.exec_mask[:] = False
+        wf.exec_mask[:10] = True
+        run(wf, cu, "ds_add_u32", VReg(1), VReg(2))
+        assert cu.local_memory.read_block(0, 1)[0] == 10
+
+    def test_histogram_kernel(self, cu):
+        """An LDS-atomic histogram — a kernel the ELM's converter could
+        offload: each lane bins its input value."""
+        from repro.miaow.gpu import Gpu
+        from repro.miaow.runtime import GpuRuntime
+
+        source = """
+        .kernel lds_histogram
+        .vgprs 8
+            ; s2 = input base (64 u32 bins in [0,16)), s3 = out base
+            v_lshlrev_b32 v1, 2, v0
+            v_add_i32 v1, v1, s2
+            flat_load_dword v2, v1          ; value
+            v_lshlrev_b32 v3, 2, v2         ; bin byte address
+            ds_add_u32 v3, 1
+            ; copy bins back out (each lane copies its own slot;
+            ; only slots 0..15 are ever nonzero)
+            v_lshlrev_b32 v4, 2, v0
+            ds_read_b32 v5, v4
+            v_add_i32 v6, v4, s3
+            flat_store_dword v6, v5
+            s_endpgm
+        """
+        gpu = Gpu(num_cus=1)
+        runtime = GpuRuntime(gpu)
+        kernel = runtime.build_program(source)
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 16, 64).astype(np.uint32)
+        buf_in = runtime.alloc(64 * 4)
+        buf_out = runtime.alloc(64 * 4)
+        runtime.write(buf_in, values)
+        runtime.launch(kernel, 1, [buf_in, buf_out])
+        bins = runtime.read_u32(buf_out, 16)
+        expected = np.bincount(values, minlength=16)[:16]
+        assert (bins == expected).all()
+
+
+class TestBinaryFourOperands:
+    def test_fma_roundtrips(self):
+        kernel = assemble(
+            "v_fma_f32 v1, v2, v3, 1.5\n"
+            "v_bfe_u32 v4, v1, 4, 8\n"
+            "s_endpgm\n"
+        )
+        again = decode_kernel(encode_kernel(kernel))
+        assert [str(i) for i in again.instructions] == [
+            str(i) for i in kernel.instructions
+        ]
+
+    def test_all_opcodes_fit_encoding(self):
+        """Every opcode's maximum-arity form must encode."""
+        from repro.miaow.isa import OPCODES
+
+        for name, info in OPCODES.items():
+            arity = len(info.signature.rstrip("L"))
+            assert arity <= 4, name

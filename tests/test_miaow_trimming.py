@@ -1,0 +1,143 @@
+"""Coverage collection and the four-step trimming flow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrimmingError
+from repro.miaow.assembler import assemble, float_bits
+from repro.miaow.coverage import (
+    CoverageCollector,
+    CoverageReport,
+    all_coverage_points,
+)
+from repro.miaow.gpu import Gpu
+from repro.miaow.runtime import GpuRuntime
+from repro.miaow.trimming import TrimmingFlow
+from repro.synthesis.area_model import CalibrationError
+
+FLOAT_KERNEL = """
+.kernel floats
+.vgprs 6
+    v_cvt_f32_i32 v1, v0
+    v_mul_f32 v1, v1, 2.0
+    v_exp_f32 v2, v1
+    v_rcp_f32 v3, v2
+    v_lshlrev_b32 v4, 2, v0
+    v_add_i32 v4, v4, s2
+    flat_store_dword v4, v3
+    s_endpgm
+"""
+
+INT_KERNEL = """
+.kernel ints
+.vgprs 6
+    v_mul_lo_i32 v1, v0, 3
+    v_and_b32 v1, v1, 0xFF
+    v_lshlrev_b32 v2, 2, v0
+    v_add_i32 v2, v2, s2
+    flat_store_dword v2, v1
+    s_endpgm
+"""
+
+
+def run_kernel(source):
+    def run(gpu):
+        rt = GpuRuntime(gpu)
+        kernel = rt.build_program(source)
+        out = rt.alloc_f32(64)
+        rt.launch(kernel, 1, [out])
+        return rt.read_f32(out, 64)
+
+    return run
+
+
+class TestCoverage:
+    def test_collector_counts_hits(self):
+        collector = CoverageCollector("t")
+        collector.hit_opcode("v_add_f32")
+        collector.hit_opcode("v_add_f32")
+        assert collector.hits["decode.v_add_f32"] == 2
+        assert "block.valu_fadd" in collector.covered
+
+    def test_gpu_records_coverage(self):
+        collector = CoverageCollector("run")
+        gpu = Gpu(coverage=collector)
+        run_kernel(FLOAT_KERNEL)(gpu)
+        assert "decode.v_exp_f32" in collector.covered
+        assert "decode.v_mul_lo_i32" not in collector.covered
+
+    def test_merge_unions(self):
+        a, b = CoverageCollector("a"), CoverageCollector("b")
+        a.hit_opcode("v_add_f32")
+        b.hit_opcode("s_mov_b32")
+        report = CoverageReport.merge([a, b])
+        assert {"decode.v_add_f32", "decode.s_mov_b32"} <= report.covered
+        assert report.runs == ["a", "b"]
+
+    def test_uncovered_complement(self):
+        report = CoverageReport.merge([CoverageCollector("empty")])
+        assert report.uncovered == all_coverage_points()
+        assert report.coverage_ratio() == 0.0
+
+    def test_covered_opcodes_extraction(self):
+        collector = CoverageCollector("x")
+        collector.hit_opcode("ds_read_b32")
+        report = CoverageReport.merge([collector])
+        assert report.covered_opcodes == {"ds_read_b32"}
+        assert report.covered_blocks == {"lds_unit"}
+
+
+class TestTrimmingFlow:
+    def test_simulate_produces_per_run_coverage(self):
+        flow = TrimmingFlow()
+        collectors = flow.simulate(
+            [("floats", run_kernel(FLOAT_KERNEL)),
+             ("ints", run_kernel(INT_KERNEL))]
+        )
+        assert len(collectors) == 2
+        assert "decode.v_exp_f32" in collectors[0].covered
+        assert "decode.v_exp_f32" not in collectors[1].covered
+
+    def test_full_flow_verifies(self):
+        flow = TrimmingFlow()
+        result = flow.run(
+            [("floats", run_kernel(FLOAT_KERNEL)),
+             ("ints", run_kernel(INT_KERNEL))]
+        )
+        assert result.verified
+        assert "v_exp_f32" in result.allowed_ops
+        assert "v_sqrt_f32" not in result.allowed_ops
+
+    def test_trimmed_engine_runs_covered_kernels(self):
+        flow = TrimmingFlow()
+        runs = [("floats", run_kernel(FLOAT_KERNEL))]
+        result = flow.run(runs)
+        trimmed = flow.build_trimmed_gpu(result, num_cus=2)
+        out = run_kernel(FLOAT_KERNEL)(trimmed)
+        reference = run_kernel(FLOAT_KERNEL)(Gpu())
+        assert np.allclose(out, reference, equal_nan=True)
+
+    def test_trimmed_engine_rejects_uncovered_kernel(self):
+        flow = TrimmingFlow()
+        result = flow.run([("floats", run_kernel(FLOAT_KERNEL))])
+        trimmed = flow.build_trimmed_gpu(result, num_cus=1)
+        with pytest.raises(Exception) as excinfo:
+            run_kernel(INT_KERNEL)(trimmed)
+        assert "trimmed" in str(excinfo.value)
+
+    def test_verify_failure_reported_as_trimming_error(self):
+        flow = TrimmingFlow()
+        result = flow.run([("floats", run_kernel(FLOAT_KERNEL))])
+        with pytest.raises(TrimmingError):
+            flow.verify(result, [("ints", run_kernel(INT_KERNEL))])
+
+    def test_area_reductions_ordered(self):
+        """Coverage trimming must beat instruction-analysis trimming."""
+        flow = TrimmingFlow()
+        result = flow.run(
+            [("floats", run_kernel(FLOAT_KERNEL)),
+             ("ints", run_kernel(INT_KERNEL))],
+            single_model_runs=[("floats", run_kernel(FLOAT_KERNEL))],
+        )
+        assert result.reduction_pct > result.instruction_reduction_pct
+        assert result.perf_per_area_vs_full > result.perf_per_area_vs_instruction > 1

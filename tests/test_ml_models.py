@@ -1,0 +1,322 @@
+"""ML models: features, ELM, LSTM, MLP, n-gram, detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.ml.detector import DetectionMetrics, ThresholdDetector, roc_auc
+from repro.ml.elm import ExtremeLearningMachine
+from repro.ml.features import (
+    PatternDictionary,
+    histogram_features,
+    log_softmax,
+    normalize_histogram,
+    one_hot,
+    sigmoid,
+)
+from repro.ml.lstm import LstmModel
+from repro.ml.mlp import MlpAutoencoder
+from repro.ml.ngram import NgramModel
+
+
+class TestFeatures:
+    def test_histogram_counts(self):
+        out = histogram_features(np.array([[1, 1, 2, 0]]), 4)
+        assert (out[0] == [1, 2, 1, 0]).all()
+
+    def test_histogram_rejects_out_of_vocab(self):
+        with pytest.raises(ModelError):
+            histogram_features(np.array([[5]]), 4)
+
+    def test_normalize_rows_sum_to_one(self):
+        h = histogram_features(np.array([[1, 1, 2, 0]]), 4)
+        assert normalize_histogram(h).sum() == pytest.approx(1.0)
+
+    def test_normalize_handles_zero_rows(self):
+        out = normalize_histogram(np.zeros((2, 4)))
+        assert (out == 0).all()
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert (out == [[1, 0, 0], [0, 0, 1]]).all()
+
+    def test_sigmoid_stable_extremes(self):
+        x = np.array([-1e4, 0.0, 1e4])
+        out = sigmoid(x)
+        assert out[0] == 0.0 and out[1] == 0.5 and out[2] == 1.0
+
+    def test_log_softmax_normalizes(self):
+        logits = np.random.default_rng(0).normal(size=(3, 7))
+        assert np.allclose(
+            np.exp(log_softmax(logits)).sum(axis=-1), 1.0
+        )
+
+
+class TestPatternDictionary:
+    WINDOWS = np.array([
+        [1, 2, 3, 1, 2, 3],
+        [1, 2, 3, 4, 5, 6],
+        [4, 5, 6, 4, 5, 6],
+    ])
+
+    def test_fit_and_lookup(self):
+        d = PatternDictionary(n=3, capacity=100).fit(self.WINDOWS)
+        indices = d.indices(np.array([1, 2, 3, 1, 2]))
+        assert d.unseen_index not in indices
+
+    def test_unseen_maps_to_unseen_bin(self):
+        d = PatternDictionary(n=3, capacity=100).fit(self.WINDOWS)
+        indices = d.indices(np.array([9, 9, 9]))
+        assert (indices == d.unseen_index).all()
+
+    def test_unseen_gain_repeats_index(self):
+        d = PatternDictionary(n=3, capacity=100, unseen_gain=3)
+        d.fit(self.WINDOWS)
+        indices = d.indices(np.array([9, 9, 9]))
+        assert len(indices) == 3  # one position x gain 3
+
+    def test_features_match_indices(self):
+        d = PatternDictionary(n=2, capacity=50, unseen_gain=2)
+        d.fit(self.WINDOWS)
+        window = np.array([1, 2, 9, 9])
+        feats = d.features(window)
+        positions = 3
+        assert feats.sum() * positions == pytest.approx(len(d.indices(window)))
+
+    def test_capacity_limits_size(self):
+        d = PatternDictionary(n=2, capacity=2).fit(self.WINDOWS)
+        assert d.size == 3  # 2 patterns + unseen bin
+
+    def test_use_before_fit(self):
+        with pytest.raises(ModelError):
+            PatternDictionary().indices(np.array([1, 2, 3]))
+
+    def test_bad_params(self):
+        with pytest.raises(ModelError):
+            PatternDictionary(n=0)
+        with pytest.raises(ModelError):
+            PatternDictionary(unseen_gain=0)
+
+    def test_max_indices(self):
+        d = PatternDictionary(n=3, capacity=10, unseen_gain=4)
+        assert d.max_indices(window=16) == 14 * 4
+
+
+class TestElm:
+    def test_hidden_shape_and_range(self, tiny_elm, tiny_dictionary,
+                                     syscall_dataset):
+        feats = tiny_dictionary.features(syscall_dataset.test_normal[:5])
+        h = tiny_elm.hidden(feats)
+        assert h.shape == (5, 64)
+        assert (h > 0).all() and (h < 1).all()
+
+    def test_requires_fit_before_score(self):
+        model = ExtremeLearningMachine(input_dim=4, hidden_dim=8)
+        with pytest.raises(ModelError):
+            model.score_mahalanobis(np.zeros((1, 4)))
+
+    def test_feature_width_checked(self, tiny_elm):
+        with pytest.raises(ModelError):
+            tiny_elm.hidden(np.zeros((1, 3)))
+
+    def test_anomalies_score_higher(self, tiny_elm, tiny_dictionary,
+                                     syscall_dataset):
+        normal = tiny_elm.score_mahalanobis(
+            tiny_dictionary.features(syscall_dataset.test_normal)
+        )
+        anomalous = tiny_elm.score_mahalanobis(
+            tiny_dictionary.features(syscall_dataset.test_anomalous)
+        )
+        assert roc_auc(normal, anomalous) > 0.7
+
+    def test_f32_score_close_to_f64(self, tiny_elm, tiny_dictionary,
+                                    syscall_dataset):
+        feats = tiny_dictionary.features(syscall_dataset.test_normal[:20])
+        f64 = tiny_elm.score_mahalanobis(feats)
+        f32 = tiny_elm.score_mahalanobis_f32(feats)
+        assert np.allclose(f64, f32, rtol=5e-3)
+
+    def test_reconstruction_score_positive(self, tiny_elm, tiny_dictionary,
+                                           syscall_dataset):
+        feats = tiny_dictionary.features(syscall_dataset.test_normal[:5])
+        assert (tiny_elm.score_reconstruction(feats) >= 0).all()
+
+    def test_export_weights_f32(self, tiny_elm):
+        w = tiny_elm.export_weights()
+        assert w.w_hidden.dtype == np.float32
+        assert w.inv_var.shape == (64,)
+        assert (w.inv_var > 0).all()
+
+    def test_deterministic_given_seed(self):
+        a = ExtremeLearningMachine(8, 16, seed=3)
+        b = ExtremeLearningMachine(8, 16, seed=3)
+        assert np.allclose(a.w_hidden, b.w_hidden)
+
+
+class TestLstm:
+    def test_training_reduces_loss(self, call_dataset):
+        model = LstmModel(call_dataset.vocabulary.size, hidden_size=12, seed=1)
+        losses = model.fit(call_dataset.train_windows[:400], epochs=3)
+        assert losses[-1] < losses[0]
+
+    def test_nll_separates_anomalies(self, tiny_lstm, call_dataset):
+        normal = tiny_lstm.window_nll(call_dataset.test_normal[:300])
+        anomalous = tiny_lstm.window_nll(call_dataset.test_anomalous[:300])
+        assert roc_auc(normal, anomalous) > 0.6
+
+    def test_stream_step_scores_before_update(self, tiny_lstm):
+        state = tiny_lstm.initial_state()
+        surprisal, new_state = tiny_lstm.stream_step(state, 1)
+        assert surprisal == pytest.approx(-state.log_probs[1])
+        assert not np.allclose(new_state.h, state.h)
+
+    def test_stream_matches_window_nll(self, tiny_lstm):
+        """Streaming from a zero state over a window reproduces the
+        batch NLL (same per-step surprisals)."""
+        window = np.array([1, 2, 3, 4, 5, 1, 2, 3])
+        state = tiny_lstm.initial_state()
+        surprisals = []
+        for index, branch in enumerate(window):
+            s, state = tiny_lstm.stream_step(state, int(branch))
+            if index > 0:
+                surprisals.append(s)
+        batch = tiny_lstm.window_nll(window[None, :])[0]
+        assert np.mean(surprisals) == pytest.approx(batch, rel=1e-6)
+
+    def test_bad_vocab_id(self, tiny_lstm):
+        state = tiny_lstm.initial_state()
+        with pytest.raises(ModelError):
+            tiny_lstm.stream_step(state, 10_000)
+
+    def test_window_too_short(self, tiny_lstm):
+        with pytest.raises(ModelError):
+            tiny_lstm.window_nll(np.array([[1]]))
+
+    def test_gradient_check_small_model(self):
+        """Numerical gradient check on a tiny LSTM."""
+        model = LstmModel(vocabulary_size=5, hidden_size=3, seed=0)
+        windows = np.array([[1, 2, 3, 4], [2, 3, 4, 1]])
+        loss, grads = model._loss_and_grads(windows)
+        eps = 1e-6
+        for key in ("u", "b", "w_out"):
+            param = model.params[key]
+            flat_index = 1 if param.ndim == 1 else (1, 1)
+            original = param[flat_index]
+            param[flat_index] = original + eps
+            loss_plus, _ = model._loss_and_grads(windows)
+            param[flat_index] = original - eps
+            loss_minus, _ = model._loss_and_grads(windows)
+            param[flat_index] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads[key][flat_index] == pytest.approx(
+                numeric, rel=1e-3, abs=1e-6
+            ), key
+
+
+class TestBaselines:
+    def test_mlp_training_reduces_loss(self, tiny_dictionary, syscall_dataset):
+        feats = tiny_dictionary.features(syscall_dataset.train_windows[:500])
+        mlp = MlpAutoencoder(input_dim=tiny_dictionary.size, hidden_dim=16)
+        losses = mlp.fit(feats, epochs=10)
+        assert losses[-1] < losses[0]
+
+    def test_mlp_scores_anomalies_higher(self, tiny_dictionary,
+                                         syscall_dataset):
+        train = tiny_dictionary.features(syscall_dataset.train_windows[:800])
+        mlp = MlpAutoencoder(input_dim=tiny_dictionary.size, hidden_dim=24)
+        mlp.fit(train, epochs=20)
+        normal = mlp.score(
+            tiny_dictionary.features(syscall_dataset.test_normal)
+        )
+        anomalous = mlp.score(
+            tiny_dictionary.features(syscall_dataset.test_anomalous)
+        )
+        assert roc_auc(normal, anomalous) > 0.6
+
+    def test_mlp_parameter_count(self):
+        mlp = MlpAutoencoder(input_dim=10, hidden_dim=4)
+        assert mlp.parameter_count == 10 * 4 + 4 + 4 * 10 + 10
+
+    def test_ngram_known_windows_score_zero(self, syscall_dataset):
+        model = NgramModel(3).fit(syscall_dataset.train_windows)
+        scores = model.score(syscall_dataset.train_windows[:50])
+        assert (scores == 0).all()
+
+    def test_ngram_detects_anomalies(self, syscall_dataset):
+        model = NgramModel(3).fit(syscall_dataset.train_windows)
+        normal = model.score(syscall_dataset.test_normal)
+        anomalous = model.score(syscall_dataset.test_anomalous)
+        assert roc_auc(normal, anomalous) > 0.7
+
+    def test_ngram_requires_fit(self):
+        with pytest.raises(ModelError):
+            NgramModel().score(np.array([[1, 2, 3]]))
+
+    def test_ngram_window_shorter_than_n(self):
+        with pytest.raises(ModelError):
+            NgramModel(5).fit(np.array([[1, 2, 3]]))
+
+
+class TestDetector:
+    def test_threshold_is_quantile(self):
+        scores = np.arange(1000)
+        detector = ThresholdDetector(0.9).fit(scores)
+        assert detector.threshold == pytest.approx(
+            np.quantile(scores, 0.9)
+        )
+
+    def test_fpr_bounded_by_quantile(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=5000)
+        detector = ThresholdDetector(0.99).fit(scores)
+        fresh = rng.normal(size=5000)
+        fpr = detector.classify(fresh).mean()
+        assert fpr < 0.03
+
+    def test_monotone_in_quantile(self):
+        scores = np.random.default_rng(1).random(1000)
+        t_low = ThresholdDetector(0.9).fit(scores).threshold
+        t_high = ThresholdDetector(0.99).fit(scores).threshold
+        assert t_high >= t_low
+
+    def test_evaluate_metrics(self):
+        detector = ThresholdDetector(0.95).fit(np.arange(100.0))
+        metrics = detector.evaluate(
+            normal_scores=np.arange(100.0),
+            anomalous_scores=np.arange(100.0) + 200,
+        )
+        assert metrics.detection_rate == 1.0
+        assert metrics.auc == 1.0
+        assert metrics.false_positive_rate <= 0.06
+
+    def test_requires_enough_scores(self):
+        with pytest.raises(ModelError):
+            ThresholdDetector().fit([1.0] * 5)
+
+    def test_bad_quantile(self):
+        with pytest.raises(ModelError):
+            ThresholdDetector(quantile=1.5)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 1, 2], [10, 11]) == 1.0
+
+    def test_no_separation_is_half(self):
+        assert roc_auc([1, 2, 3, 4], [1, 2, 3, 4]) == pytest.approx(0.5)
+
+    def test_inverted_scores_below_half(self):
+        assert roc_auc([10, 11], [0, 1]) == 0.0
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ModelError):
+            roc_auc([], [1.0])
+
+    @given(
+        st.lists(st.floats(-10, 10), min_size=2, max_size=50),
+        st.lists(st.floats(-10, 10), min_size=2, max_size=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_within_unit_interval(self, normal, anomalous):
+        assert 0.0 <= roc_auc(normal, anomalous) <= 1.0

@@ -1,0 +1,128 @@
+"""Fixed-point ELM deployment path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.detector import roc_auc
+from repro.ml.elm import ExtremeLearningMachine
+from repro.ml.quantize import (
+    QuantizedElm,
+    SIGMOID_LUT_ENTRIES,
+    SIGMOID_LUT_RANGE,
+    build_sigmoid_lut,
+    quantization_agreement,
+    sigmoid_lut_lookup,
+)
+from repro.utils.fixed_point import Q4_12, Q8_8, Q16_16
+
+
+class TestSigmoidLut:
+    def test_monotone(self):
+        lut = build_sigmoid_lut(Q8_8)
+        assert (np.diff(lut) >= 0).all()
+
+    def test_endpoints(self):
+        lut = build_sigmoid_lut(Q8_8)
+        assert Q8_8.dequantize(int(lut[0])) < 0.01
+        assert Q8_8.dequantize(int(lut[-1])) > 0.99
+
+    def test_midpoint_half(self):
+        lut = build_sigmoid_lut(Q16_16)
+        mid = Q16_16.dequantize(int(lut[SIGMOID_LUT_ENTRIES // 2]))
+        assert mid == pytest.approx(0.5, abs=0.05)
+
+    def test_lookup_matches_float_sigmoid(self):
+        fmt = Q8_8
+        lut = build_sigmoid_lut(fmt)
+        x = np.linspace(-6, 6, 101)
+        raw = fmt.quantize_array(x)
+        approx = fmt.dequantize_array(sigmoid_lut_lookup(raw, lut, fmt))
+        exact = 1.0 / (1.0 + np.exp(-x))
+        assert np.abs(approx - exact).max() < 0.05
+
+    def test_lookup_saturates_out_of_range(self):
+        fmt = Q8_8
+        lut = build_sigmoid_lut(fmt)
+        raw = fmt.quantize_array(np.array([-100.0, 100.0]))
+        out = sigmoid_lut_lookup(raw, lut, fmt)
+        assert out[0] == lut[0]
+        assert out[1] == lut[-1]
+
+
+@pytest.fixture(scope="module")
+def fitted_elm():
+    rng = np.random.default_rng(3)
+    centers = rng.random((4, 24))
+    rows = centers[rng.integers(0, 4, 400)] + rng.normal(
+        0, 0.05, (400, 24)
+    )
+    model = ExtremeLearningMachine(input_dim=24, hidden_dim=64, seed=1)
+    return model.fit(rows), rows, rng
+
+
+class TestQuantizedElm:
+    def test_requires_fitted_model(self):
+        with pytest.raises(ModelError):
+            QuantizedElm.from_model(
+                ExtremeLearningMachine(input_dim=4, hidden_dim=8)
+            )
+
+    def test_scores_track_float(self, fitted_elm):
+        model, rows, _ = fitted_elm
+        quantized = QuantizedElm.from_model(model)
+        float_scores = model.score_mahalanobis(rows[:50])
+        fixed_scores = quantized.score(rows[:50])
+        correlation = np.corrcoef(float_scores, fixed_scores)[0, 1]
+        assert correlation > 0.9
+
+    def test_detection_survives_quantization(self, fitted_elm):
+        model, rows, rng = fitted_elm
+        anomalies = rng.random((60, 24))  # off the cluster manifold
+        quantized = QuantizedElm.from_model(model)
+        auc_float = roc_auc(
+            model.score_mahalanobis(rows[:100]),
+            model.score_mahalanobis(anomalies),
+        )
+        auc_fixed = roc_auc(
+            quantized.score(rows[:100]), quantized.score(anomalies)
+        )
+        assert auc_fixed > auc_float - 0.1
+        assert auc_fixed > 0.8
+
+    def test_rank_agreement_high(self, fitted_elm):
+        model, rows, _ = fitted_elm
+        assert quantization_agreement(model, rows[:80]) > 0.9
+
+    def test_coarser_format_degrades_agreement(self, fitted_elm):
+        from repro.utils.fixed_point import FixedPointFormat
+
+        model, rows, _ = fitted_elm
+        fine = quantization_agreement(model, rows[:80], Q4_12, Q8_8)
+        coarse = quantization_agreement(
+            model, rows[:80],
+            FixedPointFormat(2, 4), FixedPointFormat(4, 4),
+        )
+        assert coarse <= fine + 1e-9
+
+    def test_memory_savings(self, fitted_elm):
+        model, _, _ = fitted_elm
+        quantized = QuantizedElm.from_model(model, Q4_12, Q8_8)
+        # ~50% from 16-bit weights, slightly less because the hidden
+        # statistics stay in 32-bit Q16.16 and the mean is 16-bit.
+        assert 0.4 < quantized.memory_savings_vs_f32() < 0.55
+        assert quantized.weight_bits % 16 == 0
+
+    def test_feature_width_checked(self, fitted_elm):
+        model, _, _ = fitted_elm
+        quantized = QuantizedElm.from_model(model)
+        with pytest.raises(ModelError):
+            quantized.score(np.zeros((1, 5)))
+
+    def test_all_integer_internals(self, fitted_elm):
+        model, rows, _ = fitted_elm
+        quantized = QuantizedElm.from_model(model)
+        assert quantized.w_hidden.dtype == np.int64
+        assert quantized.sigmoid_lut.dtype == np.int64
+        h = quantized.hidden_raw(rows[:3])
+        assert h.dtype == np.int64

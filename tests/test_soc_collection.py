@@ -1,0 +1,66 @@
+"""Hardware-path training collection: no train/serve skew."""
+
+import numpy as np
+import pytest
+
+from repro.soc.collection import TrainingCollector
+from repro.workloads.dataset import Vocabulary, sliding_windows
+
+
+@pytest.fixture(scope="module")
+def monitored(small_program):
+    """Function entries the program actually exercises (a mapper table
+    of never-visited functions collects nothing)."""
+    from repro.eval.prep import _dynamic_call_targets
+
+    return _dynamic_call_targets(small_program, 24)
+
+
+class TestTrainingCollector:
+    def test_hardware_equals_software_featurization(
+        self, small_program, monitored
+    ):
+        """Windows collected through CoreSight + IGM must equal the
+        software encoding of the same walk — the point of collecting
+        training data with the deployment hardware."""
+        collector = TrainingCollector(
+            small_program, monitored, window=6
+        )
+        result = collector.collect(8_000, run_label="hw-sw")
+
+        software_trace = small_program.run(8_000, run_label="hw-sw")
+        vocabulary = Vocabulary.from_addresses(monitored)
+        ids = vocabulary.encode_events(software_trace.events)
+        expected = sliding_windows(ids, 6)
+
+        assert len(expected) > 0
+        assert result.windows.shape == expected.shape
+        assert (result.windows == expected).all()
+
+    def test_statistics_populated(self, small_program, monitored):
+        collector = TrainingCollector(small_program, monitored, window=6)
+        result = collector.collect(4_000, run_label="stats")
+        assert result.raw_events == 4_000
+        assert result.trace_bytes > 1_000
+        assert 0 < result.pass_rate < 0.5
+
+    def test_collected_windows_train_a_model(self, small_program, monitored):
+        from repro.ml.lstm import LstmModel
+
+        collector = TrainingCollector(small_program, monitored, window=8)
+        result = collector.collect(60_000, run_label="train-hw")
+        assert len(result.windows) > 50
+        model = LstmModel(
+            vocabulary_size=len(monitored) + 1, hidden_size=8, seed=0
+        )
+        losses = model.fit(result.windows[:300], epochs=2, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_empty_when_nothing_monitored_passes(self, small_program):
+        # monitor addresses the program never branches to
+        collector = TrainingCollector(
+            small_program, [0x0FFF0000, 0x0FFF0040], window=4
+        )
+        result = collector.collect(2_000, run_label="empty")
+        assert result.windows.shape == (0, 4)
+        assert result.mapper_hits == 0

@@ -1,0 +1,154 @@
+"""Area accounting: library conversions, CU model calibration,
+peripheral module estimates (Table I / Table II invariants)."""
+
+import pytest
+
+from repro.miaow.coverage import CoverageCollector, CoverageReport
+from repro.synthesis.area_model import (
+    CU_BRAMS,
+    CuAreaModel,
+    FULL_CU_FFS,
+    FULL_CU_LUTS,
+    ML_MIAOW_FFS,
+    ML_MIAOW_LUTS,
+    MIAOW20_FFS,
+    MIAOW20_LUTS,
+    rtad_module_areas,
+)
+from repro.synthesis.library import AreaVector, DEFAULT_LIBRARY, GateLibrary
+
+
+def realistic_coverage():
+    """Coverage resembling what the deployed ML kernels actually hit."""
+    collector = CoverageCollector("models")
+    for op in (
+        "s_mov_b32", "s_add_i32", "s_sub_i32", "s_mul_i32", "s_lshl_b32",
+        "s_cmp_lt_i32", "s_cmp_eq_i32", "s_load_dword",
+        "s_cbranch_scc1", "s_branch", "s_endpgm",
+        "v_mov_b32", "v_add_i32", "v_sub_i32", "v_min_i32", "v_mul_lo_i32",
+        "v_lshlrev_b32", "v_add_f32", "v_sub_f32", "v_mul_f32", "v_mac_f32",
+        "v_max_f32", "v_min_f32", "v_exp_f32", "v_rcp_f32",
+        "v_cmp_eq_i32", "v_cndmask_b32", "v_cvt_f32_i32",
+        "ds_read_b32", "ds_swizzle_b32",
+        "flat_load_dword", "flat_store_dword", "v_readfirstlane_b32",
+    ):
+        collector.hit_opcode(op)
+    return CoverageReport.merge([collector]).covered
+
+
+class TestGateLibrary:
+    def test_ml_miaow_gate_count_matches_paper(self):
+        gates = DEFAULT_LIBRARY.gates_for(183_715, 76_375, 140)
+        assert gates == pytest.approx(1_865_989, rel=0.001)
+
+    def test_convert_preserves_fpga_fields(self):
+        area = DEFAULT_LIBRARY.convert(AreaVector(luts=10, ffs=20, brams=1))
+        assert area.luts == 10 and area.ffs == 20 and area.brams == 1
+        assert area.gates > 0
+
+
+class TestAreaVector:
+    def test_add(self):
+        total = AreaVector(1, 2, 3, 4) + AreaVector(10, 20, 30, 40)
+        assert (total.luts, total.ffs, total.brams, total.gates) == (
+            11, 22, 33, 44
+        )
+
+    def test_times(self):
+        five = AreaVector(luts=2, ffs=3).times(5)
+        assert five.luts == 10 and five.ffs == 15
+
+    def test_lut_ff_sum(self):
+        assert AreaVector(luts=7, ffs=3).lut_ff_sum == 10
+
+
+class TestCuAreaModel:
+    def test_full_area_matches_paper_exactly(self):
+        model = CuAreaModel(covered_ours=realistic_coverage())
+        full = model.full_area()
+        assert full.luts == FULL_CU_LUTS
+        assert full.ffs == FULL_CU_FFS
+        assert full.brams == CU_BRAMS
+
+    def test_trimmed_area_matches_paper_exactly(self):
+        model = CuAreaModel(covered_ours=realistic_coverage())
+        trimmed = model.coverage_trimmed_area()
+        assert trimmed.luts == ML_MIAOW_LUTS
+        assert trimmed.ffs == ML_MIAOW_FFS
+
+    def test_instruction_trimmed_matches_paper(self):
+        model = CuAreaModel(covered_ours=realistic_coverage())
+        m20 = model.instruction_trimmed_area()
+        assert m20.luts == pytest.approx(MIAOW20_LUTS, abs=2)
+        assert m20.ffs == pytest.approx(MIAOW20_FFS, abs=2)
+
+    def test_phantom_blocks_only_removed_by_coverage_flow(self):
+        model = CuAreaModel(covered_ours=realistic_coverage())
+        trimmed_names = set(model.trimmed_point_names())
+        phantom = {n for n in trimmed_names if n.startswith("phantom.")}
+        assert phantom  # coverage flow removes them
+        # instruction flow keeps everything non-ALU
+        assert model.instruction_trimmed_area().luts > (
+            model.coverage_trimmed_area().luts
+        )
+
+    def test_richer_coverage_means_larger_engine(self):
+        base = realistic_coverage()
+        model = CuAreaModel(covered_ours=base)
+        richer = base | {
+            "decode.v_sqrt_f32", "block.valu_trans_sqrt",
+            "decode.v_log_f32", "block.valu_trans_log",
+        }
+        assert (
+            model.coverage_trimmed_area(richer).lut_ff_sum
+            > model.coverage_trimmed_area(base).lut_ff_sum
+        )
+
+    def test_core_never_trimmed(self):
+        model = CuAreaModel(covered_ours=realistic_coverage())
+        names = model.trimmed_point_names(set())
+        assert not any(n.startswith("core.") for n in names)
+
+
+class TestPeripheralModules:
+    def test_default_config_matches_table1(self):
+        m = rtad_module_areas()
+        assert (m.trace_analyzer.luts, m.trace_analyzer.ffs) == (11_962, 350)
+        assert (m.p2s.luts, m.p2s.ffs) == (686, 1_074)
+        assert (m.input_vector_generator.luts,
+                m.input_vector_generator.ffs) == (890, 1_067)
+        assert m.internal_fifo.brams == 10
+        assert m.control_fsm.gates == 16_977
+
+    def test_gate_counts_match_table1(self):
+        m = rtad_module_areas()
+        assert m.trace_analyzer.gates == 12_375
+        assert m.p2s.gates == 14_363
+        assert m.input_vector_generator.gates == 10_430
+        assert m.internal_fifo.gates == 262
+
+    def test_scaling_with_structure(self):
+        small = rtad_module_areas(ta_units=2, mapper_entries=256)
+        default = rtad_module_areas()
+        assert small.trace_analyzer.luts < default.trace_analyzer.luts
+        assert (
+            small.input_vector_generator.luts
+            < default.input_vector_generator.luts
+        )
+
+    def test_fifo_brams_scale_with_capacity(self):
+        small = rtad_module_areas(fifo_depth_vectors=16)
+        big = rtad_module_areas(fifo_depth_vectors=256)
+        assert small.internal_fifo.brams < big.internal_fifo.brams
+
+    def test_mlpu_sum(self):
+        m = rtad_module_areas()
+        total = m.mlpu_without_engine()
+        assert total.luts == sum(
+            part.luts
+            for part in (
+                m.trace_analyzer, m.p2s, m.input_vector_generator,
+                m.internal_fifo, m.ml_miaow_driver, m.control_fsm,
+                m.interrupt_manager,
+            )
+        )

@@ -1,0 +1,94 @@
+"""Power/energy model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RtadError
+from repro.miaow.coverage import CoverageCollector
+from repro.miaow.gpu import Gpu
+from repro.miaow.runtime import GpuRuntime
+from repro.synthesis.library import AreaVector
+from repro.synthesis.power import (
+    DYNAMIC_ENERGY_PJ,
+    EnergyReport,
+    PowerModel,
+)
+
+AREA = AreaVector(luts=10_000, ffs=5_000)
+
+
+class TestEnergyReport:
+    def report(self, cycles=500, dynamic=1_000.0):
+        return EnergyReport(
+            engine="x", elapsed_cycles=cycles, clock_hz=50e6,
+            dynamic_pj=dynamic, static_area_lutff=15_000,
+        )
+
+    def test_elapsed_seconds(self):
+        assert self.report(cycles=50).elapsed_s == pytest.approx(1e-6)
+
+    def test_static_scales_with_time(self):
+        short = self.report(cycles=100)
+        long = self.report(cycles=1_000)
+        assert long.static_pj == pytest.approx(10 * short.static_pj)
+
+    def test_total_is_sum(self):
+        r = self.report()
+        assert r.total_pj == pytest.approx(r.dynamic_pj + r.static_pj)
+
+    def test_str_mentions_engine(self):
+        assert "x:" in str(self.report())
+
+
+class TestPowerModel:
+    def test_explicit_counts(self):
+        model = PowerModel(engine_area=AREA)
+        report = model.energy_of_run(
+            Gpu(), elapsed_cycles=100,
+            opcode_counts={"v_add_f32": 10, "s_mov_b32": 5},
+        )
+        expected = (
+            10 * DYNAMIC_ENERGY_PJ["valu"] + 5 * DYNAMIC_ENERGY_PJ["salu"]
+        )
+        assert report.dynamic_pj == pytest.approx(expected)
+
+    def test_counts_from_coverage(self):
+        collector = CoverageCollector("run")
+        gpu = Gpu(coverage=collector)
+        runtime = GpuRuntime(gpu)
+        kernel = runtime.build_program(
+            "v_add_f32 v1, v1, v1\nv_add_f32 v1, v1, v1\ns_endpgm\n"
+        )
+        result = runtime.launch(kernel, 1)
+        model = PowerModel(engine_area=AREA)
+        report = model.energy_of_run(gpu, result.cycles)
+        expected = (
+            2 * DYNAMIC_ENERGY_PJ["valu"]
+            + DYNAMIC_ENERGY_PJ["special"]
+        )
+        assert report.dynamic_pj == pytest.approx(expected)
+
+    def test_requires_counts_or_coverage(self):
+        model = PowerModel(engine_area=AREA)
+        with pytest.raises(RtadError):
+            model.energy_of_run(Gpu(), elapsed_cycles=10)
+
+    def test_unknown_opcode_rejected(self):
+        model = PowerModel(engine_area=AREA)
+        with pytest.raises(RtadError):
+            model.energy_of_run(
+                Gpu(), 10, opcode_counts={"v_quux": 1}
+            )
+
+    def test_bad_clock(self):
+        with pytest.raises(RtadError):
+            PowerModel(engine_area=AREA, clock_hz=0)
+
+    def test_smaller_area_leaks_less(self):
+        big = PowerModel(engine_area=AreaVector(luts=100_000, ffs=0))
+        small = PowerModel(engine_area=AreaVector(luts=10_000, ffs=0))
+        counts = {"s_mov_b32": 1}
+        r_big = big.energy_of_run(Gpu(), 1_000, counts)
+        r_small = small.energy_of_run(Gpu(), 1_000, counts)
+        assert r_small.static_pj < r_big.static_pj
+        assert r_small.dynamic_pj == r_big.dynamic_pj

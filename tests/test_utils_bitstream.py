@@ -1,0 +1,150 @@
+"""Bitstream helpers: bit-level IO, word packing, 7-bit chunking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PacketDecodeError
+from repro.utils.bitstream import (
+    BitReader,
+    BitWriter,
+    bytes_to_words,
+    chunk7,
+    unchunk7,
+    words_to_bytes,
+)
+
+
+class TestBitWriter:
+    def test_single_bits_pack_lsb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b1, 1)
+        writer.write_bits(0b0, 1)
+        writer.write_bits(0b1, 1)
+        assert writer.getvalue() == bytes([0b101])
+
+    def test_cross_byte_field(self):
+        writer = BitWriter()
+        writer.write_bits(0x1FF, 9)
+        data = writer.getvalue()
+        assert data[0] == 0xFF
+        assert data[1] == 0x01
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(4, 2)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_write_byte_requires_alignment(self):
+        writer = BitWriter()
+        writer.write_bits(1, 3)
+        with pytest.raises(ValueError):
+            writer.write_byte(0xAB)
+
+    def test_align_pads_with_zeros(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        writer.align()
+        writer.write_byte(0xCD)
+        assert writer.getvalue() == bytes([0x01, 0xCD])
+
+    def test_byte_out_of_range(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_byte(256)
+
+
+class TestBitReader:
+    def test_roundtrip_with_writer(self):
+        writer = BitWriter()
+        writer.write_bits(0x2A, 6)
+        writer.write_bits(0x3, 2)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(6) == 0x2A
+        assert reader.read_bits(2) == 0x3
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"\x01")
+        reader.read_bits(8)
+        with pytest.raises(PacketDecodeError):
+            reader.read_bits(1)
+
+    def test_read_byte_alignment_enforced(self):
+        reader = BitReader(b"\x01\x02")
+        reader.read_bits(3)
+        with pytest.raises(PacketDecodeError):
+            reader.read_byte()
+
+    def test_peek_does_not_advance(self):
+        reader = BitReader(b"\xAA\xBB")
+        assert reader.peek_byte() == 0xAA
+        assert reader.read_byte() == 0xAA
+
+    def test_align_skips_partial_byte(self):
+        reader = BitReader(b"\xFF\x5C")
+        reader.read_bits(2)
+        reader.align()
+        assert reader.read_byte() == 0x5C
+
+    @given(st.lists(st.tuples(st.integers(0, 31), st.just(5)), max_size=40))
+    def test_arbitrary_field_sequence_roundtrips(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in fields:
+            assert reader.read_bits(width) == value
+
+
+class TestWordPacking:
+    def test_exact_multiple(self):
+        words = bytes_to_words(bytes(range(8)))
+        assert len(words) == 2
+        assert words_to_bytes(words) == bytes(range(8))
+
+    def test_padding_applied(self):
+        words = bytes_to_words(b"\x01\x02\x03", pad_byte=0x20)
+        assert len(words) == 1
+        assert words_to_bytes(words) == b"\x01\x02\x03\x20"
+
+    def test_little_endian_layout(self):
+        assert bytes_to_words(b"\x78\x56\x34\x12") == [0x12345678]
+
+    def test_word_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            words_to_bytes([1 << 32])
+
+    @given(st.binary(max_size=200))
+    def test_roundtrip_up_to_padding(self, data):
+        words = bytes_to_words(data)
+        recovered = words_to_bytes(words)
+        assert recovered[:len(data)] == data
+        assert all(b == 0 for b in recovered[len(data):])
+
+
+class TestChunk7:
+    def test_zero_is_one_chunk(self):
+        assert chunk7(0) == [0]
+
+    def test_known_value(self):
+        assert chunk7(0x81) == [0x01, 0x01]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chunk7(-1)
+
+    def test_unchunk_range_check(self):
+        with pytest.raises(ValueError):
+            unchunk7([0x80])
+
+    @given(st.integers(0, 2**40))
+    def test_roundtrip(self, value):
+        assert unchunk7(chunk7(value)) == value
+
+    @given(st.integers(1, 2**40))
+    def test_minimal_length(self, value):
+        chunks = chunk7(value)
+        assert chunks[-1] != 0 or len(chunks) == 1

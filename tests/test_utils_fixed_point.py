@@ -1,0 +1,79 @@
+"""Fixed-point formats: ranges, rounding, saturation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.fixed_point import FixedPointFormat, Q8_8, Q16_16
+
+
+class TestFormatProperties:
+    def test_width(self):
+        assert Q16_16.width == 32
+        assert Q8_8.width == 16
+
+    def test_range_bounds(self):
+        assert Q8_8.max_value == pytest.approx(127.99609375)
+        assert Q8_8.min_value == -128.0
+
+    def test_resolution(self):
+        assert Q8_8.resolution == 1 / 256
+
+    def test_str(self):
+        assert str(Q8_8) == "Q8.8"
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0, fraction_bits=4)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=4, fraction_bits=-1)
+
+
+class TestQuantize:
+    def test_exact_values(self):
+        assert Q8_8.quantize(1.0) == 256
+        assert Q8_8.dequantize(256) == 1.0
+
+    def test_rounding_to_nearest(self):
+        assert Q8_8.quantize(Q8_8.resolution * 0.6) == 1
+
+    def test_saturation_high(self):
+        assert Q8_8.quantize(1e9) == Q8_8.max_raw
+
+    def test_saturation_low(self):
+        assert Q8_8.quantize(-1e9) == Q8_8.min_raw
+
+    def test_array_roundtrip_error_bounded(self):
+        values = np.linspace(-100, 100, 999)
+        error = np.abs(Q8_8.roundtrip(values) - values)
+        assert error.max() <= Q8_8.resolution / 2 + 1e-12
+
+    @given(st.floats(-120, 120))
+    def test_quantize_dequantize_close(self, value):
+        raw = Q8_8.quantize(value)
+        assert abs(Q8_8.dequantize(raw) - value) <= Q8_8.resolution
+
+
+class TestArithmetic:
+    def test_saturating_add_in_range(self):
+        assert Q8_8.saturating_add(100, 200) == 300
+
+    def test_saturating_add_clips(self):
+        assert Q8_8.saturating_add(Q8_8.max_raw, 1) == Q8_8.max_raw
+        assert Q8_8.saturating_add(Q8_8.min_raw, -1) == Q8_8.min_raw
+
+    def test_multiply_matches_float(self):
+        a, b = 1.5, -2.25
+        raw = Q16_16.multiply(Q16_16.quantize(a), Q16_16.quantize(b))
+        assert Q16_16.dequantize(raw) == pytest.approx(a * b, abs=1e-4)
+
+    def test_multiply_saturates(self):
+        big = Q8_8.quantize(100.0)
+        assert Q8_8.multiply(big, big) == Q8_8.max_raw
+
+    @given(st.floats(-10, 10), st.floats(-10, 10))
+    def test_multiply_error_bound(self, a, b):
+        raw = Q16_16.multiply(Q16_16.quantize(a), Q16_16.quantize(b))
+        assert Q16_16.dequantize(raw) == pytest.approx(
+            a * b, abs=2e-4 * (1 + abs(a) + abs(b))
+        )

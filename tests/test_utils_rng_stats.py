@@ -1,0 +1,71 @@
+"""Deterministic RNG derivation and statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import derive_seed, make_child_rng, make_rng
+from repro.utils.stats import geometric_mean, summarize
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, 10)
+        b = make_rng(42).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "x", 2) == derive_seed(1, "x", 2)
+
+    def test_derive_seed_varies_with_labels(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_label_path_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_child_rng_decorrelated(self):
+        a = make_child_rng(5, "walk").random(100)
+        b = make_child_rng(5, "attack").random(100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.5]) == pytest.approx(7.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 1e4), min_size=1, max_size=30))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentiles_ordered(self):
+        s = summarize(np.random.default_rng(0).random(500))
+        assert s.minimum <= s.p50 <= s.p95 <= s.maximum
+
+    def test_str_contains_count(self):
+        assert "n=3" in str(summarize([1, 2, 3]))

@@ -1,0 +1,217 @@
+"""Attack injection and dataset assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.attacks import AttackInjector
+from repro.workloads.cfg import BranchEvent, BranchKind
+from repro.workloads.dataset import (
+    UNKNOWN_ID,
+    Vocabulary,
+    sliding_windows,
+)
+from repro.workloads.syscalls import (
+    NUM_SYSCALLS,
+    SyscallSequenceModel,
+    stub_address,
+)
+
+
+def make_events(n=50):
+    return [
+        BranchEvent(
+            cycle=i * 10,
+            source=0x1000 + 4 * i,
+            target=0x2000 + 4 * (i % 7),
+            kind=BranchKind.CONDITIONAL,
+        )
+        for i in range(n)
+    ]
+
+
+class TestAttackInjector:
+    def test_inserts_gadget(self):
+        events = make_events()
+        injector = AttackInjector(seed=1, gadget_length=5)
+        attacked, attack = injector.inject(events, position=10)
+        assert len(attacked) == len(events) + 5
+        assert attack.position == 10
+        assert attack.length == 5
+
+    def test_gadget_targets_are_legitimate(self):
+        events = make_events()
+        observed = {e.target for e in events}
+        attacked, attack = AttackInjector(seed=2).inject(events, position=5)
+        assert set(attack.injected_targets) <= observed
+
+    def test_target_pool_respected(self):
+        events = make_events()
+        pool = [0x2000, 0x2004]
+        _, attack = AttackInjector(seed=3).inject(
+            events, position=5, target_pool=pool
+        )
+        assert set(attack.injected_targets) <= set(pool)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(WorkloadError):
+            AttackInjector().inject(make_events(), position=5, target_pool=[])
+
+    def test_tail_shifted_in_time(self):
+        events = make_events()
+        attacked, attack = AttackInjector(seed=4, gadget_length=4).inject(
+            events, position=10
+        )
+        original_tail = events[10]
+        shifted_tail = attacked[10 + 4]
+        assert shifted_tail.target == original_tail.target
+        assert shifted_tail.cycle > original_tail.cycle
+
+    def test_cycles_stay_monotonic(self):
+        events = make_events()
+        attacked, _ = AttackInjector(seed=5).inject(events, position=20)
+        cycles = [e.cycle for e in attacked]
+        assert cycles == sorted(cycles)
+
+    def test_position_bounds(self):
+        with pytest.raises(WorkloadError):
+            AttackInjector().inject(make_events(), position=0)
+
+    def test_too_short_trace(self):
+        with pytest.raises(WorkloadError):
+            AttackInjector().inject(make_events(1))
+
+    def test_inject_many_varies_positions(self):
+        results = AttackInjector(seed=6).inject_many(make_events(), 8)
+        positions = {attack.position for _, attack in results}
+        assert len(positions) > 1
+
+    def test_bad_gadget_length(self):
+        with pytest.raises(WorkloadError):
+            AttackInjector(gadget_length=0)
+
+
+class TestVocabulary:
+    def test_ids_dense_and_sorted(self):
+        vocab = Vocabulary.from_addresses([0x30, 0x10, 0x20, 0x10])
+        assert vocab.encode(0x10) == 1
+        assert vocab.encode(0x20) == 2
+        assert vocab.encode(0x30) == 3
+        assert vocab.size == 4
+
+    def test_unknown_maps_to_zero(self):
+        vocab = Vocabulary.from_addresses([0x10])
+        assert vocab.encode(0x999) == UNKNOWN_ID
+
+    def test_encode_events_filters(self):
+        vocab = Vocabulary.from_addresses([0x2000])
+        events = make_events()
+        ids = vocab.encode_events(events)
+        expected = sum(1 for e in events if e.target == 0x2000)
+        assert len(ids) == expected
+        assert (ids == 1).all()
+
+    def test_encode_events_keep_unknown(self):
+        vocab = Vocabulary.from_addresses([0x2000])
+        ids = vocab.encode_events(make_events(), drop_unknown=False)
+        assert len(ids) == 50
+        assert UNKNOWN_ID in ids
+
+
+class TestSlidingWindows:
+    def test_count(self):
+        out = sliding_windows(np.arange(10), 4)
+        assert out.shape == (7, 4)
+
+    def test_stride(self):
+        out = sliding_windows(np.arange(10), 4, stride=3)
+        assert out.shape == (3, 4)
+        assert (out[1] == [3, 4, 5, 6]).all()
+
+    def test_short_input_empty(self):
+        assert sliding_windows(np.arange(2), 4).shape == (0, 4)
+
+    def test_bad_window(self):
+        with pytest.raises(WorkloadError):
+            sliding_windows(np.arange(5), 0)
+
+    @given(st.integers(1, 8), st.integers(1, 4), st.integers(0, 40))
+    def test_window_contents(self, window, stride, n):
+        ids = np.arange(n)
+        out = sliding_windows(ids, window, stride)
+        for row_index in range(len(out)):
+            start = row_index * stride
+            assert (out[row_index] == ids[start:start + window]).all()
+
+
+class TestSyscallModel:
+    def test_stub_addresses_valid(self):
+        addresses = [stub_address(i) for i in range(NUM_SYSCALLS)]
+        assert len(set(addresses)) == NUM_SYSCALLS
+        with pytest.raises(WorkloadError):
+            stub_address(NUM_SYSCALLS)
+
+    def test_generate_length_and_range(self, small_program):
+        model = SyscallSequenceModel(small_program.profile, seed=1)
+        seq = model.generate(500)
+        assert len(seq) == 500
+        assert seq.min() >= 0 and seq.max() < NUM_SYSCALLS
+
+    def test_deterministic(self, small_program):
+        model = SyscallSequenceModel(small_program.profile, seed=1)
+        assert (model.generate(200) == model.generate(200)).all()
+
+    def test_low_entropy_transitions(self, small_program):
+        """Sequences must be learnable: few successors per state."""
+        model = SyscallSequenceModel(small_program.profile, seed=1)
+        seq = model.generate(5_000)
+        successors = {}
+        for a, b in zip(seq[:-1], seq[1:]):
+            successors.setdefault(int(a), set()).add(int(b))
+        common = [len(s) for s in successors.values()]
+        assert np.median(common) <= 10
+
+    def test_inject_anomaly_lengthens(self, small_program):
+        model = SyscallSequenceModel(small_program.profile, seed=1)
+        seq = model.generate(300)
+        attacked, position = model.inject_anomaly(seq, gadget_length=6)
+        assert len(attacked) == 306
+        assert 1 <= position < 300
+
+    def test_inject_uses_observed_ids(self, small_program):
+        model = SyscallSequenceModel(small_program.profile, seed=1)
+        seq = model.generate(300)
+        attacked, position = model.inject_anomaly(seq, gadget_length=6)
+        assert set(attacked[position:position + 6]) <= set(seq.tolist())
+
+
+class TestBuildDataset:
+    def test_syscall_dataset_shapes(self, syscall_dataset):
+        assert syscall_dataset.train_windows.shape[1] == 12
+        assert len(syscall_dataset.test_anomalous) > 0
+        assert syscall_dataset.vocabulary.size == NUM_SYSCALLS + 1
+
+    def test_call_dataset_shapes(self, call_dataset):
+        assert call_dataset.train_windows.shape[1] == 8
+        assert call_dataset.vocabulary.size <= 31
+        assert len(call_dataset.test_normal) > 0
+
+    def test_ids_within_vocab(self, call_dataset):
+        v = call_dataset.vocabulary.size
+        for arr in (
+            call_dataset.train_windows,
+            call_dataset.test_normal,
+            call_dataset.test_anomalous,
+        ):
+            if len(arr):
+                assert arr.min() >= 0 and arr.max() < v
+
+    def test_unknown_feature_rejected(self, small_program):
+        from repro.workloads.dataset import build_dataset
+
+        with pytest.raises(WorkloadError):
+            build_dataset(small_program, feature="registers")
+
+    def test_summary_mentions_sizes(self, syscall_dataset):
+        assert "train=" in syscall_dataset.summary()

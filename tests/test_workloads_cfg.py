@@ -1,0 +1,163 @@
+"""CFG generation: structure, integrity, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+from repro.workloads.cfg import (
+    BasicBlock,
+    BranchKind,
+    ControlFlowGraph,
+    generate_cfg,
+    INSTRUCTION_BYTES,
+    SYSCALL_BASE,
+    TEXT_BASE,
+)
+
+
+def make_small_cfg(seed=0, **overrides):
+    params = dict(
+        num_functions=12,
+        blocks_per_function=8,
+        mean_block_size=5.0,
+        syscall_block_fraction=0.01,
+        call_block_fraction=0.1,
+        indirect_block_fraction=0.03,
+        num_syscalls=8,
+        seed_rng=make_rng(seed),
+    )
+    params.update(overrides)
+    return generate_cfg(**params)
+
+
+class TestGeneration:
+    def test_validates(self):
+        make_small_cfg().validate()
+
+    def test_function_count(self):
+        cfg = make_small_cfg()
+        assert len(cfg.functions) == 12
+
+    def test_entry_is_first_function(self):
+        cfg = make_small_cfg()
+        assert cfg.entry == cfg.functions[0].entry
+
+    def test_blocks_word_aligned(self):
+        cfg = make_small_cfg()
+        assert all(b.address % INSTRUCTION_BYTES == 0 for b in cfg.blocks.values())
+
+    def test_blocks_do_not_overlap(self):
+        cfg = make_small_cfg()
+        spans = sorted(
+            (b.address, b.end_address) for b in cfg.blocks.values()
+        )
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_text_base_respected(self):
+        cfg = make_small_cfg()
+        assert min(b.address for b in cfg.blocks.values()) >= TEXT_BASE
+
+    def test_syscall_stubs_in_kernel_region(self):
+        cfg = make_small_cfg()
+        assert all(a >= SYSCALL_BASE for a in cfg.syscall_addresses)
+
+    def test_entry_function_has_call_sites(self):
+        """The walker must be able to leave function 0."""
+        for seed in range(6):
+            cfg = make_small_cfg(seed=seed, call_block_fraction=0.0)
+            entry_blocks = [
+                cfg.blocks[a] for a in cfg.functions[0].blocks
+            ]
+            calls = [
+                b for b in entry_blocks if b.terminator is BranchKind.CALL
+            ]
+            assert len(calls) >= 1
+
+    def test_deterministic_given_seed(self):
+        a = make_small_cfg(seed=5)
+        b = make_small_cfg(seed=5)
+        assert sorted(a.blocks) == sorted(b.blocks)
+        assert a.call_targets == b.call_targets
+
+    def test_different_seeds_differ(self):
+        a = make_small_cfg(seed=1)
+        b = make_small_cfg(seed=2)
+        assert sorted(a.blocks) != sorted(b.blocks)
+
+    def test_requires_a_function(self):
+        with pytest.raises(WorkloadError):
+            make_small_cfg(num_functions=0)
+
+
+class TestValidation:
+    def test_dangling_target_caught(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(
+            BasicBlock(
+                address=TEXT_BASE,
+                size=4,
+                terminator=BranchKind.UNCONDITIONAL,
+                taken_target=0xDEAD000,
+            )
+        )
+        cfg.entry = TEXT_BASE
+        with pytest.raises(WorkloadError):
+            cfg.validate()
+
+    def test_duplicate_block_rejected(self):
+        cfg = ControlFlowGraph()
+        block = BasicBlock(
+            address=TEXT_BASE, size=4, terminator=BranchKind.RETURN
+        )
+        cfg.add_block(block)
+        with pytest.raises(WorkloadError):
+            cfg.add_block(block)
+
+    def test_unknown_syscall_number_caught(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(
+            BasicBlock(
+                address=TEXT_BASE,
+                size=4,
+                terminator=BranchKind.SYSCALL,
+                fallthrough=TEXT_BASE,
+                syscall_number=99,
+            )
+        )
+        cfg.entry = TEXT_BASE
+        with pytest.raises(WorkloadError):
+            cfg.validate()
+
+    def test_indirect_without_targets_caught(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(
+            BasicBlock(
+                address=TEXT_BASE,
+                size=4,
+                terminator=BranchKind.INDIRECT,
+            )
+        )
+        cfg.entry = TEXT_BASE
+        with pytest.raises(WorkloadError):
+            cfg.validate()
+
+    def test_block_at_unknown_address(self):
+        cfg = make_small_cfg()
+        with pytest.raises(WorkloadError):
+            cfg.block_at(0x3)
+
+
+class TestBasicBlock:
+    def test_branch_address_is_last_instruction(self):
+        block = BasicBlock(
+            address=0x1000, size=3, terminator=BranchKind.RETURN
+        )
+        assert block.branch_address == 0x1000 + 2 * INSTRUCTION_BYTES
+
+    def test_end_address(self):
+        block = BasicBlock(
+            address=0x1000, size=3, terminator=BranchKind.RETURN
+        )
+        assert block.end_address == 0x1000 + 3 * INSTRUCTION_BYTES

@@ -1,0 +1,87 @@
+"""Benchmark profiles: lookup, derived rates, suite-wide invariants."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import (
+    CPU_CLOCK_HZ,
+    SPEC_CINT2006,
+    get_profile,
+    profile_names,
+)
+
+
+class TestLookup:
+    def test_all_twelve_present(self):
+        assert len(SPEC_CINT2006) == 12
+
+    def test_full_and_short_names(self):
+        assert get_profile("471.omnetpp") is get_profile("omnetpp")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError):
+            get_profile("500.perlbench_r")
+
+    def test_profile_names_order(self):
+        names = profile_names()
+        assert names[0] == "400.perlbench"
+        assert names[-1] == "483.xalancbmk"
+
+
+class TestDerivedRates:
+    def test_instruction_rate(self):
+        p = get_profile("401.bzip2")
+        assert p.instructions_per_second == pytest.approx(CPU_CLOCK_HZ / p.cpi)
+
+    def test_branch_rate_positive_everywhere(self):
+        assert all(p.branch_rate_hz > 0 for p in SPEC_CINT2006)
+
+    def test_mean_block_size_consistent(self):
+        for p in SPEC_CINT2006:
+            assert p.mean_block_size == pytest.approx(
+                1e3 / p.branches_per_kinst
+            )
+
+    def test_block_fractions_below_one(self):
+        for p in SPEC_CINT2006:
+            total = (
+                p.call_block_fraction
+                + p.indirect_block_fraction
+                + p.syscall_block_fraction
+            )
+            assert 0 < total < 0.5
+
+    def test_monitored_interval_microseconds(self):
+        for p in SPEC_CINT2006:
+            assert 10 < p.monitored_call_interval_us < 1_000
+
+    def test_syscall_intervals_are_coarse(self):
+        """Syscalls are distinctly rarer than monitored calls."""
+        for p in SPEC_CINT2006:
+            assert p.syscall_interval_us > 2 * p.monitored_call_interval_us
+
+
+class TestFig8Regime:
+    """The interval structure that produces the paper's Fig. 8 story."""
+
+    def test_omnetpp_has_highest_monitored_pressure(self):
+        omnetpp = get_profile("omnetpp")
+        others = [p for p in SPEC_CINT2006 if p is not omnetpp]
+        assert all(
+            omnetpp.monitored_call_interval_us
+            < p.monitored_call_interval_us
+            for p in others
+        )
+
+    def test_xalancbmk_second(self):
+        ordered = sorted(
+            SPEC_CINT2006, key=lambda p: p.monitored_call_interval_us
+        )
+        assert ordered[0].name == "471.omnetpp"
+        assert ordered[1].name == "483.xalancbmk"
+
+    def test_omnetpp_most_call_intensive(self):
+        omnetpp = get_profile("omnetpp")
+        assert omnetpp.calls_per_kinst == max(
+            p.calls_per_kinst for p in SPEC_CINT2006
+        )

@@ -1,0 +1,115 @@
+"""Program walker: event stream properties, calibration, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.cfg import BranchKind
+from repro.workloads.profiles import get_profile
+from repro.workloads.program import SyntheticProgram
+
+
+class TestRun:
+    def test_event_count_exact(self, small_program):
+        trace = small_program.run(500, run_label="count")
+        assert len(trace) == 500
+
+    def test_cycles_monotonic(self, small_trace):
+        cycles = small_trace.cycles()
+        assert (np.diff(cycles) >= 0).all()
+
+    def test_deterministic_per_label(self, small_program):
+        a = small_program.run(300, run_label="det")
+        b = small_program.run(300, run_label="det")
+        assert all(
+            x.source == y.source and x.target == y.target
+            for x, y in zip(a.events, b.events)
+        )
+
+    def test_labels_give_different_walks(self, small_program):
+        a = small_program.run(300, run_label="walk-a")
+        b = small_program.run(300, run_label="walk-b")
+        assert [e.target for e in a.events] != [e.target for e in b.events]
+
+    def test_negative_budget_rejected(self, small_program):
+        with pytest.raises(WorkloadError):
+            list(small_program.iter_events(-1))
+
+    def test_zero_budget_empty(self, small_program):
+        assert list(small_program.iter_events(0)) == []
+
+    def test_targets_are_known_blocks_or_stubs(self, small_program, small_trace):
+        known = set(small_program.cfg.blocks)
+        stubs = set(small_program.cfg.syscall_addresses)
+        for event in small_trace.events:
+            assert event.target in known or event.target in stubs
+
+    def test_conditional_edges_respect_cfg(self, small_program):
+        trace = small_program.run(2_000, run_label="cond")
+        sources = {
+            b.branch_address: b for b in small_program.cfg.blocks.values()
+        }
+        for event in trace.events:
+            block = sources.get(event.source)
+            if block is None:
+                continue  # syscall-stub return
+            if event.kind is BranchKind.CONDITIONAL:
+                expected = (
+                    block.taken_target if event.taken else block.fallthrough
+                )
+                assert event.target == expected
+
+    def test_syscall_followed_by_kernel_return(self, small_program):
+        trace = small_program.run(30_000, run_label="sysret")
+        events = trace.events
+        for index, event in enumerate(events[:-1]):
+            if event.kind is BranchKind.SYSCALL:
+                nxt = events[index + 1]
+                assert nxt.kind is BranchKind.RETURN
+                assert nxt.cycle >= event.cycle
+
+    def test_calibration_brings_call_rate_close(self):
+        profile = get_profile("471.omnetpp")
+        program = SyntheticProgram(profile, seed=3)
+        trace = program.run(20_000, run_label="calcheck")
+        calls = sum(
+            1 for e in trace.events if e.kind is BranchKind.CALL
+        )
+        observed = calls / len(trace)
+        target = profile.call_block_fraction
+        assert observed > target / 4  # within 4x after calibration
+
+    def test_uncalibrated_flag_skips_rounds(self):
+        profile = get_profile("401.bzip2")
+        program = SyntheticProgram(profile, seed=3, calibrate=False)
+        assert program.run(100, run_label="x") is not None
+
+
+class TestMonitoredTargets:
+    def test_default_count_from_profile(self, small_program):
+        targets = small_program.monitored_call_targets()
+        expected = max(
+            1,
+            round(
+                len(small_program.cfg.call_targets)
+                * small_program.profile.monitored_call_fraction
+            ),
+        )
+        assert len(targets) == expected
+
+    def test_explicit_count(self, small_program):
+        assert len(small_program.monitored_call_targets(count=7)) == 7
+
+    def test_subset_of_function_entries(self, small_program):
+        entries = set(small_program.cfg.call_targets)
+        assert set(small_program.monitored_call_targets(count=10)) <= entries
+
+    def test_deterministic(self, small_program):
+        assert (
+            small_program.monitored_call_targets(count=9)
+            == small_program.monitored_call_targets(count=9)
+        )
+
+    def test_syscall_targets_sorted(self, small_program):
+        targets = small_program.syscall_targets()
+        assert targets == sorted(targets)
