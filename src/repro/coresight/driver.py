@@ -15,6 +15,7 @@ from typing import Iterable, Optional
 from repro.coresight.ptm import Ptm, PtmConfig
 from repro.coresight.tpiu import Tpiu, TpiuDeframer
 from repro.errors import SocConfigError
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 from repro.workloads.cfg import BranchEvent
 
 
@@ -26,10 +27,12 @@ class CoreSightDriver:
         ptm_config: Optional[PtmConfig] = None,
         source_id: int = 0x1,
         sync_period: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.ptm_config = ptm_config or PtmConfig()
         self.source_id = source_id
         self.sync_period = sync_period
+        self.metrics = metrics or NULL_REGISTRY
         self._ptm: Optional[Ptm] = None
         self._tpiu: Optional[Tpiu] = None
         self.enabled = False
@@ -40,8 +43,12 @@ class CoreSightDriver:
 
     def enable(self) -> None:
         """Power up PTM and TPIU with the current configuration."""
-        self._ptm = Ptm(self.ptm_config)
-        self._tpiu = Tpiu(source_id=self.source_id, sync_period=self.sync_period)
+        self._ptm = Ptm(self.ptm_config, metrics=self.metrics)
+        self._tpiu = Tpiu(
+            source_id=self.source_id,
+            sync_period=self.sync_period,
+            metrics=self.metrics,
+        )
         self.enabled = True
 
     def disable(self) -> None:

@@ -23,6 +23,7 @@ from repro.coresight.packets import (
     MAX_ATOMS_PER_PACKET,
     TimestampPacket,
 )
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 from repro.workloads.cfg import BranchEvent, BranchKind
 
 
@@ -42,7 +43,11 @@ class PtmConfig:
 class Ptm:
     """Stateful packet encoder for one traced context."""
 
-    def __init__(self, config: Optional[PtmConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PtmConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or PtmConfig()
         self._last_address = 0
         self._pending_atoms: List[bool] = []
@@ -52,6 +57,14 @@ class Ptm:
         self.packet_counts = {
             "async": 0, "isync": 0, "context": 0,
             "timestamp": 0, "atom": 0, "branch": 0,
+        }
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_events = self.metrics.counter("ptm.events")
+        self._m_bytes = self.metrics.counter("ptm.bytes")
+        self._m_sync_bytes = self.metrics.counter("ptm.sync_bytes")
+        self._m_packets = {
+            kind: self.metrics.counter(f"ptm.packets.{kind}")
+            for kind in self.packet_counts
         }
 
     # ------------------------------------------------------------------
@@ -65,6 +78,7 @@ class Ptm:
         and the SoC layer models the CPU-internal FIFO that batches
         these bytes before the TPIU drains them.
         """
+        self._m_events.inc()
         out = bytearray()
         if not self._started:
             out += self._emit_sync(event)
@@ -92,6 +106,7 @@ class Ptm:
                 encoded = packet.encode(previous=self._last_address)
                 self._last_address = event.target
                 self.packet_counts["branch"] += 1
+                self._m_packets["branch"].inc()
                 out += encoded
 
         self._account(out)
@@ -119,6 +134,7 @@ class Ptm:
         self.config.context_id = context_id
         out += ContextIdPacket(context_id).encode()
         self.packet_counts["context"] += 1
+        self._m_packets["context"].inc()
         self._account(out)
         return bytes(out)
 
@@ -129,6 +145,7 @@ class Ptm:
     def _account(self, chunk: bytes) -> None:
         self.total_bytes += len(chunk)
         self._bytes_since_sync += len(chunk)
+        self._m_bytes.inc(len(chunk))
 
     def _flush_atoms(self) -> bytes:
         if not self._pending_atoms:
@@ -136,6 +153,7 @@ class Ptm:
         packet = AtomPacket(tuple(self._pending_atoms))
         self._pending_atoms = []
         self.packet_counts["atom"] += 1
+        self._m_packets["atom"].inc()
         return packet.encode()
 
     def _emit_sync(self, event: BranchEvent) -> bytes:
@@ -144,18 +162,23 @@ class Ptm:
         out = bytearray()
         out += AsyncPacket().encode()
         self.packet_counts["async"] += 1
+        self._m_packets["async"].inc()
         # Sync to the branch *source* block start (word aligned already).
         out += ISyncPacket(
             address=event.source & ~0x3, context_id=self.config.context_id
         ).encode()
         self.packet_counts["isync"] += 1
+        self._m_packets["isync"].inc()
         out += ContextIdPacket(self.config.context_id).encode()
         self.packet_counts["context"] += 1
+        self._m_packets["context"].inc()
         if self.config.timestamps_enabled:
             out += TimestampPacket(max(0, event.cycle)).encode()
             self.packet_counts["timestamp"] += 1
+            self._m_packets["timestamp"].inc()
         # After a sync point compression restarts from a known address.
         self._last_address = event.source & ~0x3
+        self._m_sync_bytes.inc(len(out))
         return bytes(out)
 
 

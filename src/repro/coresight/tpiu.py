@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.errors import FrameSyncError
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 from repro.utils.bitstream import bytes_to_words, words_to_bytes
 
 FRAME_SIZE = 16
@@ -33,7 +34,10 @@ class Tpiu:
     """Framer: accepts trace bytes, emits complete frames / words."""
 
     def __init__(
-        self, source_id: int = DEFAULT_SOURCE_ID, sync_period: int = 64
+        self,
+        source_id: int = DEFAULT_SOURCE_ID,
+        sync_period: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0 <= source_id <= 0xF:
             raise ValueError("source id must fit in 4 bits")
@@ -44,6 +48,11 @@ class Tpiu:
         self._buffer = bytearray()
         self._frames_since_sync = sync_period  # sync immediately at start
         self.frames_emitted = 0
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_frames = self.metrics.counter("tpiu.frames")
+        self._m_sync_frames = self.metrics.counter("tpiu.sync_frames")
+        self._m_payload = self.metrics.counter("tpiu.payload_bytes")
+        self._m_padding = self.metrics.counter("tpiu.padding_bytes")
 
     def push(self, data: bytes) -> bytes:
         """Buffer trace bytes; return any complete frames produced."""
@@ -73,12 +82,16 @@ class Tpiu:
         if self._frames_since_sync >= self.sync_period:
             out += SYNC_FRAME
             self._frames_since_sync = 0
+            self._m_sync_frames.inc()
         header = (self.source_id << 4) | len(payload)
         frame = bytes([header]) + payload
         frame += bytes(FRAME_SIZE - len(frame))
         out += frame
         self.frames_emitted += 1
         self._frames_since_sync += 1
+        self._m_frames.inc()
+        self._m_payload.inc(len(payload))
+        self._m_padding.inc(FRAME_SIZE - 1 - len(payload))
         return bytes(out)
 
 

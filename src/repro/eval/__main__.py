@@ -5,21 +5,30 @@ Usage::
     python -m repro.eval                    # everything (minutes)
     python -m repro.eval table1 table2      # a subset
     python -m repro.eval fig8 --trials 3 --benchmarks gcc omnetpp
+    python -m repro.eval metrics            # instrumented pipeline run
+    python -m repro.eval metrics --json --models lstm --events 6000
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.eval.fig6 import format_fig6, run_fig6
 from repro.eval.fig7 import format_fig7, run_fig7
 from repro.eval.fig8 import format_fig8, run_fig8
+from repro.eval.metrics import (
+    DEMO_KINDS,
+    format_metrics,
+    metrics_to_json,
+    run_metrics_all,
+)
 from repro.eval.table1 import format_table1, run_table1
 from repro.eval.table2 import format_table2, run_table2
 
-EXPERIMENTS = ("table1", "table2", "fig6", "fig7", "fig8")
+EXPERIMENTS = ("table1", "table2", "fig6", "fig7", "fig8", "metrics")
 
 
 def main(argv=None) -> int:
@@ -44,7 +53,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="experiment seed"
     )
+    parser.add_argument(
+        "--events", type=int, default=12_000,
+        help="branch events per metrics run (default 12000)",
+    )
+    parser.add_argument(
+        "--models", nargs="*", default=None, choices=DEMO_KINDS,
+        help="model kinds for the metrics run (default: elm lstm)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the metrics breakdown as JSON instead of text",
+    )
     args = parser.parse_args(argv)
+    if args.events < 0:
+        parser.error("--events must be non-negative")
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
@@ -62,6 +85,18 @@ def main(argv=None) -> int:
             output = format_fig6(run_fig6())
         elif name == "fig7":
             output = format_fig7(run_fig7())
+        elif name == "metrics":
+            results = run_metrics_all(
+                kinds=tuple(args.models or DEMO_KINDS),
+                events=args.events,
+                seed=args.seed,
+            )
+            if args.json:
+                output = json.dumps(
+                    metrics_to_json(results), indent=2, sort_keys=True
+                )
+            else:
+                output = format_metrics(results)
         else:
             output = format_fig8(
                 run_fig8(
@@ -72,7 +107,9 @@ def main(argv=None) -> int:
             )
         elapsed = time.perf_counter() - start
         print(output)
-        print(f"[{name}: {elapsed:.1f}s]\n")
+        if not (name == "metrics" and args.json):
+            # Keep --json output a single valid JSON document.
+            print(f"[{name}: {elapsed:.1f}s]\n")
     return 0
 
 

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
+
+from repro.obs.export import snapshot_to_text
 
 
 def format_table(
@@ -27,6 +29,15 @@ def format_table(
     for row in table[1:]:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_snapshot(snapshot: Dict[str, object], title: str = "metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as text.
+
+    The experiment harness's single entry point for metric dumps, so
+    every ``python -m repro.eval`` surface renders them the same way.
+    """
+    return snapshot_to_text(snapshot, title=title)
 
 
 def _fmt(cell: object) -> str:

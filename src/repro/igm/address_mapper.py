@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import MapperConfigError
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 #: Hardware lookup-table capacity (CAM entries in the RTL).
 DEFAULT_CAPACITY = 1024
@@ -24,13 +25,20 @@ class AddressMapper:
     "miss" code on the hardware match bus.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity < 1:
             raise MapperConfigError("capacity must be positive")
         self.capacity = capacity
         self._table: Dict[int, int] = {}
         self.hits = 0
         self.misses = 0
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_hits = self.metrics.counter("igm.mapper.hits")
+        self._m_misses = self.metrics.counter("igm.mapper.misses")
 
     # ------------------------------------------------------------------
     # Configuration (host writes through the control bus)
@@ -74,8 +82,10 @@ class AddressMapper:
         index = self._table.get(int(address))
         if index is None:
             self.misses += 1
+            self._m_misses.inc()
             return None
         self.hits += 1
+        self._m_hits.inc()
         return index
 
     def __contains__(self, address: int) -> bool:

@@ -17,6 +17,7 @@ from repro.igm.address_mapper import AddressMapper
 from repro.igm.p2s import P2sEntry, ParallelToSerial
 from repro.igm.trace_analyzer import TraceAnalyzer
 from repro.igm.vector_encoder import EncoderMode, InputVector, VectorEncoder
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 #: IGM cycles from a serialized address to a completed vector element
 #: (address-map lookup + vector-encode register stage).
@@ -41,14 +42,22 @@ class IgmConfig:
 class Igm:
     """The Input Generation Module."""
 
-    def __init__(self, config: Optional[IgmConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[IgmConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or IgmConfig()
+        self.metrics = metrics or NULL_REGISTRY
         self.trace_analyzer = TraceAnalyzer(
             source_id=self.config.trace_source_id,
             monitored_context=self.config.monitored_context,
+            metrics=self.metrics,
         )
         self.p2s = ParallelToSerial(depth=self.config.p2s_depth)
-        self.mapper = AddressMapper(capacity=self.config.mapper_capacity)
+        self.mapper = AddressMapper(
+            capacity=self.config.mapper_capacity, metrics=self.metrics
+        )
         self._encoder: Optional[VectorEncoder] = None
         self.cycle = 0
         self.vectors: List[InputVector] = []
@@ -65,6 +74,7 @@ class Igm:
             window=self.config.window,
             vocabulary_size=self.mapper.size + 1,
             stride=self.config.stride,
+            metrics=self.metrics,
         )
 
     @property

@@ -30,6 +30,7 @@ from repro.coresight.decoder import (
     PftDecoder,
 )
 from repro.coresight.tpiu import TpiuDeframer
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass
@@ -65,6 +66,7 @@ class TraceAnalyzer:
         source_id: int = 0x1,
         strict: bool = False,
         monitored_context: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._deframer = TpiuDeframer(expected_source_id=source_id)
         self._decoder = PftDecoder(strict=strict)
@@ -77,6 +79,12 @@ class TraceAnalyzer:
         self.monitored_context = monitored_context
         self.current_context: Optional[int] = None
         self.branches_filtered_by_context = 0
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_words = self.metrics.counter("igm.ta.words")
+        self._m_bytes = self.metrics.counter("igm.ta.bytes_decoded")
+        self._m_branches = self.metrics.counter("igm.ta.branches_decoded")
+        self._m_filtered = self.metrics.counter("igm.ta.context_filtered")
+        self._m_backlog = self.metrics.gauge("igm.ta.backlog")
 
     @property
     def backlog(self) -> int:
@@ -95,9 +103,11 @@ class TraceAnalyzer:
         but the byte lanes hold their state this cycle.
         """
         self.words_consumed += 1
+        self._m_words.inc()
         payload = self._deframer.push(int(word).to_bytes(4, "little"))
         self._pending.extend(payload)
         self.max_backlog = max(self.max_backlog, len(self._pending))
+        self._m_backlog.set(len(self._pending))
         if not decode:
             self.cycles += 1
             return []
@@ -114,6 +124,7 @@ class TraceAnalyzer:
             if not self._pending:
                 break
             byte = self._pending.popleft()
+            self._m_bytes.inc()
             for item in self.units[lane].decode(self._decoder, byte):
                 if isinstance(item, DecodedContext):
                     self.current_context = item.context_id
@@ -126,8 +137,10 @@ class TraceAnalyzer:
                         and self.current_context != self.monitored_context
                     ):
                         self.branches_filtered_by_context += 1
+                        self._m_filtered.inc()
                         continue
                     branches.append(item)
+        self._m_branches.inc(len(branches))
         return branches
 
     def process_words(self, words: List[int]) -> List[Tuple[int, DecodedBranch]]:

@@ -23,6 +23,7 @@ from typing import Deque, Optional
 import numpy as np
 
 from repro.errors import EncoderConfigError
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 
 class EncoderMode(enum.Enum):
@@ -58,6 +59,7 @@ class VectorEncoder:
         window: int = 16,
         vocabulary_size: int = 64,
         stride: int = 1,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if window < 1:
             raise EncoderConfigError("window must be >= 1")
@@ -73,6 +75,9 @@ class VectorEncoder:
         self._since_emit = 0
         self._sequence_number = 0
         self.vectors_emitted = 0
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_pushes = self.metrics.counter("igm.encoder.pushes")
+        self._m_vectors = self.metrics.counter("igm.vectors_encoded")
 
     def reset(self) -> None:
         self._history.clear()
@@ -91,6 +96,7 @@ class VectorEncoder:
                 f"mapped index {index} outside vocabulary "
                 f"[1, {self.vocabulary_size})"
             )
+        self._m_pushes.inc()
         self._history.append(index)
         if len(self._history) < self.window:
             return None
@@ -107,6 +113,7 @@ class VectorEncoder:
         )
         self._sequence_number += 1
         self.vectors_emitted += 1
+        self._m_vectors.inc()
         return vector
 
     def _convert(self) -> np.ndarray:

@@ -17,12 +17,13 @@ execution modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.miaow.gpu import Gpu
 from repro.ml.kernels import DeployedElm, DeployedLstm, DeployedMlp
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -55,10 +56,13 @@ class MlMiaowDriver:
         deployment: Union[DeployedElm, DeployedLstm, DeployedMlp],
         gpu: Gpu,
         execute_on_gpu: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.deployment = deployment
         self.gpu = gpu
         self.execute_on_gpu = execute_on_gpu
+        self.metrics = metrics or NULL_REGISTRY
+        self._bind_instruments()
         if isinstance(deployment, DeployedElm):
             self.kind = "elm"
         elif isinstance(deployment, DeployedMlp):
@@ -70,6 +74,26 @@ class MlMiaowDriver:
         self._cached_phases = self._measure_phases()
         if not execute_on_gpu:
             self._reference = self._make_reference()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _bind_instruments(self) -> None:
+        registry = self.metrics
+        self._m_inferences = registry.counter("driver.inferences")
+        self._m_launches = registry.counter("driver.kernel_launches")
+        self._m_gpu_cycles = registry.counter("driver.gpu_cycles")
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Late-attach a registry (the SoC binds its own at assembly).
+
+        The warm-up calibration inference in the constructor is *not*
+        retro-counted: metrics bound here see only real traffic.
+        """
+        self.metrics = metrics
+        self._bind_instruments()
+        self.gpu.bind_metrics(metrics)
 
     # ------------------------------------------------------------------
     # Calibration
@@ -134,10 +158,15 @@ class MlMiaowDriver:
     def run_inference(self, converted_input) -> DriverResult:
         """Run one inference on the bound engine."""
         if self.kind == "elm":
-            return self._run_elm(converted_input)
-        if self.kind == "mlp":
-            return self._run_mlp(converted_input)
-        return self._run_lstm(converted_input)
+            result = self._run_elm(converted_input)
+        elif self.kind == "mlp":
+            result = self._run_mlp(converted_input)
+        else:
+            result = self._run_lstm(converted_input)
+        self._m_inferences.inc()
+        self._m_launches.inc(result.phases.num_dispatches)
+        self._m_gpu_cycles.inc(result.phases.total_cycles)
+        return result
 
     def _run_mlp(self, features: np.ndarray) -> DriverResult:
         if self.execute_on_gpu:

@@ -29,6 +29,7 @@ from repro.mcm.fifo import InternalFifo
 from repro.mcm.fsm import ControlFsm
 from repro.mcm.interrupt import InterruptManager
 from repro.ml.detector import ThresholdDetector
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 RTAD_CLOCK_HZ = 125_000_000
 GPU_CLOCK_HZ = 50_000_000
@@ -78,6 +79,7 @@ class Mcm:
         converter: ProtocolConverter,
         detector: Optional[ThresholdDetector] = None,
         config: Optional[McmConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if converter.kind != driver.kind:
             raise McmError(
@@ -98,6 +100,18 @@ class Mcm:
         self.records: List[InferenceRecord] = []
         self._busy_until_ns = 0.0
         self._recent_scores: List[float] = []
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_vectors_in = self.metrics.counter("mcm.vectors_in")
+        self._m_drops = self.metrics.counter("mcm.dropped_vectors")
+        self._m_inferences = self.metrics.counter("mcm.inferences")
+        self._m_interrupts = self.metrics.counter("mcm.interrupts")
+        self._m_fifo_depth = self.metrics.gauge("mcm.fifo.depth")
+        self._m_queue = self.metrics.histogram("mcm.queue_ns")
+        self._m_service = self.metrics.histogram("mcm.service_ns")
+        self._m_control = self.metrics.histogram("mcm.control_ns")
+        self._m_copy = self.metrics.histogram("mcm.copy_ns")
+        self._m_gpu = self.metrics.histogram("mcm.gpu_ns")
+        self._m_rx = self.metrics.histogram("mcm.rx_ns")
 
     # ------------------------------------------------------------------
     # Clock conversions
@@ -116,7 +130,13 @@ class Mcm:
     def push(self, vector: InputVector, arrival_ns: float) -> bool:
         """Vector arrival from the IGM; returns False if dropped."""
         self._drain(until_ns=arrival_ns)
-        return self.fifo.push(vector, arrival_ns)
+        self._m_vectors_in.inc()
+        accepted = self.fifo.push(vector, arrival_ns)
+        if accepted:
+            self._m_fifo_depth.set(len(self.fifo))
+        else:
+            self._m_drops.inc()
+        return accepted
 
     def finalize(self) -> List[InferenceRecord]:
         """Process everything still queued; returns all records."""
@@ -172,6 +192,14 @@ class Mcm:
                     score=judged_score,
                     sequence_number=vector.sequence_number,
                 )
+                self._m_interrupts.inc()
+        self._m_inferences.inc()
+        self._m_queue.observe(start_ns - arrival_ns)
+        self._m_service.observe(done_ns - start_ns)
+        self._m_control.observe(control_ns)
+        self._m_copy.observe(tx_ns)
+        self._m_gpu.observe(gpu_ns)
+        self._m_rx.observe(rx_ns)
         self.records.append(
             InferenceRecord(
                 sequence_number=vector.sequence_number,

@@ -19,6 +19,7 @@ from repro.miaow.assembler import Kernel
 from repro.miaow.compute_unit import ComputeUnit, GpuTimings
 from repro.miaow.coverage import CoverageCollector
 from repro.miaow.memory import GlobalMemory
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,7 @@ class Gpu:
         coverage: Optional[CoverageCollector] = None,
         allowed_ops: Optional[Set[str]] = None,
         name: str = "MIAOW",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_cus < 1:
             raise GpuError("need at least one CU")
@@ -68,6 +70,19 @@ class Gpu:
             for index in range(num_cus)
         ]
         self.dispatches = 0
+        self.metrics = metrics or NULL_REGISTRY
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
+        registry = self.metrics
+        self._m_dispatches = registry.counter("gpu.dispatches")
+        self._m_cycles = registry.counter("gpu.wavefront_cycles")
+        self._m_instructions = registry.counter("gpu.instructions")
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Late-attach a registry (dispatches so far are not counted)."""
+        self.metrics = metrics
+        self._bind_instruments()
 
     @property
     def num_cus(self) -> int:
@@ -129,9 +144,13 @@ class Gpu:
             - instructions_before
         )
         self.dispatches += 1
-        return DispatchResult(
+        result = DispatchResult(
             kernel=kernel.name,
             cycles=max(per_cu_cycles.values()),
             instructions=instructions,
             per_cu_cycles=per_cu_cycles,
         )
+        self._m_dispatches.inc()
+        self._m_cycles.inc(result.cycles)
+        self._m_instructions.inc(result.instructions)
+        return result

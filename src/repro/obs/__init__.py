@@ -1,0 +1,45 @@
+"""Pipeline observability: counters, gauges, latency histograms, spans.
+
+Usage::
+
+    from repro.obs import MetricsRegistry
+    from repro.obs.export import to_text
+
+    metrics = MetricsRegistry()
+    soc = RtadSoc(..., metrics=metrics)
+    soc.run_events(events)
+    print(to_text(metrics))
+
+Every pipeline stage takes an optional ``metrics`` registry and
+defaults to the shared :data:`NULL_REGISTRY`, whose instruments are
+no-ops — disabled observability costs one empty method call per
+update.  See docs/OBSERVABILITY.md for the metric catalogue.
+"""
+
+from repro.obs.export import snapshot_to_text, to_json, to_text
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.span import NULL_SPAN, Span, SpanRecord
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "snapshot_to_text",
+    "to_json",
+    "to_text",
+]

@@ -1,0 +1,97 @@
+"""Text and JSON exporters over registry snapshots.
+
+Both exporters consume the JSON-native dict from
+:meth:`MetricsRegistry.snapshot`, so ``json.loads(to_json(registry))``
+round-trips to exactly ``registry.snapshot()``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["to_json", "to_text", "snapshot_to_text"]
+
+
+def to_json(registry: MetricsRegistry, indent: Optional[int] = None) -> str:
+    """Serialize every instrument to a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def to_text(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """Human-readable breakdown of every instrument."""
+    return snapshot_to_text(registry.snapshot(), title=title)
+
+
+def _rows(rows, header):
+    widths = [
+        max(len(str(row[column])) for row in [header, *rows])
+        for column in range(len(header))
+    ]
+    lines = [
+        "  " + "  ".join(
+            str(cell).ljust(width) if index == 0 else str(cell).rjust(width)
+            for index, (cell, width) in enumerate(zip(row, widths))
+        ).rstrip()
+        for row in [header, *rows]
+    ]
+    return lines
+
+
+def _num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if abs(value) >= 100:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def snapshot_to_text(snapshot: Dict[str, object], title: str = "metrics") -> str:
+    """Render a snapshot dict (see ``MetricsRegistry.snapshot``)."""
+    lines = [f"== {title} =="]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        lines += _rows(
+            [(name, _num(value)) for name, value in counters.items()],
+            ("name", "value"),
+        )
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        lines += _rows(
+            [
+                (name, _num(entry["value"]), _num(entry["high_water"]))
+                for name, entry in gauges.items()
+            ],
+            ("name", "value", "high-water"),
+        )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        lines += _rows(
+            [
+                (
+                    name,
+                    _num(entry["count"]),
+                    _num(entry["mean"]),
+                    _num(entry["p50"]),
+                    _num(entry["p95"]),
+                    _num(entry["p99"]),
+                    _num(entry["max"]),
+                )
+                for name, entry in histograms.items()
+            ],
+            ("name", "count", "mean", "p50", "p95", "p99", "max"),
+        )
+    spans = snapshot.get("spans", {})
+    if spans.get("recorded") or spans.get("dropped"):
+        lines.append(
+            f"spans: {spans.get('recorded', 0)} recorded, "
+            f"{spans.get('dropped', 0)} dropped"
+        )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,309 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms.
+
+The registry is the single object threaded through the pipeline.
+Every stage asks it for named instruments **once** (at construction)
+and then updates those handles on the hot path, so the per-event cost
+is one attribute load plus one method call.  The :class:`NullRegistry`
+hands out shared no-op instruments — an uninstrumented pipeline
+allocates nothing and records nothing, which is what lets the metrics
+parameters default on everywhere without a measurable tax.
+
+Design constraints (see docs/OBSERVABILITY.md):
+
+- zero dependencies (pure stdlib; no numpy),
+- deterministic snapshots (plain dicts, insertion-ordered),
+- fixed-bucket histograms so memory stays bounded on long runs while
+  p50/p95/p99 remain accurate to within one bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+
+def _latency_buckets() -> Tuple[float, ...]:
+    """1-2-5 series from 10 ns to 100 s — wide enough for both real
+    wall-clock spans and simulated pipeline latencies in ns."""
+    bounds: List[float] = []
+    magnitude = 10.0
+    while magnitude <= 1e11:
+        for mantissa in (1.0, 2.0, 5.0):
+            bounds.append(mantissa * magnitude)
+        magnitude *= 10.0
+    return tuple(bounds)
+
+
+#: Default histogram bucket upper bounds (nanoseconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = _latency_buckets()
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time level with a high-water mark (e.g. FIFO depth)."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with percentile estimation.
+
+    Buckets are upper bounds; a final implicit +inf bucket catches
+    overflow.  Percentiles interpolate linearly inside the bucket the
+    target rank falls in, then clamp to the observed [min, max], so a
+    single observation reports itself exactly.
+    """
+
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total", "min", "max",
+    )
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(buckets or DEFAULT_BUCKETS)
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        # Linear scan is fine: bucket lists are short and the common
+        # latency values land in the first few comparisons.
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            upper = (
+                self.bounds[index]
+                if index < len(self.bounds)
+                else self.max
+            )
+            if bucket_count and cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+            lower = upper
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instrument store + span stack for nested tracing."""
+
+    enabled = True
+
+    #: Completed-span records kept for tree rendering; aggregation into
+    #: ``span.*`` histograms is unbounded regardless of this cap.
+    max_spans = 10_000
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.spans: List[object] = []   # SpanRecord, import-cycle-free
+        self.span_stack: List[str] = []
+        self.spans_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Instrument factories (memoized by name)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    def trace(self, name: str, **annotations):
+        """Open a :class:`repro.obs.span.Span` context manager."""
+        from repro.obs.span import Span
+
+        return Span(self, name, annotations)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-native view of every instrument (sorted by name)."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    "value": gauge.value,
+                    "high_water": gauge.high_water,
+                }
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "min": hist.min if hist.count else 0.0,
+                    "max": hist.max if hist.count else 0.0,
+                    "mean": hist.mean,
+                    "p50": hist.p50,
+                    "p95": hist.p95,
+                    "p99": hist.p99,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+            "spans": {
+                "recorded": len(self.spans),
+                "dropped": self.spans_dropped,
+            },
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: the default when observability is off.
+
+    All factories return shared singletons whose update methods do
+    nothing, so the instrumented hot path costs one no-op call and the
+    registry never accumulates state.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._null_histogram
+
+    def trace(self, name: str, **annotations):
+        from repro.obs.span import NULL_SPAN
+
+        return NULL_SPAN
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": {"recorded": 0, "dropped": 0},
+        }
+
+
+#: Shared default: pass this (or None, which resolves to it) wherever a
+#: stage takes a ``metrics`` argument and observability is not wanted.
+NULL_REGISTRY = NullRegistry()

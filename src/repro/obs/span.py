@@ -1,0 +1,107 @@
+"""Nested pipeline tracing: ``Span`` objects opened via
+``registry.trace(name)``.
+
+A span measures wall time on the monotonic clock
+(:func:`time.perf_counter_ns`).  Spans nest through the registry's
+span stack: a span opened while another is active gets a ``/``-joined
+path (``soc.run_events/mcm.finalize``), and every completed span both
+
+- appends a :class:`SpanRecord` to ``registry.spans`` (capped at
+  ``registry.max_spans`` — overflow is counted, not silently lost) and
+- observes its duration into the ``span.<path>`` histogram, which is
+  what the exporters and percentile queries read.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Span", "SpanRecord", "NULL_SPAN"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    path: str
+    depth: int
+    start_ns: int
+    duration_ns: int
+    annotations: Dict[str, object] = field(default_factory=dict)
+
+
+class Span:
+    """Context manager for one traced section."""
+
+    __slots__ = ("registry", "name", "annotations", "path", "depth", "_start")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        annotations: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.annotations: Dict[str, object] = dict(annotations or {})
+        self.path = name
+        self.depth = 0
+        self._start = 0
+
+    def annotate(self, **values) -> "Span":
+        """Attach key/value context to the span record."""
+        self.annotations.update(values)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self.registry.span_stack
+        self.depth = len(stack)
+        self.path = (
+            "/".join((*stack, self.name)) if stack else self.name
+        )
+        stack.append(self.name)
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter_ns() - self._start
+        self.registry.span_stack.pop()
+        registry = self.registry
+        registry.histogram(f"span.{self.path}").observe(float(duration))
+        if len(registry.spans) < registry.max_spans:
+            registry.spans.append(
+                SpanRecord(
+                    name=self.name,
+                    path=self.path,
+                    depth=self.depth,
+                    start_ns=self._start,
+                    duration_ns=duration,
+                    annotations=dict(self.annotations),
+                )
+            )
+        else:
+            registry.spans_dropped += 1
+        return False
+
+
+class _NullSpan:
+    """Reusable no-op span handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def annotate(self, **values) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()

@@ -17,6 +17,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.coresight.driver import CoreSightDriver
 from repro.errors import SocConfigError
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 from repro.soc.clocks import CPU_CLOCK, RTAD_CLOCK, ClockDomain
 from repro.workloads.cfg import BranchEvent
 from repro.workloads.program import SyntheticProgram
@@ -34,8 +35,15 @@ class PtmFifoModel:
 
     threshold_bytes: int = 176
     port_clock: ClockDomain = RTAD_CLOCK
+    metrics: Optional[MetricsRegistry] = None
     _pending: List[Tuple[float, int]] = field(default_factory=list)
     _occupancy: int = 0
+
+    def __post_init__(self) -> None:
+        registry = self.metrics or NULL_REGISTRY
+        self._m_occupancy = registry.gauge("ptm_fifo.occupancy")
+        self._m_flushes = registry.counter("ptm_fifo.flushes")
+        self._m_flushed_bytes = registry.counter("ptm_fifo.flushed_bytes")
 
     def push(self, time_ns: float, nbytes: int) -> Optional[float]:
         if nbytes < 0:
@@ -44,6 +52,7 @@ class PtmFifoModel:
             return None
         self._pending.append((time_ns, nbytes))
         self._occupancy += nbytes
+        self._m_occupancy.set(self._occupancy)
         if self._occupancy >= self.threshold_bytes:
             return self._flush(time_ns)
         return None
@@ -57,8 +66,11 @@ class PtmFifoModel:
     def _flush(self, time_ns: float) -> float:
         drain_cycles = (self._occupancy + 3) // 4
         done = time_ns + self.port_clock.to_ns(drain_cycles)
+        self._m_flushes.inc()
+        self._m_flushed_bytes.inc(self._occupancy)
         self._pending.clear()
         self._occupancy = 0
+        self._m_occupancy.set(0)
         return done
 
     @property
@@ -94,11 +106,13 @@ class HostCpu:
         program: SyntheticProgram,
         ptm_fifo: Optional[PtmFifoModel] = None,
         clock: ClockDomain = CPU_CLOCK,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.program = program
         self.clock = clock
-        self.ptm_fifo = ptm_fifo or PtmFifoModel()
-        self.coresight = CoreSightDriver()
+        self.metrics = metrics or NULL_REGISTRY
+        self.ptm_fifo = ptm_fifo or PtmFifoModel(metrics=self.metrics)
+        self.coresight = CoreSightDriver(metrics=self.metrics)
         self.coresight.enable()
 
     def event_time_ns(self, event: BranchEvent) -> float:

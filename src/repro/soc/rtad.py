@@ -28,6 +28,7 @@ from repro.mcm.driver import MlMiaowDriver
 from repro.mcm.engines import ProtocolConverter
 from repro.mcm.mcm import InferenceRecord, Mcm, McmConfig
 from repro.ml.detector import ThresholdDetector
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 from repro.soc.clocks import CPU_CLOCK
 from repro.soc.cpu import HostCpu
 from repro.soc.metrics import rtad_transfer_breakdown
@@ -81,16 +82,24 @@ class RtadSoc:
         monitored_addresses: Sequence[int],
         detector: Optional[ThresholdDetector] = None,
         config: Optional[RtadConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.program = program
         self.config = config or RtadConfig()
-        self.mapper = AddressMapper()
+        self.metrics = metrics or NULL_REGISTRY
+        self.mapper = AddressMapper(metrics=self.metrics)
         self.mapper.load(monitored_addresses)
         self.encoder = VectorEncoder(
             mode=EncoderMode.SEQUENCE,
             window=self.config.window,
             vocabulary_size=self.mapper.size + 1,
+            metrics=self.metrics,
         )
+        if self.metrics.enabled:
+            # The driver (and its GPU) are built by the caller; adopt
+            # them into this SoC's registry so kernel launches and
+            # wavefront cycles land in the same snapshot.
+            driver.bind_metrics(self.metrics)
         self.mcm = Mcm(
             driver=driver,
             converter=converter,
@@ -101,8 +110,18 @@ class RtadSoc:
                 rtad_clock_hz=self.config.rtad_clock_hz,
                 gpu_clock_hz=self.config.gpu_clock_hz,
             ),
+            metrics=self.metrics,
         )
-        self.host = HostCpu(program)
+        self.host = HostCpu(program, metrics=self.metrics)
+        self._m_events = self.metrics.counter("soc.events")
+        self._m_monitored_ids = self.metrics.counter("soc.monitored_ids")
+        # Fig. 7 mirror, in simulated nanoseconds per delivered vector:
+        # (1) read = PTM FIFO batching + trace-port drain, (2) the
+        # fixed IGM vectorize stage; (3) copy is mcm.copy_ns.
+        self._m_read = self.metrics.histogram("pipeline.read_ns")
+        self._m_vectorize = self.metrics.histogram("pipeline.vectorize_ns")
+        self._m_e2e = self.metrics.histogram("pipeline.e2e_ns")
+        self._observed_records = 0
 
     # ------------------------------------------------------------------
     # Full-path run (byte-accurate trace path)
@@ -110,34 +129,53 @@ class RtadSoc:
 
     def run_events(self, events: Sequence[BranchEvent]) -> List[InferenceRecord]:
         """Run raw branch events through the complete pipeline."""
-        pending: List[InputVector] = []
-        for event in events:
-            time_ns = self.host.event_time_ns(event)
-            chunk = self.host.coresight.trace(event)
-            index = self.mapper.lookup(event.target)
-            if index is not None:
-                vector = self.encoder.push(
-                    index=index, address=event.target, cycle=event.cycle
-                )
-                if vector is not None:
-                    pending.append(vector)
-            flushed = self.host.ptm_fifo.push(time_ns, len(chunk))
+        with self.metrics.trace("soc.run_events", events=len(events)):
+            self._m_events.inc(len(events))
+            pending: List[InputVector] = []
+            for event in events:
+                time_ns = self.host.event_time_ns(event)
+                chunk = self.host.coresight.trace(event)
+                index = self.mapper.lookup(event.target)
+                if index is not None:
+                    vector = self.encoder.push(
+                        index=index, address=event.target, cycle=event.cycle
+                    )
+                    if vector is not None:
+                        pending.append(vector)
+                flushed = self.host.ptm_fifo.push(time_ns, len(chunk))
+                if flushed is not None:
+                    self._deliver(pending, flushed)
+                    pending = []
+            tail = self.host.coresight.flush()
+            last_ns = (
+                self.host.event_time_ns(events[-1]) if events else 0.0
+            )
+            self.host.ptm_fifo.push(last_ns, len(tail))
+            flushed = self.host.ptm_fifo.flush(last_ns)
             if flushed is not None:
                 self._deliver(pending, flushed)
-                pending = []
-        tail = self.host.coresight.flush()
-        last_ns = (
-            self.host.event_time_ns(events[-1]) if events else 0.0
-        )
-        self.host.ptm_fifo.push(last_ns, len(tail))
-        flushed = self.host.ptm_fifo.flush(last_ns)
-        if flushed is not None:
-            self._deliver(pending, flushed)
-        return self.mcm.finalize()
+            with self.metrics.trace("mcm.finalize"):
+                records = self.mcm.finalize()
+            self._observe_records(records)
+            return records
 
     def _deliver(self, vectors: List[InputVector], flush_ns: float) -> None:
         for vector in vectors:
+            trigger_ns = CPU_CLOCK.to_ns(vector.trigger_cycle)
+            self._m_read.observe(max(0.0, flush_ns - trigger_ns))
+            self._m_vectorize.observe(self.config.igm_pipe_ns)
             self.mcm.push(vector, flush_ns + self.config.igm_pipe_ns)
+
+    def _observe_records(self, records: List[InferenceRecord]) -> None:
+        """End-to-end latency per inference not yet observed.
+
+        ``Mcm.records`` accumulates across runs, so only the tail that
+        appeared since the last observation is recorded.
+        """
+        for record in records[self._observed_records:]:
+            trigger_ns = CPU_CLOCK.to_ns(record.trigger_cycle)
+            self._m_e2e.observe(max(0.0, record.done_ns - trigger_ns))
+        self._observed_records = len(records)
 
     # ------------------------------------------------------------------
     # Queueing-path run (pre-filtered monitored stream)
@@ -166,15 +204,22 @@ class RtadSoc:
             if path_latency_ns is None
             else path_latency_ns
         )
-        for branch_id, time_ns in zip(ids, times_ns):
-            vector = self.encoder.push(
-                index=int(branch_id),
-                address=0,
-                cycle=int(CPU_CLOCK.cycles(time_ns)),
-            )
-            if vector is not None:
-                self.mcm.push(vector, time_ns + latency)
-        return self.mcm.finalize()
+        with self.metrics.trace(
+            "soc.run_monitored_stream", ids=len(ids)
+        ):
+            self._m_monitored_ids.inc(len(ids))
+            for branch_id, time_ns in zip(ids, times_ns):
+                vector = self.encoder.push(
+                    index=int(branch_id),
+                    address=0,
+                    cycle=int(CPU_CLOCK.cycles(time_ns)),
+                )
+                if vector is not None:
+                    self._m_read.observe(latency)
+                    self.mcm.push(vector, time_ns + latency)
+            records = self.mcm.finalize()
+            self._observe_records(records)
+            return records
 
     # ------------------------------------------------------------------
     # Attack trials (Fig. 8)

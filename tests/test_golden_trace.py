@@ -1,0 +1,130 @@
+"""Golden end-to-end traces: fixed-seed runs pinned to checked-in JSON.
+
+Each golden file captures one deterministic full-path run of the demo
+deployment (`repro.eval.metrics.build_demo_soc`) — every inference
+record (sequence, trigger cycle, timing, score, verdict) plus the
+cross-stage counters.  Any change to packet encoding, FIFO batching,
+vector encoding, queueing, or model scoring shows up as a diff here.
+
+Regenerating after an *intentional* behaviour change::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+
+then inspect `git diff tests/golden/` and commit the new files with an
+explanation of why the trace moved.
+
+Tolerances: simulated timestamps and counters are exact; model scores
+are compared at 1e-4 relative so the goldens survive BLAS/numpy build
+differences across CI interpreters.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.metrics import DEMO_KINDS, build_demo_soc, demo_events
+from repro.obs import MetricsRegistry
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+EVENTS = 8_000
+SEED = 0
+
+#: Counters pinned by the golden files (cross-stage conservation).
+PINNED_COUNTERS = (
+    "ptm.events",
+    "ptm.bytes",
+    "ptm.sync_bytes",
+    "ptm_fifo.flushes",
+    "tpiu.frames",
+    "igm.mapper.hits",
+    "igm.mapper.misses",
+    "igm.vectors_encoded",
+    "mcm.vectors_in",
+    "mcm.dropped_vectors",
+    "mcm.inferences",
+    "mcm.interrupts",
+    "driver.inferences",
+    "driver.kernel_launches",
+    "driver.gpu_cycles",
+    "soc.events",
+)
+
+
+def _run_payload(kind: str) -> dict:
+    registry = MetricsRegistry()
+    soc = build_demo_soc(kind, seed=SEED, metrics=registry)
+    events = demo_events(kind, SEED, EVENTS)
+    records = soc.run_events(events)
+    counters = registry.snapshot()["counters"]
+    return {
+        "kind": kind,
+        "seed": SEED,
+        "events": len(events),
+        "records": [
+            {
+                "sequence": record.sequence_number,
+                "trigger_cycle": record.trigger_cycle,
+                "arrival_ns": round(record.arrival_ns, 3),
+                "start_ns": round(record.start_ns, 3),
+                "done_ns": round(record.done_ns, 3),
+                "score": round(record.score, 6),
+                "anomalous": record.anomalous,
+                "gpu_cycles": record.gpu_cycles,
+            }
+            for record in records
+        ],
+        "counters": {name: counters[name] for name in PINNED_COUNTERS},
+    }
+
+
+def _golden_path(kind: str) -> Path:
+    return GOLDEN_DIR / f"trace_{kind}_seed{SEED}_{EVENTS}ev.json"
+
+
+def _regen_requested() -> bool:
+    return bool(os.environ.get("REGEN_GOLDEN"))
+
+
+@pytest.mark.parametrize("kind", DEMO_KINDS)
+def test_golden_trace(kind):
+    payload = _run_payload(kind)
+    path = _golden_path(kind)
+    if _regen_requested():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"{path} missing — generate it with "
+        "REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest "
+        "tests/test_golden_trace.py"
+    )
+    golden = json.loads(path.read_text())
+
+    assert payload["events"] == golden["events"]
+    assert payload["counters"] == golden["counters"]
+    assert len(payload["records"]) == len(golden["records"])
+    for index, (actual, expected) in enumerate(
+        zip(payload["records"], golden["records"])
+    ):
+        label = f"{kind} record {index}"
+        for exact in (
+            "sequence", "trigger_cycle", "anomalous", "gpu_cycles",
+            "arrival_ns", "start_ns", "done_ns",
+        ):
+            assert actual[exact] == expected[exact], f"{label}: {exact}"
+        assert actual["score"] == pytest.approx(
+            expected["score"], rel=1e-4
+        ), f"{label}: score"
+
+
+@pytest.mark.parametrize("kind", DEMO_KINDS)
+def test_golden_run_is_reproducible_in_process(kind):
+    """Two identical runs in one process yield identical payloads —
+    the demo builders hold no mutable cross-run state."""
+    if _regen_requested():
+        pytest.skip("regeneration run")
+    assert _run_payload(kind) == _run_payload(kind)

@@ -1,0 +1,230 @@
+"""Unit tests for the observability primitives (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    to_json,
+    to_text,
+)
+from repro.obs.span import NULL_SPAN, SpanRecord
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+
+class TestGauge:
+    def test_tracks_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.set(9)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.high_water == 9
+
+
+class TestHistogram:
+    def test_empty_reports_zero(self):
+        hist = Histogram("h")
+        assert hist.count == 0
+        assert hist.p50 == 0.0
+        assert hist.mean == 0.0
+
+    def test_single_observation_is_exact(self):
+        hist = Histogram("h")
+        hist.observe(137.0)
+        assert hist.p50 == pytest.approx(137.0)
+        assert hist.p99 == pytest.approx(137.0)
+        assert hist.min == 137.0
+        assert hist.max == 137.0
+        assert hist.mean == pytest.approx(137.0)
+
+    def test_percentiles_of_uniform_range(self):
+        hist = Histogram("h")
+        for value in range(1, 1001):  # 1..1000 ns, uniform
+            hist.observe(float(value))
+        # Fixed buckets guarantee accuracy within one bucket; the 1-2-5
+        # series keeps that well inside 25% relative error here.
+        assert hist.p50 == pytest.approx(500.0, rel=0.25)
+        assert hist.p95 == pytest.approx(950.0, rel=0.25)
+        assert hist.p99 == pytest.approx(990.0, rel=0.25)
+        assert hist.percentile(1.0) == 1000.0
+        assert hist.min == 1.0
+        assert hist.max == 1000.0
+        assert hist.mean == pytest.approx(500.5)
+
+    def test_percentile_clamped_to_observed_range(self):
+        hist = Histogram("h")
+        hist.observe(42.0)
+        hist.observe(43.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert 42.0 <= hist.percentile(q) <= 43.0
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", buckets=[10.0, 100.0])
+        hist.observe(5000.0)
+        assert hist.counts[-1] == 1
+        assert hist.p50 == 5000.0  # clamped to max
+
+    def test_rejects_bad_buckets_and_quantiles(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[100.0, 10.0])
+        # Falsy bucket sequences fall back to the default series.
+        assert Histogram("h", buckets=[]).bounds == DEFAULT_BUCKETS
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_default_buckets_sorted_and_wide(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] == 10.0
+        assert DEFAULT_BUCKETS[-1] >= 1e11
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        registry = MetricsRegistry()
+        with registry.trace("work") as span:
+            span.annotate(items=3)
+        assert len(registry.spans) == 1
+        record = registry.spans[0]
+        assert isinstance(record, SpanRecord)
+        assert record.path == "work"
+        assert record.depth == 0
+        assert record.duration_ns >= 0
+        assert record.annotations == {"items": 3}
+        hist = registry.histogram("span.work")
+        assert hist.count == 1
+
+    def test_nested_spans_join_paths(self):
+        registry = MetricsRegistry()
+        with registry.trace("outer"):
+            with registry.trace("inner"):
+                pass
+            with registry.trace("inner"):
+                pass
+        paths = [record.path for record in registry.spans]
+        assert paths == ["outer/inner", "outer/inner", "outer"]
+        assert registry.spans[0].depth == 1
+        assert registry.spans[2].depth == 0
+        assert registry.histogram("span.outer/inner").count == 2
+        assert registry.span_stack == []
+
+    def test_span_stack_unwinds_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.trace("fails"):
+                raise RuntimeError("boom")
+        assert registry.span_stack == []
+        assert registry.histogram("span.fails").count == 1
+
+    def test_span_cap_counts_drops(self):
+        registry = MetricsRegistry()
+        registry.max_spans = 2
+        for _ in range(5):
+            with registry.trace("t"):
+                pass
+        assert len(registry.spans) == 2
+        assert registry.spans_dropped == 3
+        # Aggregation keeps going past the cap.
+        assert registry.histogram("span.t").count == 5
+        assert registry.snapshot()["spans"] == {"recorded": 2, "dropped": 3}
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("ptm.bytes").inc(1234)
+        registry.gauge("fifo.depth").set(7)
+        registry.histogram("latency_ns").observe(55.0)
+        with registry.trace("run"):
+            pass
+        return registry
+
+    def test_json_round_trips_snapshot(self):
+        registry = self._populated()
+        assert json.loads(to_json(registry)) == registry.snapshot()
+        assert json.loads(to_json(registry, indent=2)) == registry.snapshot()
+
+    def test_snapshot_is_json_native(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["counters"]["ptm.bytes"] == 1234
+        assert snapshot["gauges"]["fifo.depth"]["high_water"] == 7
+        entry = snapshot["histograms"]["latency_ns"]
+        assert entry["count"] == 1
+        assert entry["p50"] == pytest.approx(55.0)
+
+    def test_text_export_mentions_every_instrument(self):
+        text = to_text(self._populated(), title="demo")
+        assert "== demo ==" in text
+        assert "ptm.bytes" in text
+        assert "1,234" in text
+        assert "fifo.depth" in text
+        assert "latency_ns" in text
+        assert "span.run" in text
+        assert "1 recorded" in text
+
+    def test_empty_registry_text(self):
+        assert "(no metrics recorded)" in to_text(MetricsRegistry())
+
+
+class TestNullRegistry:
+    def test_is_disabled_and_shared(self):
+        assert NULL_REGISTRY.enabled is False
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        assert MetricsRegistry.enabled is True
+
+    def test_instruments_are_shared_noops(self):
+        registry = NullRegistry()
+        counter = registry.counter("a")
+        assert counter is registry.counter("b")
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = registry.gauge("g")
+        gauge.set(5)
+        assert gauge.value == 0.0
+        assert gauge.high_water == 0.0
+        hist = registry.histogram("h")
+        hist.observe(1.0)
+        assert hist.count == 0
+
+    def test_trace_is_reusable_noop(self):
+        registry = NullRegistry()
+        span = registry.trace("anything", key="value")
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.annotate(more=1)
+        assert registry.spans == []
+        assert registry.span_stack == []
+
+    def test_snapshot_always_empty(self):
+        registry = NullRegistry()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(3.0)
+        with registry.trace("s"):
+            pass
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": {"recorded": 0, "dropped": 0},
+        }
