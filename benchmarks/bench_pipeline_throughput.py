@@ -1,0 +1,128 @@
+"""Trace-dataplane throughput: per-event loop vs batched stages.
+
+Times ``RtadSoc.run_events`` on the same demo SoC and the same traces
+under both dataplane implementations and records events/sec into
+``benchmarks/results/BENCH_pipeline.json``.  The acceptance gate for
+the staged-dataplane refactor is >= 3x events/sec on the 1M-event
+trace; both implementations produce byte-identical records
+(``tests/test_pipeline_equivalence.py``), so this is pure speed.
+
+Runs two ways:
+
+- ``pytest benchmarks/bench_pipeline_throughput.py`` — all three
+  trace sizes, asserts the 1M-event speedup gate;
+- ``python benchmarks/bench_pipeline_throughput.py --smoke`` — the
+  smallest size only, for the CI smoke step (fails on speedup < 1).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script-mode imports
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.metrics import build_demo_soc, demo_events  # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_NAME = "BENCH_pipeline.json"
+
+FULL_SIZES = (50_000, 200_000, 1_000_000)
+SMOKE_SIZES = (50_000,)
+SPEEDUP_GATE = 3.0
+
+
+def _timed_run(soc, events, dataplane: str):
+    start = time.perf_counter()
+    records = soc.run_events(events, dataplane=dataplane)
+    wall_s = time.perf_counter() - start
+    return wall_s, len(records)
+
+
+def run_throughput(sizes=FULL_SIZES, kind: str = "lstm") -> dict:
+    soc = build_demo_soc(kind)
+    entries = []
+    for size in sizes:
+        events = demo_events(
+            kind, 0, size, run_label=f"throughput-{size}"
+        )
+        measured = {}
+        for dataplane in ("loop", "batched"):
+            wall_s, total_records = _timed_run(soc, events, dataplane)
+            measured[dataplane] = {
+                "wall_s": round(wall_s, 4),
+                "events_per_s": round(len(events) / wall_s, 1),
+            }
+        entries.append(
+            {
+                "events": len(events),
+                "loop": measured["loop"],
+                "batched": measured["batched"],
+                "speedup": round(
+                    measured["batched"]["events_per_s"]
+                    / measured["loop"]["events_per_s"],
+                    2,
+                ),
+            }
+        )
+    return {
+        "benchmark": "pipeline_throughput",
+        "kind": kind,
+        "dataplanes": ["loop", "batched"],
+        "gate_speedup_at_1m": SPEEDUP_GATE,
+        "sizes": entries,
+    }
+
+
+def save_and_format(result: dict, smoke: bool = False) -> str:
+    result = dict(result, smoke=smoke)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / RESULT_NAME).write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+    lines = [
+        "pipeline throughput: per-event loop vs batched stages",
+        f"{'events':>10}  {'loop ev/s':>12}  {'batched ev/s':>13}  "
+        f"{'speedup':>8}",
+    ]
+    for entry in result["sizes"]:
+        lines.append(
+            f"{entry['events']:>10}  "
+            f"{entry['loop']['events_per_s']:>12,.0f}  "
+            f"{entry['batched']['events_per_s']:>13,.0f}  "
+            f"{entry['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_pipeline_throughput():
+    result = run_throughput(FULL_SIZES)
+    print()
+    print(save_and_format(result))
+    largest = result["sizes"][-1]
+    assert largest["events"] == 1_000_000
+    assert largest["speedup"] >= SPEEDUP_GATE, (
+        f"batched dataplane only {largest['speedup']}x at 1M events"
+    )
+    # batched must never be slower, at any size
+    for entry in result["sizes"]:
+        assert entry["speedup"] >= 1.0, entry
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    result = run_throughput(sizes)
+    print(save_and_format(result, smoke=smoke))
+    worst = min(entry["speedup"] for entry in result["sizes"])
+    if smoke:
+        return 0 if worst >= 1.0 else 1
+    return 0 if result["sizes"][-1]["speedup"] >= SPEEDUP_GATE else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

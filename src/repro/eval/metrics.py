@@ -32,6 +32,7 @@ from repro.ml.features import PatternDictionary
 from repro.ml.kernels import DeployedElm, DeployedLstm
 from repro.ml.lstm import LstmModel
 from repro.obs import MetricsRegistry
+from repro.soc.manager import Deployment, SocManager
 from repro.soc.rtad import RtadConfig, RtadSoc
 from repro.workloads.dataset import (
     Vocabulary,
@@ -193,10 +194,65 @@ def build_demo_soc(
     )
 
 
-def demo_events(kind: str, seed: int, count: int):
-    """The fixed branch-event stream the metrics run replays."""
+def demo_events(
+    kind: str, seed: int, count: int, run_label: Optional[str] = None
+):
+    """The fixed branch-event stream the metrics run replays.
+
+    ``run_label`` selects a different (deterministic) CFG walk of the
+    *same* demo program — distinct traces that still hit the demo
+    monitored addresses, which is what multi-tenant tests need.
+    """
     program = _demo_parts(kind, seed)["program"]
-    return program.run(count, run_label=f"metrics-{kind}").events
+    return program.run(
+        count, run_label=run_label or f"metrics-{kind}"
+    ).events
+
+
+def build_demo_manager(
+    num_tenants: int = 4,
+    kind: str = "lstm",
+    seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    num_cus: int = 5,
+    fifo_depth: int = 64,
+) -> SocManager:
+    """A multi-tenant manager: N demo deployments, one shared engine.
+
+    Every tenant monitors the same demo program configuration (its own
+    mapper/encoder/detector instances), and every driver wraps the
+    *same* calibrated-mode Gpu — the arbitration configuration the
+    SocManager tests exercise.
+    """
+    parts = _demo_parts(kind, seed)
+    gpu = Gpu(num_cus=num_cus, name="ML-MIAOW")
+    deployments = []
+    for index in range(num_tenants):
+        if kind == "elm":
+            deployed = DeployedElm(
+                parts["model"], parts["dictionary"], parts["window"]
+            )
+            converter = ProtocolConverter("elm", parts["dictionary"])
+        else:
+            deployed = DeployedLstm(parts["model"])
+            converter = ProtocolConverter("lstm")
+        driver = MlMiaowDriver(deployed, gpu, execute_on_gpu=False)
+        deployments.append(
+            Deployment(
+                name=f"tenant{index}",
+                driver=driver,
+                converter=converter,
+                monitored_addresses=parts["monitored"],
+                detector=parts["detector"],
+                config=RtadConfig(
+                    model_kind=kind,
+                    window=parts["window"],
+                    fifo_depth=fifo_depth,
+                    score_smoothing=parts["smoothing"],
+                ),
+            )
+        )
+    return SocManager(deployments, metrics=metrics)
 
 
 @dataclass

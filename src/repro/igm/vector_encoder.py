@@ -79,9 +79,17 @@ class VectorEncoder:
         self._m_pushes = self.metrics.counter("igm.encoder.pushes")
         self._m_vectors = self.metrics.counter("igm.vectors_encoded")
 
-    def reset(self) -> None:
+    def reset(self, reset_sequence: bool = False) -> None:
+        """Drop the window history (new trace session).
+
+        ``reset_sequence`` also rewinds the sequence counter so the
+        next session numbers its vectors from zero — full
+        fresh-encoder equivalence.
+        """
         self._history.clear()
         self._since_emit = 0
+        if reset_sequence:
+            self._sequence_number = 0
 
     def push(
         self, index: int, address: int, cycle: int

@@ -14,6 +14,7 @@ from repro.mcm.engines import TxEngine, RxEngine, ProtocolConverter
 from repro.mcm.interrupt import InterruptManager, Interrupt
 from repro.mcm.driver import MlMiaowDriver, InferencePhases
 from repro.mcm.mcm import Mcm, InferenceRecord
+from repro.mcm.arbiter import ArbitratedMcm
 
 __all__ = [
     "InternalFifo",
@@ -28,4 +29,5 @@ __all__ = [
     "InferencePhases",
     "Mcm",
     "InferenceRecord",
+    "ArbitratedMcm",
 ]

@@ -1,0 +1,98 @@
+"""Round-robin arbitration of one ML-MIAOW across MCM lanes.
+
+Multi-tenant deployments give every tenant its own MCM lane — FIFO,
+interrupt manager, score smoothing, records — while a single GPU
+engine serves them all.  :class:`ArbitratedMcm` owns the shared busy
+window: whenever the engine is free, the lane heads compete and the
+grant goes to the earliest-ready head, ties broken round-robin from
+the lane after the last grant (no lane can starve under sustained
+load).
+
+The per-lane timing model is untouched: a granted head is served by
+its own :meth:`repro.mcm.mcm.Mcm.serve_head`, so queueing, service
+decomposition, detection, and records behave exactly like a dedicated
+engine that happens to be busy more often.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import McmError
+from repro.igm.vector_encoder import InputVector
+from repro.mcm.mcm import InferenceRecord, Mcm
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+
+
+class ArbitratedMcm:
+    """One shared inference engine multiplexed over N MCM lanes."""
+
+    def __init__(
+        self,
+        lanes: Sequence[Mcm],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not lanes:
+            raise McmError("arbiter needs at least one lane")
+        engines = {id(lane.driver.gpu) for lane in lanes}
+        if len(engines) != 1:
+            raise McmError(
+                "arbitrated lanes must share a single GPU engine"
+            )
+        self.lanes: List[Mcm] = list(lanes)
+        self._busy_until_ns = 0.0
+        self._next_lane = 0
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_grants = [
+            self.metrics.counter(f"mcm.arbiter.grants.{index}")
+            for index in range(len(self.lanes))
+        ]
+        self._m_vectors = self.metrics.counter("mcm.arbiter.vectors_in")
+
+    @property
+    def busy_until_ns(self) -> float:
+        return self._busy_until_ns
+
+    def push(
+        self, lane_index: int, vector: InputVector, arrival_ns: float
+    ) -> bool:
+        """Vector arrival on one lane; returns False if that lane's
+        FIFO dropped it."""
+        self._drain(until_ns=arrival_ns)
+        self._m_vectors.inc()
+        return self.lanes[lane_index].enqueue(vector, arrival_ns)
+
+    def finalize(self) -> List[List[InferenceRecord]]:
+        """Serve everything queued; per-lane record lists."""
+        self._drain(until_ns=float("inf"))
+        return [lane.records for lane in self.lanes]
+
+    def reset_session(self) -> None:
+        self._busy_until_ns = 0.0
+        self._next_lane = 0
+        for lane in self.lanes:
+            lane.reset_session()
+
+    def _drain(self, until_ns: float) -> None:
+        """Grant the engine to lane heads until none can start before
+        ``until_ns``."""
+        count = len(self.lanes)
+        while True:
+            best_start: Optional[float] = None
+            best_lane = -1
+            for offset in range(count):
+                index = (self._next_lane + offset) % count
+                head = self.lanes[index].fifo.peek()
+                if head is None:
+                    continue
+                start_ns = max(head.arrival_ns, self._busy_until_ns)
+                if best_start is None or start_ns < best_start:
+                    best_start = start_ns
+                    best_lane = index
+            if best_start is None or best_start >= until_ns:
+                return
+            self._busy_until_ns = self.lanes[best_lane].serve_head(
+                best_start
+            )
+            self._m_grants[best_lane].inc()
+            self._next_lane = (best_lane + 1) % count

@@ -144,6 +144,47 @@ class Mcm:
         return self.records
 
     # ------------------------------------------------------------------
+    # Arbitrated mode (multi-tenant sharing of one engine)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, vector: InputVector, arrival_ns: float) -> bool:
+        """FIFO admission only — no service.
+
+        Used when an external arbiter owns the shared busy window and
+        decides when each lane's head is served
+        (:class:`repro.mcm.arbiter.ArbitratedMcm`).
+        """
+        self._m_vectors_in.inc()
+        accepted = self.fifo.push(vector, arrival_ns)
+        if accepted:
+            self._m_fifo_depth.set(len(self.fifo))
+        else:
+            self._m_drops.inc()
+        return accepted
+
+    def serve_head(self, start_ns: float) -> float:
+        """Serve the queued head starting at ``start_ns``; return the
+        completion time.  The caller (arbiter) owns start-time policy;
+        all timing math, scoring, smoothing, and interrupt behaviour
+        are this lane's own."""
+        entry = self.fifo.pop()
+        if entry is None:
+            raise McmError("serve_head on an empty FIFO")
+        self._m_fifo_depth.set(len(self.fifo))
+        self._serve(entry.item, entry.arrival_ns, start_ns)
+        return self._busy_until_ns
+
+    def reset_session(self) -> None:
+        """Forget per-session timing state (new trace session).
+
+        The engine goes idle and the score-smoothing accumulator
+        empties; accumulated ``records``/``interrupts`` and every
+        counter are preserved — they are the lifetime log.
+        """
+        self._busy_until_ns = 0.0
+        self._recent_scores.clear()
+
+    # ------------------------------------------------------------------
     # Service
     # ------------------------------------------------------------------
 

@@ -1,0 +1,119 @@
+"""Batch carriers flowing between dataplane stages.
+
+A :class:`TraceBatch` is the unit of work a stage processes: a chunk
+of branch events in struct-of-arrays form plus the per-event artifacts
+each stage annotates as the batch moves down the pipeline (PTM byte
+counts, TPIU frame bytes, FIFO flush edges, encoded vectors).  A
+*tail* batch carries no events; it tells every stage to drain its
+carried state exactly the way the per-event loop's end-of-session
+flush does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.igm.vector_encoder import InputVector
+from repro.soc.clocks import CPU_CLOCK, ClockDomain
+from repro.workloads.cfg import BranchEvent, BranchKind
+
+
+@dataclass
+class EventBatch:
+    """Struct-of-arrays view of a chunk of :class:`BranchEvent`.
+
+    ``time_ns`` is precomputed with the CPU clock so downstream stages
+    never touch the event objects on the hot path.  ``events`` keeps a
+    reference to the original slice for stages that fall back to the
+    per-event reference implementation under non-default configs.
+    """
+
+    cycle: np.ndarray      # int64 CPU cycles
+    source: np.ndarray     # int64 branch source addresses
+    target: np.ndarray     # int64 branch target addresses
+    atom: np.ndarray       # bool: conditional and not taken (PTM atom)
+    syscall: np.ndarray    # bool: SYSCALL kind (exception info byte)
+    time_ns: np.ndarray    # float64 retirement times
+    events: Optional[Sequence[BranchEvent]] = None
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Sequence[BranchEvent],
+        clock: ClockDomain = CPU_CLOCK,
+    ) -> "EventBatch":
+        n = len(events)
+        cycle = np.fromiter((e.cycle for e in events), np.int64, count=n)
+        source = np.fromiter((e.source for e in events), np.int64, count=n)
+        target = np.fromiter((e.target for e in events), np.int64, count=n)
+        atom = np.fromiter(
+            (
+                e.kind is BranchKind.CONDITIONAL and not e.taken
+                for e in events
+            ),
+            bool,
+            count=n,
+        )
+        syscall = np.fromiter(
+            (e.kind is BranchKind.SYSCALL for e in events), bool, count=n
+        )
+        # Identical float op sequence to ClockDomain.to_ns per event.
+        time_ns = cycle.astype(np.float64) * clock.period_ns
+        return cls(
+            cycle=cycle,
+            source=source,
+            target=target,
+            atom=atom,
+            syscall=syscall,
+            time_ns=time_ns,
+            events=events,
+        )
+
+    def __len__(self) -> int:
+        return int(self.cycle.shape[0])
+
+
+@dataclass(frozen=True)
+class FifoFlush:
+    """One PTM-FIFO drain: everything buffered leaves the CPU at once.
+
+    ``event_pos`` is the index (within the batch) of the event whose
+    push crossed the threshold; tail flushes use ``len(batch)``.
+    ``delivers`` mirrors the reference loop: a threshold flush whose
+    drain-completion handle was discarded (the end-of-session push in
+    ``run_events``) still counts as a flush but delivers no vectors.
+    """
+
+    event_pos: int
+    done_ns: float
+    amount: int
+    delivers: bool = True
+
+
+@dataclass
+class TraceBatch:
+    """The carrier annotated by successive stages."""
+
+    events: Optional[EventBatch] = None
+    tail: bool = False
+    # --- PTM encode stage ---
+    ptm_bytes: Optional[np.ndarray] = None   # int64 bytes emitted per event
+    tail_ptm_bytes: int = 0                  # end-of-session atom flush
+    # --- TPIU framing stage ---
+    frame_bytes: Optional[np.ndarray] = None  # int64 frame bytes per event
+    tail_frame_bytes: int = 0                 # final (partial) frame bytes
+    # --- PTM FIFO stage ---
+    flushes: List[FifoFlush] = field(default_factory=list)
+    # --- IGM stage ---
+    vectors: List[InputVector] = field(default_factory=list)
+    vector_event_pos: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return 0 if self.events is None else len(self.events)
+
+    @classmethod
+    def tail_marker(cls) -> "TraceBatch":
+        return cls(events=None, tail=True)

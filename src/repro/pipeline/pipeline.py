@@ -1,0 +1,169 @@
+"""Pipeline assembler: stages wired with bounded ports.
+
+The :class:`Pipeline` owns an ordered list of stages and one input
+:class:`~repro.pipeline.port.Port` per stage.  ``run`` slices the
+event stream into chunks, admits each chunk at the head port, and
+services stages *downstream-first* so a full port drains before its
+producer runs again — cooperative backpressure with nothing dropped.
+After the last chunk, a single tail batch walks the stage list in
+order, draining carried state exactly like the per-event loop's
+end-of-session flush.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.coresight.ptm import PtmConfig
+from repro.errors import SocConfigError
+from repro.igm.address_mapper import AddressMapper
+from repro.igm.vector_encoder import InputVector, VectorEncoder
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.pipeline.batch import EventBatch, TraceBatch
+from repro.pipeline.port import Port, PortPolicy
+from repro.pipeline.stage import Stage
+from repro.pipeline.stages import (
+    DeliverStage,
+    IgmStage,
+    PtmEncodeStage,
+    PtmFifoStage,
+    TpiuFrameStage,
+)
+from repro.soc.clocks import RTAD_CLOCK, ClockDomain
+from repro.workloads.cfg import BranchEvent
+
+#: Default events per batch: large enough to amortize numpy dispatch,
+#: small enough that a chunk's arrays stay cache-resident.
+DEFAULT_CHUNK_EVENTS = 32768
+
+
+class Pipeline:
+    """An ordered chain of stages connected by bounded ports."""
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        metrics: Optional[MetricsRegistry] = None,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        port_capacity: int = 4,
+        port_policy: PortPolicy = PortPolicy.STALL,
+    ) -> None:
+        if not stages:
+            raise SocConfigError("pipeline needs at least one stage")
+        if chunk_events < 1:
+            raise SocConfigError("chunk_events must be >= 1")
+        self.stages: List[Stage] = list(stages)
+        self.metrics = metrics or NULL_REGISTRY
+        self.chunk_events = chunk_events
+        self.ports: List[Port[TraceBatch]] = [
+            Port(
+                stage.name,
+                capacity=port_capacity,
+                policy=port_policy,
+                metrics=metrics,
+            )
+            for stage in self.stages
+        ]
+        self._m_chunks = self.metrics.counter("pipeline.chunks")
+
+    def reset(self) -> None:
+        """New trace session: clear stage carry state and the ports."""
+        for stage in self.stages:
+            stage.reset()
+        for port in self.ports:
+            port.clear()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _service(self) -> bool:
+        """One sweep over the stages, downstream first.
+
+        Draining consumers before producers means a STALL port that
+        refused a batch is guaranteed space the next time its producer
+        runs — backpressure without busy-waiting.
+        """
+        progress = False
+        for index in range(len(self.stages) - 1, -1, -1):
+            port = self.ports[index]
+            downstream = (
+                self.ports[index + 1]
+                if index + 1 < len(self.ports)
+                else None
+            )
+            while not port.empty:
+                if downstream is not None and downstream.full:
+                    break
+                batch = port.get()
+                assert batch is not None
+                out = self.stages[index].process(batch)
+                if downstream is not None:
+                    downstream.put(out)
+                progress = True
+        return progress
+
+    def run(self, events: Sequence[BranchEvent]) -> TraceBatch:
+        """Push a whole event stream through, then drain the tail."""
+        total = len(events)
+        start = 0
+        head = self.ports[0]
+        while start < total:
+            chunk = events[start : start + self.chunk_events]
+            batch = TraceBatch(events=EventBatch.from_events(chunk))
+            self._m_chunks.inc()
+            while not head.put(batch):
+                if not self._service():  # pragma: no cover - safety net
+                    raise SocConfigError(
+                        "pipeline stalled with no serviceable stage"
+                    )
+            start += len(chunk)
+            self._service()
+        while any(not port.empty for port in self.ports):
+            if not self._service():  # pragma: no cover - safety net
+                raise SocConfigError(
+                    "pipeline failed to drain queued batches"
+                )
+        tail = TraceBatch.tail_marker()
+        for stage in self.stages:
+            tail = stage.process(tail)
+        return tail
+
+
+def build_trace_pipeline(
+    mapper: AddressMapper,
+    encoder: VectorEncoder,
+    sink: Callable[[InputVector, float], None],
+    *,
+    ptm_config: Optional[PtmConfig] = None,
+    tpiu_sync_period: int = 64,
+    fifo_threshold_bytes: int = 176,
+    port_clock: ClockDomain = RTAD_CLOCK,
+    igm_pipe_ns: float = 24.0,
+    metrics: Optional[MetricsRegistry] = None,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    port_capacity: int = 4,
+) -> Pipeline:
+    """Assemble the standard five-stage trace dataplane.
+
+    Mirrors the wiring of :class:`repro.soc.rtad.RtadSoc`: PTM encode,
+    TPIU framing, PTM-FIFO batching, address map + vector encode, and
+    delivery into ``sink`` (usually ``Mcm.push``).
+    """
+    stages: List[Stage] = [
+        PtmEncodeStage(config=ptm_config, metrics=metrics),
+        TpiuFrameStage(sync_period=tpiu_sync_period, metrics=metrics),
+        PtmFifoStage(
+            threshold_bytes=fifo_threshold_bytes,
+            port_clock=port_clock,
+            metrics=metrics,
+        ),
+        IgmStage(mapper, encoder, metrics=metrics),
+        DeliverStage(sink, igm_pipe_ns=igm_pipe_ns, metrics=metrics),
+    ]
+    return Pipeline(
+        stages,
+        metrics=metrics,
+        chunk_events=chunk_events,
+        port_capacity=port_capacity,
+    )

@@ -1,0 +1,99 @@
+"""Bounded ports connecting dataplane stages.
+
+A :class:`Port` is a ring buffer of batches built on the MCM's
+:class:`~repro.mcm.fifo.InternalFifo`, inheriting its overflow
+accounting.  Two policies cover the two hardware analogues:
+
+- ``STALL`` (default): a full port exerts *backpressure* — ``put``
+  refuses the batch and counts a stall; the pipeline scheduler then
+  services downstream stages first.  Nothing is ever lost.  This is
+  the trace-path behaviour (CoreSight links are flow-controlled).
+- ``DROP``: a full port loses the incoming batch, mirroring the MCM
+  internal FIFO's "overflow loses newly sent data" semantics for
+  consumers that prefer freshness over completeness.
+
+Every port threads its depth/throughput instruments through the
+shared :class:`~repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generic, Optional, TypeVar
+
+from repro.errors import SocConfigError
+from repro.mcm.fifo import InternalFifo
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+
+T = TypeVar("T")
+
+
+class PortPolicy(enum.Enum):
+    STALL = "stall"
+    DROP = "drop"
+
+
+class Port(Generic[T]):
+    """Bounded batch queue between two stages."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 4,
+        policy: PortPolicy = PortPolicy.STALL,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise SocConfigError(f"port {name!r} capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.policy = policy
+        self._fifo: InternalFifo[T] = InternalFifo(depth=capacity)
+        self.stalls = 0
+        metrics = metrics or NULL_REGISTRY
+        self._m_depth = metrics.gauge(f"pipeline.port.{name}.depth")
+        self._m_in = metrics.counter(f"pipeline.port.{name}.batches_in")
+        self._m_stalls = metrics.counter(f"pipeline.port.{name}.stalls")
+        self._m_drops = metrics.counter(f"pipeline.port.{name}.drops")
+
+    def put(self, batch: T) -> bool:
+        """Enqueue a batch; False on stall (STALL) or drop (DROP)."""
+        if self.full and self.policy is PortPolicy.STALL:
+            self.stalls += 1
+            self._m_stalls.inc()
+            return False
+        accepted = self._fifo.push(batch, arrival_ns=0.0)
+        if accepted:
+            self._m_in.inc()
+            self._m_depth.set(len(self._fifo))
+        else:
+            self._m_drops.inc()
+        return accepted
+
+    def get(self) -> Optional[T]:
+        entry = self._fifo.pop()
+        if entry is None:
+            return None
+        self._m_depth.set(len(self._fifo))
+        return entry.item
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self._fifo.empty
+
+    @property
+    def depth(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def drops(self) -> int:
+        return self._fifo.drops
+
+    def clear(self) -> None:
+        while not self._fifo.empty:
+            self._fifo.pop()
+        self._m_depth.set(0)

@@ -1,0 +1,64 @@
+"""The stage protocol of the staged dataplane.
+
+A stage is a batch transformer with carried state: ``process`` accepts
+a :class:`~repro.pipeline.batch.TraceBatch`, annotates it, and returns
+it; state that spans batch boundaries (PTM compression context, TPIU
+buffer occupancy, FIFO fill, encoder window) lives on the stage and is
+cleared by ``reset``.  ``flush`` drains that carried state by sending
+a *tail* batch through ``process`` — the batched analogue of the
+end-of-trace-session flush in the per-event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.pipeline.batch import TraceBatch
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """What the pipeline assembler requires of every stage."""
+
+    name: str
+
+    def process(self, batch: TraceBatch) -> TraceBatch:
+        """Transform one batch (or drain state when ``batch.tail``)."""
+        ...
+
+    def flush(self) -> TraceBatch:
+        """Drain carried state into a fresh tail batch."""
+        ...
+
+    def reset(self) -> None:
+        """Forget carried state (new trace session)."""
+        ...
+
+
+class StageBase:
+    """Shared plumbing: metrics handle, tail-flush convenience."""
+
+    name = "stage"
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_batches = self.metrics.counter(
+            f"pipeline.stage.{self.name}.batches"
+        )
+        self._m_stage_events = self.metrics.counter(
+            f"pipeline.stage.{self.name}.events"
+        )
+
+    def _account_batch(self, batch: TraceBatch) -> None:
+        self._m_batches.inc()
+        self._m_stage_events.inc(len(batch))
+
+    def process(self, batch: TraceBatch) -> TraceBatch:  # pragma: no cover
+        raise NotImplementedError
+
+    def flush(self) -> TraceBatch:
+        return self.process(TraceBatch.tail_marker())
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        pass

@@ -16,6 +16,7 @@ from repro.soc.software_baseline import (
     RtadOverheadModel,
 )
 from repro.soc.rtad import RtadSoc, RtadConfig, AttackTrialResult
+from repro.soc.manager import Deployment, SocManager, TenantRuntime
 from repro.soc.collection import TrainingCollector, CollectionResult
 from repro.soc.metrics import TransferBreakdown, rtad_transfer_breakdown, sw_transfer_breakdown
 
@@ -33,6 +34,9 @@ __all__ = [
     "RtadSoc",
     "RtadConfig",
     "AttackTrialResult",
+    "Deployment",
+    "SocManager",
+    "TenantRuntime",
     "TrainingCollector",
     "CollectionResult",
     "TransferBreakdown",

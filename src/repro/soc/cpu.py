@@ -63,6 +63,12 @@ class PtmFifoModel:
             return None
         return self._flush(time_ns)
 
+    def reset(self) -> None:
+        """Discard buffered bytes (new trace session, nothing drains)."""
+        self._pending.clear()
+        self._occupancy = 0
+        self._m_occupancy.set(0)
+
     def _flush(self, time_ns: float) -> float:
         drain_cycles = (self._occupancy + 3) // 4
         done = time_ns + self.port_clock.to_ns(drain_cycles)

@@ -1,0 +1,210 @@
+"""Multi-tenant deployments: N monitored programs, one ML-MIAOW.
+
+The paper deploys one model per SoC; production monitoring wants one
+RTAD engine watching *several* programs at once.  :class:`SocManager`
+runs N :class:`Deployment` tenants, each with its own trace dataplane
+(address mapper, vector encoder, staged pipeline) and its own MCM lane
+(FIFO, smoothing, detector, interrupt manager, records), while a
+single GPU engine serves all lanes through round-robin arbitration
+(:class:`repro.mcm.arbiter.ArbitratedMcm`).
+
+Isolation contract: tenant A's trace volume can *delay* tenant B
+(shared engine = longer queueing) but can never corrupt B's stream —
+vectors, sequence numbers, scores, and records stay per-lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.coresight.ptm import PtmConfig
+from repro.errors import SocConfigError
+from repro.igm.address_mapper import AddressMapper
+from repro.igm.vector_encoder import EncoderMode, InputVector, VectorEncoder
+from repro.mcm.arbiter import ArbitratedMcm
+from repro.mcm.driver import MlMiaowDriver
+from repro.mcm.engines import ProtocolConverter
+from repro.mcm.mcm import InferenceRecord, Mcm, McmConfig
+from repro.ml.detector import ThresholdDetector
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.soc.rtad import RtadConfig
+from repro.workloads.cfg import BranchEvent
+
+
+@dataclass
+class Deployment:
+    """One tenant: a monitored program's model bound to the shared SoC.
+
+    The ``driver`` must wrap the *shared* GPU engine — SocManager
+    refuses mixed engines; arbitration is the whole point.
+    """
+
+    name: str
+    driver: MlMiaowDriver
+    converter: ProtocolConverter
+    monitored_addresses: Sequence[int]
+    detector: Optional[ThresholdDetector] = None
+    config: RtadConfig = field(default_factory=RtadConfig)
+    ptm_config: Optional[PtmConfig] = None
+
+
+class TenantRuntime:
+    """Per-tenant dataplane + MCM lane (internal to SocManager)."""
+
+    def __init__(
+        self,
+        index: int,
+        deployment: Deployment,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.index = index
+        self.name = deployment.name
+        self.deployment = deployment
+        self.metrics = metrics
+        config = deployment.config
+        self.mapper = AddressMapper(metrics=metrics)
+        self.mapper.load(deployment.monitored_addresses)
+        self.encoder = VectorEncoder(
+            mode=EncoderMode.SEQUENCE,
+            window=config.window,
+            vocabulary_size=self.mapper.size + 1,
+            metrics=metrics,
+        )
+        self.mcm = Mcm(
+            driver=deployment.driver,
+            converter=deployment.converter,
+            detector=deployment.detector,
+            config=McmConfig(
+                fifo_depth=config.fifo_depth,
+                score_smoothing=config.score_smoothing,
+                rtad_clock_hz=config.rtad_clock_hz,
+                gpu_clock_hz=config.gpu_clock_hz,
+            ),
+            metrics=metrics,
+        )
+        self.schedule: List[Tuple[InputVector, float]] = []
+        # Deferred import: repro.pipeline depends on repro.soc.clocks,
+        # a module-level import here would be circular (see rtad.py).
+        from repro.pipeline import build_trace_pipeline
+
+        self.pipeline = build_trace_pipeline(
+            self.mapper,
+            self.encoder,
+            self._capture,
+            ptm_config=deployment.ptm_config,
+            igm_pipe_ns=config.igm_pipe_ns,
+            metrics=metrics,
+            chunk_events=config.chunk_events,
+        )
+        self._observed_records = 0
+
+    def _capture(self, vector: InputVector, deliver_ns: float) -> None:
+        """Pipeline sink: record the delivery for the global merge."""
+        self.schedule.append((vector, deliver_ns))
+
+    def reset(self) -> None:
+        self.schedule = []
+        self.pipeline.reset()
+        self.encoder.reset(reset_sequence=True)
+        self.mcm.driver.reset()
+
+    def take_new_records(self) -> List[InferenceRecord]:
+        records = self.mcm.records[self._observed_records :]
+        self._observed_records = len(self.mcm.records)
+        return records
+
+
+class SocManager:
+    """Runs N tenant deployments sharing one inference engine.
+
+    Each ``run_events`` call is one monitoring round: every tenant's
+    branch trace goes through its *own* staged dataplane (tenant trace
+    paths are independent hardware and proceed in parallel), the
+    resulting vector deliveries are merged in global time order, and
+    the shared engine serves the lanes under round-robin arbitration.
+    """
+
+    def __init__(
+        self,
+        deployments: Sequence[Deployment],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not deployments:
+            raise SocConfigError("SocManager needs at least one tenant")
+        names = [d.name for d in deployments]
+        if len(set(names)) != len(names):
+            raise SocConfigError(f"duplicate tenant names in {names}")
+        engines = {id(d.driver.gpu) for d in deployments}
+        if len(engines) != 1:
+            raise SocConfigError(
+                "all tenants must share a single ML-MIAOW engine; "
+                "build every driver around the same Gpu instance"
+            )
+        self.metrics = metrics or NULL_REGISTRY
+        self.tenants: List[TenantRuntime] = [
+            TenantRuntime(
+                index,
+                deployment,
+                metrics=(
+                    MetricsRegistry()
+                    if self.metrics.enabled
+                    else NULL_REGISTRY
+                ),
+            )
+            for index, deployment in enumerate(deployments)
+        ]
+        self.arbiter = ArbitratedMcm(
+            [tenant.mcm for tenant in self.tenants], metrics=self.metrics
+        )
+        self._m_runs = self.metrics.counter("socmgr.runs")
+        self._m_events = self.metrics.counter("socmgr.events")
+        self._m_vectors = self.metrics.counter("socmgr.vectors")
+
+    def tenant(self, name: str) -> TenantRuntime:
+        for runtime in self.tenants:
+            if runtime.name == name:
+                return runtime
+        raise SocConfigError(f"unknown tenant {name!r}")
+
+    def run_events(
+        self, traces: Mapping[str, Sequence[BranchEvent]]
+    ) -> Dict[str, List[InferenceRecord]]:
+        """One monitoring round; per-tenant records from this round.
+
+        ``traces`` maps tenant names to branch event streams; tenants
+        without an entry idle this round.  Unknown names are refused
+        rather than silently ignored.
+        """
+        known = {runtime.name for runtime in self.tenants}
+        unknown = set(traces) - known
+        if unknown:
+            raise SocConfigError(f"unknown tenants {sorted(unknown)}")
+        with self.metrics.trace(
+            "socmgr.run_events", tenants=len(self.tenants)
+        ):
+            self.arbiter.reset_session()
+            for runtime in self.tenants:
+                runtime.reset()
+                events = traces.get(runtime.name, ())
+                self._m_events.inc(len(events))
+                if len(events):
+                    runtime.pipeline.run(events)
+            merged: List[Tuple[float, int, int, InputVector]] = []
+            for runtime in self.tenants:
+                for order, (vector, deliver_ns) in enumerate(
+                    runtime.schedule
+                ):
+                    merged.append(
+                        (deliver_ns, runtime.index, order, vector)
+                    )
+            merged.sort(key=lambda entry: entry[:3])
+            for deliver_ns, lane, _, vector in merged:
+                self.arbiter.push(lane, vector, deliver_ns)
+            self._m_vectors.inc(len(merged))
+            self.arbiter.finalize()
+            self._m_runs.inc()
+            return {
+                runtime.name: runtime.take_new_records()
+                for runtime in self.tenants
+            }

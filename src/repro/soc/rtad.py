@@ -49,12 +49,21 @@ class RtadConfig:
     # Clock-scaling knobs (ablations; paper defaults).
     rtad_clock_hz: float = 125_000_000.0
     gpu_clock_hz: float = 50_000_000.0
+    # Trace dataplane: "batched" runs the staged numpy pipeline
+    # (repro.pipeline), "loop" the per-event reference implementation.
+    # Both are behaviour-identical; batched is much faster.
+    dataplane: str = "batched"
+    chunk_events: int = 32768           # batched dataplane chunk size
 
     def __post_init__(self) -> None:
         if self.model_kind not in ("elm", "lstm"):
             raise SocConfigError(f"unknown model kind {self.model_kind!r}")
         if self.model_kind == "lstm" and self.window != 1:
             raise SocConfigError("LSTM deployment uses window=1 vectors")
+        if self.dataplane not in ("batched", "loop"):
+            raise SocConfigError(f"unknown dataplane {self.dataplane!r}")
+        if self.chunk_events < 1:
+            raise SocConfigError("chunk_events must be >= 1")
 
 
 @dataclass
@@ -113,6 +122,23 @@ class RtadSoc:
             metrics=self.metrics,
         )
         self.host = HostCpu(program, metrics=self.metrics)
+        # Imported here: repro.pipeline depends on repro.soc.clocks,
+        # so a module-level import would be circular through the
+        # repro.soc package __init__.
+        from repro.pipeline import build_trace_pipeline
+
+        self.pipeline = build_trace_pipeline(
+            self.mapper,
+            self.encoder,
+            self.mcm.push,
+            ptm_config=self.host.coresight.ptm_config,
+            tpiu_sync_period=self.host.coresight.sync_period,
+            fifo_threshold_bytes=self.host.ptm_fifo.threshold_bytes,
+            port_clock=self.host.ptm_fifo.port_clock,
+            igm_pipe_ns=self.config.igm_pipe_ns,
+            metrics=self.metrics,
+            chunk_events=self.config.chunk_events,
+        )
         self._m_events = self.metrics.counter("soc.events")
         self._m_monitored_ids = self.metrics.counter("soc.monitored_ids")
         # Fig. 7 mirror, in simulated nanoseconds per delivered vector:
@@ -127,37 +153,87 @@ class RtadSoc:
     # Full-path run (byte-accurate trace path)
     # ------------------------------------------------------------------
 
-    def run_events(self, events: Sequence[BranchEvent]) -> List[InferenceRecord]:
-        """Run raw branch events through the complete pipeline."""
+    def run_events(
+        self,
+        events: Sequence[BranchEvent],
+        dataplane: Optional[str] = None,
+    ) -> List[InferenceRecord]:
+        """Run raw branch events through the complete pipeline.
+
+        Every call is an independent trace session: per-session state
+        (PTM compression context, pending atoms, TPIU partial frame,
+        PTM FIFO bytes, encoder window, LSTM recurrent state, MCM busy
+        window) is reset first, so back-to-back calls behave like
+        fresh SoCs.  ``mcm.records`` and the observability counters
+        keep accumulating — they are the lifetime log.
+
+        ``dataplane`` overrides the configured implementation:
+        ``"batched"`` (the staged numpy pipeline) or ``"loop"`` (the
+        per-event reference).  Both produce identical records.
+        """
+        mode = dataplane or self.config.dataplane
+        if mode not in ("batched", "loop"):
+            raise SocConfigError(f"unknown dataplane {mode!r}")
         with self.metrics.trace("soc.run_events", events=len(events)):
             self._m_events.inc(len(events))
-            pending: List[InputVector] = []
-            for event in events:
-                time_ns = self.host.event_time_ns(event)
-                chunk = self.host.coresight.trace(event)
-                index = self.mapper.lookup(event.target)
-                if index is not None:
-                    vector = self.encoder.push(
-                        index=index, address=event.target, cycle=event.cycle
-                    )
-                    if vector is not None:
-                        pending.append(vector)
-                flushed = self.host.ptm_fifo.push(time_ns, len(chunk))
-                if flushed is not None:
-                    self._deliver(pending, flushed)
-                    pending = []
-            tail = self.host.coresight.flush()
-            last_ns = (
-                self.host.event_time_ns(events[-1]) if events else 0.0
-            )
-            self.host.ptm_fifo.push(last_ns, len(tail))
-            flushed = self.host.ptm_fifo.flush(last_ns)
-            if flushed is not None:
-                self._deliver(pending, flushed)
+            self.reset_session()
+            if len(events):
+                if mode == "batched":
+                    self.pipeline.run(events)
+                else:
+                    self._run_events_loop(events)
             with self.metrics.trace("mcm.finalize"):
                 records = self.mcm.finalize()
             self._observe_records(records)
             return records
+
+    def reset_session(self) -> None:
+        """Restore all per-session dataplane and model state.
+
+        Fixes the state leakage between repeated ``run_events`` calls:
+        residual PTM FIFO bytes, the CoreSight encoder's compression
+        base / pending atoms / sync countdown, the TPIU partial frame,
+        the vector-encoder window, LSTM recurrent state, and the MCM
+        busy window all belong to one trace session.  On a freshly
+        built SoC every step below is a no-op, so first runs are
+        unaffected.
+        """
+        self.host.coresight.disable()
+        self.host.coresight.enable()
+        self.host.ptm_fifo.reset()
+        self.pipeline.reset()
+        self.encoder.reset(reset_sequence=True)
+        self.mcm.driver.reset()
+        self.mcm.reset_session()
+
+    def _run_events_loop(self, events: Sequence[BranchEvent]) -> None:
+        """Per-event reference dataplane.
+
+        Kept verbatim as the behavioural oracle for the staged
+        pipeline (differential tests) and as the baseline the
+        throughput benchmark compares against.
+        """
+        pending: List[InputVector] = []
+        for event in events:
+            time_ns = self.host.event_time_ns(event)
+            chunk = self.host.coresight.trace(event)
+            index = self.mapper.lookup(event.target)
+            if index is not None:
+                vector = self.encoder.push(
+                    index=index, address=event.target, cycle=event.cycle
+                )
+                if vector is not None:
+                    pending.append(vector)
+            flushed = self.host.ptm_fifo.push(time_ns, len(chunk))
+            if flushed is not None:
+                self._deliver(pending, flushed)
+                pending = []
+        tail = self.host.coresight.flush()
+        last_ns = self.host.event_time_ns(events[-1])
+        self.host.ptm_fifo.push(last_ns, len(tail))
+        flushed = self.host.ptm_fifo.flush(last_ns)
+        if flushed is not None:
+            self._deliver(pending, flushed)
 
     def _deliver(self, vectors: List[InputVector], flush_ns: float) -> None:
         for vector in vectors:
@@ -295,11 +371,15 @@ class RtadSoc:
             ),
             None,
         )
-        latency_us = (
-            (judgment.done_ns - onset_ns) / 1e3
-            if judgment is not None
-            else None
-        )
+        # A judgment that lands after the timeout window counts as "no
+        # judgment in time" — the trial reports None, matching how
+        # ``detected`` is bounded above.
+        latency_us: Optional[float] = None
+        if (
+            judgment is not None
+            and judgment.done_ns <= onset_ns + timeout_us * 1e3
+        ):
+            latency_us = (judgment.done_ns - onset_ns) / 1e3
         return AttackTrialResult(
             onset_ns=onset_ns,
             detected=bool(detection),
