@@ -28,7 +28,7 @@ from repro.coresight.packets import (
 )
 from repro.coresight.ptm import Ptm, PtmConfig
 from repro.coresight.tpiu import Tpiu, TpiuDeframer, FRAME_SIZE
-from repro.coresight.decoder import PftDecoder, DecodedBranch
+from repro.coresight.decoder import PftDecoder, DecodedBranch, TruncatedPacket
 from repro.coresight.driver import CoreSightDriver
 
 __all__ = [
@@ -46,5 +46,6 @@ __all__ = [
     "FRAME_SIZE",
     "PftDecoder",
     "DecodedBranch",
+    "TruncatedPacket",
     "CoreSightDriver",
 ]

@@ -28,6 +28,7 @@ from repro.coresight.packets import (
     merge_compressed_address,
 )
 from repro.errors import PacketDecodeError
+from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 _ADDR_BITS_BY_COUNT = [6, 13, 20, 27, 30]
 
@@ -65,6 +66,20 @@ class DecodedTimestamp:
     cycles: int
 
 
+@dataclass(frozen=True)
+class TruncatedPacket:
+    """End-of-stream marker: a packet was cut off mid-flight.
+
+    Emitted by :meth:`PftDecoder.finish` on non-strict decoders (strict
+    ones raise instead) so callers can distinguish "stream ended
+    cleanly" from "the tail packet was truncated" without depending on
+    flush order.
+    """
+
+    state: str
+    pending_bytes: int
+
+
 class _State(enum.Enum):
     IDLE = "idle"
     ASYNC = "async"
@@ -73,18 +88,50 @@ class _State(enum.Enum):
     TIMESTAMP = "timestamp"
     BRANCH = "branch"
     BRANCH_EXC = "branch-exc"
+    HUNT = "hunt"
 
 
 class PftDecoder:
-    """Streaming packet decoder."""
+    """Streaming packet decoder.
 
-    def __init__(self, strict: bool = True) -> None:
+    Three error-handling modes:
+
+    - ``strict=True`` (default): any malformed byte raises
+      :class:`PacketDecodeError` — the golden-verification mode.
+    - ``strict=False``: legacy lenient mode; unknown bytes are skipped
+      in place and decoding continues optimistically.
+    - ``resync_hunt=True``: full recovery mode.  Any decode error (and
+      start-of-stream) puts the decoder into a *hunt* state that scans
+      for the next a-sync burst, re-locks there, and counts the event
+      in ``resyncs`` / the ``coresight.decoder.resyncs`` counter.  The
+      initial lock of a late-attaching decoder is not a resync.
+    """
+
+    def __init__(
+        self,
+        strict: bool = True,
+        resync_hunt: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.strict = strict
-        self._state = _State.IDLE
+        self.resync_hunt = resync_hunt
+        self._state = _State.HUNT if resync_hunt else _State.IDLE
         self._scratch: List[int] = []
         self._zeros = 0
         self._last_address = 0
         self._branch_complete = False
+        self._ever_locked = False
+        self.resyncs = 0
+        self.truncated = 0
+        self.hunt_bytes = 0
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_resyncs = self.metrics.counter("coresight.decoder.resyncs")
+        self._m_truncated = self.metrics.counter(
+            "coresight.decoder.truncated"
+        )
+        self._m_hunt_bytes = self.metrics.counter(
+            "coresight.decoder.hunt_bytes"
+        )
 
     # ------------------------------------------------------------------
 
@@ -105,10 +152,64 @@ class PftDecoder:
         """Decode exactly one byte (the TA-unit per-lane granularity)."""
         return self._step(byte) or []
 
+    def finish(self) -> List[object]:
+        """Declare end-of-stream; surface a truncated trailing packet.
+
+        A decoder left mid-packet has lost data: strict decoders raise
+        :class:`PacketDecodeError`, others count the event and return a
+        :class:`TruncatedPacket` marker.  Idle (or hunting) decoders
+        return ``[]``.  Either way the decoder is reset to its start
+        state, ready for a new stream.
+        """
+        state = self._state
+        if state in (_State.IDLE, _State.HUNT):
+            return []
+        pending = self._zeros if state is _State.ASYNC else len(self._scratch)
+        self._scratch = []
+        self._zeros = 0
+        self._state = _State.HUNT if self.resync_hunt else _State.IDLE
+        self.truncated += 1
+        self._m_truncated.inc()
+        if self.strict and not self.resync_hunt:
+            raise PacketDecodeError(
+                f"truncated {state.value} packet at end of stream "
+                f"({pending} byte(s) pending)"
+            )
+        return [TruncatedPacket(state=state.value, pending_bytes=pending)]
+
     # ------------------------------------------------------------------
+
+    def _begin_hunt(self, byte: Optional[int]) -> Optional[List[object]]:
+        """Enter hunt mode after an error; optionally retry ``byte``."""
+        self._scratch = []
+        self._zeros = 0
+        self._state = _State.HUNT
+        if byte is None:
+            return None
+        return self._hunt(byte)
+
+    def _hunt(self, byte: int) -> Optional[List[object]]:
+        """Scan for the a-sync pattern (>=5 x 0x00 then 0x80)."""
+        if byte == HEADER_ASYNC_FILL:
+            self._zeros += 1
+            return None
+        if byte == HEADER_ASYNC_END and self._zeros >= ASYNC_FILL_COUNT:
+            self._state = _State.IDLE
+            self._zeros = 0
+            if self._ever_locked:
+                self.resyncs += 1
+                self._m_resyncs.inc()
+            self._ever_locked = True
+            return []
+        self.hunt_bytes += self._zeros + 1
+        self._m_hunt_bytes.inc(self._zeros + 1)
+        self._zeros = 0
+        return None
 
     def _step(self, byte: int) -> Optional[List[object]]:
         state = self._state
+        if state is _State.HUNT:
+            return self._hunt(byte)
         if state is _State.IDLE:
             return self._handle_header(byte)
         if state is _State.ASYNC:
@@ -118,7 +219,10 @@ class PftDecoder:
             if byte == HEADER_ASYNC_END and self._zeros >= ASYNC_FILL_COUNT:
                 self._state = _State.IDLE
                 self._zeros = 0
+                self._ever_locked = True
                 return []
+            if self.resync_hunt:
+                return self._begin_hunt(byte)
             if self.strict:
                 raise PacketDecodeError(
                     f"bad a-sync termination byte {byte:#04x}"
@@ -184,6 +288,8 @@ class PftDecoder:
             self._state = _State.TIMESTAMP
             self._scratch = []
             return None
+        if self.resync_hunt:
+            return self._begin_hunt(byte)
         if self.strict:
             raise PacketDecodeError(f"unknown header byte {byte:#04x}")
         return []
@@ -203,6 +309,8 @@ class PftDecoder:
         try:
             exception = ExceptionType(info_byte & 0x0F)
         except ValueError:
+            if self.resync_hunt:
+                return self._begin_hunt(info_byte) or []
             if self.strict:
                 raise PacketDecodeError(
                     f"unknown exception type {info_byte & 0x0F}"

@@ -101,14 +101,36 @@ class TpiuDeframer:
     Starts unsynchronised: discards bytes until a full-sync frame is
     seen, then consumes 16-byte frames.  This mirrors how IGM attaches
     to an already-running trace port.
+
+    With ``resync_hunt=True`` a malformed frame (impossible payload
+    length or unexpected source ID — the symptoms of byte loss shifting
+    the frame boundary) does not raise: the deframer drops sync, counts
+    a ``frame_resyncs``, and hunts for the next full-sync frame, the
+    recovery a real trace receiver performs.
     """
 
-    def __init__(self, expected_source_id: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        expected_source_id: Optional[int] = None,
+        resync_hunt: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.expected_source_id = expected_source_id
+        self.resync_hunt = resync_hunt
         self._synced = False
         self._buffer = bytearray()
         self.frames_consumed = 0
         self.bytes_discarded = 0
+        self.frame_resyncs = 0
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_frame_resyncs = self.metrics.counter("tpiu.frame_resyncs")
+
+    def _desync(self) -> None:
+        """A malformed frame: drop sync and hunt for the next one."""
+        self._synced = False
+        self.frame_resyncs += 1
+        self._m_frame_resyncs.inc()
+        self.bytes_discarded += FRAME_SIZE
 
     @property
     def synced(self) -> bool:
@@ -141,11 +163,17 @@ class TpiuDeframer:
             source_id = header >> 4
             length = header & 0x0F
             if length > PAYLOAD_PER_FRAME:
+                if self.resync_hunt:
+                    self._desync()
+                    continue
                 raise FrameSyncError(f"impossible payload length {length}")
             if (
                 self.expected_source_id is not None
                 and source_id != self.expected_source_id
             ):
+                if self.resync_hunt:
+                    self._desync()
+                    continue
                 raise FrameSyncError(
                     f"unexpected trace source {source_id:#x} "
                     f"(wanted {self.expected_source_id:#x})"

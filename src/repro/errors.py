@@ -101,6 +101,15 @@ class SocConfigError(RtadError):
     """The RTAD SoC was wired or configured inconsistently."""
 
 
+class TenantCrashError(RtadError):
+    """A tenant's monitored program (or its trace source) died mid-run.
+
+    Raised by the fault-injection layer; :class:`repro.soc.manager.
+    SocManager` catches it, quarantines the tenant, and keeps serving
+    the healthy ones.
+    """
+
+
 class WorkloadError(RtadError):
     """A synthetic workload description is invalid."""
 

@@ -16,6 +16,12 @@ import json
 import sys
 import time
 
+from repro.eval.chaos import (
+    DEFAULT_RATES,
+    chaos_to_json,
+    format_chaos,
+    run_chaos,
+)
 from repro.eval.fig6 import format_fig6, run_fig6
 from repro.eval.fig7 import format_fig7, run_fig7
 from repro.eval.fig8 import format_fig8, run_fig8
@@ -28,7 +34,12 @@ from repro.eval.metrics import (
 from repro.eval.table1 import format_table1, run_table1
 from repro.eval.table2 import format_table2, run_table2
 
-EXPERIMENTS = ("table1", "table2", "fig6", "fig7", "fig8", "metrics")
+EXPERIMENTS = (
+    "table1", "table2", "fig6", "fig7", "fig8", "metrics", "chaos"
+)
+
+#: Experiments whose --json output must stay one valid JSON document.
+_JSON_EXPERIMENTS = ("metrics", "chaos")
 
 
 def main(argv=None) -> int:
@@ -63,7 +74,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--json", action="store_true",
-        help="emit the metrics breakdown as JSON instead of text",
+        help="emit the metrics/chaos output as JSON instead of text",
+    )
+    parser.add_argument(
+        "--rates", nargs="*", type=float, default=None,
+        help="fault-rate sweep for the chaos experiment "
+             f"(default: {' '.join(str(r) for r in DEFAULT_RATES)})",
     )
     args = parser.parse_args(argv)
     if args.events < 0:
@@ -97,6 +113,20 @@ def main(argv=None) -> int:
                 )
             else:
                 output = format_metrics(results)
+        elif name == "chaos":
+            chaos = run_chaos(
+                rates=tuple(
+                    args.rates if args.rates else DEFAULT_RATES
+                ),
+                events=args.events,
+                seed=args.seed,
+            )
+            if args.json:
+                output = json.dumps(
+                    chaos_to_json(chaos), indent=2, sort_keys=True
+                )
+            else:
+                output = format_chaos(chaos)
         else:
             output = format_fig8(
                 run_fig8(
@@ -107,7 +137,7 @@ def main(argv=None) -> int:
             )
         elapsed = time.perf_counter() - start
         print(output)
-        if not (name == "metrics" and args.json):
+        if not (name in _JSON_EXPERIMENTS and args.json):
             # Keep --json output a single valid JSON document.
             print(f"[{name}: {elapsed:.1f}s]\n")
     return 0

@@ -1,0 +1,499 @@
+"""``python -m repro.eval chaos`` — fault-injection sweeps.
+
+Three experiments, all seeded and fully deterministic:
+
+1. **Decoder recovery** — a PTM packet stream is TPIU-framed, then
+   byte-level faults (bit flips, byte drops, frame desyncs) are
+   injected at each swept rate.  The resync-hunting deframer + decoder
+   pair reads the corrupted stream and the experiment reports how much
+   of the branch stream survives and how many re-locks that cost.
+2. **Dataplane degradation** — the demo SoC runs the same trace under
+   event-drop / event-corrupt / FIFO-overflow plans at each rate; the
+   anomaly judgments of surviving inferences are compared one-to-one
+   (by sequence number) against the fault-free baseline.
+3. **Quarantine isolation** — a three-tenant SoC where one tenant's
+   services stall past the arbiter watchdog deadline.  The faulty
+   tenant trips the watchdog, is quarantined, sits out probation, and
+   is re-admitted; on quarantined rounds the healthy tenants' records
+   are compared *exactly* (scores, timestamps) against a fault-free
+   reference manager running without the quarantined neighbour.
+
+The rate=0 points double as no-op proofs: a plan whose channels all
+have rate 0 must leave every output identical to no plan at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.coresight.decoder import DecodedBranch, PftDecoder
+from repro.coresight.ptm import Ptm, PtmConfig
+from repro.coresight.tpiu import DEFAULT_SOURCE_ID, Tpiu, TpiuDeframer
+from repro.eval.report import format_table
+from repro.faults.injectors import StreamFaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.mcm.mcm import InferenceRecord
+from repro.obs import MetricsRegistry
+from repro.soc.manager import HealthPolicy
+
+#: Default fault-rate sweep (per byte / event / vector).
+DEFAULT_RATES = (0.0, 0.0005, 0.002, 0.01)
+
+#: Quarantine-scenario shape.
+_QUARANTINE_TENANTS = 3
+_QUARANTINE_ROUNDS = 4
+_FAULTY_TENANT = "tenant1"
+
+
+# ----------------------------------------------------------------------
+# Experiment 1: decoder recovery under byte corruption
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DecoderChaosPoint:
+    rate: float
+    stream_bytes: int
+    clean_branches: int
+    recovered_branches: int
+    recovered_fraction: float
+    bytes_flipped: int
+    bytes_dropped: int
+    desyncs: int
+    frame_resyncs: int
+    decoder_resyncs: int
+    truncated: int
+
+
+def _framed_demo_stream(
+    events: int, seed: int
+) -> Tuple[bytes, int]:
+    """A framed PTM stream plus its clean-decode branch count."""
+    from repro.eval.metrics import demo_events
+
+    ptm = Ptm(PtmConfig(sync_interval_bytes=128))
+    tpiu = Tpiu(sync_period=4)
+    stream = bytearray()
+    for event in demo_events("lstm", seed, events, run_label="chaos-decoder"):
+        stream += tpiu.push(ptm.feed(event))
+    stream += tpiu.push(ptm.flush())
+    stream += tpiu.flush()
+    framed = bytes(stream)
+    clean = _decode_framed(framed)
+    return framed, clean.recovered_branches
+
+
+def _decode_framed(framed: bytes) -> "DecoderChaosPoint":
+    """Run the resync-hunting receiver pair over a framed stream."""
+    deframer = TpiuDeframer(
+        expected_source_id=DEFAULT_SOURCE_ID, resync_hunt=True
+    )
+    decoder = PftDecoder(strict=False, resync_hunt=True)
+    payload = deframer.push(framed)
+    items = list(decoder.feed(payload))
+    items += decoder.finish()
+    branches = sum(1 for i in items if isinstance(i, DecodedBranch))
+    return DecoderChaosPoint(
+        rate=0.0,
+        stream_bytes=len(framed),
+        clean_branches=0,
+        recovered_branches=branches,
+        recovered_fraction=0.0,
+        bytes_flipped=0,
+        bytes_dropped=0,
+        desyncs=0,
+        frame_resyncs=deframer.frame_resyncs,
+        decoder_resyncs=decoder.resyncs,
+        truncated=decoder.truncated,
+    )
+
+
+def byte_fault_plan(rate: float, seed: int) -> FaultPlan:
+    """The byte-level channel mix the decoder sweep injects."""
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(FaultKind.BIT_FLIP, rate=rate),
+            FaultSpec(FaultKind.BYTE_DROP, rate=rate),
+            FaultSpec(
+                FaultKind.FRAME_DESYNC, rate=rate / 8.0, desync_bytes=7
+            ),
+        ),
+    )
+
+
+def run_decoder_sweep(
+    rates: Sequence[float], events: int, seed: int
+) -> List[DecoderChaosPoint]:
+    framed, clean_branches = _framed_demo_stream(events, seed)
+    points = []
+    for rate in rates:
+        injector = StreamFaultInjector(byte_fault_plan(rate, seed))
+        corrupted = injector.feed(framed)
+        point = _decode_framed(corrupted)
+        point.rate = rate
+        point.clean_branches = clean_branches
+        point.recovered_fraction = (
+            point.recovered_branches / clean_branches
+            if clean_branches
+            else 1.0
+        )
+        point.bytes_flipped = injector.flipped
+        point.bytes_dropped = injector.dropped
+        point.desyncs = injector.desyncs
+        points.append(point)
+    return points
+
+
+# ----------------------------------------------------------------------
+# Experiment 2: dataplane degradation (detection under injected loss)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DataplaneChaosPoint:
+    rate: float
+    inferences: int
+    baseline_inferences: int
+    matched: int
+    flag_agreement: float
+    interrupts: int
+    events_dropped: int
+    events_duplicated: int
+    events_corrupted: int
+    vectors_dropped: int
+
+
+def dataplane_fault_plan(rate: float, seed: int) -> FaultPlan:
+    """The event/vector channel mix the dataplane sweep injects."""
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(FaultKind.EVENT_DROP, rate=rate),
+            FaultSpec(FaultKind.EVENT_CORRUPT, rate=rate),
+            FaultSpec(FaultKind.FIFO_OVERFLOW, rate=rate / 4.0, burst=8),
+        ),
+    )
+
+
+def _flag_map(records: Sequence[InferenceRecord]) -> Dict[int, bool]:
+    return {
+        r.sequence_number: bool(r.anomalous)
+        for r in records
+        if r.anomalous is not None
+    }
+
+
+def run_dataplane_sweep(
+    rates: Sequence[float], events: int, seed: int, kind: str = "lstm"
+) -> List[DataplaneChaosPoint]:
+    from repro.eval.metrics import build_demo_soc, demo_events
+
+    stream = demo_events(kind, seed, events, run_label="chaos-dataplane")
+    baseline_soc = build_demo_soc(kind, seed=seed)
+    baseline = list(baseline_soc.run_events(stream))
+    baseline_flags = _flag_map(baseline)
+    points = []
+    for rate in rates:
+        registry = MetricsRegistry()
+        soc = build_demo_soc(
+            kind,
+            seed=seed,
+            metrics=registry,
+            fault_plan=dataplane_fault_plan(rate, seed),
+        )
+        records = list(soc.run_events(stream))
+        flags = _flag_map(records)
+        matched = [s for s in flags if s in baseline_flags]
+        agree = sum(1 for s in matched if flags[s] == baseline_flags[s])
+        counters = registry.snapshot()["counters"]
+        points.append(
+            DataplaneChaosPoint(
+                rate=rate,
+                inferences=len(records),
+                baseline_inferences=len(baseline),
+                matched=len(matched),
+                flag_agreement=(
+                    agree / len(matched) if matched else 1.0
+                ),
+                interrupts=soc.mcm.interrupts.count,
+                events_dropped=int(
+                    counters.get("faults.events.dropped", 0)
+                ),
+                events_duplicated=int(
+                    counters.get("faults.events.duplicated", 0)
+                ),
+                events_corrupted=int(
+                    counters.get("faults.events.corrupted", 0)
+                ),
+                vectors_dropped=int(
+                    counters.get("faults.vectors.dropped", 0)
+                ),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Experiment 3: watchdog quarantine + healthy-tenant isolation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class QuarantineRound:
+    round: int
+    health: Dict[str, str]
+    records: Dict[str, int]
+    watchdog_trips: int
+    skipped: bool
+    healthy_identical: Optional[bool]
+
+
+@dataclass
+class QuarantineChaosResult:
+    faulty_tenant: str
+    stall_rate: float
+    deadline_us: float
+    rounds: List[QuarantineRound] = field(default_factory=list)
+    quarantines: int = 0
+    readmissions: int = 0
+    cancelled: int = 0
+    healthy_always_identical: bool = True
+
+
+def _record_key(record: InferenceRecord) -> Tuple:
+    return (
+        record.sequence_number,
+        record.arrival_ns,
+        record.start_ns,
+        record.done_ns,
+        record.score,
+        record.anomalous,
+    )
+
+
+def run_quarantine_scenario(
+    events: int,
+    seed: int,
+    kind: str = "lstm",
+    stall_rate: float = 0.25,
+    stall_us: float = 5_000.0,
+    deadline_us: float = 500.0,
+) -> QuarantineChaosResult:
+    from repro.eval.metrics import build_demo_manager, demo_events
+
+    per_round = max(200, events // _QUARANTINE_ROUNDS)
+    registry = MetricsRegistry()
+    plan = FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                FaultKind.MCM_STALL, rate=stall_rate, stall_us=stall_us
+            ),
+        ),
+    )
+    manager = build_demo_manager(
+        _QUARANTINE_TENANTS,
+        kind=kind,
+        seed=seed,
+        metrics=registry,
+        fault_plans={_FAULTY_TENANT: plan},
+        deadline_us=deadline_us,
+        health_policy=HealthPolicy(
+            probation_rounds=1, recover_rounds=1
+        ),
+    )
+    reference = build_demo_manager(
+        _QUARANTINE_TENANTS, kind=kind, seed=seed
+    )
+    names = [runtime.name for runtime in manager.tenants]
+    result = QuarantineChaosResult(
+        faulty_tenant=_FAULTY_TENANT,
+        stall_rate=stall_rate,
+        deadline_us=deadline_us,
+    )
+    for round_index in range(_QUARANTINE_ROUNDS):
+        traces = {
+            name: demo_events(
+                kind,
+                seed,
+                per_round,
+                run_label=f"chaos-{name}-r{round_index}",
+            )
+            for name in names
+        }
+        skips_before = int(
+            registry.snapshot()["counters"].get(
+                "socmgr.health.skipped_rounds", 0
+            )
+        )
+        records = manager.run_events(traces)
+        skips_after = int(
+            registry.snapshot()["counters"].get(
+                "socmgr.health.skipped_rounds", 0
+            )
+        )
+        skipped = skips_after > skips_before
+        healthy_identical: Optional[bool] = None
+        if skipped:
+            # The invariant under test: a quarantined neighbour is
+            # indistinguishable from an absent one.  The reference
+            # manager (fault-free) runs this round without the faulty
+            # tenant's trace; healthy records must match exactly.
+            ref_traces = dict(traces)
+            ref_traces[_FAULTY_TENANT] = []
+            ref_records = reference.run_events(ref_traces)
+            healthy_identical = all(
+                [_record_key(r) for r in records[name]]
+                == [_record_key(r) for r in ref_records[name]]
+                for name in names
+                if name != _FAULTY_TENANT
+            )
+            result.healthy_always_identical &= healthy_identical
+        faulty_index = manager.tenant(_FAULTY_TENANT).index
+        result.rounds.append(
+            QuarantineRound(
+                round=round_index,
+                health={
+                    name: health.value
+                    for name, health in manager.health().items()
+                },
+                records={
+                    name: len(recs) for name, recs in records.items()
+                },
+                watchdog_trips=manager.arbiter.watchdog_trips[
+                    faulty_index
+                ],
+                skipped=skipped,
+                healthy_identical=healthy_identical,
+            )
+        )
+    counters = registry.snapshot()["counters"]
+    result.quarantines = int(
+        counters.get("socmgr.health.quarantines", 0)
+    )
+    result.readmissions = int(
+        counters.get("socmgr.health.readmissions", 0)
+    )
+    result.cancelled = int(
+        counters.get("mcm.arbiter.watchdog.cancelled", 0)
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Driver + reporting
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ChaosResult:
+    rates: Tuple[float, ...]
+    events: int
+    seed: int
+    decoder: List[DecoderChaosPoint]
+    dataplane: List[DataplaneChaosPoint]
+    quarantine: QuarantineChaosResult
+
+
+def run_chaos(
+    rates: Sequence[float] = DEFAULT_RATES,
+    events: int = 6_000,
+    seed: int = 0,
+    kind: str = "lstm",
+) -> ChaosResult:
+    """Run all three chaos experiments over the rate sweep."""
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    return ChaosResult(
+        rates=tuple(rates),
+        events=events,
+        seed=seed,
+        decoder=run_decoder_sweep(rates, events, seed),
+        dataplane=run_dataplane_sweep(rates, events, seed, kind=kind),
+        quarantine=run_quarantine_scenario(events, seed, kind=kind),
+    )
+
+
+def format_chaos(result: ChaosResult) -> str:
+    decoder = format_table(
+        ["rate", "flip", "drop", "desync", "branches", "recovered",
+         "frame rs", "dec rs", "trunc"],
+        [
+            (
+                f"{p.rate:g}",
+                p.bytes_flipped,
+                p.bytes_dropped,
+                p.desyncs,
+                f"{p.recovered_branches}/{p.clean_branches}",
+                f"{p.recovered_fraction:.3f}",
+                p.frame_resyncs,
+                p.decoder_resyncs,
+                p.truncated,
+            )
+            for p in result.decoder
+        ],
+        title="chaos: decoder recovery under byte corruption",
+    )
+    dataplane = format_table(
+        ["rate", "inferences", "baseline", "matched", "agreement",
+         "ev drop", "ev dup", "ev corr", "vec drop"],
+        [
+            (
+                f"{p.rate:g}",
+                p.inferences,
+                p.baseline_inferences,
+                p.matched,
+                f"{p.flag_agreement:.3f}",
+                p.events_dropped,
+                p.events_duplicated,
+                p.events_corrupted,
+                p.vectors_dropped,
+            )
+            for p in result.dataplane
+        ],
+        title="chaos: detection degradation under dataplane faults",
+    )
+    q = result.quarantine
+    quarantine = format_table(
+        ["round", "health", "records", "trips", "skipped", "identical"],
+        [
+            (
+                r.round,
+                " ".join(
+                    f"{name}={state}" for name, state in r.health.items()
+                ),
+                " ".join(
+                    f"{name}={count}"
+                    for name, count in r.records.items()
+                ),
+                r.watchdog_trips,
+                "yes" if r.skipped else "no",
+                "-" if r.healthy_identical is None
+                else ("yes" if r.healthy_identical else "NO"),
+            )
+            for r in q.rounds
+        ],
+        title=(
+            f"chaos: quarantine of {q.faulty_tenant} "
+            f"(stall rate {q.stall_rate:g}, deadline {q.deadline_us:g} us; "
+            f"{q.quarantines} quarantines, {q.readmissions} readmissions, "
+            f"{q.cancelled} watchdog cancels, healthy identical: "
+            f"{'yes' if q.healthy_always_identical else 'NO'})"
+        ),
+    )
+    return "\n\n".join([decoder, dataplane, quarantine])
+
+
+def chaos_to_json(result: ChaosResult) -> Dict[str, object]:
+    """JSON document mirroring :func:`format_chaos`."""
+    return {
+        "rates": list(result.rates),
+        "events": result.events,
+        "seed": result.seed,
+        "decoder": [asdict(p) for p in result.decoder],
+        "dataplane": [asdict(p) for p in result.dataplane],
+        "quarantine": asdict(result.quarantine),
+    }

@@ -31,8 +31,9 @@ from repro.ml.elm import ExtremeLearningMachine
 from repro.ml.features import PatternDictionary
 from repro.ml.kernels import DeployedElm, DeployedLstm
 from repro.ml.lstm import LstmModel
+from repro.faults.plan import FaultPlan
 from repro.obs import MetricsRegistry
-from repro.soc.manager import Deployment, SocManager
+from repro.soc.manager import Deployment, HealthPolicy, SocManager
 from repro.soc.rtad import RtadConfig, RtadSoc
 from repro.workloads.dataset import (
     Vocabulary,
@@ -55,6 +56,30 @@ _LATENCY_METRICS = (
     ("mcm.gpu_ns", "GPU kernel time"),
     ("mcm.service_ns", "MCM service total"),
     ("pipeline.e2e_ns", "end-to-end (branch -> judgment)"),
+)
+
+#: Robustness counters always reported (0 when nothing fired), so the
+#: metrics output shape is stable whether or not faults are injected.
+ROBUSTNESS_COUNTERS = (
+    "faults.bytes.flipped",
+    "faults.bytes.dropped",
+    "faults.bytes.duplicated",
+    "faults.bytes.desyncs",
+    "faults.events.dropped",
+    "faults.events.duplicated",
+    "faults.events.corrupted",
+    "faults.vectors.dropped",
+    "coresight.decoder.resyncs",
+    "coresight.decoder.truncated",
+    "tpiu.frame_resyncs",
+    "mcm.dropped_vectors",
+    "mcm.cancelled",
+    "mcm.arbiter.watchdog.cancelled",
+    "mcm.arbiter.hangs",
+    "socmgr.crashes",
+    "socmgr.health.quarantines",
+    "socmgr.health.readmissions",
+    "socmgr.health.degradations",
 )
 
 _DEMO_PARTS: Dict[Tuple[str, int], dict] = {}
@@ -161,6 +186,7 @@ def build_demo_soc(
     execute_on_gpu: bool = False,
     num_cus: int = 5,
     fifo_depth: int = 64,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RtadSoc:
     """A small, deterministic, fully assembled SoC for short traces."""
     parts = _demo_parts(kind, seed)
@@ -182,6 +208,7 @@ def build_demo_soc(
         window=parts["window"],
         fifo_depth=fifo_depth,
         score_smoothing=parts["smoothing"],
+        fault_plan=fault_plan,
     )
     return RtadSoc(
         program=parts["program"],
@@ -216,6 +243,9 @@ def build_demo_manager(
     metrics: Optional[MetricsRegistry] = None,
     num_cus: int = 5,
     fifo_depth: int = 64,
+    fault_plans: Optional[Dict[str, FaultPlan]] = None,
+    deadline_us: Optional[float] = None,
+    health_policy: Optional[HealthPolicy] = None,
 ) -> SocManager:
     """A multi-tenant manager: N demo deployments, one shared engine.
 
@@ -237,9 +267,10 @@ def build_demo_manager(
             deployed = DeployedLstm(parts["model"])
             converter = ProtocolConverter("lstm")
         driver = MlMiaowDriver(deployed, gpu, execute_on_gpu=False)
+        name = f"tenant{index}"
         deployments.append(
             Deployment(
-                name=f"tenant{index}",
+                name=name,
                 driver=driver,
                 converter=converter,
                 monitored_addresses=parts["monitored"],
@@ -249,10 +280,16 @@ def build_demo_manager(
                     window=parts["window"],
                     fifo_depth=fifo_depth,
                     score_smoothing=parts["smoothing"],
+                    fault_plan=(fault_plans or {}).get(name),
                 ),
             )
         )
-    return SocManager(deployments, metrics=metrics)
+    return SocManager(
+        deployments,
+        metrics=metrics,
+        deadline_us=deadline_us,
+        health_policy=health_policy,
+    )
 
 
 @dataclass
@@ -323,11 +360,43 @@ def stage_table(result: MetricsRunResult) -> str:
     )
 
 
+def robustness_counters(snapshot: Dict[str, object]) -> Dict[str, int]:
+    """Loss/recovery counters from one registry snapshot.
+
+    Every canonical fault/recovery counter is present (0 when it never
+    fired), plus any per-port ``pipeline.port.*`` drop/stall counters
+    that exist in this snapshot — the dataplane's own backpressure and
+    loss accounting next to the injected-fault accounting.
+    """
+    counters: Dict[str, int] = snapshot.get("counters", {})  # type: ignore
+    out = {name: int(counters.get(name, 0)) for name in ROBUSTNESS_COUNTERS}
+    for name, value in sorted(counters.items()):
+        if name.startswith("pipeline.port.") and name.endswith(
+            (".drops", ".stalls")
+        ):
+            out[name] = int(value)
+    return out
+
+
+def robustness_table(result: MetricsRunResult) -> str:
+    rows = [
+        (name, value)
+        for name, value in robustness_counters(result.snapshot).items()
+    ]
+    return format_table(
+        ["counter", "count"],
+        rows,
+        title=f"{result.kind}: robustness (drops / stalls / faults / "
+              "recovery)",
+    )
+
+
 def format_metrics(results: Sequence[MetricsRunResult]) -> str:
     """Condensed stage tables plus the full instrument dump."""
     sections = []
     for result in results:
         sections.append(stage_table(result))
+        sections.append(robustness_table(result))
         sections.append(
             format_snapshot(
                 result.snapshot, title=f"{result.kind} full metrics"
@@ -344,6 +413,7 @@ def metrics_to_json(results: Sequence[MetricsRunResult]) -> Dict[str, object]:
             "inferences": result.inferences,
             "interrupts": result.interrupts,
             "dropped": result.dropped,
+            "robustness": robustness_counters(result.snapshot),
             "metrics": result.snapshot,
         }
         for result in results

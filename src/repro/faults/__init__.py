@@ -1,0 +1,64 @@
+"""Deterministic fault injection and recovery hooks.
+
+The subsystem has three layers (see docs/ROBUSTNESS.md):
+
+- :mod:`repro.faults.plan` — the declarative :class:`FaultPlan` schema
+  and the counter-based hashing that makes every injection decision a
+  pure function of ``(seed, kind, index)``.
+- :mod:`repro.faults.injectors` / :mod:`repro.faults.stages` /
+  :mod:`repro.faults.service` — injector implementations at each level:
+  raw trace bytes, dataplane events/vectors, engine services, tenants.
+- Recovery lives where the state lives: decoder/deframer resync hunt
+  (``repro.coresight``), the arbiter watchdog (``repro.mcm.arbiter``),
+  and the tenant health machine (``repro.soc.manager``).
+
+The pipeline stages are exported lazily — importing them pulls in
+``repro.pipeline``, which this package must not require at import time
+(``FaultPlan`` is referenced from ``RtadConfig``).
+"""
+
+from repro.faults.injectors import StreamFaultInjector, corrupt_stream
+from repro.faults.plan import (
+    BYTE_KINDS,
+    EVENT_KINDS,
+    SERVICE_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    splitmix64,
+    splitmix64_array,
+)
+from repro.faults.service import ServiceFaultInjector, crash_fraction
+
+_STAGE_EXPORTS = (
+    "EventFaultCounts",
+    "EventFaultStage",
+    "VectorFaultStage",
+    "VectorOverflowModel",
+    "apply_event_faults",
+    "corrupt_target",
+)
+
+__all__ = [
+    "BYTE_KINDS",
+    "EVENT_KINDS",
+    "SERVICE_KINDS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "ServiceFaultInjector",
+    "StreamFaultInjector",
+    "corrupt_stream",
+    "crash_fraction",
+    "splitmix64",
+    "splitmix64_array",
+    *_STAGE_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _STAGE_EXPORTS:
+        from repro.faults import stages
+
+        return getattr(stages, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

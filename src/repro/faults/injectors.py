@@ -1,0 +1,115 @@
+"""Byte-level trace-stream corruption driven by a :class:`FaultPlan`.
+
+:class:`StreamFaultInjector` wraps any producer of raw trace bytes
+(typically the framed TPIU output) and applies bit flips, byte drops,
+byte duplications, and frame-desync runs.  Decisions are indexed by the
+*absolute* byte offset in the stream, so feeding the same bytes in
+different chunk sizes yields the identical corrupted stream — the
+property the cross-dataplane determinism tests pin down.
+
+A plan with no active byte channels (or ``rate=0`` everywhere) is a
+byte-identical passthrough: ``feed`` returns its input object untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import BYTE_KINDS, FaultKind, FaultPlan
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+
+
+class StreamFaultInjector:
+    """Stateful byte corruptor: tracks the absolute stream offset."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.plan = plan
+        self._active = plan.active(BYTE_KINDS)
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_flipped = self.metrics.counter("faults.bytes.flipped")
+        self._m_dropped = self.metrics.counter("faults.bytes.dropped")
+        self._m_duplicated = self.metrics.counter("faults.bytes.duplicated")
+        self._m_desyncs = self.metrics.counter("faults.bytes.desyncs")
+        # Lifetime totals, kept as plain attributes so callers can read
+        # them even under the null registry.
+        self.flipped = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.desyncs = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """New stream: restart at offset zero (lifetime counts kept)."""
+        self._offset = 0
+        # Bytes still owed to a desync run that crossed a chunk edge.
+        self._pending_drop = 0
+
+    def feed(self, data: bytes) -> bytes:
+        """Corrupt one chunk; returns the surviving (mutated) bytes."""
+        n = len(data)
+        offset = self._offset
+        self._offset += n
+        if n == 0 or not self._active:
+            return data
+        indices = np.arange(offset, offset + n, dtype=np.uint64)
+        array = np.frombuffer(data, dtype=np.uint8).copy()
+        counts = np.ones(n, dtype=np.int64)
+
+        # Continue a desync run left over from the previous chunk.
+        carried = min(self._pending_drop, n)
+        if carried:
+            counts[:carried] = 0
+            self._pending_drop -= carried
+
+        flip = self.plan.decide_array(FaultKind.BIT_FLIP, indices)
+        num_flips = int(flip.sum())
+        if num_flips:
+            hashes = self.plan.hash_array(FaultKind.BIT_FLIP, indices[flip])
+            bits = (hashes >> np.uint64(58)).astype(np.uint8) & np.uint8(7)
+            array[flip] ^= np.uint8(1) << bits
+            self.flipped += num_flips
+            self._m_flipped.inc(num_flips)
+
+        dup = self.plan.decide_array(FaultKind.BYTE_DUP, indices)
+        counts[dup & (counts > 0)] = 2
+
+        drop = self.plan.decide_array(FaultKind.BYTE_DROP, indices)
+        counts[drop] = 0
+
+        desync_spec = self.plan.spec(FaultKind.FRAME_DESYNC)
+        if desync_spec is not None:
+            desync = self.plan.decide_array(FaultKind.FRAME_DESYNC, indices)
+            run = desync_spec.desync_bytes
+            for position in np.nonzero(desync)[0]:
+                start = int(position)
+                end = min(start + run, n)
+                counts[start:end] = 0
+                if start + run > n:
+                    self._pending_drop = max(
+                        self._pending_drop, start + run - n
+                    )
+                self.desyncs += 1
+                self._m_desyncs.inc()
+
+        num_dropped = int((counts == 0).sum())
+        num_duplicated = int((counts > 1).sum())
+        self.dropped += num_dropped
+        self.duplicated += num_duplicated
+        if num_dropped:
+            self._m_dropped.inc(num_dropped)
+        if num_duplicated:
+            self._m_duplicated.inc(num_duplicated)
+        if not num_dropped and not num_duplicated and not num_flips:
+            return data
+        return np.repeat(array, counts).tobytes()
+
+
+def corrupt_stream(data: bytes, plan: FaultPlan) -> bytes:
+    """One-shot convenience: corrupt a whole stream from offset zero."""
+    return StreamFaultInjector(plan).feed(data)

@@ -1,0 +1,204 @@
+"""Seeded fault plans: *what* to break, *how often*, reproducibly.
+
+A :class:`FaultPlan` is a declarative schema — a seed plus a tuple of
+:class:`FaultSpec` entries (fault kind, rate, kind-specific knobs).
+Injectors never draw from a stateful RNG; every decision is a pure
+counter-based hash of ``(seed, kind, absolute index)``:
+
+    h = splitmix64(channel_base(seed, kind) + index)
+    inject  <=>  h < rate * 2**64
+
+which makes fault placement *chunk-invariant*: the batched dataplane
+(events arriving in 32k chunks) and the per-event reference loop make
+byte-for-byte identical choices, and re-running the same plan over the
+same stream reproduces the same corruption exactly.  Derived values
+(which bit to flip, the corrupted address) come from a second hash of
+the decision value, so they are just as deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_KIND_SALT = 0xD1B54A32D192ED03
+_VALUE_SALT = 0xA5A5A5A5A5A5A5A5
+
+
+def splitmix64(value: int) -> int:
+    """One splitmix64 finalization round (pure, 64-bit wrapping)."""
+    z = (value + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a uint64 array."""
+    with np.errstate(over="ignore"):
+        z = values + np.uint64(_GOLDEN)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+        return z ^ (z >> np.uint64(31))
+
+
+class FaultKind(enum.Enum):
+    """Fault taxonomy across the trace path and the shared engine."""
+
+    # Byte-level trace-stream faults (framed TPIU stream).
+    BIT_FLIP = "bit-flip"          # one bit of one trace byte inverted
+    BYTE_DROP = "byte-drop"        # one trace byte lost on the port
+    BYTE_DUP = "byte-dup"          # one trace byte delivered twice
+    FRAME_DESYNC = "frame-desync"  # a run of bytes lost mid-frame
+    # Event-level dataplane faults (before PTM encode).
+    EVENT_DROP = "event-drop"      # a branch event never traced
+    EVENT_DUP = "event-dup"        # a branch event traced twice
+    EVENT_CORRUPT = "event-corrupt"  # branch target replaced by garbage
+    # Vector-path faults.
+    FIFO_OVERFLOW = "fifo-overflow"  # burst of vectors lost at the FIFO
+    # Shared-engine service faults (indexed by grant number).
+    MCM_STALL = "mcm-stall"        # one service takes stall_us longer
+    MCM_HANG = "mcm-hang"          # one service never completes
+    # Tenant-level faults (indexed by monitoring round).
+    TENANT_CRASH = "tenant-crash"  # the monitored program dies mid-round
+
+
+#: Stable per-kind channel identifiers — never renumber, they feed the
+#: hash and renumbering would silently change every seeded plan.
+_KIND_IDS = {
+    FaultKind.BIT_FLIP: 1,
+    FaultKind.BYTE_DROP: 2,
+    FaultKind.BYTE_DUP: 3,
+    FaultKind.FRAME_DESYNC: 4,
+    FaultKind.EVENT_DROP: 5,
+    FaultKind.EVENT_DUP: 6,
+    FaultKind.EVENT_CORRUPT: 7,
+    FaultKind.FIFO_OVERFLOW: 8,
+    FaultKind.MCM_STALL: 9,
+    FaultKind.MCM_HANG: 10,
+    FaultKind.TENANT_CRASH: 11,
+}
+
+BYTE_KINDS = (
+    FaultKind.BIT_FLIP,
+    FaultKind.BYTE_DROP,
+    FaultKind.BYTE_DUP,
+    FaultKind.FRAME_DESYNC,
+)
+EVENT_KINDS = (
+    FaultKind.EVENT_DROP,
+    FaultKind.EVENT_DUP,
+    FaultKind.EVENT_CORRUPT,
+)
+SERVICE_KINDS = (FaultKind.MCM_STALL, FaultKind.MCM_HANG)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault channel: a kind, its rate, and kind-specific knobs."""
+
+    kind: FaultKind
+    #: Probability per unit (byte, event, vector, grant, or round).
+    rate: float
+    #: FIFO_OVERFLOW: vectors lost per triggered burst.
+    burst: int = 8
+    #: MCM_STALL: extra service time injected into one grant.
+    stall_us: float = 100.0
+    #: FRAME_DESYNC: consecutive bytes lost per triggered desync.
+    desync_bytes: int = 7
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise ValueError(f"kind must be a FaultKind, got {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.stall_us < 0:
+            raise ValueError("stall_us must be >= 0")
+        if self.desync_bytes < 1:
+            raise ValueError("desync_bytes must be >= 1")
+
+    @property
+    def threshold(self) -> int:
+        """Decision threshold on the 64-bit hash value."""
+        return min(int(self.rate * 2.0**64), 1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the set of fault channels to inject."""
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        kinds = [spec.kind for spec in self.specs]
+        if len(set(kinds)) != len(kinds):
+            raise ValueError(f"duplicate fault kinds in plan: {kinds}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def spec(self, kind: FaultKind) -> Optional[FaultSpec]:
+        """The active (rate > 0) spec for ``kind``, if any."""
+        for spec in self.specs:
+            if spec.kind is kind and spec.rate > 0.0:
+                return spec
+        return None
+
+    def active(self, kinds: Sequence[FaultKind]) -> bool:
+        return any(self.spec(kind) is not None for kind in kinds)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no channel can ever fire (rate=0 everywhere)."""
+        return all(spec.rate == 0.0 for spec in self.specs)
+
+    # ------------------------------------------------------------------
+    # Counter-based hashing
+    # ------------------------------------------------------------------
+
+    def _base(self, kind: FaultKind) -> int:
+        return splitmix64(
+            (self.seed & _MASK64) ^ ((_KIND_IDS[kind] * _KIND_SALT) & _MASK64)
+        )
+
+    def hash(self, kind: FaultKind, index: int) -> int:
+        """The 64-bit decision value for unit ``index`` on ``kind``."""
+        return splitmix64((self._base(kind) + index) & _MASK64)
+
+    def hash_array(self, kind: FaultKind, indices: np.ndarray) -> np.ndarray:
+        base = np.uint64(self._base(kind))
+        with np.errstate(over="ignore"):
+            return splitmix64_array(indices.astype(np.uint64) + base)
+
+    def decide(self, kind: FaultKind, index: int) -> bool:
+        """Does channel ``kind`` fire at absolute unit ``index``?"""
+        spec = self.spec(kind)
+        if spec is None:
+            return False
+        return self.hash(kind, index) < spec.threshold
+
+    def decide_array(
+        self, kind: FaultKind, indices: np.ndarray
+    ) -> np.ndarray:
+        spec = self.spec(kind)
+        if spec is None:
+            return np.zeros(len(indices), dtype=bool)
+        if spec.threshold >= 1 << 64:
+            return np.ones(len(indices), dtype=bool)
+        return self.hash_array(kind, indices) < np.uint64(spec.threshold)
+
+    def value(self, kind: FaultKind, index: int) -> int:
+        """A derived 64-bit parameter, independent of the decision bit."""
+        return splitmix64(self.hash(kind, index) ^ _VALUE_SALT)

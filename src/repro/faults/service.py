@@ -1,0 +1,66 @@
+"""Service-level and tenant-level fault channels.
+
+:class:`ServiceFaultInjector` rides alongside one MCM lane inside the
+arbiter: each engine *grant* on that lane draws the MCM_STALL and
+MCM_HANG channels, indexed by the lane's grant counter.  A stall adds
+``stall_us`` to that one service; a hang never completes — it either
+trips the arbiter's watchdog (when ``deadline_us`` is armed) or wedges
+the shared engine until the next session reset.
+
+:func:`crash_fraction` drives TENANT_CRASH: indexed by monitoring
+round, it returns where in the round's trace the tenant dies (a
+fraction in [0, 1)), or ``None`` for a clean round.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.faults.plan import SERVICE_KINDS, FaultKind, FaultPlan
+
+
+class ServiceFaultInjector:
+    """Per-lane grant-indexed stall/hang decisions."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stalls = 0
+        self.hangs = 0
+        self._grants = 0
+
+    @classmethod
+    def from_plan(
+        cls, plan: Optional[FaultPlan]
+    ) -> Optional["ServiceFaultInjector"]:
+        """An injector only when the plan has active service channels."""
+        if plan is None or not plan.active(SERVICE_KINDS):
+            return None
+        return cls(plan)
+
+    def reset(self) -> None:
+        """New session: grant numbering restarts so repeat rounds of
+        the same trace reproduce the same fault pattern."""
+        self._grants = 0
+
+    def draw(self) -> Tuple[float, bool]:
+        """Decide for the next grant; returns ``(extra_ns, hang)``."""
+        index = self._grants
+        self._grants += 1
+        if self.plan.decide(FaultKind.MCM_HANG, index):
+            self.hangs += 1
+            return float("inf"), True
+        if self.plan.decide(FaultKind.MCM_STALL, index):
+            spec = self.plan.spec(FaultKind.MCM_STALL)
+            assert spec is not None
+            self.stalls += 1
+            return spec.stall_us * 1e3, False
+        return 0.0, False
+
+
+def crash_fraction(
+    plan: Optional[FaultPlan], round_index: int
+) -> Optional[float]:
+    """Where in round ``round_index`` the tenant crashes, if at all."""
+    if plan is None or not plan.decide(FaultKind.TENANT_CRASH, round_index):
+        return None
+    return plan.value(FaultKind.TENANT_CRASH, round_index) / 2.0**64

@@ -66,10 +66,17 @@ class TraceAnalyzer:
         source_id: int = 0x1,
         strict: bool = False,
         monitored_context: Optional[int] = None,
+        resync_hunt: bool = False,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self._deframer = TpiuDeframer(expected_source_id=source_id)
-        self._decoder = PftDecoder(strict=strict)
+        self._deframer = TpiuDeframer(
+            expected_source_id=source_id,
+            resync_hunt=resync_hunt,
+            metrics=metrics,
+        )
+        self._decoder = PftDecoder(
+            strict=strict, resync_hunt=resync_hunt, metrics=metrics
+        )
         self._pending: Deque[int] = deque()
         self.units = [TaUnit(lane=i) for i in range(self.NUM_UNITS)]
         self.cycles = 0
@@ -94,6 +101,29 @@ class TraceAnalyzer:
     @property
     def synced(self) -> bool:
         return self._deframer.synced
+
+    @property
+    def resyncs(self) -> int:
+        """Packet-decoder re-locks (resync-hunt mode only)."""
+        return self._decoder.resyncs
+
+    @property
+    def frame_resyncs(self) -> int:
+        """Deframer sync losses recovered (resync-hunt mode only)."""
+        return self._deframer.frame_resyncs
+
+    def finish(self) -> List[DecodedBranch]:
+        """End of stream: drain the backlog, then close the decoder.
+
+        Closing counts a truncated trailing packet on the decoder
+        (``coresight.decoder.truncated``); on a strict decoder it
+        raises instead — see :meth:`PftDecoder.finish`.
+        """
+        branches: List[DecodedBranch] = []
+        while self._pending:
+            branches.extend(self.idle_cycle())
+        self._decoder.finish()
+        return branches
 
     def process_word(self, word: int, decode: bool = True) -> List[DecodedBranch]:
         """Consume one 32-bit trace-port word (one TA cycle).

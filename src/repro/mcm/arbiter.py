@@ -12,6 +12,15 @@ The per-lane timing model is untouched: a granted head is served by
 its own :meth:`repro.mcm.mcm.Mcm.serve_head`, so queueing, service
 decomposition, detection, and records behave exactly like a dedicated
 engine that happens to be busy more often.
+
+**Watchdog.**  ``deadline_us`` arms a per-service watchdog: a grant
+whose service would exceed the deadline (an injected hang, or a stall
+at least that long) is *cancelled* instead of served — the head is
+dropped from its lane FIFO, the lane's session state is reset via
+:meth:`Mcm.reset_session`, the engine is occupied for exactly one
+deadline (the abort window), and the trip is counted per lane.  With
+no deadline armed, a hang wedges the shared engine until the next
+session reset — the failure mode the watchdog exists to prevent.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.errors import McmError
+from repro.faults.service import ServiceFaultInjector
 from repro.igm.vector_encoder import InputVector
 from repro.mcm.mcm import InferenceRecord, Mcm
 from repro.obs import MetricsRegistry, NULL_REGISTRY
@@ -31,6 +41,10 @@ class ArbitratedMcm:
         self,
         lanes: Sequence[Mcm],
         metrics: Optional[MetricsRegistry] = None,
+        deadline_us: Optional[float] = None,
+        service_faults: Optional[
+            Sequence[Optional[ServiceFaultInjector]]
+        ] = None,
     ) -> None:
         if not lanes:
             raise McmError("arbiter needs at least one lane")
@@ -39,19 +53,82 @@ class ArbitratedMcm:
             raise McmError(
                 "arbitrated lanes must share a single GPU engine"
             )
+        if deadline_us is not None and deadline_us <= 0:
+            raise McmError("deadline_us must be positive (or None)")
+        if service_faults is not None and len(service_faults) != len(lanes):
+            raise McmError(
+                "service_faults must have one (possibly None) entry "
+                "per lane"
+            )
         self.lanes: List[Mcm] = list(lanes)
+        self.deadline_us = deadline_us
+        self.service_faults: List[Optional[ServiceFaultInjector]] = (
+            list(service_faults)
+            if service_faults is not None
+            else [None] * len(self.lanes)
+        )
+        self.watchdog_trips: List[int] = [0] * len(self.lanes)
+        self.hung = False
         self._busy_until_ns = 0.0
         self._next_lane = 0
         self.metrics = metrics or NULL_REGISTRY
-        self._m_grants = [
-            self.metrics.counter(f"mcm.arbiter.grants.{index}")
-            for index in range(len(self.lanes))
-        ]
+        self._lane_seq = 0
+        self._m_grants = [self._grant_counter() for _ in self.lanes]
         self._m_vectors = self.metrics.counter("mcm.arbiter.vectors_in")
+        self._m_watchdog = self.metrics.counter(
+            "mcm.arbiter.watchdog.cancelled"
+        )
+        self._m_hangs = self.metrics.counter("mcm.arbiter.hangs")
+
+    def _grant_counter(self):
+        counter = self.metrics.counter(
+            f"mcm.arbiter.grants.{self._lane_seq}"
+        )
+        self._lane_seq += 1
+        return counter
 
     @property
     def busy_until_ns(self) -> float:
         return self._busy_until_ns
+
+    # ------------------------------------------------------------------
+    # Lane membership (tenant removal / re-admission)
+    # ------------------------------------------------------------------
+
+    def add_lane(
+        self,
+        lane: Mcm,
+        fault: Optional[ServiceFaultInjector] = None,
+    ) -> int:
+        """Attach a lane mid-life; returns its index."""
+        if id(lane.driver.gpu) != id(self.lanes[0].driver.gpu):
+            raise McmError(
+                "arbitrated lanes must share a single GPU engine"
+            )
+        self.lanes.append(lane)
+        self.service_faults.append(fault)
+        self.watchdog_trips.append(0)
+        self._m_grants.append(self._grant_counter())
+        return len(self.lanes) - 1
+
+    def remove_lane(self, index: int) -> Mcm:
+        """Detach lane ``index``; remaining lanes shift down."""
+        if not 0 <= index < len(self.lanes):
+            raise McmError(f"no lane {index}")
+        if len(self.lanes) == 1:
+            raise McmError("arbiter needs at least one lane")
+        lane = self.lanes.pop(index)
+        self.service_faults.pop(index)
+        self.watchdog_trips.pop(index)
+        self._m_grants.pop(index)
+        if self._next_lane > index:
+            self._next_lane -= 1
+        self._next_lane %= len(self.lanes)
+        return lane
+
+    # ------------------------------------------------------------------
+    # Dataflow
+    # ------------------------------------------------------------------
 
     def push(
         self, lane_index: int, vector: InputVector, arrival_ns: float
@@ -70,13 +147,24 @@ class ArbitratedMcm:
     def reset_session(self) -> None:
         self._busy_until_ns = 0.0
         self._next_lane = 0
+        self.hung = False
         for lane in self.lanes:
             lane.reset_session()
+        for injector in self.service_faults:
+            if injector is not None:
+                injector.reset()
 
     def _drain(self, until_ns: float) -> None:
         """Grant the engine to lane heads until none can start before
         ``until_ns``."""
+        if self.hung:
+            # A hung service with no watchdog owns the engine until
+            # the next session reset; queued vectors just wait.
+            return
         count = len(self.lanes)
+        deadline_ns = (
+            None if self.deadline_us is None else self.deadline_us * 1e3
+        )
         while True:
             best_start: Optional[float] = None
             best_lane = -1
@@ -91,8 +179,29 @@ class ArbitratedMcm:
                     best_lane = index
             if best_start is None or best_start >= until_ns:
                 return
+            extra_ns, hang = 0.0, False
+            injector = self.service_faults[best_lane]
+            if injector is not None:
+                extra_ns, hang = injector.draw()
+            if hang or (
+                deadline_ns is not None and extra_ns >= deadline_ns
+            ):
+                if deadline_ns is None:
+                    # No watchdog armed: the engine is wedged.
+                    self.hung = True
+                    self._busy_until_ns = float("inf")
+                    self._m_hangs.inc()
+                    return
+                self.lanes[best_lane].cancel_head()
+                self.lanes[best_lane].reset_session()
+                self.watchdog_trips[best_lane] += 1
+                self._m_watchdog.inc()
+                # The abort occupies the engine for one full deadline.
+                self._busy_until_ns = best_start + deadline_ns
+                self._next_lane = (best_lane + 1) % count
+                continue
             self._busy_until_ns = self.lanes[best_lane].serve_head(
-                best_start
+                best_start, extra_service_ns=extra_ns
             )
             self._m_grants[best_lane].inc()
             self._next_lane = (best_lane + 1) % count

@@ -100,9 +100,11 @@ class Mcm:
         self.records: List[InferenceRecord] = []
         self._busy_until_ns = 0.0
         self._recent_scores: List[float] = []
+        self.cancelled = 0
         self.metrics = metrics or NULL_REGISTRY
         self._m_vectors_in = self.metrics.counter("mcm.vectors_in")
         self._m_drops = self.metrics.counter("mcm.dropped_vectors")
+        self._m_cancelled = self.metrics.counter("mcm.cancelled")
         self._m_inferences = self.metrics.counter("mcm.inferences")
         self._m_interrupts = self.metrics.counter("mcm.interrupts")
         self._m_fifo_depth = self.metrics.gauge("mcm.fifo.depth")
@@ -162,17 +164,37 @@ class Mcm:
             self._m_drops.inc()
         return accepted
 
-    def serve_head(self, start_ns: float) -> float:
+    def serve_head(
+        self, start_ns: float, extra_service_ns: float = 0.0
+    ) -> float:
         """Serve the queued head starting at ``start_ns``; return the
         completion time.  The caller (arbiter) owns start-time policy;
         all timing math, scoring, smoothing, and interrupt behaviour
-        are this lane's own."""
+        are this lane's own.  ``extra_service_ns`` models an injected
+        service stall (fault testing): it extends this one service."""
         entry = self.fifo.pop()
         if entry is None:
             raise McmError("serve_head on an empty FIFO")
         self._m_fifo_depth.set(len(self.fifo))
-        self._serve(entry.item, entry.arrival_ns, start_ns)
+        self._serve(
+            entry.item, entry.arrival_ns, start_ns,
+            extra_ns=extra_service_ns,
+        )
         return self._busy_until_ns
+
+    def cancel_head(self) -> InputVector:
+        """Drop the queued head *without* serving it (watchdog expiry).
+
+        The request is counted in ``cancelled`` / ``mcm.cancelled`` and
+        produces no record, no score, and no interrupt — exactly what a
+        hardware watchdog abort looks like from the record stream."""
+        entry = self.fifo.pop()
+        if entry is None:
+            raise McmError("cancel_head on an empty FIFO")
+        self._m_fifo_depth.set(len(self.fifo))
+        self.cancelled += 1
+        self._m_cancelled.inc()
+        return entry.item
 
     def reset_session(self) -> None:
         """Forget per-session timing state (new trace session).
@@ -199,7 +221,11 @@ class Mcm:
             self._serve(entry.item, entry.arrival_ns, start_ns)
 
     def _serve(
-        self, vector: InputVector, arrival_ns: float, start_ns: float
+        self,
+        vector: InputVector,
+        arrival_ns: float,
+        start_ns: float,
+        extra_ns: float = 0.0,
     ) -> None:
         converted = self.converter.convert(vector.values)
         result = self.driver.run_inference(converted)
@@ -213,7 +239,7 @@ class Mcm:
         )
         gpu_ns = self._gpu_ns(phases.total_cycles)
         rx_ns = self._rtad_ns(self.rx.cycles(self.driver.result_words))
-        done_ns = start_ns + control_ns + tx_ns + gpu_ns + rx_ns
+        done_ns = start_ns + control_ns + tx_ns + gpu_ns + rx_ns + extra_ns
         self.fsm.run_inference_sequence(time_ns=start_ns)
 
         judged_score = result.score

@@ -12,7 +12,7 @@ end-of-session flush.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.coresight.ptm import PtmConfig
 from repro.errors import SocConfigError
@@ -31,6 +31,9 @@ from repro.pipeline.stages import (
 )
 from repro.soc.clocks import RTAD_CLOCK, ClockDomain
 from repro.workloads.cfg import BranchEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 #: Default events per batch: large enough to amortize numpy dispatch,
 #: small enough that a chunk's arrays stay cache-resident.
@@ -143,12 +146,18 @@ def build_trace_pipeline(
     metrics: Optional[MetricsRegistry] = None,
     chunk_events: int = DEFAULT_CHUNK_EVENTS,
     port_capacity: int = 4,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> Pipeline:
     """Assemble the standard five-stage trace dataplane.
 
     Mirrors the wiring of :class:`repro.soc.rtad.RtadSoc`: PTM encode,
     TPIU framing, PTM-FIFO batching, address map + vector encode, and
     delivery into ``sink`` (usually ``Mcm.push``).
+
+    ``fault_plan`` optionally inserts fault-injection stages: an
+    event-level injector ahead of PTM encode and a FIFO-overflow model
+    ahead of delivery.  A plan with only zero rates (or ``None``)
+    leaves the pipeline byte-identical to the fault-free build.
     """
     stages: List[Stage] = [
         PtmEncodeStage(config=ptm_config, metrics=metrics),
@@ -161,6 +170,20 @@ def build_trace_pipeline(
         IgmStage(mapper, encoder, metrics=metrics),
         DeliverStage(sink, igm_pipe_ns=igm_pipe_ns, metrics=metrics),
     ]
+    if fault_plan is not None and not fault_plan.is_noop:
+        # Deferred import: repro.faults.stages imports this package.
+        from repro.faults.plan import EVENT_KINDS, FaultKind
+        from repro.faults.stages import EventFaultStage, VectorFaultStage
+
+        if fault_plan.active(EVENT_KINDS):
+            stages.insert(
+                0, EventFaultStage(fault_plan, metrics=metrics)
+            )
+        if fault_plan.active((FaultKind.FIFO_OVERFLOW,)):
+            stages.insert(
+                len(stages) - 1,
+                VectorFaultStage(fault_plan, metrics=metrics),
+            )
     return Pipeline(
         stages,
         metrics=metrics,

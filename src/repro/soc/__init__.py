@@ -16,7 +16,13 @@ from repro.soc.software_baseline import (
     RtadOverheadModel,
 )
 from repro.soc.rtad import RtadSoc, RtadConfig, AttackTrialResult
-from repro.soc.manager import Deployment, SocManager, TenantRuntime
+from repro.soc.manager import (
+    Deployment,
+    HealthPolicy,
+    SocManager,
+    TenantHealth,
+    TenantRuntime,
+)
 from repro.soc.collection import TrainingCollector, CollectionResult
 from repro.soc.metrics import TransferBreakdown, rtad_transfer_breakdown, sw_transfer_breakdown
 
@@ -35,7 +41,9 @@ __all__ = [
     "RtadConfig",
     "AttackTrialResult",
     "Deployment",
+    "HealthPolicy",
     "SocManager",
+    "TenantHealth",
     "TenantRuntime",
     "TrainingCollector",
     "CollectionResult",

@@ -11,15 +11,34 @@ single GPU engine serves all lanes through round-robin arbitration
 Isolation contract: tenant A's trace volume can *delay* tenant B
 (shared engine = longer queueing) but can never corrupt B's stream —
 vectors, sequence numbers, scores, and records stay per-lane.
+
+**Health state machine.**  Each tenant carries a health state::
+
+    HEALTHY --(sustained loss rate)--> DEGRADED --(clean rounds)--> HEALTHY
+       |                                  |
+       +---(watchdog trips / crash)-------+--> QUARANTINED
+                                               |  skipped for
+                                               |  probation_rounds
+                                               v
+                                           DEGRADED (probation)
+
+DEGRADED is advisory — the tenant keeps running, the state is visible
+via :meth:`SocManager.health` and the ``socmgr.health.*`` counters.
+QUARANTINED is enforced: the tenant's traces are skipped (its lane
+receives no vectors), so one faulty tenant cannot starve the shared
+engine; after ``probation_rounds`` skipped rounds it is re-admitted as
+DEGRADED and must stay clean to recover.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.coresight.ptm import PtmConfig
-from repro.errors import SocConfigError
+from repro.errors import SocConfigError, TenantCrashError
+from repro.faults.service import ServiceFaultInjector, crash_fraction
 from repro.igm.address_mapper import AddressMapper
 from repro.igm.vector_encoder import EncoderMode, InputVector, VectorEncoder
 from repro.mcm.arbiter import ArbitratedMcm
@@ -30,6 +49,43 @@ from repro.ml.detector import ThresholdDetector
 from repro.obs import MetricsRegistry, NULL_REGISTRY
 from repro.soc.rtad import RtadConfig
 from repro.workloads.cfg import BranchEvent
+
+
+class TenantHealth(enum.Enum):
+    """Health of one tenant, as judged by the manager."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds of the tenant health state machine."""
+
+    #: Per-round injected-loss + FIFO-drop rate (losses / trace events)
+    #: above which a round counts as *bad*.
+    degrade_loss_rate: float = 0.05
+    #: Consecutive bad rounds before HEALTHY -> DEGRADED.
+    sustain_rounds: int = 2
+    #: Watchdog trips within one round that force QUARANTINED.
+    quarantine_trips: int = 1
+    #: Rounds a quarantined tenant sits out before re-admission.
+    probation_rounds: int = 2
+    #: Consecutive clean rounds before DEGRADED -> HEALTHY.
+    recover_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.degrade_loss_rate <= 1.0:
+            raise SocConfigError("degrade_loss_rate must be in [0, 1]")
+        for name in (
+            "sustain_rounds",
+            "quarantine_trips",
+            "probation_rounds",
+            "recover_rounds",
+        ):
+            if getattr(self, name) < 1:
+                raise SocConfigError(f"{name} must be >= 1")
 
 
 @dataclass
@@ -63,6 +119,7 @@ class TenantRuntime:
         self.deployment = deployment
         self.metrics = metrics
         config = deployment.config
+        self.fault_plan = config.fault_plan
         self.mapper = AddressMapper(metrics=metrics)
         self.mapper.load(deployment.monitored_addresses)
         self.encoder = VectorEncoder(
@@ -96,8 +153,23 @@ class TenantRuntime:
             igm_pipe_ns=config.igm_pipe_ns,
             metrics=metrics,
             chunk_events=config.chunk_events,
+            fault_plan=self.fault_plan,
         )
+        self._fault_stages = [
+            stage
+            for stage in self.pipeline.stages
+            if hasattr(stage, "fault_drops")
+        ]
         self._observed_records = 0
+        # --- health bookkeeping (plain attributes: decisions must not
+        # depend on whether an obs registry is attached) ---
+        self.health = TenantHealth.HEALTHY
+        self.crashes = 0
+        self._bad_rounds = 0
+        self._clean_rounds = 0
+        self._quarantined_rounds = 0
+        self._seen_loss = 0
+        self._seen_trips = 0
 
     def _capture(self, vector: InputVector, deliver_ns: float) -> None:
         """Pipeline sink: record the delivery for the global merge."""
@@ -108,6 +180,32 @@ class TenantRuntime:
         self.pipeline.reset()
         self.encoder.reset(reset_sequence=True)
         self.mcm.driver.reset()
+
+    def run_trace(
+        self, events: Sequence[BranchEvent], round_index: int
+    ) -> None:
+        """Run this round's trace, honouring a planned tenant crash."""
+        fraction = crash_fraction(self.fault_plan, round_index)
+        if fraction is None:
+            self.pipeline.run(events)
+            return
+        cut = int(len(events) * fraction)
+        if cut:
+            self.pipeline.run(events[:cut])
+        self.crashes += 1
+        raise TenantCrashError(
+            f"tenant {self.name!r} crashed at event {cut}/{len(events)} "
+            f"of round {round_index}"
+        )
+
+    def loss_delta(self) -> int:
+        """Losses since last asked: lane FIFO drops + injected drops."""
+        total = self.mcm.fifo.drops + sum(
+            stage.fault_drops for stage in self._fault_stages
+        )
+        delta = total - self._seen_loss
+        self._seen_loss = total
+        return delta
 
     def take_new_records(self) -> List[InferenceRecord]:
         records = self.mcm.records[self._observed_records :]
@@ -123,12 +221,20 @@ class SocManager:
     paths are independent hardware and proceed in parallel), the
     resulting vector deliveries are merged in global time order, and
     the shared engine serves the lanes under round-robin arbitration.
+
+    ``deadline_us`` arms the arbiter's per-service watchdog;
+    ``health_policy`` tunes the tenant health state machine (see the
+    module docstring).  Both default to the permissive behaviour the
+    single-fault-free tests expect: no watchdog, health tracked but
+    never quarantining without watchdog trips or a crash.
     """
 
     def __init__(
         self,
         deployments: Sequence[Deployment],
         metrics: Optional[MetricsRegistry] = None,
+        deadline_us: Optional[float] = None,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
         if not deployments:
             raise SocConfigError("SocManager needs at least one tenant")
@@ -142,30 +248,96 @@ class SocManager:
                 "build every driver around the same Gpu instance"
             )
         self.metrics = metrics or NULL_REGISTRY
+        self.policy = health_policy or HealthPolicy()
+        self.deadline_us = deadline_us
         self.tenants: List[TenantRuntime] = [
             TenantRuntime(
                 index,
                 deployment,
-                metrics=(
-                    MetricsRegistry()
-                    if self.metrics.enabled
-                    else NULL_REGISTRY
-                ),
+                metrics=self._tenant_registry(),
             )
             for index, deployment in enumerate(deployments)
         ]
         self.arbiter = ArbitratedMcm(
-            [tenant.mcm for tenant in self.tenants], metrics=self.metrics
+            [tenant.mcm for tenant in self.tenants],
+            metrics=self.metrics,
+            deadline_us=deadline_us,
+            service_faults=[
+                ServiceFaultInjector.from_plan(tenant.fault_plan)
+                for tenant in self.tenants
+            ],
         )
+        self._round = 0
         self._m_runs = self.metrics.counter("socmgr.runs")
         self._m_events = self.metrics.counter("socmgr.events")
         self._m_vectors = self.metrics.counter("socmgr.vectors")
+        self._m_crashes = self.metrics.counter("socmgr.crashes")
+        self._m_quarantines = self.metrics.counter(
+            "socmgr.health.quarantines"
+        )
+        self._m_readmissions = self.metrics.counter(
+            "socmgr.health.readmissions"
+        )
+        self._m_degradations = self.metrics.counter(
+            "socmgr.health.degradations"
+        )
+        self._m_skipped = self.metrics.counter(
+            "socmgr.health.skipped_rounds"
+        )
+
+    def _tenant_registry(self) -> MetricsRegistry:
+        return MetricsRegistry() if self.metrics.enabled else NULL_REGISTRY
 
     def tenant(self, name: str) -> TenantRuntime:
         for runtime in self.tenants:
             if runtime.name == name:
                 return runtime
         raise SocConfigError(f"unknown tenant {name!r}")
+
+    def health(self) -> Dict[str, TenantHealth]:
+        """Current health state of every tenant."""
+        return {runtime.name: runtime.health for runtime in self.tenants}
+
+    # ------------------------------------------------------------------
+    # Tenant membership
+    # ------------------------------------------------------------------
+
+    def remove_tenant(self, name: str) -> Deployment:
+        """Detach a tenant between rounds; returns its deployment."""
+        runtime = self.tenant(name)
+        if len(self.tenants) == 1:
+            raise SocConfigError("cannot remove the last tenant")
+        self.arbiter.remove_lane(runtime.index)
+        self.tenants.remove(runtime)
+        for index, survivor in enumerate(self.tenants):
+            survivor.index = index
+        return runtime.deployment
+
+    def admit_tenant(self, deployment: Deployment) -> TenantRuntime:
+        """Attach a tenant between rounds (fresh runtime, fresh lane)."""
+        if deployment.name in {r.name for r in self.tenants}:
+            raise SocConfigError(
+                f"duplicate tenant name {deployment.name!r}"
+            )
+        if id(deployment.driver.gpu) != id(
+            self.tenants[0].deployment.driver.gpu
+        ):
+            raise SocConfigError(
+                "admitted tenant must share the existing ML-MIAOW engine"
+            )
+        runtime = TenantRuntime(
+            len(self.tenants), deployment, metrics=self._tenant_registry()
+        )
+        self.tenants.append(runtime)
+        self.arbiter.add_lane(
+            runtime.mcm,
+            ServiceFaultInjector.from_plan(runtime.fault_plan),
+        )
+        return runtime
+
+    # ------------------------------------------------------------------
+    # One monitoring round
+    # ------------------------------------------------------------------
 
     def run_events(
         self, traces: Mapping[str, Sequence[BranchEvent]]
@@ -174,7 +346,8 @@ class SocManager:
 
         ``traces`` maps tenant names to branch event streams; tenants
         without an entry idle this round.  Unknown names are refused
-        rather than silently ignored.
+        rather than silently ignored.  Quarantined tenants are skipped
+        (their traces produce no vectors) until probation expires.
         """
         known = {runtime.name for runtime in self.tenants}
         unknown = set(traces) - known
@@ -184,12 +357,30 @@ class SocManager:
             "socmgr.run_events", tenants=len(self.tenants)
         ):
             self.arbiter.reset_session()
+            round_index = self._round
+            self._round += 1
+            ran: Dict[str, bool] = {}
             for runtime in self.tenants:
-                runtime.reset()
                 events = traces.get(runtime.name, ())
+                if runtime.health is TenantHealth.QUARANTINED:
+                    self._probation_step(runtime, bool(len(events)))
+                if runtime.health is TenantHealth.QUARANTINED:
+                    runtime.reset()
+                    ran[runtime.name] = False
+                    continue
+                runtime.reset()
                 self._m_events.inc(len(events))
+                ran[runtime.name] = False
                 if len(events):
-                    runtime.pipeline.run(events)
+                    try:
+                        runtime.run_trace(events, round_index)
+                        ran[runtime.name] = True
+                    except TenantCrashError:
+                        # Partial deliveries die with the tenant; the
+                        # healthy lanes never see its vectors.
+                        runtime.schedule = []
+                        self._m_crashes.inc()
+                        self._quarantine(runtime)
             merged: List[Tuple[float, int, int, InputVector]] = []
             for runtime in self.tenants:
                 for order, (vector, deliver_ns) in enumerate(
@@ -203,8 +394,74 @@ class SocManager:
                 self.arbiter.push(lane, vector, deliver_ns)
             self._m_vectors.inc(len(merged))
             self.arbiter.finalize()
+            self._update_health(traces, ran)
             self._m_runs.inc()
             return {
                 runtime.name: runtime.take_new_records()
                 for runtime in self.tenants
             }
+
+    # ------------------------------------------------------------------
+    # Health transitions
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, runtime: TenantRuntime) -> None:
+        runtime.health = TenantHealth.QUARANTINED
+        runtime._quarantined_rounds = 0
+        runtime._bad_rounds = 0
+        runtime._clean_rounds = 0
+        runtime.loss_delta()  # absorb this round's losses
+        self._m_quarantines.inc()
+
+    def _probation_step(
+        self, runtime: TenantRuntime, had_trace: bool
+    ) -> None:
+        """At round start: advance (or conclude) a quarantine."""
+        if runtime._quarantined_rounds >= self.policy.probation_rounds:
+            runtime.health = TenantHealth.DEGRADED
+            runtime._quarantined_rounds = 0
+            runtime._clean_rounds = 0
+            self._m_readmissions.inc()
+            return
+        runtime._quarantined_rounds += 1
+        if had_trace:
+            self._m_skipped.inc()
+
+    def _update_health(
+        self,
+        traces: Mapping[str, Sequence[BranchEvent]],
+        ran: Mapping[str, bool],
+    ) -> None:
+        for runtime in self.tenants:
+            trips = (
+                self.arbiter.watchdog_trips[runtime.index]
+                - runtime._seen_trips
+            )
+            runtime._seen_trips = self.arbiter.watchdog_trips[
+                runtime.index
+            ]
+            if runtime.health is TenantHealth.QUARANTINED:
+                continue
+            if trips >= self.policy.quarantine_trips:
+                self._quarantine(runtime)
+                continue
+            if not ran.get(runtime.name):
+                continue  # idle rounds carry no health evidence
+            events = len(traces.get(runtime.name, ()))
+            loss_rate = runtime.loss_delta() / max(1, events)
+            if loss_rate > self.policy.degrade_loss_rate:
+                runtime._bad_rounds += 1
+                runtime._clean_rounds = 0
+                if (
+                    runtime._bad_rounds >= self.policy.sustain_rounds
+                    and runtime.health is TenantHealth.HEALTHY
+                ):
+                    runtime.health = TenantHealth.DEGRADED
+                    self._m_degradations.inc()
+            else:
+                runtime._bad_rounds = 0
+                if runtime.health is TenantHealth.DEGRADED:
+                    runtime._clean_rounds += 1
+                    if runtime._clean_rounds >= self.policy.recover_rounds:
+                        runtime.health = TenantHealth.HEALTHY
+                        runtime._clean_rounds = 0

@@ -17,7 +17,7 @@ Two run modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,10 @@ from repro.soc.metrics import rtad_transfer_breakdown
 from repro.utils.rng import derive_seed, make_rng
 from repro.workloads.cfg import BranchEvent
 from repro.workloads.program import SyntheticProgram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.faults.stages import VectorOverflowModel
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,10 @@ class RtadConfig:
     # Both are behaviour-identical; batched is much faster.
     dataplane: str = "batched"
     chunk_events: int = 32768           # batched dataplane chunk size
+    #: Optional seeded fault-injection plan (repro.faults).  Event and
+    #: FIFO-overflow channels apply identically to both dataplanes; a
+    #: None (or all-zero-rate) plan leaves the SoC byte-identical.
+    fault_plan: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.model_kind not in ("elm", "lstm"):
@@ -138,6 +146,30 @@ class RtadSoc:
             igm_pipe_ns=self.config.igm_pipe_ns,
             metrics=self.metrics,
             chunk_events=self.config.chunk_events,
+            fault_plan=self.config.fault_plan,
+        )
+        # Loop-dataplane fault state (the batched pipeline carries its
+        # own stages); counter names match the stage counters so either
+        # dataplane reports injected losses identically.
+        self._overflow: Optional["VectorOverflowModel"] = None
+        plan = self.config.fault_plan
+        if plan is not None and not plan.is_noop:
+            from repro.faults.plan import FaultKind
+            from repro.faults.stages import VectorOverflowModel
+
+            if plan.spec(FaultKind.FIFO_OVERFLOW) is not None:
+                self._overflow = VectorOverflowModel(plan)
+        self._m_fault_ev_dropped = self.metrics.counter(
+            "faults.events.dropped"
+        )
+        self._m_fault_ev_duplicated = self.metrics.counter(
+            "faults.events.duplicated"
+        )
+        self._m_fault_ev_corrupted = self.metrics.counter(
+            "faults.events.corrupted"
+        )
+        self._m_fault_vec_dropped = self.metrics.counter(
+            "faults.vectors.dropped"
         )
         self._m_events = self.metrics.counter("soc.events")
         self._m_monitored_ids = self.metrics.counter("soc.monitored_ids")
@@ -205,14 +237,29 @@ class RtadSoc:
         self.encoder.reset(reset_sequence=True)
         self.mcm.driver.reset()
         self.mcm.reset_session()
+        if self._overflow is not None:
+            self._overflow.reset()
 
     def _run_events_loop(self, events: Sequence[BranchEvent]) -> None:
         """Per-event reference dataplane.
 
         Kept verbatim as the behavioural oracle for the staged
         pipeline (differential tests) and as the baseline the
-        throughput benchmark compares against.
+        throughput benchmark compares against.  Fault channels reuse
+        the batched stages' pure helpers, so both dataplanes inject
+        the identical pattern for one plan.
         """
+        plan = self.config.fault_plan
+        if plan is not None and not plan.is_noop:
+            from repro.faults.stages import apply_event_faults
+
+            events, counts = apply_event_faults(events, plan)
+            if counts:
+                self._m_fault_ev_dropped.inc(counts.dropped)
+                self._m_fault_ev_duplicated.inc(counts.duplicated)
+                self._m_fault_ev_corrupted.inc(counts.corrupted)
+            if not len(events):
+                return
         pending: List[InputVector] = []
         for event in events:
             time_ns = self.host.event_time_ns(event)
@@ -237,6 +284,9 @@ class RtadSoc:
 
     def _deliver(self, vectors: List[InputVector], flush_ns: float) -> None:
         for vector in vectors:
+            if self._overflow is not None and not self._overflow.admit():
+                self._m_fault_vec_dropped.inc()
+                continue
             trigger_ns = CPU_CLOCK.to_ns(vector.trigger_cycle)
             self._m_read.observe(max(0.0, flush_ns - trigger_ns))
             self._m_vectorize.observe(self.config.igm_pipe_ns)

@@ -1,0 +1,302 @@
+"""Fault-injection subsystem: plans, injectors, stages, services.
+
+The load-bearing properties: decisions are pure functions of
+``(seed, kind, absolute index)`` (so chunking never changes what gets
+injected), and a plan whose rates are all zero is a byte-identical
+no-op at every insertion point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ServiceFaultInjector,
+    StreamFaultInjector,
+    VectorOverflowModel,
+    apply_event_faults,
+    corrupt_stream,
+    crash_fraction,
+    splitmix64,
+    splitmix64_array,
+)
+from repro.workloads.cfg import BranchEvent, BranchKind
+
+
+def _events(n, base=0x40000):
+    return [
+        BranchEvent(
+            cycle=i * 10,
+            source=base + 4 * i,
+            target=base + 0x1000 + 4 * i,
+            kind=BranchKind.UNCONDITIONAL,
+        )
+        for i in range(n)
+    ]
+
+
+def plan_of(*specs, seed=7):
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+class TestPlan:
+    def test_splitmix_array_matches_scalar(self):
+        values = np.arange(0, 1000, 13, dtype=np.uint64)
+        array = splitmix64_array(values)
+        for value, hashed in zip(values, array):
+            assert splitmix64(int(value)) == int(hashed)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.BIT_FLIP, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.BIT_FLIP, rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec("bit-flip", rate=0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.FIFO_OVERFLOW, rate=0.1, burst=0)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.FRAME_DESYNC, rate=0.1, desync_bytes=0)
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError):
+            plan_of(
+                FaultSpec(FaultKind.BIT_FLIP, rate=0.1),
+                FaultSpec(FaultKind.BIT_FLIP, rate=0.2),
+            )
+
+    def test_decide_deterministic_and_seed_sensitive(self):
+        spec = FaultSpec(FaultKind.BIT_FLIP, rate=0.5)
+        a = [plan_of(spec, seed=1).decide(FaultKind.BIT_FLIP, i)
+             for i in range(200)]
+        b = [plan_of(spec, seed=1).decide(FaultKind.BIT_FLIP, i)
+             for i in range(200)]
+        c = [plan_of(spec, seed=2).decide(FaultKind.BIT_FLIP, i)
+             for i in range(200)]
+        assert a == b
+        assert a != c
+
+    def test_decide_array_matches_scalar(self):
+        plan = plan_of(FaultSpec(FaultKind.BYTE_DROP, rate=0.3))
+        indices = np.arange(500, dtype=np.uint64)
+        array = plan.decide_array(FaultKind.BYTE_DROP, indices)
+        for i in range(500):
+            assert bool(array[i]) == plan.decide(FaultKind.BYTE_DROP, i)
+
+    def test_rate_extremes(self):
+        always = plan_of(FaultSpec(FaultKind.BYTE_DROP, rate=1.0))
+        never = plan_of(FaultSpec(FaultKind.BYTE_DROP, rate=0.0))
+        indices = np.arange(64, dtype=np.uint64)
+        assert plan_of().is_noop
+        assert never.is_noop
+        assert not always.is_noop
+        assert always.decide_array(FaultKind.BYTE_DROP, indices).all()
+        assert not never.decide_array(FaultKind.BYTE_DROP, indices).any()
+        assert never.spec(FaultKind.BYTE_DROP) is None
+
+    def test_rate_close_to_target(self):
+        plan = plan_of(FaultSpec(FaultKind.BIT_FLIP, rate=0.1))
+        indices = np.arange(200_000, dtype=np.uint64)
+        hits = plan.decide_array(FaultKind.BIT_FLIP, indices).mean()
+        assert hits == pytest.approx(0.1, abs=0.005)
+
+    def test_channels_independent(self):
+        plan = plan_of(
+            FaultSpec(FaultKind.BIT_FLIP, rate=0.5),
+            FaultSpec(FaultKind.BYTE_DROP, rate=0.5),
+        )
+        indices = np.arange(256, dtype=np.uint64)
+        flips = plan.decide_array(FaultKind.BIT_FLIP, indices)
+        drops = plan.decide_array(FaultKind.BYTE_DROP, indices)
+        assert (flips != drops).any()
+
+
+class TestStreamInjector:
+    STREAM = bytes(range(256)) * 16
+
+    def test_noop_plan_returns_same_object(self):
+        injector = StreamFaultInjector(
+            plan_of(FaultSpec(FaultKind.BIT_FLIP, rate=0.0))
+        )
+        out = injector.feed(self.STREAM)
+        assert out is self.STREAM
+        assert injector.flipped == 0
+
+    def test_chunk_invariance(self):
+        plan = plan_of(
+            FaultSpec(FaultKind.BIT_FLIP, rate=0.01),
+            FaultSpec(FaultKind.BYTE_DROP, rate=0.01),
+            FaultSpec(FaultKind.BYTE_DUP, rate=0.01),
+            FaultSpec(FaultKind.FRAME_DESYNC, rate=0.002, desync_bytes=9),
+        )
+        whole = corrupt_stream(self.STREAM, plan)
+        for chunk_size in (1, 7, 64, 1000, 4096):
+            injector = StreamFaultInjector(plan)
+            parts = [
+                injector.feed(self.STREAM[i:i + chunk_size])
+                for i in range(0, len(self.STREAM), chunk_size)
+            ]
+            assert b"".join(parts) == whole, f"chunk={chunk_size}"
+
+    def test_flip_only_preserves_length(self):
+        plan = plan_of(FaultSpec(FaultKind.BIT_FLIP, rate=0.05))
+        injector = StreamFaultInjector(plan)
+        out = injector.feed(self.STREAM)
+        assert len(out) == len(self.STREAM)
+        assert injector.flipped > 0
+        diff = sum(
+            bin(a ^ b).count("1") for a, b in zip(out, self.STREAM)
+        )
+        assert diff == injector.flipped  # exactly one bit per flip
+
+    def test_drop_and_dup_change_length(self):
+        plan = plan_of(
+            FaultSpec(FaultKind.BYTE_DROP, rate=0.05),
+            FaultSpec(FaultKind.BYTE_DUP, rate=0.05),
+        )
+        injector = StreamFaultInjector(plan)
+        out = injector.feed(self.STREAM)
+        assert injector.dropped > 0 and injector.duplicated > 0
+        assert len(out) == (
+            len(self.STREAM) - injector.dropped + injector.duplicated
+        )
+
+    def test_desync_drops_runs(self):
+        plan = plan_of(
+            FaultSpec(FaultKind.FRAME_DESYNC, rate=0.01, desync_bytes=5)
+        )
+        injector = StreamFaultInjector(plan)
+        out = injector.feed(self.STREAM)
+        assert injector.desyncs > 0
+        assert len(out) == len(self.STREAM) - injector.dropped
+        assert injector.dropped >= injector.desyncs  # runs, not single bytes
+
+    def test_reset_restarts_offsets(self):
+        plan = plan_of(FaultSpec(FaultKind.BIT_FLIP, rate=0.02))
+        injector = StreamFaultInjector(plan)
+        first = injector.feed(self.STREAM)
+        injector.reset()
+        second = injector.feed(self.STREAM)
+        assert first == second
+
+
+class TestEventFaults:
+    def test_noop_returns_same_object(self):
+        events = _events(100)
+        out, counts = apply_event_faults(
+            events, plan_of(FaultSpec(FaultKind.EVENT_DROP, rate=0.0))
+        )
+        assert out is events
+        assert not counts
+        out, counts = apply_event_faults(events, None)
+        assert out is events
+
+    def test_counts_match_mutations(self):
+        events = _events(2000)
+        plan = plan_of(
+            FaultSpec(FaultKind.EVENT_DROP, rate=0.02),
+            FaultSpec(FaultKind.EVENT_DUP, rate=0.02),
+            FaultSpec(FaultKind.EVENT_CORRUPT, rate=0.02),
+        )
+        out, counts = apply_event_faults(events, plan)
+        assert counts.dropped > 0
+        assert counts.duplicated > 0
+        assert counts.corrupted > 0
+        assert len(out) == (
+            len(events) - counts.dropped + counts.duplicated
+        )
+        originals = {e.target for e in events}
+        corrupted = [e for e in out if e.target not in originals]
+        assert len(set(corrupted)) <= counts.corrupted * 2
+
+    def test_chunked_equals_whole(self):
+        events = _events(1500)
+        plan = plan_of(
+            FaultSpec(FaultKind.EVENT_DROP, rate=0.03),
+            FaultSpec(FaultKind.EVENT_DUP, rate=0.03),
+        )
+        whole, _ = apply_event_faults(events, plan)
+        pieces = []
+        for start in range(0, len(events), 257):
+            part, _ = apply_event_faults(
+                events[start:start + 257], plan, start_index=start
+            )
+            pieces.extend(part)
+        assert list(whole) == pieces
+
+
+class TestOverflowModel:
+    def test_burst_drops_consecutive(self):
+        plan = plan_of(
+            FaultSpec(FaultKind.FIFO_OVERFLOW, rate=0.01, burst=4)
+        )
+        model = VectorOverflowModel(plan)
+        admitted = [model.admit() for _ in range(5000)]
+        assert model.dropped > 0
+        assert model.dropped % 4 == 0 or not admitted[-4:] == [False] * 4
+        # every loss run is exactly `burst` long (or cut by the end)
+        runs, current = [], 0
+        for ok in admitted:
+            if ok:
+                if current:
+                    runs.append(current)
+                current = 0
+            else:
+                current += 1
+        if current:
+            runs.append(current)
+        assert runs
+        assert all(run % 4 == 0 for run in runs[:-1])
+
+    def test_reset_reproduces(self):
+        plan = plan_of(
+            FaultSpec(FaultKind.FIFO_OVERFLOW, rate=0.02, burst=3)
+        )
+        model = VectorOverflowModel(plan)
+        first = [model.admit() for _ in range(1000)]
+        model.reset()
+        second = [model.admit() for _ in range(1000)]
+        assert first == second
+
+    def test_inactive_admits_everything(self):
+        model = VectorOverflowModel(plan_of())
+        assert all(model.admit() for _ in range(100))
+        assert model.dropped == 0
+
+
+class TestServiceFaults:
+    def test_from_plan_gates_on_active_channels(self):
+        assert ServiceFaultInjector.from_plan(None) is None
+        assert ServiceFaultInjector.from_plan(plan_of()) is None
+        quiet = plan_of(FaultSpec(FaultKind.BIT_FLIP, rate=0.5))
+        assert ServiceFaultInjector.from_plan(quiet) is None
+        loud = plan_of(FaultSpec(FaultKind.MCM_STALL, rate=0.5))
+        assert ServiceFaultInjector.from_plan(loud) is not None
+
+    def test_draw_deterministic_after_reset(self):
+        plan = plan_of(
+            FaultSpec(FaultKind.MCM_STALL, rate=0.3, stall_us=50.0),
+            FaultSpec(FaultKind.MCM_HANG, rate=0.05),
+        )
+        injector = ServiceFaultInjector(plan)
+        first = [injector.draw() for _ in range(200)]
+        injector.reset()
+        second = [injector.draw() for _ in range(200)]
+        assert first == second
+        assert any(hang for _, hang in first)
+        assert any(extra == 50_000.0 for extra, _ in first)
+
+    def test_hang_is_infinite(self):
+        plan = plan_of(FaultSpec(FaultKind.MCM_HANG, rate=1.0))
+        extra, hang = ServiceFaultInjector(plan).draw()
+        assert hang and extra == float("inf")
+
+    def test_crash_fraction(self):
+        assert crash_fraction(None, 0) is None
+        assert crash_fraction(plan_of(), 3) is None
+        plan = plan_of(FaultSpec(FaultKind.TENANT_CRASH, rate=1.0))
+        fractions = {crash_fraction(plan, r) for r in range(8)}
+        assert all(f is not None and 0.0 <= f < 1.0 for f in fractions)
+        assert len(fractions) > 1  # round-indexed, not constant

@@ -1,0 +1,236 @@
+"""Tenant health state machine + mid-run membership changes.
+
+Exercises the SocManager robustness contract: loss-driven degradation
+with recovery, watchdog- and crash-driven quarantine, probation-based
+re-admission, the healthy-tenant isolation invariant, and tenant
+removal/admission between monitoring rounds.
+"""
+
+import pytest
+
+from repro.errors import SocConfigError
+from repro.eval.metrics import build_demo_manager, demo_events
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.mcm.driver import MlMiaowDriver
+from repro.miaow.gpu import Gpu
+from repro.obs import MetricsRegistry
+from repro.soc import HealthPolicy, SocManager, TenantHealth
+
+EVENTS = 900
+
+
+def plan_of(*specs, seed=5):
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+def traces_for(manager, count=EVENTS, round_label="r0"):
+    return {
+        runtime.name: demo_events(
+            "lstm", 0, count, run_label=f"health-{runtime.name}-{round_label}"
+        )
+        for runtime in manager.tenants
+    }
+
+
+def record_key(record):
+    return (
+        record.sequence_number,
+        record.arrival_ns,
+        record.start_ns,
+        record.done_ns,
+        float(record.score),
+        record.anomalous,
+    )
+
+
+def crash_round0_only_plan(rate=0.4, horizon=10):
+    """A TENANT_CRASH plan that fires in round 0 and never again."""
+    for seed in range(500):
+        plan = plan_of(
+            FaultSpec(FaultKind.TENANT_CRASH, rate=rate), seed=seed
+        )
+        if plan.decide(FaultKind.TENANT_CRASH, 0) and not any(
+            plan.decide(FaultKind.TENANT_CRASH, r)
+            for r in range(1, horizon)
+        ):
+            return plan
+    raise AssertionError("no suitable seed in range")  # pragma: no cover
+
+
+class TestLossDegradation:
+    def test_sustained_loss_degrades_but_keeps_running(self):
+        lossy = plan_of(FaultSpec(FaultKind.EVENT_DROP, rate=0.3))
+        manager = build_demo_manager(
+            2,
+            fault_plans={"tenant0": lossy},
+            health_policy=HealthPolicy(sustain_rounds=2),
+        )
+        records = manager.run_events(traces_for(manager))
+        assert manager.health()["tenant0"] is TenantHealth.HEALTHY
+        records = manager.run_events(traces_for(manager, round_label="r1"))
+        assert manager.health()["tenant0"] is TenantHealth.DEGRADED
+        assert manager.health()["tenant1"] is TenantHealth.HEALTHY
+        # DEGRADED is advisory: the tenant still produces records
+        assert len(records["tenant0"]) > 0
+
+    def test_idle_rounds_carry_no_evidence(self):
+        lossy = plan_of(FaultSpec(FaultKind.EVENT_DROP, rate=0.3))
+        manager = build_demo_manager(
+            2,
+            fault_plans={"tenant0": lossy},
+            health_policy=HealthPolicy(sustain_rounds=2),
+        )
+        manager.run_events(traces_for(manager))
+        # one bad round banked; idling must neither add nor clear it
+        manager.run_events({})
+        manager.run_events(
+            {"tenant0": demo_events("lstm", 0, EVENTS, run_label="h-i")}
+        )
+        assert manager.health()["tenant0"] is TenantHealth.DEGRADED
+
+
+class TestQuarantine:
+    def test_watchdog_trips_quarantine(self):
+        registry = MetricsRegistry()
+        stall = plan_of(
+            FaultSpec(FaultKind.MCM_STALL, rate=1.0, stall_us=5_000.0)
+        )
+        manager = build_demo_manager(
+            2,
+            metrics=registry,
+            fault_plans={"tenant0": stall},
+            deadline_us=500.0,
+        )
+        records = manager.run_events(traces_for(manager))
+        assert manager.health()["tenant0"] is TenantHealth.QUARANTINED
+        assert manager.health()["tenant1"] is TenantHealth.HEALTHY
+        assert records["tenant0"] == []  # every service cancelled
+        assert len(records["tenant1"]) > 0
+        counters = registry.snapshot()["counters"]
+        assert counters["socmgr.health.quarantines"] == 1
+        assert counters["mcm.arbiter.watchdog.cancelled"] > 0
+
+    def test_crash_quarantine_and_full_recovery_cycle(self):
+        registry = MetricsRegistry()
+        manager = build_demo_manager(
+            2,
+            metrics=registry,
+            fault_plans={"tenant0": crash_round0_only_plan()},
+            health_policy=HealthPolicy(
+                probation_rounds=1, recover_rounds=1
+            ),
+        )
+        manager.run_events(traces_for(manager))
+        assert manager.health()["tenant0"] is TenantHealth.QUARANTINED
+        assert manager.tenant("tenant0").crashes == 1
+        # probation: the trace is offered but skipped
+        records = manager.run_events(traces_for(manager, round_label="p"))
+        assert records["tenant0"] == []
+        assert manager.health()["tenant0"] is TenantHealth.QUARANTINED
+        # re-admission as DEGRADED; a clean round restores HEALTHY
+        records = manager.run_events(traces_for(manager, round_label="b"))
+        assert len(records["tenant0"]) > 0
+        assert manager.health()["tenant0"] is TenantHealth.HEALTHY
+        counters = registry.snapshot()["counters"]
+        assert counters["socmgr.crashes"] == 1
+        assert counters["socmgr.health.quarantines"] == 1
+        assert counters["socmgr.health.readmissions"] == 1
+        assert counters["socmgr.health.skipped_rounds"] == 1
+
+    def test_quarantined_neighbour_leaves_healthy_records_unchanged(self):
+        crash = plan_of(FaultSpec(FaultKind.TENANT_CRASH, rate=1.0))
+        manager = build_demo_manager(
+            2, fault_plans={"tenant0": crash}
+        )
+        traces = traces_for(manager)
+        manager.run_events(traces)  # round 0: crash -> quarantine
+        traces = traces_for(manager, round_label="q")
+        got = manager.run_events(traces)["tenant1"]
+        reference = build_demo_manager(2)
+        ref = reference.run_events(
+            {"tenant1": traces["tenant1"]}
+        )["tenant1"]
+        assert [record_key(r) for r in got] == [
+            record_key(r) for r in ref
+        ]
+
+
+class TestMembership:
+    def test_remove_and_readmit_mid_run(self):
+        manager = build_demo_manager(3)
+        first = manager.run_events(traces_for(manager))
+        assert set(first) == {"tenant0", "tenant1", "tenant2"}
+        deployment = manager.remove_tenant("tenant1")
+        assert [r.name for r in manager.tenants] == ["tenant0", "tenant2"]
+        second = manager.run_events(traces_for(manager, round_label="r1"))
+        assert set(second) == {"tenant0", "tenant2"}
+        runtime = manager.admit_tenant(deployment)
+        assert runtime.health is TenantHealth.HEALTHY
+        third = manager.run_events(traces_for(manager, round_label="r2"))
+        assert set(third) == {"tenant0", "tenant1", "tenant2"}
+        assert len(third["tenant1"]) > 0
+
+    def test_round_robin_fairness(self):
+        # identical traces -> identical offered load per lane, so the
+        # arbiter must complete the same number of services for each
+        manager = build_demo_manager(3)
+        shared = demo_events("lstm", 0, EVENTS, run_label="health-fair")
+        records = manager.run_events(
+            {r.name: shared for r in manager.tenants}
+        )
+        counts = [len(records[r.name]) for r in manager.tenants]
+        assert min(counts) > 0
+        assert max(counts) == min(counts)
+
+    def test_service_intervals_never_overlap(self):
+        manager = build_demo_manager(3)
+        for label in ("r0", "r1"):
+            records = manager.run_events(
+                traces_for(manager, round_label=label)
+            )
+            if label == "r1":
+                manager.remove_tenant("tenant2")
+            intervals = sorted(
+                (r.start_ns, r.done_ns)
+                for per_tenant in records.values()
+                for r in per_tenant
+            )
+            assert intervals
+            for (_, prev_done), (start, _) in zip(
+                intervals, intervals[1:]
+            ):
+                assert start >= prev_done - 1e-6
+
+    def test_membership_rejections(self):
+        manager = build_demo_manager(2)
+        deployment = manager.remove_tenant("tenant1")
+        with pytest.raises(SocConfigError):
+            manager.remove_tenant("tenant0")
+        with pytest.raises(SocConfigError):
+            manager.remove_tenant("tenant1")  # already gone
+        manager.admit_tenant(deployment)
+        with pytest.raises(SocConfigError):
+            manager.admit_tenant(deployment)  # duplicate name
+        foreign = build_demo_manager(2).remove_tenant("tenant1")
+        foreign.name = "tenant9"
+        foreign.driver = MlMiaowDriver(
+            foreign.driver.deployment, Gpu(name="other"),
+            execute_on_gpu=False,
+        )
+        with pytest.raises(SocConfigError):
+            manager.admit_tenant(foreign)
+
+    def test_unknown_trace_name_refused(self):
+        manager = build_demo_manager(2)
+        with pytest.raises(SocConfigError):
+            manager.run_events({"nobody": []})
+
+
+class TestPolicyValidation:
+    def test_bad_policy_values_rejected(self):
+        with pytest.raises(SocConfigError):
+            HealthPolicy(degrade_loss_rate=1.5)
+        with pytest.raises(SocConfigError):
+            HealthPolicy(sustain_rounds=0)
+        with pytest.raises(SocConfigError):
+            HealthPolicy(probation_rounds=0)
