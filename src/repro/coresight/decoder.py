@@ -178,6 +178,35 @@ class PftDecoder:
         return [TruncatedPacket(state=state.value, pending_bytes=pending)]
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (see repro.durability)."""
+        return {
+            "state": self._state.value,
+            "scratch": list(self._scratch),
+            "zeros": self._zeros,
+            "last_address": self._last_address,
+            "branch_complete": self._branch_complete,
+            "ever_locked": self._ever_locked,
+            "resyncs": self.resyncs,
+            "truncated": self.truncated,
+            "hunt_bytes": self.hunt_bytes,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._state = _State(state["state"])
+        self._scratch = list(state["scratch"])
+        self._zeros = state["zeros"]
+        self._last_address = state["last_address"]
+        self._branch_complete = state["branch_complete"]
+        self._ever_locked = state["ever_locked"]
+        self.resyncs = state["resyncs"]
+        self.truncated = state["truncated"]
+        self.hunt_bytes = state["hunt_bytes"]
+
+    # ------------------------------------------------------------------
 
     def _begin_hunt(self, byte: Optional[int]) -> Optional[List[object]]:
         """Enter hunt mode after an error; optionally retry ``byte``."""

@@ -139,6 +139,31 @@ class Ptm:
         return bytes(out)
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (see repro.durability)."""
+        return {
+            "context_id": self.config.context_id,
+            "last_address": self._last_address,
+            "pending_atoms": list(self._pending_atoms),
+            "bytes_since_sync": self._bytes_since_sync,
+            "started": self._started,
+            "total_bytes": self.total_bytes,
+            "packet_counts": dict(self.packet_counts),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.config.context_id = state["context_id"]
+        self._last_address = state["last_address"]
+        self._pending_atoms = [bool(atom) for atom in state["pending_atoms"]]
+        self._bytes_since_sync = state["bytes_since_sync"]
+        self._started = state["started"]
+        self.total_bytes = state["total_bytes"]
+        self.packet_counts = dict(state["packet_counts"])
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 

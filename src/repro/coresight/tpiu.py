@@ -54,6 +54,19 @@ class Tpiu:
         self._m_payload = self.metrics.counter("tpiu.payload_bytes")
         self._m_padding = self.metrics.counter("tpiu.padding_bytes")
 
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (see repro.durability)."""
+        return {
+            "buffer": bytes(self._buffer).hex(),
+            "frames_since_sync": self._frames_since_sync,
+            "frames_emitted": self.frames_emitted,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._buffer = bytearray(bytes.fromhex(state["buffer"]))
+        self._frames_since_sync = state["frames_since_sync"]
+        self.frames_emitted = state["frames_emitted"]
+
     def push(self, data: bytes) -> bytes:
         """Buffer trace bytes; return any complete frames produced."""
         self._buffer += data
@@ -124,13 +137,35 @@ class TpiuDeframer:
         self.frame_resyncs = 0
         self.metrics = metrics or NULL_REGISTRY
         self._m_frame_resyncs = self.metrics.counter("tpiu.frame_resyncs")
+        self._m_bytes_discarded = self.metrics.counter("tpiu.bytes_discarded")
+
+    def _discard(self, amount: int) -> None:
+        self.bytes_discarded += amount
+        self._m_bytes_discarded.inc(amount)
 
     def _desync(self) -> None:
         """A malformed frame: drop sync and hunt for the next one."""
         self._synced = False
         self.frame_resyncs += 1
         self._m_frame_resyncs.inc()
-        self.bytes_discarded += FRAME_SIZE
+        self._discard(FRAME_SIZE)
+
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (see repro.durability)."""
+        return {
+            "synced": self._synced,
+            "buffer": bytes(self._buffer).hex(),
+            "frames_consumed": self.frames_consumed,
+            "bytes_discarded": self.bytes_discarded,
+            "frame_resyncs": self.frame_resyncs,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._synced = state["synced"]
+        self._buffer = bytearray(bytes.fromhex(state["buffer"]))
+        self.frames_consumed = state["frames_consumed"]
+        self.bytes_discarded = state["bytes_discarded"]
+        self.frame_resyncs = state["frame_resyncs"]
 
     @property
     def synced(self) -> bool:
@@ -146,10 +181,10 @@ class TpiuDeframer:
                 if index < 0:
                     # keep a tail that could be a sync prefix
                     keep = min(len(self._buffer), FRAME_SIZE - 1)
-                    self.bytes_discarded += len(self._buffer) - keep
+                    self._discard(len(self._buffer) - keep)
                     del self._buffer[:len(self._buffer) - keep]
                     break
-                self.bytes_discarded += index
+                self._discard(index)
                 del self._buffer[:index + FRAME_SIZE]
                 self._synced = True
                 continue

@@ -1,0 +1,450 @@
+"""Segmented write-ahead journal for ingested trace chunks.
+
+Every trace round a :class:`~repro.soc.manager.SocManager` processes is
+journalled *before* it is fed to the dataplane, so a crash at any point
+leaves one of two on-disk states:
+
+- the round's records end with a ``ROUND_COMMIT`` — the round was fully
+  processed and will be *replayed* on recovery, or
+- the round's records are missing the commit (possibly torn mid-record)
+  — the round never affected session state and is *discarded*; the
+  caller re-feeds it from :attr:`SocManager.next_round`.
+
+Record wire format (all integers little-endian)::
+
+    [u32 length][u32 crc32][u64 sequence][u8 kind][payload ...]
+    '-- header ----------'  '-- body: length bytes, crc32 over body --'
+
+Sequence numbers are global and strictly monotonic across segments, so
+a gap (a valid-CRC record with the wrong sequence) is detected as
+corruption rather than silently replayed.  A *torn tail* — a partial
+record at the end of the **last** segment, the normal result of a crash
+mid-write — is tolerated: the scan stops there and the
+:class:`FileJournal` physically truncates it on reopen.  Any invalid
+bytes elsewhere raise :class:`~repro.errors.JournalCorruptionError`.
+
+Segments are rolled at checkpoints (:meth:`Journal.roll`), so segments
+older than the newest ``CHECKPOINT`` record can be pruned offline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import JournalCorruptionError
+from repro.obs import NULL_REGISTRY
+from repro.workloads.cfg import BranchEvent, BranchKind
+
+#: ``[u32 length][u32 crc32]`` record header.
+_HEADER = struct.Struct("<II")
+
+#: ``[u64 sequence][u8 kind]`` body prefix (followed by the payload).
+_BODY_PREFIX = struct.Struct("<QB")
+
+#: Smallest possible record: header plus an empty-payload body.
+MIN_RECORD_BYTES = _HEADER.size + _BODY_PREFIX.size
+
+
+class RecordKind(IntEnum):
+    """Journal record taxonomy.  Values are on-disk — never renumber."""
+
+    ROUND_BEGIN = 1
+    TRACE_CHUNK = 2
+    ROUND_COMMIT = 3
+    CHECKPOINT = 4
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One validated record read back from the journal."""
+
+    sequence: int
+    kind: RecordKind
+    payload: bytes
+    segment: int
+
+
+def encode_record(sequence: int, kind: int, payload: bytes) -> bytes:
+    """Encode one record into its on-disk byte representation."""
+    body = _BODY_PREFIX.pack(sequence, int(kind)) + payload
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def _scan_segment(
+    data: bytes,
+    segment_index: int,
+    expected_sequence: int,
+    *,
+    is_last: bool,
+) -> Tuple[List[JournalRecord], int]:
+    """Validate one segment, returning ``(records, valid_byte_count)``.
+
+    Stops at the first invalid record.  In the last segment that is a
+    tolerated torn tail; anywhere else it is corruption.
+    """
+    records: List[JournalRecord] = []
+    offset = 0
+    size = len(data)
+
+    def _invalid(reason: str) -> Tuple[List[JournalRecord], int]:
+        if is_last:
+            return records, offset
+        raise JournalCorruptionError(
+            f"journal segment {segment_index} invalid at byte {offset}: "
+            f"{reason}"
+        )
+
+    while offset < size:
+        if size - offset < _HEADER.size:
+            return _invalid("incomplete record header")
+        length, crc = _HEADER.unpack_from(data, offset)
+        body_start = offset + _HEADER.size
+        if length < _BODY_PREFIX.size:
+            return _invalid(f"body length {length} below minimum")
+        if size - body_start < length:
+            return _invalid("incomplete record body")
+        body = bytes(data[body_start:body_start + length])
+        if zlib.crc32(body) != crc:
+            return _invalid("CRC mismatch")
+        sequence, kind = _BODY_PREFIX.unpack_from(body)
+        if sequence != expected_sequence:
+            # A valid-CRC record with the wrong sequence cannot be a
+            # torn write: records are missing.  Always corruption.
+            raise JournalCorruptionError(
+                f"journal segment {segment_index}: sequence gap "
+                f"(expected {expected_sequence}, found {sequence})"
+            )
+        try:
+            record_kind = RecordKind(kind)
+        except ValueError:
+            return _invalid(f"unknown record kind {kind}")
+        records.append(
+            JournalRecord(
+                sequence=sequence,
+                kind=record_kind,
+                payload=body[_BODY_PREFIX.size:],
+                segment=segment_index,
+            )
+        )
+        expected_sequence += 1
+        offset = body_start + length
+    return records, offset
+
+
+class Journal:
+    """Backend-agnostic journal core (append, roll, validated scan)."""
+
+    def __init__(self, metrics=NULL_REGISTRY) -> None:
+        self.metrics = metrics
+        self._m_appends = metrics.counter("durability.journal.appends")
+        self._m_bytes = metrics.counter("durability.journal.bytes")
+        self._m_rolls = metrics.counter("durability.journal.rolls")
+        self._m_torn = metrics.counter("durability.journal.torn_drops")
+        self._next_sequence = 0
+        self._recover_tail()
+
+    # -- backend interface --------------------------------------------------
+
+    def _segment_count(self) -> int:
+        raise NotImplementedError
+
+    def _segment_bytes(self, index: int) -> bytes:
+        raise NotImplementedError
+
+    def _append_bytes(self, data: bytes) -> None:
+        """Append raw bytes to the last segment."""
+        raise NotImplementedError
+
+    def _start_segment(self) -> None:
+        raise NotImplementedError
+
+    def _truncate_last_segment(self, valid_bytes: int) -> None:
+        """Discard the torn tail of the last segment (crash cleanup)."""
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def next_sequence(self) -> int:
+        return self._next_sequence
+
+    def append(self, kind: int, payload: bytes) -> int:
+        """Write one record; returns its sequence number."""
+        sequence = self._next_sequence
+        data = encode_record(sequence, kind, payload)
+        self._append_bytes(data)
+        self._next_sequence += 1
+        self._m_appends.inc()
+        self._m_bytes.inc(len(data))
+        return sequence
+
+    def append_torn(self, kind: int, payload: bytes, keep_bytes: int) -> None:
+        """Write a genuinely torn record: only the first ``keep_bytes``.
+
+        Models a crash mid-``write(2)``.  The record never commits, so
+        the journal's sequence counter does not advance; a subsequent
+        reopen drops the partial bytes.
+        """
+        data = encode_record(self._next_sequence, kind, payload)
+        if not 0 <= keep_bytes < len(data):
+            raise ValueError(
+                f"keep_bytes must be in [0, {len(data)}), got {keep_bytes}"
+            )
+        self._append_bytes(data[:keep_bytes])
+
+    def roll(self) -> None:
+        """Start a new segment (called after writing a checkpoint)."""
+        self._start_segment()
+        self._m_rolls.inc()
+
+    def records(self) -> List[JournalRecord]:
+        """Re-scan and validate every segment, oldest first."""
+        records: List[JournalRecord] = []
+        count = self._segment_count()
+        expected = 0
+        for index in range(count):
+            segment_records, _ = _scan_segment(
+                self._segment_bytes(index),
+                index,
+                expected,
+                is_last=(index == count - 1),
+            )
+            records.extend(segment_records)
+            expected += len(segment_records)
+        return records
+
+    # -- shared recovery ----------------------------------------------------
+
+    def _recover_tail(self) -> None:
+        """Establish ``next_sequence`` and drop a torn tail on reopen."""
+        count = self._segment_count()
+        expected = 0
+        for index in range(count):
+            data = self._segment_bytes(index)
+            is_last = index == count - 1
+            segment_records, valid = _scan_segment(
+                data, index, expected, is_last=is_last
+            )
+            expected += len(segment_records)
+            if is_last and valid < len(data):
+                self._m_torn.inc(len(data) - valid)
+                self._truncate_last_segment(valid)
+        self._next_sequence = expected
+
+
+class MemoryJournal(Journal):
+    """In-memory backend — fast tests and crash-free ephemeral runs."""
+
+    def __init__(self, metrics=NULL_REGISTRY) -> None:
+        self._segments: List[bytearray] = [bytearray()]
+        super().__init__(metrics=metrics)
+
+    def _segment_count(self) -> int:
+        return len(self._segments)
+
+    def _segment_bytes(self, index: int) -> bytes:
+        return bytes(self._segments[index])
+
+    def _append_bytes(self, data: bytes) -> None:
+        self._segments[-1].extend(data)
+
+    def _start_segment(self) -> None:
+        self._segments.append(bytearray())
+
+    def _truncate_last_segment(self, valid_bytes: int) -> None:
+        del self._segments[-1][valid_bytes:]
+
+
+#: File name pattern for on-disk segments.
+_SEGMENT_RE = re.compile(r"^segment-(\d{8})\.wal$")
+
+
+def _segment_name(index: int) -> str:
+    return f"segment-{index:08d}.wal"
+
+
+class FileJournal(Journal):
+    """Directory-of-segments backend (``segment-00000000.wal``, ...).
+
+    Reopening an existing directory validates every segment, truncates
+    a torn tail on the newest one, and continues appending with the
+    next sequence number — the crash-recovery entry point.
+    """
+
+    def __init__(self, directory: str, metrics=NULL_REGISTRY) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._paths = self._discover_segments()
+        if not self._paths:
+            first = os.path.join(self.directory, _segment_name(0))
+            with open(first, "wb"):
+                pass
+            self._paths = [first]
+        super().__init__(metrics=metrics)
+
+    def _discover_segments(self) -> List[str]:
+        found: List[Tuple[int, str]] = []
+        for name in os.listdir(self.directory):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                found.append(
+                    (int(match.group(1)), os.path.join(self.directory, name))
+                )
+        found.sort()
+        return [path for _, path in found]
+
+    def _segment_count(self) -> int:
+        return len(self._paths)
+
+    def _segment_bytes(self, index: int) -> bytes:
+        with open(self._paths[index], "rb") as handle:
+            return handle.read()
+
+    def _append_bytes(self, data: bytes) -> None:
+        with open(self._paths[-1], "ab") as handle:
+            handle.write(data)
+
+    def _start_segment(self) -> None:
+        last = os.path.basename(self._paths[-1])
+        index = int(_SEGMENT_RE.match(last).group(1)) + 1
+        path = os.path.join(self.directory, _segment_name(index))
+        with open(path, "wb"):
+            pass
+        self._paths.append(path)
+
+    def _truncate_last_segment(self, valid_bytes: int) -> None:
+        with open(self._paths[-1], "r+b") as handle:
+            handle.truncate(valid_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs
+# ---------------------------------------------------------------------------
+
+def encode_json_payload(doc: dict) -> bytes:
+    """Canonical JSON payload for BEGIN / COMMIT / CHECKPOINT records."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_json_payload(payload: bytes) -> dict:
+    return json.loads(payload.decode())
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """Decoded ``TRACE_CHUNK`` payload."""
+
+    tenant: str
+    round_index: int
+    chunk_index: int
+    events: Tuple[BranchEvent, ...]
+
+
+def encode_trace_chunk(
+    tenant: str,
+    round_index: int,
+    chunk_index: int,
+    events: Sequence[BranchEvent],
+) -> bytes:
+    """Pack a slice of one tenant's trace into a ``TRACE_CHUNK`` payload.
+
+    Layout: one JSON header line (tenant, round, chunk, count, and a
+    self-describing :class:`BranchKind` *name palette* — the enum's
+    declaration order is never relied upon on disk), then the packed
+    columns: ``cycle``/``source``/``target`` as little-endian int64 and
+    ``kind``/``taken`` as uint8.
+    """
+    count = len(events)
+    palette: List[str] = []
+    palette_index = {}
+    kind_codes = np.empty(count, dtype=np.uint8)
+    for position, event in enumerate(events):
+        name = event.kind.name
+        code = palette_index.get(name)
+        if code is None:
+            code = len(palette)
+            palette_index[name] = code
+            palette.append(name)
+        kind_codes[position] = code
+    header = encode_json_payload(
+        {
+            "tenant": tenant,
+            "round": round_index,
+            "chunk": chunk_index,
+            "count": count,
+            "kinds": palette,
+        }
+    )
+    cycles = np.fromiter(
+        (event.cycle for event in events), dtype="<i8", count=count
+    )
+    sources = np.fromiter(
+        (event.source for event in events), dtype="<i8", count=count
+    )
+    targets = np.fromiter(
+        (event.target for event in events), dtype="<i8", count=count
+    )
+    taken = np.fromiter(
+        (event.taken for event in events), dtype=np.uint8, count=count
+    )
+    return b"".join(
+        (
+            header,
+            b"\n",
+            cycles.tobytes(),
+            sources.tobytes(),
+            targets.tobytes(),
+            kind_codes.tobytes(),
+            taken.tobytes(),
+        )
+    )
+
+
+def decode_trace_chunk(payload: bytes) -> TraceChunk:
+    """Inverse of :func:`encode_trace_chunk`."""
+    newline = payload.find(b"\n")
+    if newline < 0:
+        raise JournalCorruptionError("trace chunk missing header line")
+    header = decode_json_payload(payload[:newline])
+    count = int(header["count"])
+    kinds = [BranchKind[name] for name in header["kinds"]]
+    body = payload[newline + 1:]
+    expected = count * (3 * 8 + 2)
+    if len(body) != expected:
+        raise JournalCorruptionError(
+            f"trace chunk body is {len(body)} bytes, expected {expected}"
+        )
+    cycles = np.frombuffer(body, dtype="<i8", count=count, offset=0)
+    sources = np.frombuffer(body, dtype="<i8", count=count, offset=8 * count)
+    targets = np.frombuffer(body, dtype="<i8", count=count, offset=16 * count)
+    kind_codes = np.frombuffer(
+        body, dtype=np.uint8, count=count, offset=24 * count
+    )
+    taken = np.frombuffer(
+        body, dtype=np.uint8, count=count, offset=25 * count
+    )
+    events = tuple(
+        BranchEvent(
+            cycle=int(cycles[i]),
+            source=int(sources[i]),
+            target=int(targets[i]),
+            kind=kinds[kind_codes[i]],
+            taken=bool(taken[i]),
+        )
+        for i in range(count)
+    )
+    return TraceChunk(
+        tenant=str(header["tenant"]),
+        round_index=int(header["round"]),
+        chunk_index=int(header["chunk"]),
+        events=events,
+    )

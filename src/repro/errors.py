@@ -110,6 +110,28 @@ class TenantCrashError(RtadError):
     """
 
 
+class DurabilityError(RtadError):
+    """Base class for write-ahead journal / recovery errors."""
+
+
+class JournalCorruptionError(DurabilityError):
+    """A journal segment failed validation beyond the tolerated torn tail.
+
+    A truncated record at the very end of the *last* segment is expected
+    after a crash and silently dropped; a bad CRC, length, or sequence
+    anywhere else means the journal was corrupted on disk and replaying
+    it would diverge from the original run.
+    """
+
+
+class ProcessCrashError(DurabilityError):
+    """A simulated whole-process crash fired at an injected crash point.
+
+    Raised by :class:`repro.faults.crashpoints.CrashPointInjector`; the
+    recovery harness catches it, reopens the journal, and replays.
+    """
+
+
 class WorkloadError(RtadError):
     """A synthetic workload description is invalid."""
 

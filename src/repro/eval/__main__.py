@@ -7,6 +7,9 @@ Usage::
     python -m repro.eval fig8 --trials 3 --benchmarks gcc omnetpp
     python -m repro.eval metrics            # instrumented pipeline run
     python -m repro.eval metrics --json --models lstm --events 6000
+    python -m repro.eval chaos --json       # fault-rate sweep (exit 1
+    python -m repro.eval recovery --json    # kill-and-replay) on any
+                                            # violated invariant
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import time
 
 from repro.eval.chaos import (
     DEFAULT_RATES,
+    chaos_failures,
     chaos_to_json,
     format_chaos,
     run_chaos,
@@ -31,15 +35,22 @@ from repro.eval.metrics import (
     metrics_to_json,
     run_metrics_all,
 )
+from repro.eval.recovery import (
+    recovery_failures,
+    recovery_to_json,
+    format_recovery,
+    run_recovery,
+)
 from repro.eval.table1 import format_table1, run_table1
 from repro.eval.table2 import format_table2, run_table2
 
 EXPERIMENTS = (
-    "table1", "table2", "fig6", "fig7", "fig8", "metrics", "chaos"
+    "table1", "table2", "fig6", "fig7", "fig8", "metrics", "chaos",
+    "recovery",
 )
 
 #: Experiments whose --json output must stay one valid JSON document.
-_JSON_EXPERIMENTS = ("metrics", "chaos")
+_JSON_EXPERIMENTS = ("metrics", "chaos", "recovery")
 
 
 def main(argv=None) -> int:
@@ -81,6 +92,18 @@ def main(argv=None) -> int:
         help="fault-rate sweep for the chaos experiment "
              f"(default: {' '.join(str(r) for r in DEFAULT_RATES)})",
     )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="monitoring rounds per recovery run (default 3)",
+    )
+    parser.add_argument(
+        "--kills", type=int, default=3,
+        help="kill points per recovery seed (default 3)",
+    )
+    parser.add_argument(
+        "--seeds", nargs="*", type=int, default=None,
+        help="seed list for the recovery experiment (default: 0 1 2)",
+    )
     args = parser.parse_args(argv)
     if args.events < 0:
         parser.error("--events must be non-negative")
@@ -91,6 +114,7 @@ def main(argv=None) -> int:
             f"unknown experiments {unknown}; choose from {EXPERIMENTS}"
         )
 
+    failures = []
     for name in selected:
         start = time.perf_counter()
         if name == "table1":
@@ -121,12 +145,33 @@ def main(argv=None) -> int:
                 events=args.events,
                 seed=args.seed,
             )
+            failures += [
+                f"chaos: {line}" for line in chaos_failures(chaos)
+            ]
             if args.json:
                 output = json.dumps(
                     chaos_to_json(chaos), indent=2, sort_keys=True
                 )
             else:
                 output = format_chaos(chaos)
+        elif name == "recovery":
+            recovery = run_recovery(
+                seeds=tuple(
+                    args.seeds if args.seeds is not None else (0, 1, 2)
+                ),
+                rounds=args.rounds,
+                kills_per_seed=args.kills,
+            )
+            failures += [
+                f"recovery: {line}"
+                for line in recovery_failures(recovery)
+            ]
+            if args.json:
+                output = json.dumps(
+                    recovery_to_json(recovery), indent=2, sort_keys=True
+                )
+            else:
+                output = format_recovery(recovery)
         else:
             output = format_fig8(
                 run_fig8(
@@ -140,6 +185,10 @@ def main(argv=None) -> int:
         if not (name in _JSON_EXPERIMENTS and args.json):
             # Keep --json output a single valid JSON document.
             print(f"[{name}: {elapsed:.1f}s]\n")
+    if failures:
+        for line in failures:
+            print(f"INVARIANT FAILED - {line}", file=sys.stderr)
+        return 1
     return 0
 
 

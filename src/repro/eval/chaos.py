@@ -487,6 +487,67 @@ def format_chaos(result: ChaosResult) -> str:
     return "\n\n".join([decoder, dataplane, quarantine])
 
 
+def chaos_failures(result: ChaosResult) -> List[str]:
+    """Violated sweep invariants, as human-readable strings.
+
+    An empty list means the sweep passed.  The invariants are the ones
+    the experiments exist to demonstrate: rate-0 points are no-op
+    proofs (perfect recovery, byte-identical detection, zero injected
+    faults), and quarantine must both fire and leave healthy tenants'
+    records untouched.  ``python -m repro.eval chaos`` exits non-zero
+    when any of these fail.
+    """
+    failures: List[str] = []
+    for point in result.decoder:
+        if point.rate == 0.0 and (
+            point.recovered_branches != point.clean_branches
+        ):
+            failures.append(
+                "decoder: rate-0 run recovered "
+                f"{point.recovered_branches}/{point.clean_branches} "
+                "branches (must be all)"
+            )
+    for point in result.dataplane:
+        if point.rate != 0.0:
+            continue
+        if point.inferences != point.baseline_inferences:
+            failures.append(
+                "dataplane: rate-0 run produced "
+                f"{point.inferences} inferences vs baseline "
+                f"{point.baseline_inferences}"
+            )
+        if point.flag_agreement != 1.0:
+            failures.append(
+                "dataplane: rate-0 run disagreed with baseline flags "
+                f"(agreement {point.flag_agreement:.3f})"
+            )
+        injected = (
+            point.events_dropped
+            + point.events_duplicated
+            + point.events_corrupted
+            + point.vectors_dropped
+        )
+        if injected:
+            failures.append(
+                f"dataplane: rate-0 run injected {injected} faults"
+            )
+    q = result.quarantine
+    if not q.healthy_always_identical:
+        failures.append(
+            "quarantine: healthy tenants' records diverged from the "
+            "fault-free reference"
+        )
+    if q.quarantines < 1:
+        failures.append(
+            "quarantine: the faulty tenant was never quarantined"
+        )
+    if q.readmissions < 1:
+        failures.append(
+            "quarantine: the quarantined tenant was never re-admitted"
+        )
+    return failures
+
+
 def chaos_to_json(result: ChaosResult) -> Dict[str, object]:
     """JSON document mirroring :func:`format_chaos`."""
     return {
@@ -496,4 +557,5 @@ def chaos_to_json(result: ChaosResult) -> Dict[str, object]:
         "decoder": [asdict(p) for p in result.decoder],
         "dataplane": [asdict(p) for p in result.dataplane],
         "quarantine": asdict(result.quarantine),
+        "failures": chaos_failures(result),
     }

@@ -69,17 +69,31 @@ ROBUSTNESS_COUNTERS = (
     "faults.events.duplicated",
     "faults.events.corrupted",
     "faults.vectors.dropped",
+    "faults.chunks.corrupted",
     "coresight.decoder.resyncs",
     "coresight.decoder.truncated",
+    "coresight.decoder.hunt_bytes",
     "tpiu.frame_resyncs",
+    "tpiu.bytes_discarded",
+    "pipeline.integrity.checks",
+    "pipeline.integrity.crc_mismatches",
+    "pipeline.integrity.gaps",
     "mcm.dropped_vectors",
     "mcm.cancelled",
+    "mcm.dual_run.runs",
+    "mcm.dual_run.divergences",
     "mcm.arbiter.watchdog.cancelled",
     "mcm.arbiter.hangs",
     "socmgr.crashes",
     "socmgr.health.quarantines",
     "socmgr.health.readmissions",
     "socmgr.health.degradations",
+    "socmgr.recoveries",
+    "socmgr.rounds_replayed",
+    "durability.journal.appends",
+    "durability.journal.bytes",
+    "durability.journal.rolls",
+    "durability.journal.torn_drops",
 )
 
 _DEMO_PARTS: Dict[Tuple[str, int], dict] = {}
@@ -236,23 +250,22 @@ def demo_events(
     ).events
 
 
-def build_demo_manager(
+def build_demo_deployments(
     num_tenants: int = 4,
     kind: str = "lstm",
     seed: int = 0,
-    metrics: Optional[MetricsRegistry] = None,
     num_cus: int = 5,
     fifo_depth: int = 64,
     fault_plans: Optional[Dict[str, FaultPlan]] = None,
-    deadline_us: Optional[float] = None,
-    health_policy: Optional[HealthPolicy] = None,
-) -> SocManager:
-    """A multi-tenant manager: N demo deployments, one shared engine.
+    dataplane: str = "batched",
+    dual_run: bool = False,
+) -> List[Deployment]:
+    """Fresh demo deployments sharing one engine (see build_demo_manager).
 
-    Every tenant monitors the same demo program configuration (its own
-    mapper/encoder/detector instances), and every driver wraps the
-    *same* calibrated-mode Gpu — the arbitration configuration the
-    SocManager tests exercise.
+    Called a second time with the same arguments this returns an
+    equivalent tenant set around a *new* Gpu — exactly what
+    :meth:`SocManager.recover` needs to re-supply models and drivers
+    after a simulated process crash.
     """
     parts = _demo_parts(kind, seed)
     gpu = Gpu(num_cus=num_cus, name="ML-MIAOW")
@@ -281,14 +294,57 @@ def build_demo_manager(
                     fifo_depth=fifo_depth,
                     score_smoothing=parts["smoothing"],
                     fault_plan=(fault_plans or {}).get(name),
+                    dataplane=dataplane,
+                    dual_run=dual_run,
                 ),
             )
         )
+    return deployments
+
+
+def build_demo_manager(
+    num_tenants: int = 4,
+    kind: str = "lstm",
+    seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    num_cus: int = 5,
+    fifo_depth: int = 64,
+    fault_plans: Optional[Dict[str, FaultPlan]] = None,
+    deadline_us: Optional[float] = None,
+    health_policy: Optional[HealthPolicy] = None,
+    dataplane: str = "batched",
+    dual_run: bool = False,
+    journal=None,
+    checkpoint_interval_events: Optional[int] = None,
+    journal_chunk_events: int = 8192,
+    crash_points=None,
+) -> SocManager:
+    """A multi-tenant manager: N demo deployments, one shared engine.
+
+    Every tenant monitors the same demo program configuration (its own
+    mapper/encoder/detector instances), and every driver wraps the
+    *same* calibrated-mode Gpu — the arbitration configuration the
+    SocManager tests exercise.
+    """
+    deployments = build_demo_deployments(
+        num_tenants=num_tenants,
+        kind=kind,
+        seed=seed,
+        num_cus=num_cus,
+        fifo_depth=fifo_depth,
+        fault_plans=fault_plans,
+        dataplane=dataplane,
+        dual_run=dual_run,
+    )
     return SocManager(
         deployments,
         metrics=metrics,
         deadline_us=deadline_us,
         health_policy=health_policy,
+        journal=journal,
+        checkpoint_interval_events=checkpoint_interval_events,
+        journal_chunk_events=journal_chunk_events,
+        crash_points=crash_points,
     )
 
 

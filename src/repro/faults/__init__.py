@@ -17,6 +17,7 @@ The pipeline stages are exported lazily — importing them pulls in
 (``FaultPlan`` is referenced from ``RtadConfig``).
 """
 
+from repro.faults.crashpoints import CrashPointInjector
 from repro.faults.injectors import StreamFaultInjector, corrupt_stream
 from repro.faults.plan import (
     BYTE_KINDS,
@@ -31,6 +32,7 @@ from repro.faults.plan import (
 from repro.faults.service import ServiceFaultInjector, crash_fraction
 
 _STAGE_EXPORTS = (
+    "ChunkCorruptStage",
     "EventFaultCounts",
     "EventFaultStage",
     "VectorFaultStage",
@@ -41,6 +43,7 @@ _STAGE_EXPORTS = (
 
 __all__ = [
     "BYTE_KINDS",
+    "CrashPointInjector",
     "EVENT_KINDS",
     "SERVICE_KINDS",
     "FaultKind",

@@ -1,0 +1,73 @@
+"""Process-crash injection at named durability crash points.
+
+The write-ahead journal's guarantees are only as good as the crash
+model that tests them.  :class:`CrashPointInjector` simulates a whole
+process dying at a specific point in the journaling sequence: the
+:class:`~repro.soc.manager.SocManager` calls :meth:`reached` at every
+named *site* it passes (round begin, each chunk append, the torn
+mid-write, commit, checkpoint); the injector counts sites and raises
+:class:`~repro.errors.ProcessCrashError` when the configured one is
+hit.  The recovery harness sweeps the kill index across the whole
+range, so every ordering of "what made it to disk" is exercised.
+
+The kill index itself is drawn from the existing ``TENANT_CRASH``
+fault channel (counter-hashed, so a seed fully determines the sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ProcessCrashError
+from repro.faults.plan import FaultKind, FaultPlan
+
+
+class CrashPointInjector:
+    """Kill the process at the ``kill_at``-th crash site reached.
+
+    ``kill_at=None`` never fires — the injector then only counts
+    sites, which the harness uses to learn the total site count of an
+    uninterrupted run before choosing kill points.
+    """
+
+    def __init__(self, kill_at: Optional[int] = None) -> None:
+        if kill_at is not None and kill_at < 0:
+            raise ValueError("kill_at must be >= 0")
+        self.kill_at = kill_at
+        self.sites_reached = 0
+        self.fired = False
+        self.fired_site: Optional[str] = None
+        self.site_counts: Dict[str, int] = {}
+
+    @classmethod
+    def from_plan(
+        cls, plan: FaultPlan, draw_index: int, total_sites: int
+    ) -> "CrashPointInjector":
+        """Pick a kill point via the ``TENANT_CRASH`` channel hash."""
+        if total_sites < 1:
+            raise ValueError("total_sites must be >= 1")
+        kill_at = plan.value(FaultKind.TENANT_CRASH, draw_index) % total_sites
+        return cls(kill_at=kill_at)
+
+    def fires(self, site: str) -> bool:
+        """Count one site; report whether the crash trips here."""
+        index = self.sites_reached
+        self.sites_reached += 1
+        self.site_counts[site] = self.site_counts.get(site, 0) + 1
+        if self.kill_at is not None and index == self.kill_at:
+            self.fired = True
+            self.fired_site = site
+            return True
+        return False
+
+    def reached(self, site: str) -> None:
+        """Count one site; raise :class:`ProcessCrashError` if it trips.
+
+        Sites that need work *between* the decision and the raise (the
+        torn mid-write) use :meth:`fires` directly instead.
+        """
+        if self.fires(site):
+            raise ProcessCrashError(
+                f"injected process crash at {site!r} "
+                f"(site index {self.sites_reached - 1})"
+            )

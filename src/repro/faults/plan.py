@@ -68,6 +68,8 @@ class FaultKind(enum.Enum):
     MCM_HANG = "mcm-hang"          # one service never completes
     # Tenant-level faults (indexed by monitoring round).
     TENANT_CRASH = "tenant-crash"  # the monitored program dies mid-round
+    # Integrity faults (indexed by pipeline chunk).
+    CHUNK_CORRUPT = "chunk-corrupt"  # a batch mutated in flight, silently
 
 
 #: Stable per-kind channel identifiers — never renumber, they feed the
@@ -84,6 +86,7 @@ _KIND_IDS = {
     FaultKind.MCM_STALL: 9,
     FaultKind.MCM_HANG: 10,
     FaultKind.TENANT_CRASH: 11,
+    FaultKind.CHUNK_CORRUPT: 12,
 }
 
 BYTE_KINDS = (

@@ -122,6 +122,10 @@ class EventFaultStage(StageBase):
     """Head-of-pipeline stage applying the event-level channels."""
 
     name = "fault_events"
+    # Legitimate mutation: the pipeline re-stamps the integrity tag
+    # after this stage so injected event faults are not double-counted
+    # as silent corruption.
+    mutates_events = True
 
     def __init__(
         self,
@@ -140,6 +144,20 @@ class EventFaultStage(StageBase):
 
     def reset(self) -> None:
         self._offset = 0
+
+    def export_state(self) -> dict:
+        return {
+            "offset": self._offset,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._offset = state["offset"]
+        self.dropped = state["dropped"]
+        self.duplicated = state["duplicated"]
+        self.corrupted = state["corrupted"]
 
     @property
     def fault_drops(self) -> int:
@@ -166,6 +184,60 @@ class EventFaultStage(StageBase):
         return batch
 
 
+class ChunkCorruptStage(StageBase):
+    """Silent in-flight batch corruption (integrity-tag test channel).
+
+    When the ``CHUNK_CORRUPT`` channel fires at a chunk's absolute
+    index, one event's target in the batch is overwritten in place and
+    — the point — the integrity tag is deliberately *not* re-stamped
+    (``mutates_events`` stays False).  This models corruption between
+    stages that the byte-level resync path can never observe; only the
+    pipeline's per-boundary CRC check catches it, incrementing
+    ``pipeline.integrity.crc_mismatches``.
+    """
+
+    name = "fault_chunks"
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(metrics=metrics)
+        self.plan = plan
+        self.corrupted_chunks = 0
+        self._m_corrupted = self.metrics.counter("faults.chunks.corrupted")
+        self.reset()
+
+    def reset(self) -> None:
+        self._chunk_index = 0
+
+    def export_state(self) -> dict:
+        return {
+            "chunk_index": self._chunk_index,
+            "corrupted_chunks": self.corrupted_chunks,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._chunk_index = state["chunk_index"]
+        self.corrupted_chunks = state["corrupted_chunks"]
+
+    def process(self, batch: TraceBatch) -> TraceBatch:
+        self._account_batch(batch)
+        if batch.tail or len(batch) == 0:
+            return batch
+        index = self._chunk_index
+        self._chunk_index += 1
+        if self.plan.decide(FaultKind.CHUNK_CORRUPT, index):
+            assert batch.events is not None
+            pos = self.plan.value(FaultKind.CHUNK_CORRUPT, index) % len(batch)
+            # Flip to the neighbouring word-aligned address — silently.
+            batch.events.target[pos] ^= 4
+            self.corrupted_chunks += 1
+            self._m_corrupted.inc()
+        return batch
+
+
 class VectorFaultStage(StageBase):
     """Between IGM and delivery: burst-drop encoded vectors."""
 
@@ -182,6 +254,18 @@ class VectorFaultStage(StageBase):
 
     def reset(self) -> None:
         self.model.reset()
+
+    def export_state(self) -> dict:
+        return {
+            "index": self.model._index,
+            "burst_left": self.model._burst_left,
+            "dropped": self.model.dropped,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.model._index = state["index"]
+        self.model._burst_left = state["burst_left"]
+        self.model.dropped = state["dropped"]
 
     @property
     def fault_drops(self) -> int:

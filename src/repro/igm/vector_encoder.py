@@ -91,6 +91,21 @@ class VectorEncoder:
         if reset_sequence:
             self._sequence_number = 0
 
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (see repro.durability)."""
+        return {
+            "history": list(self._history),
+            "since_emit": self._since_emit,
+            "sequence_number": self._sequence_number,
+            "vectors_emitted": self.vectors_emitted,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._history = deque(state["history"], maxlen=self.window)
+        self._since_emit = state["since_emit"]
+        self._sequence_number = state["sequence_number"]
+        self.vectors_emitted = state["vectors_emitted"]
+
     def push(
         self, index: int, address: int, cycle: int
     ) -> Optional[InputVector]:

@@ -220,3 +220,24 @@ class MlMiaowDriver:
             self.deployment.reset_state()
             if self._reference is not None:
                 self._reference = self.deployment.make_reference()
+
+    # ------------------------------------------------------------------
+    # Durability (dual-run voting and checkpointing)
+    # ------------------------------------------------------------------
+
+    def export_model_state(self):
+        """Snapshot the recurrent model state (None for stateless kinds)."""
+        if self.kind != "lstm":
+            return None
+        if self.execute_on_gpu:
+            return self.deployment.export_state()
+        return self._reference.export_state()
+
+    def restore_model_state(self, state) -> None:
+        """Rewind to a snapshot from :meth:`export_model_state`."""
+        if self.kind != "lstm":
+            return
+        if self.execute_on_gpu:
+            self.deployment.restore_state(state)
+        else:
+            self._reference.restore_state(state)

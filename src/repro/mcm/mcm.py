@@ -46,6 +46,11 @@ class McmConfig:
     #: hardware analogue is a small accumulator in the interrupt
     #: manager.  k=1 disables smoothing (the ELM configuration).
     score_smoothing: int = 1
+    #: Dual-run voting: run every inference twice (restoring the model
+    #: state in between so recurrent models see identical inputs) and
+    #: flag records whose two scores disagree.  Catches silent engine
+    #: corruption at the cost of doubling the model work.
+    dual_run: bool = False
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,9 @@ class InferenceRecord:
     score: float
     anomalous: Optional[bool]
     gpu_cycles: int
+    #: Dual-run voting verdict: None when voting is off, else whether
+    #: the second (redundant) run disagreed with the first.
+    divergent: Optional[bool] = None
 
     @property
     def queue_ns(self) -> float:
@@ -114,6 +122,10 @@ class Mcm:
         self._m_copy = self.metrics.histogram("mcm.copy_ns")
         self._m_gpu = self.metrics.histogram("mcm.gpu_ns")
         self._m_rx = self.metrics.histogram("mcm.rx_ns")
+        self._m_dual_runs = self.metrics.counter("mcm.dual_run.runs")
+        self._m_divergences = self.metrics.counter(
+            "mcm.dual_run.divergences"
+        )
 
     # ------------------------------------------------------------------
     # Clock conversions
@@ -228,7 +240,25 @@ class Mcm:
         extra_ns: float = 0.0,
     ) -> None:
         converted = self.converter.convert(vector.values)
+        pre_state = (
+            self.driver.export_model_state()
+            if self.config.dual_run
+            else None
+        )
         result = self.driver.run_inference(converted)
+        divergent: Optional[bool] = None
+        if self.config.dual_run:
+            # Redundant second run from the same model state; recurrent
+            # state is rewound before and restored after, so the vote
+            # costs work but never perturbs the inference stream.
+            post_state = self.driver.export_model_state()
+            self.driver.restore_model_state(pre_state)
+            second = self.driver.run_inference(converted)
+            self.driver.restore_model_state(post_state)
+            divergent = bool(second.score != result.score)
+            self._m_dual_runs.inc()
+            if divergent:
+                self._m_divergences.inc()
         phases = result.phases
 
         control_ns = self._rtad_ns(
@@ -277,9 +307,72 @@ class Mcm:
                 score=result.score,
                 anomalous=anomalous,
                 gpu_cycles=phases.total_cycles,
+                divergent=divergent,
             )
         )
         self._busy_until_ns = done_ns
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Lifetime + session state for checkpointing.
+
+        Requires a quiescent MCM (empty FIFO — guaranteed at round
+        boundaries after ``finalize``): queued vectors hold live numpy
+        arrays that a checkpoint deliberately does not carry.
+        """
+        if not self.fifo.empty:
+            raise McmError("cannot checkpoint an MCM with queued vectors")
+        return {
+            "records": [
+                {
+                    "sequence_number": record.sequence_number,
+                    "trigger_cycle": record.trigger_cycle,
+                    "arrival_ns": record.arrival_ns,
+                    "start_ns": record.start_ns,
+                    "done_ns": record.done_ns,
+                    "score": float(record.score),
+                    "anomalous": record.anomalous,
+                    "gpu_cycles": record.gpu_cycles,
+                    "divergent": record.divergent,
+                }
+                for record in self.records
+            ],
+            "cancelled": self.cancelled,
+            "busy_until_ns": self._busy_until_ns,
+            "recent_scores": [float(s) for s in self._recent_scores],
+            "fifo": {
+                "pushes": self.fifo.pushes,
+                "drops": self.fifo.drops,
+                "max_occupancy": self.fifo.max_occupancy,
+            },
+            "interrupts": [
+                {
+                    "time_ns": interrupt.time_ns,
+                    "score": float(interrupt.score),
+                    "sequence_number": interrupt.sequence_number,
+                }
+                for interrupt in self.interrupts.fired
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.mcm.interrupt import Interrupt
+
+        self.records = [
+            InferenceRecord(**doc) for doc in state["records"]
+        ]
+        self.cancelled = state["cancelled"]
+        self._busy_until_ns = state["busy_until_ns"]
+        self._recent_scores = list(state["recent_scores"])
+        self.fifo.pushes = state["fifo"]["pushes"]
+        self.fifo.drops = state["fifo"]["drops"]
+        self.fifo.max_occupancy = state["fifo"]["max_occupancy"]
+        self.interrupts.fired = [
+            Interrupt(**doc) for doc in state["interrupts"]
+        ]
 
     # ------------------------------------------------------------------
     # Reporting

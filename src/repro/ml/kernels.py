@@ -513,6 +513,29 @@ class DeployedLstm:
         surprisal = float(runtime.read_f32(buffers["score"], 1)[0])
         return LstmInferenceResult(surprisal=surprisal, dispatches=dispatches)
 
+    # -- durability -----------------------------------------------------------
+
+    def export_state(self):
+        """Snapshot the recurrent (h, c) buffers off the engine."""
+        if self._runtime is None:
+            raise KernelLaunchError("DeployedLstm used before load()")
+        h = self.model.hidden_size
+        return (
+            self._runtime.read_f32(self._buffers["h"], h).copy(),
+            self._runtime.read_f32(self._buffers["c"], h).copy(),
+        )
+
+    def restore_state(self, state) -> None:
+        if self._runtime is None:
+            raise KernelLaunchError("DeployedLstm used before load()")
+        h_state, c_state = state
+        self._runtime.write(
+            self._buffers["h"], np.asarray(h_state, dtype=np.float32)
+        )
+        self._runtime.write(
+            self._buffers["c"], np.asarray(c_state, dtype=np.float32)
+        )
+
     # -- float32 software reference ------------------------------------------
 
     def make_reference(self) -> "LstmReference":
@@ -729,6 +752,15 @@ class LstmReference:
         self.hidden = hidden
         self.h = np.zeros(hidden, dtype=np.float32)
         self.c = np.zeros(hidden, dtype=np.float32)
+
+    def export_state(self):
+        """Snapshot the recurrent (h, c) state."""
+        return (self.h.copy(), self.c.copy())
+
+    def restore_state(self, state) -> None:
+        h_state, c_state = state
+        self.h = np.asarray(h_state, dtype=np.float32).copy()
+        self.c = np.asarray(c_state, dtype=np.float32).copy()
 
     @staticmethod
     def _sigmoid(x: np.ndarray) -> np.ndarray:

@@ -242,6 +242,64 @@ class MetricsRegistry:
         }
 
 
+    # ------------------------------------------------------------------
+    # Durability (checkpoint/restore) — full-fidelity state transfer
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Lossless instrument state for checkpointing.
+
+        Unlike :meth:`snapshot` (a human/JSON report), this keeps raw
+        histogram bucket counts so :meth:`restore_state` reproduces
+        percentiles exactly.  Span records are not carried across a
+        restart — only the drop count.
+        """
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in self._counters.items()
+            },
+            "gauges": {
+                name: [gauge.value, gauge.high_water]
+                for name, gauge in self._gauges.items()
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(hist.bounds),
+                    "counts": list(hist.counts),
+                    "count": hist.count,
+                    "total": hist.total,
+                    "min": hist.min,
+                    "max": hist.max,
+                }
+                for name, hist in self._histograms.items()
+            },
+            "spans_dropped": self.spans_dropped,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Overwrite instruments from :meth:`export_state` output.
+
+        Mutates existing instrument objects in place — stages cache
+        their handles at construction, so replacing the objects would
+        silently disconnect them.
+        """
+        for name, value in state["counters"].items():
+            self.counter(name).value = value
+        for name, (value, high_water) in state["gauges"].items():
+            gauge = self.gauge(name)
+            gauge.value = value
+            gauge.high_water = high_water
+        for name, doc in state["histograms"].items():
+            hist = self.histogram(name, doc["bounds"])
+            hist.counts = list(doc["counts"])
+            hist.count = doc["count"]
+            hist.total = doc["total"]
+            hist.min = doc["min"]
+            hist.max = doc["max"]
+        self.spans_dropped = state.get("spans_dropped", 0)
+
+
 class _NullCounter(Counter):
     __slots__ = ()
 
@@ -302,6 +360,17 @@ class NullRegistry(MetricsRegistry):
             "histograms": {},
             "spans": {"recorded": 0, "dropped": 0},
         }
+
+    def export_state(self) -> Dict[str, object]:
+        return {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans_dropped": 0,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        pass
 
 
 #: Shared default: pass this (or None, which resolves to it) wherever a

@@ -11,6 +11,7 @@ flush does.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -75,6 +76,19 @@ class EventBatch:
     def __len__(self) -> int:
         return int(self.cycle.shape[0])
 
+    def integrity_crc(self) -> int:
+        """CRC32 over the event columns (end-to-end integrity tag).
+
+        Covers exactly the data stages consume (cycle, source, target,
+        atom, syscall), so any in-flight mutation of a batch — silent
+        corruption the resync path cannot see — changes the tag.
+        """
+        crc = zlib.crc32(self.cycle.tobytes())
+        crc = zlib.crc32(self.source.tobytes(), crc)
+        crc = zlib.crc32(self.target.tobytes(), crc)
+        crc = zlib.crc32(self.atom.tobytes(), crc)
+        return zlib.crc32(self.syscall.tobytes(), crc)
+
 
 @dataclass(frozen=True)
 class FifoFlush:
@@ -99,6 +113,9 @@ class TraceBatch:
 
     events: Optional[EventBatch] = None
     tail: bool = False
+    # --- integrity tags (stamped by Pipeline.run, checked per stage) ---
+    chunk_sequence: Optional[int] = None
+    chunk_crc: Optional[int] = None
     # --- PTM encode stage ---
     ptm_bytes: Optional[np.ndarray] = None   # int64 bytes emitted per event
     tail_ptm_bytes: int = 0                  # end-of-session atom flush

@@ -50,6 +50,7 @@ class Pipeline:
         chunk_events: int = DEFAULT_CHUNK_EVENTS,
         port_capacity: int = 4,
         port_policy: PortPolicy = PortPolicy.STALL,
+        verify_integrity: bool = True,
     ) -> None:
         if not stages:
             raise SocConfigError("pipeline needs at least one stage")
@@ -58,6 +59,7 @@ class Pipeline:
         self.stages: List[Stage] = list(stages)
         self.metrics = metrics or NULL_REGISTRY
         self.chunk_events = chunk_events
+        self.verify_integrity = verify_integrity
         self.ports: List[Port[TraceBatch]] = [
             Port(
                 stage.name,
@@ -68,6 +70,13 @@ class Pipeline:
             for stage in self.stages
         ]
         self._m_chunks = self.metrics.counter("pipeline.chunks")
+        self._m_checks = self.metrics.counter("pipeline.integrity.checks")
+        self._m_crc_bad = self.metrics.counter(
+            "pipeline.integrity.crc_mismatches"
+        )
+        self._m_gaps = self.metrics.counter("pipeline.integrity.gaps")
+        self._chunk_sequence = 0
+        self._last_seen: List[Optional[int]] = [None] * len(self.stages)
 
     def reset(self) -> None:
         """New trace session: clear stage carry state and the ports."""
@@ -75,6 +84,62 @@ class Pipeline:
             stage.reset()
         for port in self.ports:
             port.clear()
+        self._chunk_sequence = 0
+        self._last_seen = [None] * len(self.stages)
+
+    # ------------------------------------------------------------------
+    # Integrity tags
+    # ------------------------------------------------------------------
+
+    def _check_integrity(self, batch: TraceBatch, index: int) -> None:
+        """Verify a batch's CRC/sequence tag at a stage boundary.
+
+        Catches *silent* in-flight corruption (a batch mutated without
+        re-stamping) and chunk gaps — failure modes the byte-level
+        resync path downstream can never observe.
+        """
+        if batch.events is None or batch.chunk_crc is None:
+            return
+        self._m_checks.inc()
+        if batch.events.integrity_crc() != batch.chunk_crc:
+            self._m_crc_bad.inc()
+        sequence = batch.chunk_sequence
+        previous = self._last_seen[index]
+        if previous is not None and sequence != previous + 1:
+            self._m_gaps.inc()
+        self._last_seen[index] = sequence
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Stage carry state for checkpointing (see repro.durability).
+
+        Only a *quiescent* pipeline (no in-flight batches) can be
+        checkpointed — batches hold numpy arrays and closures that do
+        not serialize; round boundaries guarantee quiescence.
+        """
+        if any(not port.empty for port in self.ports):
+            raise SocConfigError(
+                "cannot checkpoint a pipeline with in-flight batches"
+            )
+        return {
+            "chunk_sequence": self._chunk_sequence,
+            "stages": [stage.export_state() for stage in self.stages],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        stage_states = state["stages"]
+        if len(stage_states) != len(self.stages):
+            raise SocConfigError(
+                f"checkpoint has {len(stage_states)} stage states for a "
+                f"{len(self.stages)}-stage pipeline"
+            )
+        self._chunk_sequence = state["chunk_sequence"]
+        self._last_seen = [None] * len(self.stages)
+        for stage, stage_state in zip(self.stages, stage_states):
+            stage.restore_state(stage_state)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -100,7 +165,18 @@ class Pipeline:
                     break
                 batch = port.get()
                 assert batch is not None
-                out = self.stages[index].process(batch)
+                if self.verify_integrity:
+                    self._check_integrity(batch, index)
+                stage = self.stages[index]
+                out = stage.process(batch)
+                if (
+                    getattr(stage, "mutates_events", False)
+                    and out.events is not None
+                    and out.chunk_crc is not None
+                ):
+                    # Legitimate event mutation (e.g. fault injection)
+                    # re-stamps the tag; silent corruptors do not.
+                    out.chunk_crc = out.events.integrity_crc()
                 if downstream is not None:
                     downstream.put(out)
                 progress = True
@@ -114,6 +190,10 @@ class Pipeline:
         while start < total:
             chunk = events[start : start + self.chunk_events]
             batch = TraceBatch(events=EventBatch.from_events(chunk))
+            if self.verify_integrity:
+                batch.chunk_sequence = self._chunk_sequence
+                batch.chunk_crc = batch.events.integrity_crc()
+            self._chunk_sequence += 1
             self._m_chunks.inc()
             while not head.put(batch):
                 if not self._service():  # pragma: no cover - safety net
@@ -147,6 +227,7 @@ def build_trace_pipeline(
     chunk_events: int = DEFAULT_CHUNK_EVENTS,
     port_capacity: int = 4,
     fault_plan: Optional["FaultPlan"] = None,
+    verify_integrity: bool = True,
 ) -> Pipeline:
     """Assemble the standard five-stage trace dataplane.
 
@@ -173,8 +254,18 @@ def build_trace_pipeline(
     if fault_plan is not None and not fault_plan.is_noop:
         # Deferred import: repro.faults.stages imports this package.
         from repro.faults.plan import EVENT_KINDS, FaultKind
-        from repro.faults.stages import EventFaultStage, VectorFaultStage
+        from repro.faults.stages import (
+            ChunkCorruptStage,
+            EventFaultStage,
+            VectorFaultStage,
+        )
 
+        if fault_plan.active((FaultKind.CHUNK_CORRUPT,)):
+            # Ahead of the IGM so the silent mutation has a real
+            # downstream effect (a wrong mapper lookup).
+            stages.insert(
+                3, ChunkCorruptStage(fault_plan, metrics=metrics)
+            )
         if fault_plan.active(EVENT_KINDS):
             stages.insert(
                 0, EventFaultStage(fault_plan, metrics=metrics)
@@ -189,4 +280,5 @@ def build_trace_pipeline(
         metrics=metrics,
         chunk_events=chunk_events,
         port_capacity=port_capacity,
+        verify_integrity=verify_integrity,
     )

@@ -41,6 +41,12 @@ class StageBase:
 
     name = "stage"
 
+    #: Stages that legitimately rewrite ``batch.events`` (e.g. fault
+    #: injection) set this so the pipeline re-stamps the integrity tag
+    #: after them; a mutation by any other stage is flagged as silent
+    #: corruption.
+    mutates_events = False
+
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self.metrics = metrics or NULL_REGISTRY
         self._m_batches = self.metrics.counter(
@@ -61,4 +67,11 @@ class StageBase:
         return self.process(TraceBatch.tail_marker())
 
     def reset(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (stateless default)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
         pass

@@ -93,6 +93,30 @@ class PtmEncodeStage(StageBase):
         self._bytes_since_sync = 0
         self._ref_ptm = None
 
+    def export_state(self) -> dict:
+        return {
+            "started": self._started,
+            "last_address": self._last_address,
+            "pending_atoms": self._pending_atoms,
+            "bytes_since_sync": self._bytes_since_sync,
+            "ref_ptm": (
+                self._ref_ptm.export_state()
+                if self._ref_ptm is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._started = state["started"]
+        self._last_address = state["last_address"]
+        self._pending_atoms = state["pending_atoms"]
+        self._bytes_since_sync = state["bytes_since_sync"]
+        if state["ref_ptm"] is not None:
+            self._ref_ptm = Ptm(self.config, metrics=self.metrics)
+            self._ref_ptm.restore_state(state["ref_ptm"])
+        else:
+            self._ref_ptm = None
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -345,6 +369,16 @@ class TpiuFrameStage(StageBase):
         # A fresh TPIU emits a full-sync frame before its first frame.
         self._frames_since_sync = self.sync_period
 
+    def export_state(self) -> dict:
+        return {
+            "buffer": self._buffer,
+            "frames_since_sync": self._frames_since_sync,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._buffer = state["buffer"]
+        self._frames_since_sync = state["frames_since_sync"]
+
     def _advance_frames(self, frames: int) -> int:
         """Consume ``frames`` data-frame slots; return sync frames."""
         period = self.sync_period
@@ -428,6 +462,13 @@ class PtmFifoStage(StageBase):
     def reset(self) -> None:
         self._occupancy = 0
         self._last_ns = 0.0
+
+    def export_state(self) -> dict:
+        return {"occupancy": self._occupancy, "last_ns": self._last_ns}
+
+    def restore_state(self, state: dict) -> None:
+        self._occupancy = state["occupancy"]
+        self._last_ns = state["last_ns"]
 
     def _drain_ns(self, occupancy: int) -> float:
         return self.port_clock.to_ns((occupancy + 3) // 4)
@@ -536,6 +577,19 @@ class IgmStage(StageBase):
         self._tail = np.zeros(0, dtype=np.int64)
         self._pushes = 0
         self._sequence = 0
+
+    def export_state(self) -> dict:
+        return {
+            "tail": [int(v) for v in self._tail],
+            "pushes": self._pushes,
+            "sequence": self._sequence,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._tail = np.asarray(state["tail"], dtype=np.int64)
+        self._pushes = state["pushes"]
+        self._sequence = state["sequence"]
+        self._sync_encoder()
 
     def _window_values(self, window: np.ndarray) -> np.ndarray:
         if self.encoder.mode is EncoderMode.SEQUENCE:
@@ -649,6 +703,30 @@ class DeliverStage(StageBase):
 
     def reset(self) -> None:
         self._pending: List[InputVector] = []
+
+    def export_state(self) -> dict:
+        return {
+            "pending": [
+                {
+                    "values": [int(v) for v in vector.values],
+                    "sequence_number": vector.sequence_number,
+                    "trigger_address": vector.trigger_address,
+                    "trigger_cycle": vector.trigger_cycle,
+                }
+                for vector in self._pending
+            ]
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._pending = [
+            InputVector(
+                values=np.asarray(doc["values"], dtype=np.int64),
+                sequence_number=doc["sequence_number"],
+                trigger_address=doc["trigger_address"],
+                trigger_cycle=doc["trigger_cycle"],
+            )
+            for doc in state["pending"]
+        ]
 
     def _deliver(self, vectors: List[InputVector], flush_ns: float) -> None:
         for vector in vectors:

@@ -15,6 +15,7 @@ from repro.soc.software_baseline import (
     SoftwareTransferModel,
     RtadOverheadModel,
 )
+from repro.soc.loop import LoopDataplane
 from repro.soc.rtad import RtadSoc, RtadConfig, AttackTrialResult
 from repro.soc.manager import (
     Deployment,
@@ -37,6 +38,7 @@ __all__ = [
     "SoftwareInstrumentationModel",
     "SoftwareTransferModel",
     "RtadOverheadModel",
+    "LoopDataplane",
     "RtadSoc",
     "RtadConfig",
     "AttackTrialResult",

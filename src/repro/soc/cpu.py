@@ -83,6 +83,20 @@ class PtmFifoModel:
     def occupancy(self) -> int:
         return self._occupancy
 
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (see repro.durability)."""
+        return {
+            "pending": [[time_ns, nbytes] for time_ns, nbytes in self._pending],
+            "occupancy": self._occupancy,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._pending = [
+            (time_ns, nbytes) for time_ns, nbytes in state["pending"]
+        ]
+        self._occupancy = state["occupancy"]
+        self._m_occupancy.set(self._occupancy)
+
     def mean_buffer_delay_ns(self, byte_rate_per_ns: float) -> float:
         """Analytic expected delay of a byte through the FIFO.
 

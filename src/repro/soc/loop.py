@@ -1,0 +1,198 @@
+"""Per-event reference dataplane as a reusable tenant component.
+
+:class:`LoopDataplane` packages the per-event trace path of
+:meth:`repro.soc.rtad.RtadSoc._run_events_loop` — CoreSight PTM/TPIU
+byte emission, PTM-FIFO batching, address map + vector encode, and
+timed delivery into a sink — behind the same ``run`` / ``reset`` /
+``export_state`` surface as the staged :class:`repro.pipeline.Pipeline`.
+That lets :class:`repro.soc.manager.TenantRuntime` host either
+implementation per tenant (``RtadConfig.dataplane``), and lets the
+crash-recovery harness assert replay equivalence on both.
+
+Fault channels reuse the batched stages' pure helpers
+(:func:`repro.faults.stages.apply_event_faults`,
+:class:`repro.faults.stages.VectorOverflowModel`), so for one
+:class:`~repro.faults.plan.FaultPlan` the two dataplanes inject the
+identical pattern.  The ``CHUNK_CORRUPT`` channel is batched-only by
+construction: there are no in-flight chunks here to corrupt.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from repro.coresight.driver import CoreSightDriver
+from repro.coresight.ptm import PtmConfig
+from repro.igm.address_mapper import AddressMapper
+from repro.igm.vector_encoder import InputVector, VectorEncoder
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.soc.clocks import CPU_CLOCK, RTAD_CLOCK, ClockDomain
+from repro.soc.cpu import PtmFifoModel
+from repro.workloads.cfg import BranchEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.faults.stages import VectorOverflowModel
+
+
+class LoopDataplane:
+    """Per-event trace path: PTM -> FIFO -> IGM -> sink, one event at
+    a time.  Behaviour-identical to the five-stage batched pipeline
+    built by :func:`repro.pipeline.build_trace_pipeline` on the same
+    mapper/encoder/sink (the differential tests pin this)."""
+
+    def __init__(
+        self,
+        mapper: AddressMapper,
+        encoder: VectorEncoder,
+        sink: Callable[[InputVector, float], None],
+        *,
+        ptm_config: Optional[PtmConfig] = None,
+        tpiu_sync_period: int = 64,
+        fifo_threshold_bytes: int = 176,
+        port_clock: ClockDomain = RTAD_CLOCK,
+        igm_pipe_ns: float = 24.0,
+        metrics: Optional[MetricsRegistry] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+    ) -> None:
+        self.mapper = mapper
+        self.encoder = encoder
+        self.sink = sink
+        self.igm_pipe_ns = igm_pipe_ns
+        self.metrics = metrics or NULL_REGISTRY
+        self.fault_plan = fault_plan
+        self.coresight = CoreSightDriver(
+            ptm_config=ptm_config,
+            sync_period=tpiu_sync_period,
+            metrics=self.metrics,
+        )
+        self.coresight.enable()
+        self.fifo = PtmFifoModel(
+            threshold_bytes=fifo_threshold_bytes,
+            port_clock=port_clock,
+            metrics=self.metrics,
+        )
+        self._overflow: Optional["VectorOverflowModel"] = None
+        if fault_plan is not None and not fault_plan.is_noop:
+            from repro.faults.plan import FaultKind
+            from repro.faults.stages import VectorOverflowModel
+
+            if fault_plan.spec(FaultKind.FIFO_OVERFLOW) is not None:
+                self._overflow = VectorOverflowModel(fault_plan)
+        # Counter names match the batched fault stages so either
+        # dataplane reports injected losses identically.
+        self._m_ev_dropped = self.metrics.counter("faults.events.dropped")
+        self._m_ev_duplicated = self.metrics.counter(
+            "faults.events.duplicated"
+        )
+        self._m_ev_corrupted = self.metrics.counter(
+            "faults.events.corrupted"
+        )
+        self._m_vec_dropped = self.metrics.counter("faults.vectors.dropped")
+        self._m_read = self.metrics.histogram("pipeline.read_ns")
+        self._m_vectorize = self.metrics.histogram("pipeline.vectorize_ns")
+        self._injected_drops = 0
+
+    @property
+    def fault_drops(self) -> int:
+        """Losses this dataplane injected (health-machine accounting).
+
+        Same contract as the batched fault stages' ``fault_drops``:
+        event drops plus overflow vector drops.
+        """
+        overflow = self._overflow.dropped if self._overflow else 0
+        return self._injected_drops + overflow
+
+    def reset(self) -> None:
+        """New trace session: fresh PTM/TPIU context, empty FIFO."""
+        self.coresight.disable()
+        self.coresight.enable()
+        self.fifo.reset()
+        if self._overflow is not None:
+            self._overflow.reset()
+
+    def run(self, events: Sequence[BranchEvent]) -> None:
+        """Feed a whole event stream through, then flush the tail."""
+        if not len(events):
+            return
+        plan = self.fault_plan
+        if plan is not None and not plan.is_noop:
+            from repro.faults.stages import apply_event_faults
+
+            events, counts = apply_event_faults(events, plan)
+            if counts:
+                self._injected_drops += counts.dropped
+                self._m_ev_dropped.inc(counts.dropped)
+                self._m_ev_duplicated.inc(counts.duplicated)
+                self._m_ev_corrupted.inc(counts.corrupted)
+            if not len(events):
+                return
+        pending: List[InputVector] = []
+        for event in events:
+            time_ns = CPU_CLOCK.to_ns(event.cycle)
+            chunk = self.coresight.trace(event)
+            index = self.mapper.lookup(event.target)
+            if index is not None:
+                vector = self.encoder.push(
+                    index=index, address=event.target, cycle=event.cycle
+                )
+                if vector is not None:
+                    pending.append(vector)
+            flushed = self.fifo.push(time_ns, len(chunk))
+            if flushed is not None:
+                self._deliver(pending, flushed)
+                pending = []
+        tail = self.coresight.flush()
+        last_ns = CPU_CLOCK.to_ns(events[-1].cycle)
+        self.fifo.push(last_ns, len(tail))
+        flushed = self.fifo.flush(last_ns)
+        if flushed is not None:
+            self._deliver(pending, flushed)
+
+    def _deliver(
+        self, vectors: List[InputVector], flush_ns: float
+    ) -> None:
+        for vector in vectors:
+            if self._overflow is not None and not self._overflow.admit():
+                self._m_vec_dropped.inc()
+                continue
+            trigger_ns = CPU_CLOCK.to_ns(vector.trigger_cycle)
+            self._m_read.observe(max(0.0, flush_ns - trigger_ns))
+            self._m_vectorize.observe(self.igm_pipe_ns)
+            self.sink(vector, flush_ns + self.igm_pipe_ns)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Carry state for checkpointing, mirroring Pipeline's shape."""
+        assert self.coresight._ptm is not None
+        assert self.coresight._tpiu is not None
+        state = {
+            "ptm": self.coresight._ptm.export_state(),
+            "tpiu": self.coresight._tpiu.export_state(),
+            "fifo": self.fifo.export_state(),
+            "injected_drops": self._injected_drops,
+        }
+        if self._overflow is not None:
+            state["overflow"] = {
+                "index": self._overflow._index,
+                "burst_left": self._overflow._burst_left,
+                "dropped": self._overflow.dropped,
+            }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        self.coresight.disable()
+        self.coresight.enable()
+        assert self.coresight._ptm is not None
+        assert self.coresight._tpiu is not None
+        self.coresight._ptm.restore_state(state["ptm"])
+        self.coresight._tpiu.restore_state(state["tpiu"])
+        self.fifo.restore_state(state["fifo"])
+        self._injected_drops = state["injected_drops"]
+        if self._overflow is not None and "overflow" in state:
+            self._overflow._index = state["overflow"]["index"]
+            self._overflow._burst_left = state["overflow"]["burst_left"]
+            self._overflow.dropped = state["overflow"]["dropped"]

@@ -37,7 +37,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.coresight.ptm import PtmConfig
-from repro.errors import SocConfigError, TenantCrashError
+from repro.durability.journal import (
+    MIN_RECORD_BYTES,
+    Journal,
+    RecordKind,
+    decode_json_payload,
+    decode_trace_chunk,
+    encode_json_payload,
+    encode_trace_chunk,
+)
+from repro.errors import (
+    JournalCorruptionError,
+    ProcessCrashError,
+    SocConfigError,
+    TenantCrashError,
+)
+from repro.faults.crashpoints import CrashPointInjector
 from repro.faults.service import ServiceFaultInjector, crash_fraction
 from repro.igm.address_mapper import AddressMapper
 from repro.igm.vector_encoder import EncoderMode, InputVector, VectorEncoder
@@ -137,6 +152,7 @@ class TenantRuntime:
                 score_smoothing=config.score_smoothing,
                 rtad_clock_hz=config.rtad_clock_hz,
                 gpu_clock_hz=config.gpu_clock_hz,
+                dual_run=config.dual_run,
             ),
             metrics=metrics,
         )
@@ -144,21 +160,32 @@ class TenantRuntime:
         # Deferred import: repro.pipeline depends on repro.soc.clocks,
         # a module-level import here would be circular (see rtad.py).
         from repro.pipeline import build_trace_pipeline
+        from repro.soc.loop import LoopDataplane
 
-        self.pipeline = build_trace_pipeline(
-            self.mapper,
-            self.encoder,
-            self._capture,
-            ptm_config=deployment.ptm_config,
-            igm_pipe_ns=config.igm_pipe_ns,
-            metrics=metrics,
-            chunk_events=config.chunk_events,
-            fault_plan=self.fault_plan,
-        )
+        if config.dataplane == "loop":
+            self.pipeline = LoopDataplane(
+                self.mapper,
+                self.encoder,
+                self._capture,
+                ptm_config=deployment.ptm_config,
+                igm_pipe_ns=config.igm_pipe_ns,
+                metrics=metrics,
+                fault_plan=self.fault_plan,
+            )
+        else:
+            self.pipeline = build_trace_pipeline(
+                self.mapper,
+                self.encoder,
+                self._capture,
+                ptm_config=deployment.ptm_config,
+                igm_pipe_ns=config.igm_pipe_ns,
+                metrics=metrics,
+                chunk_events=config.chunk_events,
+                fault_plan=self.fault_plan,
+            )
+        candidates = getattr(self.pipeline, "stages", [self.pipeline])
         self._fault_stages = [
-            stage
-            for stage in self.pipeline.stages
-            if hasattr(stage, "fault_drops")
+            stage for stage in candidates if hasattr(stage, "fault_drops")
         ]
         self._observed_records = 0
         # --- health bookkeeping (plain attributes: decisions must not
@@ -235,9 +262,23 @@ class SocManager:
         metrics: Optional[MetricsRegistry] = None,
         deadline_us: Optional[float] = None,
         health_policy: Optional[HealthPolicy] = None,
+        *,
+        journal: Optional[Journal] = None,
+        checkpoint_interval_events: Optional[int] = None,
+        journal_chunk_events: int = 8192,
+        crash_points: Optional[CrashPointInjector] = None,
     ) -> None:
         if not deployments:
             raise SocConfigError("SocManager needs at least one tenant")
+        if journal_chunk_events < 1:
+            raise SocConfigError("journal_chunk_events must be >= 1")
+        if (
+            checkpoint_interval_events is not None
+            and checkpoint_interval_events < 1
+        ):
+            raise SocConfigError(
+                "checkpoint_interval_events must be >= 1 (or None)"
+            )
         names = [d.name for d in deployments]
         if len(set(names)) != len(names):
             raise SocConfigError(f"duplicate tenant names in {names}")
@@ -268,7 +309,16 @@ class SocManager:
             ],
         )
         self._round = 0
+        # --- durability (repro.durability; docs/DURABILITY.md) ---
+        self._journal = journal
+        self._checkpoint_interval = checkpoint_interval_events
+        self._journal_chunk_events = journal_chunk_events
+        self._crash_points = crash_points
+        self._replaying = False
+        self._events_since_checkpoint = 0
         self._m_runs = self.metrics.counter("socmgr.runs")
+        self._m_recoveries = self.metrics.counter("socmgr.recoveries")
+        self._m_replayed = self.metrics.counter("socmgr.rounds_replayed")
         self._m_events = self.metrics.counter("socmgr.events")
         self._m_vectors = self.metrics.counter("socmgr.vectors")
         self._m_crashes = self.metrics.counter("socmgr.crashes")
@@ -353,6 +403,13 @@ class SocManager:
         unknown = set(traces) - known
         if unknown:
             raise SocConfigError(f"unknown tenants {sorted(unknown)}")
+        journaling = self._journal is not None and not self._replaying
+        if journaling:
+            # Write-ahead: the round's inputs are durable before any
+            # processing, so a crash anywhere after this point can be
+            # recovered by replay (or by discarding the uncommitted
+            # tail and re-feeding).
+            self._journal_round(self._round, traces)
         with self.metrics.trace(
             "socmgr.run_events", tenants=len(self.tenants)
         ):
@@ -396,10 +453,219 @@ class SocManager:
             self.arbiter.finalize()
             self._update_health(traces, ran)
             self._m_runs.inc()
-            return {
+            results = {
                 runtime.name: runtime.take_new_records()
                 for runtime in self.tenants
             }
+            if journaling:
+                self._commit_round(
+                    round_index,
+                    sum(len(events) for events in traces.values()),
+                )
+            return results
+
+    # ------------------------------------------------------------------
+    # Durability: write-ahead journal, checkpoints, recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def next_round(self) -> int:
+        """Index of the next round ``run_events`` will run.
+
+        After :meth:`recover` this is the first round whose inputs were
+        *not* durably committed — the caller resumes feeding from here.
+        """
+        return self._round
+
+    def _crash(self, site: str) -> None:
+        if self._crash_points is not None:
+            self._crash_points.reached(site)
+
+    def _journal_round(
+        self, round_index: int, traces: Mapping[str, Sequence[BranchEvent]]
+    ) -> None:
+        """Make one round's inputs durable ahead of processing."""
+        journal = self._journal
+        assert journal is not None
+        active = [
+            runtime.name
+            for runtime in self.tenants
+            if len(traces.get(runtime.name, ()))
+        ]
+        journal.append(
+            RecordKind.ROUND_BEGIN,
+            encode_json_payload({"round": round_index, "tenants": active}),
+        )
+        self._crash("wal.round_begin")
+        step = self._journal_chunk_events
+        for runtime in self.tenants:
+            events = traces.get(runtime.name, ())
+            if not len(events):
+                continue
+            for chunk_index, start in enumerate(
+                range(0, len(events), step)
+            ):
+                payload = encode_trace_chunk(
+                    runtime.name,
+                    round_index,
+                    chunk_index,
+                    events[start : start + step],
+                )
+                injector = self._crash_points
+                if injector is not None and injector.fires(
+                    "wal.chunk.torn"
+                ):
+                    # Crash mid-write: only a prefix of the record
+                    # reaches the journal — the torn tail the reopen
+                    # scan must tolerate and truncate.
+                    keep = (MIN_RECORD_BYTES + len(payload)) // 2
+                    journal.append_torn(
+                        RecordKind.TRACE_CHUNK, payload, keep
+                    )
+                    raise ProcessCrashError(
+                        "injected process crash at 'wal.chunk.torn' "
+                        f"(round {round_index}, tenant {runtime.name!r})"
+                    )
+                journal.append(RecordKind.TRACE_CHUNK, payload)
+                self._crash("wal.chunk")
+            self._crash("wal.chunk.done")
+
+    def _commit_round(self, round_index: int, event_count: int) -> None:
+        """Mark the round replayable; checkpoint when the interval is due."""
+        journal = self._journal
+        assert journal is not None
+        journal.append(
+            RecordKind.ROUND_COMMIT,
+            encode_json_payload({"round": round_index}),
+        )
+        self._crash("wal.commit")
+        self._events_since_checkpoint += event_count
+        interval = self._checkpoint_interval
+        if interval is None or self._events_since_checkpoint < interval:
+            return
+        # Deferred import: repro.durability.checkpoint imports this
+        # module (for TenantHealth) inside its own functions.
+        from repro.durability.checkpoint import capture_checkpoint
+
+        journal.append(
+            RecordKind.CHECKPOINT,
+            encode_json_payload(capture_checkpoint(self)),
+        )
+        # Rolling at the checkpoint bounds replay work: recovery only
+        # reads from the newest checkpoint forward, and older segments
+        # become prunable.
+        journal.roll()
+        self._events_since_checkpoint = 0
+        self._crash("wal.checkpoint")
+
+    @classmethod
+    def recover(
+        cls,
+        journal: Journal,
+        deployments: Sequence[Deployment],
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        deadline_us: Optional[float] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        checkpoint_interval_events: Optional[int] = None,
+        journal_chunk_events: int = 8192,
+        crash_points: Optional[CrashPointInjector] = None,
+    ) -> "SocManager":
+        """Rebuild a manager from its journal after a crash.
+
+        ``deployments`` re-supplies the non-serializable parts (models,
+        drivers, detectors) and must match the tenant set that was live
+        at the newest checkpoint.  Recovery restores that checkpoint,
+        replays every durably *committed* round after it (replay is
+        deterministic, so the replayed inference records are
+        byte-identical to the uninterrupted run's), and discards an
+        uncommitted tail — :attr:`next_round` tells the caller which
+        round to re-feed first.  ``crash_points`` is armed only after
+        replay finishes; recovery itself never re-fires the injector
+        that killed the original process.
+        """
+        manager = cls(
+            deployments,
+            metrics=metrics,
+            deadline_us=deadline_us,
+            health_policy=health_policy,
+            journal=journal,
+            checkpoint_interval_events=checkpoint_interval_events,
+            journal_chunk_events=journal_chunk_events,
+        )
+        records = journal.records()
+        start = 0
+        checkpoint = None
+        for position, record in enumerate(records):
+            if record.kind is RecordKind.CHECKPOINT:
+                checkpoint = record
+                start = position + 1
+        if checkpoint is not None:
+            from repro.durability.checkpoint import restore_checkpoint
+
+            restore_checkpoint(
+                manager, decode_json_payload(checkpoint.payload)
+            )
+        replayed = 0
+        manager._replaying = True
+        try:
+            pending_round: Optional[int] = None
+            pending: Dict[str, List[BranchEvent]] = {}
+            for record in records[start:]:
+                if record.kind is RecordKind.ROUND_BEGIN:
+                    # A BEGIN with an unfinished predecessor means the
+                    # predecessor never committed; its buffer is dead.
+                    header = decode_json_payload(record.payload)
+                    pending_round = header["round"]
+                    pending = {name: [] for name in header["tenants"]}
+                elif record.kind is RecordKind.TRACE_CHUNK:
+                    chunk = decode_trace_chunk(record.payload)
+                    if (
+                        pending_round is None
+                        or chunk.round_index != pending_round
+                    ):
+                        raise JournalCorruptionError(
+                            f"trace chunk for round {chunk.round_index} "
+                            f"outside open round {pending_round}"
+                        )
+                    if chunk.tenant not in pending:
+                        raise JournalCorruptionError(
+                            f"trace chunk for tenant {chunk.tenant!r} "
+                            "not named by its round header"
+                        )
+                    pending[chunk.tenant].extend(chunk.events)
+                elif record.kind is RecordKind.ROUND_COMMIT:
+                    header = decode_json_payload(record.payload)
+                    if (
+                        pending_round is None
+                        or header["round"] != pending_round
+                    ):
+                        raise JournalCorruptionError(
+                            f"commit for round {header['round']} without "
+                            "a matching open round"
+                        )
+                    if pending_round != manager._round:
+                        raise JournalCorruptionError(
+                            f"journal replays round {pending_round} but "
+                            f"the manager is at round {manager._round}"
+                        )
+                    manager.run_events(
+                        {
+                            name: tuple(events)
+                            for name, events in pending.items()
+                        }
+                    )
+                    replayed += 1
+                    pending_round, pending = None, {}
+        finally:
+            manager._replaying = False
+        # Fresh segment: post-recovery appends never share a file with
+        # the (possibly truncated) crashed tail.
+        journal.roll()
+        manager._crash_points = crash_points
+        manager._m_recoveries.inc()
+        manager._m_replayed.inc(replayed)
+        return manager
 
     # ------------------------------------------------------------------
     # Health transitions

@@ -58,6 +58,9 @@ class RtadConfig:
     # Both are behaviour-identical; batched is much faster.
     dataplane: str = "batched"
     chunk_events: int = 32768           # batched dataplane chunk size
+    #: Run every inference twice from the same model state and flag
+    #: divergent scores on the record (repro.durability voting mode).
+    dual_run: bool = False
     #: Optional seeded fault-injection plan (repro.faults).  Event and
     #: FIFO-overflow channels apply identically to both dataplanes; a
     #: None (or all-zero-rate) plan leaves the SoC byte-identical.
@@ -126,6 +129,7 @@ class RtadSoc:
                 score_smoothing=self.config.score_smoothing,
                 rtad_clock_hz=self.config.rtad_clock_hz,
                 gpu_clock_hz=self.config.gpu_clock_hz,
+                dual_run=self.config.dual_run,
             ),
             metrics=self.metrics,
         )

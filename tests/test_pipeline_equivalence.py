@@ -40,11 +40,13 @@ def run_one(kind: str, events, dataplane: str, chunk_events: int = 32768):
     counters = {
         name: value
         for name, value in registry.snapshot()["counters"].items()
-        # pipeline.port/stage/deliver/chunk bookkeeping exists only on
-        # the batched path; every shared counter must agree exactly.
+        # pipeline.port/stage/deliver/chunk/integrity bookkeeping
+        # exists only on the batched path; every shared counter must
+        # agree exactly.
         if not name.startswith("pipeline.port.")
         and not name.startswith("pipeline.stage.")
         and not name.startswith("pipeline.deliver.")
+        and not name.startswith("pipeline.integrity.")
         and name != "pipeline.chunks"
     }
     return records, interrupts, counters
