@@ -35,6 +35,12 @@ from repro.eval.metrics import (
     metrics_to_json,
     run_metrics_all,
 )
+from repro.eval.profile import (
+    DEFAULT_INFERENCES,
+    format_profile,
+    profile_to_json,
+    run_profile,
+)
 from repro.eval.recovery import (
     recovery_failures,
     recovery_to_json,
@@ -46,11 +52,11 @@ from repro.eval.table2 import format_table2, run_table2
 
 EXPERIMENTS = (
     "table1", "table2", "fig6", "fig7", "fig8", "metrics", "chaos",
-    "recovery",
+    "recovery", "profile",
 )
 
 #: Experiments whose --json output must stay one valid JSON document.
-_JSON_EXPERIMENTS = ("metrics", "chaos", "recovery")
+_JSON_EXPERIMENTS = ("metrics", "chaos", "recovery", "profile")
 
 
 def main(argv=None) -> int:
@@ -103,6 +109,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seeds", nargs="*", type=int, default=None,
         help="seed list for the recovery experiment (default: 0 1 2)",
+    )
+    parser.add_argument(
+        "--inferences", type=int, default=DEFAULT_INFERENCES,
+        help="exact-mode inferences per profiled model "
+             f"(default {DEFAULT_INFERENCES})",
     )
     args = parser.parse_args(argv)
     if args.events < 0:
@@ -172,6 +183,18 @@ def main(argv=None) -> int:
                 )
             else:
                 output = format_recovery(recovery)
+        elif name == "profile":
+            profiled = run_profile(
+                kinds=tuple(args.models or ("elm", "lstm")),
+                inferences=args.inferences,
+                seed=args.seed,
+            )
+            if args.json:
+                output = json.dumps(
+                    profile_to_json(profiled), indent=2, sort_keys=True
+                )
+            else:
+                output = format_profile(profiled)
         else:
             output = format_fig8(
                 run_fig8(

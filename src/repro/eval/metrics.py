@@ -96,6 +96,22 @@ ROBUSTNESS_COUNTERS = (
     "durability.journal.torn_drops",
 )
 
+#: Fast-path counters always reported (0 when the engine never took
+#: the compiled path — e.g. the calibrated demo mode, which dispatches
+#: only the warm-up calibration inference), so the output shape is
+#: stable across execution modes.
+PERF_COUNTERS = (
+    "miaow.compile.hits",
+    "miaow.compile.misses",
+    "miaow.compile.evictions",
+    "miaow.fastpath.dispatches",
+    "miaow.fastpath.interpreted",
+    "miaow.fastpath.fallback.disabled",
+    "miaow.fastpath.fallback.coverage",
+    "miaow.fastpath.fallback.occupancy",
+    "miaow.fastpath.fallback.unsupported",
+)
+
 _DEMO_PARTS: Dict[Tuple[str, int], dict] = {}
 
 
@@ -434,6 +450,29 @@ def robustness_counters(snapshot: Dict[str, object]) -> Dict[str, int]:
     return out
 
 
+def perf_counters(snapshot: Dict[str, object]) -> Dict[str, int]:
+    """Engine fast-path counters from one registry snapshot.
+
+    Mirrors :func:`robustness_counters`: every canonical
+    compiled-fast-path counter is present even when it reads zero.
+    """
+    counters: Dict[str, int] = snapshot.get("counters", {})  # type: ignore
+    return {name: int(counters.get(name, 0)) for name in PERF_COUNTERS}
+
+
+def perf_table(result: MetricsRunResult) -> str:
+    rows = [
+        (name, value)
+        for name, value in perf_counters(result.snapshot).items()
+    ]
+    return format_table(
+        ["counter", "count"],
+        rows,
+        title=f"{result.kind}: engine fast path (compile cache / "
+              "dispatch routing)",
+    )
+
+
 def robustness_table(result: MetricsRunResult) -> str:
     rows = [
         (name, value)
@@ -452,6 +491,7 @@ def format_metrics(results: Sequence[MetricsRunResult]) -> str:
     sections = []
     for result in results:
         sections.append(stage_table(result))
+        sections.append(perf_table(result))
         sections.append(robustness_table(result))
         sections.append(
             format_snapshot(
@@ -469,6 +509,7 @@ def metrics_to_json(results: Sequence[MetricsRunResult]) -> Dict[str, object]:
             "inferences": result.inferences,
             "interrupts": result.interrupts,
             "dropped": result.dropped,
+            "perf": perf_counters(result.snapshot),
             "robustness": robustness_counters(result.snapshot),
             "metrics": result.snapshot,
         }

@@ -1,0 +1,188 @@
+"""``python -m repro.eval profile`` — cProfile hotspot report.
+
+Profiles the exact-mode MCM hot path (every kernel really dispatched
+on the GPU simulator, compiled fast path enabled) plus the demo SoC
+pipeline, and reports the top functions by cumulative time.  This is
+the tool that motivated the trace-compiled executors: before the fast
+path, the per-instruction interpreter dominated every profile; after
+it, the remaining cost concentrates in the generated kernel runners
+and numpy itself.
+
+Output is a per-kind table of hotspots (text) or one JSON document
+with ``--json``; ``--events`` scales how many inferences are profiled.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.report import format_table
+from repro.mcm.driver import MlMiaowDriver
+from repro.miaow.gpu import Gpu
+from repro.ml.elm import ExtremeLearningMachine
+from repro.ml.features import PatternDictionary
+from repro.ml.kernels import DeployedElm, DeployedLstm
+from repro.ml.lstm import LstmModel
+
+PROFILE_KINDS = ("elm", "lstm")
+DEFAULT_INFERENCES = 200
+DEFAULT_TOP = 20
+
+_WINDOW = 16
+_NUM_CUS = 5
+
+
+@dataclass
+class Hotspot:
+    """One row of the profile: a function and its aggregate cost."""
+
+    function: str
+    module: str
+    calls: int
+    tottime_s: float
+    cumtime_s: float
+
+
+@dataclass
+class ProfileResult:
+    kind: str
+    inferences: int
+    wall_s: float
+    hotspots: List[Hotspot]
+    fastpath: Dict[str, int]
+
+
+def _make_runner(kind: str, seed: int):
+    """Build an exact-mode driver and a zero-arg inference thunk."""
+    rng = np.random.default_rng(seed)
+    if kind == "elm":
+        windows = rng.integers(0, 12, size=(200, _WINDOW))
+        dictionary = PatternDictionary(n=2, capacity=255, unseen_gain=2)
+        dictionary.fit(windows)
+        model = ExtremeLearningMachine(
+            input_dim=dictionary.size, seed=seed
+        ).fit(dictionary.features(windows))
+        driver = MlMiaowDriver(
+            DeployedElm(model, dictionary, _WINDOW),
+            Gpu(num_cus=_NUM_CUS),
+            execute_on_gpu=True,
+        )
+        indices = dictionary.indices(windows[0])
+        return driver, lambda: driver.run_inference(indices)
+    if kind == "lstm":
+        model = LstmModel(vocabulary_size=64, seed=seed)
+        driver = MlMiaowDriver(
+            DeployedLstm(model), Gpu(num_cus=_NUM_CUS),
+            execute_on_gpu=True,
+        )
+        return driver, lambda: driver.run_inference(3)
+    raise ValueError(f"unknown profile kind {kind!r}")
+
+
+def _top_hotspots(stats: pstats.Stats, top: int) -> List[Hotspot]:
+    rows = []
+    for (filename, line, name), entry in stats.stats.items():  # type: ignore[attr-defined]
+        calls, _, tottime, cumtime, _ = entry
+        if filename == "~":  # builtins
+            module = "<builtin>"
+            function = name
+        else:
+            module = filename.rsplit("/", 1)[-1]
+            function = f"{name}:{line}"
+        rows.append(
+            Hotspot(
+                function=function,
+                module=module,
+                calls=int(calls),
+                tottime_s=float(tottime),
+                cumtime_s=float(cumtime),
+            )
+        )
+    rows.sort(key=lambda h: h.tottime_s, reverse=True)
+    return rows[:top]
+
+
+def run_profile(
+    kinds: Sequence[str] = PROFILE_KINDS,
+    inferences: int = DEFAULT_INFERENCES,
+    seed: int = 0,
+    top: int = DEFAULT_TOP,
+) -> List[ProfileResult]:
+    """Profile ``inferences`` exact-mode inferences per model kind."""
+    results = []
+    for kind in kinds:
+        driver, run_once = _make_runner(kind, seed)
+        run_once()  # warm the compile cache; profile steady state
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for _ in range(inferences):
+            run_once()
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        results.append(
+            ProfileResult(
+                kind=kind,
+                inferences=inferences,
+                wall_s=float(stats.total_tt),  # type: ignore[attr-defined]
+                hotspots=_top_hotspots(stats, top),
+                fastpath=driver.fastpath_stats(),
+            )
+        )
+    return results
+
+
+def format_profile(results: Sequence[ProfileResult]) -> str:
+    sections = []
+    for result in results:
+        per_inference_us = result.wall_s / result.inferences * 1e6
+        rows = [
+            (
+                spot.module,
+                spot.function,
+                spot.calls,
+                f"{spot.tottime_s * 1e3:.1f}",
+                f"{spot.cumtime_s * 1e3:.1f}",
+            )
+            for spot in result.hotspots
+        ]
+        sections.append(
+            format_table(
+                ["module", "function", "calls", "self ms", "cum ms"],
+                rows,
+                title=(
+                    f"{result.kind}: top {len(rows)} hotspots "
+                    f"({result.inferences} exact-mode inferences, "
+                    f"{result.wall_s:.2f}s total, "
+                    f"{per_inference_us:.0f}us/inference)"
+                ),
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def profile_to_json(
+    results: Sequence[ProfileResult],
+) -> Dict[str, object]:
+    return {
+        result.kind: {
+            "inferences": result.inferences,
+            "wall_s": round(result.wall_s, 4),
+            "fastpath": result.fastpath,
+            "hotspots": [
+                {
+                    "module": spot.module,
+                    "function": spot.function,
+                    "calls": spot.calls,
+                    "tottime_s": round(spot.tottime_s, 6),
+                    "cumtime_s": round(spot.cumtime_s, 6),
+                }
+                for spot in result.hotspots
+            ],
+        }
+        for result in results
+    }

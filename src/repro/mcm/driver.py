@@ -4,8 +4,10 @@ Binds one deployed model to one GPU engine and runs inferences.  Two
 execution modes:
 
 - **exact** (``execute_on_gpu=True``): every inference actually runs
-  on the instruction-level GPU simulator.  Used by correctness tests
-  and the equivalence checks.
+  on the GPU simulator.  When the engine's fast path is eligible the
+  dispatches go through :mod:`repro.miaow.compiler`'s cached compiled
+  executors (bit-identical to the interpreter); either way this mode
+  is used by correctness tests and the equivalence checks.
 - **calibrated** (``execute_on_gpu=False``): kernel cycle counts are
   measured once on the real simulator (they are data-independent —
   every kernel loop has a fixed trip count) and reused, while scores
@@ -143,6 +145,10 @@ class MlMiaowDriver:
     def phases(self) -> InferencePhases:
         """The (data-independent) per-inference GPU cycle breakdown."""
         return self._cached_phases
+
+    def fastpath_stats(self) -> dict:
+        """Engine fast-path cache snapshot (benchmarks/diagnostics)."""
+        return self.gpu.fastpath_stats()
 
     @property
     def result_words(self) -> int:

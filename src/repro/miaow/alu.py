@@ -4,6 +4,16 @@ Each handler mutates a :class:`Wavefront` given the owning compute
 unit (for memory access).  Vector operations are numpy-vectorized
 across the 64 lanes and respect the EXEC write mask; VCC-writing
 compares clear inactive lanes, matching SI.
+
+This module is the behavioural oracle for the compiled fast path:
+:mod:`repro.miaow.compiler` mirrors each handler statement for
+statement and must stay bit-identical.  Load-bearing details here
+include that :func:`read_vector` broadcasts scalar operands to full
+uint32 lane arrays *viewed* as float32 — so scalar NaN payloads enter
+arithmetic exactly, with array/array propagation rules — and that
+float products are computed in float32 (never through python floats).
+Change semantics here and the equivalence suite
+(``tests/test_miaow_compiler.py``) will hold the compiler to it.
 """
 
 from __future__ import annotations

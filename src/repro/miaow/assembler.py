@@ -19,6 +19,7 @@ encodes inline constants.
 
 from __future__ import annotations
 
+import hashlib
 import re
 import struct
 from dataclasses import dataclass, field
@@ -54,6 +55,22 @@ class Kernel:
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+    def content_digest(self) -> str:
+        """Stable hash of the program text (name, labels, code, vgprs).
+
+        Memoized on the instance: kernels are treated as immutable once
+        assembled (nothing in the engine mutates them), so the digest
+        is computed at most once.  Used as the compiled-kernel cache
+        key by :mod:`repro.miaow.compiler`.
+        """
+        digest = getattr(self, "_content_digest", None)
+        if digest is None:
+            digest = hashlib.sha1(
+                self.disassemble().encode("utf-8")
+            ).hexdigest()
+            self._content_digest = digest
+        return digest
 
     def resolve(self, label: str) -> int:
         try:

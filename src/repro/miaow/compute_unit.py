@@ -6,6 +6,13 @@ functional-unit latency, so with a single resident wavefront latency is
 fully exposed (the FPGA MIAOW regime) while multiple wavefronts
 overlap.  ``max_resident`` is the occupancy knob — the ablation
 benchmarks sweep it.
+
+At occupancy 1 this scheduling loop is also mirrored by the compiled
+fast path: :mod:`repro.miaow.compiler` precomputes per-block cycle
+costs from the same ``max(issue, cost)`` recurrence this loop applies
+per instruction, so ``DispatchResult`` cycle/instruction counts match
+the interpreter exactly.  Timing changes here must be reflected there
+(the equivalence suite runs both paths under non-default timings).
 """
 
 from __future__ import annotations

@@ -9,6 +9,7 @@ way the MCM loads them at application-load time).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -16,10 +17,25 @@ import numpy as np
 
 from repro.errors import GpuError, KernelLaunchError
 from repro.miaow.assembler import Kernel
+from repro.miaow.compiler import (
+    CompiledKernel,
+    CompileUnsupported,
+    compile_kernel,
+)
 from repro.miaow.compute_unit import ComputeUnit, GpuTimings
 from repro.miaow.coverage import CoverageCollector
 from repro.miaow.memory import GlobalMemory
 from repro.obs import MetricsRegistry, NULL_REGISTRY
+
+#: Compiled-kernel LRU capacity.  The whole shipped model zoo needs six
+#: kernels; 32 leaves generous headroom for synthetic/test kernels
+#: without letting a kernel-churning workload hold executors forever.
+COMPILED_CACHE_CAPACITY = 32
+
+#: Dispatch-plan LRU capacity (keyed by workgroup count).
+PLAN_CACHE_CAPACITY = 64
+
+_FALLBACK_REASONS = ("disabled", "coverage", "occupancy", "unsupported")
 
 
 @dataclass(frozen=True)
@@ -49,6 +65,7 @@ class Gpu:
         allowed_ops: Optional[Set[str]] = None,
         name: str = "MIAOW",
         metrics: Optional[MetricsRegistry] = None,
+        fast_path: bool = True,
     ) -> None:
         if num_cus < 1:
             raise GpuError("need at least one CU")
@@ -57,6 +74,17 @@ class Gpu:
         self.global_memory = global_memory or GlobalMemory()
         self.coverage = coverage
         self.allowed_ops = allowed_ops
+        self.max_resident = max_resident
+        self.fast_path = fast_path
+        # digest -> CompiledKernel, or None for kernels the compiler
+        # declined (negative cache: don't retry a hopeless compile on
+        # every dispatch).
+        self._compiled_cache: "OrderedDict[str, Optional[CompiledKernel]]" = (
+            OrderedDict()
+        )
+        # workgroup count -> per-CU workgroup-id lists (round-robin);
+        # shared by the compiled and interpreted paths.
+        self._plan_cache: "OrderedDict[int, List[List[int]]]" = OrderedDict()
         self.compute_units = [
             ComputeUnit(
                 cu_id=index,
@@ -78,6 +106,15 @@ class Gpu:
         self._m_dispatches = registry.counter("gpu.dispatches")
         self._m_cycles = registry.counter("gpu.wavefront_cycles")
         self._m_instructions = registry.counter("gpu.instructions")
+        self._m_compile_hits = registry.counter("miaow.compile.hits")
+        self._m_compile_misses = registry.counter("miaow.compile.misses")
+        self._m_compile_evictions = registry.counter("miaow.compile.evictions")
+        self._m_fast_dispatches = registry.counter("miaow.fastpath.dispatches")
+        self._m_interpreted = registry.counter("miaow.fastpath.interpreted")
+        self._m_fallback = {
+            reason: registry.counter(f"miaow.fastpath.fallback.{reason}")
+            for reason in _FALLBACK_REASONS
+        }
 
     def bind_metrics(self, metrics: MetricsRegistry) -> None:
         """Late-attach a registry (dispatches so far are not counted)."""
@@ -105,6 +142,72 @@ class Gpu:
             cu.local_memory.clear()
 
     # ------------------------------------------------------------------
+    # Fast-path plumbing
+    # ------------------------------------------------------------------
+
+    def _fallback_reason(self) -> Optional[str]:
+        """Why this dispatch cannot take the compiled path (or None).
+
+        Coverage collection hooks every architectural instruction
+        issue, and multi-wavefront occupancy interleaves instructions
+        from different wavefronts — neither is reproducible by fused
+        block executors, so both route to the interpreter.
+        """
+        if not self.fast_path:
+            return "disabled"
+        if self.coverage is not None:
+            return "coverage"
+        if self.max_resident != 1:
+            return "occupancy"
+        return None
+
+    def _compiled_for(self, kernel: Kernel) -> Optional[CompiledKernel]:
+        """LRU-cached compile of ``kernel`` (None = interpreter only)."""
+        digest = kernel.content_digest()
+        cache = self._compiled_cache
+        if digest in cache:
+            cache.move_to_end(digest)
+            self._m_compile_hits.inc()
+            return cache[digest]
+        self._m_compile_misses.inc()
+        try:
+            compiled: Optional[CompiledKernel] = compile_kernel(
+                kernel, self.timings, self.allowed_ops
+            )
+        except CompileUnsupported:
+            compiled = None
+        cache[digest] = compiled
+        if len(cache) > COMPILED_CACHE_CAPACITY:
+            cache.popitem(last=False)
+            self._m_compile_evictions.inc()
+        return compiled
+
+    def _dispatch_plan(self, num_workgroups: int) -> List[List[int]]:
+        """Round-robin wg->CU assignment, cached per workgroup count."""
+        plan = self._plan_cache.get(num_workgroups)
+        if plan is None:
+            plan = [[] for _ in self.compute_units]
+            for wg_id in range(num_workgroups):
+                plan[wg_id % self.num_cus].append(wg_id)
+            self._plan_cache[num_workgroups] = plan
+            if len(self._plan_cache) > PLAN_CACHE_CAPACITY:
+                self._plan_cache.popitem(last=False)
+        else:
+            self._plan_cache.move_to_end(num_workgroups)
+        return plan
+
+    def fastpath_stats(self) -> Dict[str, int]:
+        """Cache occupancy snapshot (for benchmarks and tests)."""
+        compiled = sum(
+            1 for value in self._compiled_cache.values() if value is not None
+        )
+        return {
+            "compiled_cached": compiled,
+            "unsupported_cached": len(self._compiled_cache) - compiled,
+            "plans_cached": len(self._plan_cache),
+        }
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
 
@@ -117,33 +220,48 @@ class Gpu:
         """Run ``num_workgroups`` workgroups of ``kernel``.
 
         Workgroup ids are distributed round-robin across CUs; the
-        dispatch's latency is the slowest CU's elapsed cycles.
+        dispatch's latency is the slowest CU's elapsed cycles.  When
+        eligible (fast path enabled, no coverage collector, occupancy
+        1) the kernel runs through its cached compiled executors; the
+        result is bit-identical to the interpreter either way.
         """
         if num_workgroups < 1:
             raise KernelLaunchError("num_workgroups must be >= 1")
-        assignment: Dict[int, List[int]] = {
-            cu.cu_id: [] for cu in self.compute_units
-        }
-        for wg_id in range(num_workgroups):
-            assignment[wg_id % self.num_cus].append(wg_id)
+        plan = self._dispatch_plan(num_workgroups)
+        reason = self._fallback_reason()
+        compiled: Optional[CompiledKernel] = None
+        if reason is None:
+            compiled = self._compiled_for(kernel)
+            if compiled is None:
+                reason = "unsupported"
 
         per_cu_cycles: Dict[int, int] = {}
         instructions_before = sum(
             cu.total_instructions for cu in self.compute_units
         )
         for cu in self.compute_units:
-            wg_ids = assignment[cu.cu_id]
+            wg_ids = plan[cu.cu_id]
             if not wg_ids:
                 per_cu_cycles[cu.cu_id] = 0
                 continue
-            per_cu_cycles[cu.cu_id] = cu.run_workgroups(
-                kernel, wg_ids, num_workgroups, args
-            )
+            if compiled is not None:
+                per_cu_cycles[cu.cu_id] = compiled.run_workgroups(
+                    cu, wg_ids, num_workgroups, args
+                )
+            else:
+                per_cu_cycles[cu.cu_id] = cu.run_workgroups(
+                    kernel, wg_ids, num_workgroups, args
+                )
         instructions = (
             sum(cu.total_instructions for cu in self.compute_units)
             - instructions_before
         )
         self.dispatches += 1
+        if compiled is not None:
+            self._m_fast_dispatches.inc()
+        else:
+            self._m_interpreted.inc()
+            self._m_fallback[reason].inc()
         result = DispatchResult(
             kernel=kernel.name,
             cycles=max(per_cu_cycles.values()),

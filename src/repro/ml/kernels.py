@@ -87,16 +87,48 @@ _TANH = """\
 
 
 # ---------------------------------------------------------------------------
+# Assembly memoization
+# ---------------------------------------------------------------------------
+#
+# Every kernel below is shape-independent (sizes arrive as scalar
+# arguments), so the assembled Kernel object is a pure function of its
+# source text.  Deployments share one cached instance per kernel: the
+# second DeployedElm/DeployedLstm/DeployedMlp never re-runs the
+# assembler, and — because Kernel.content_digest() is memoized on the
+# instance — every Gpu's compiled-kernel cache keys off a digest that
+# is computed exactly once per process.  Kernels are immutable once
+# assembled (nothing in the engine mutates them), so sharing is safe.
+
+_KERNEL_CACHE: Dict[str, Kernel] = {}
+_KERNEL_CACHE_STATS = {"hits": 0, "assembles": 0}
+
+
+def _cached_kernel(name: str, source: str) -> Kernel:
+    kernel = _KERNEL_CACHE.get(name)
+    if kernel is None:
+        _KERNEL_CACHE_STATS["assembles"] += 1
+        kernel = assemble(source)
+        _KERNEL_CACHE[name] = kernel
+    else:
+        _KERNEL_CACHE_STATS["hits"] += 1
+    return kernel
+
+
+def clear_kernel_cache() -> None:
+    """Drop memoized kernels (tests; new builds re-assemble lazily)."""
+    _KERNEL_CACHE.clear()
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """Counters for the memoized assembler (hits / assembles)."""
+    return dict(_KERNEL_CACHE_STATS, cached=len(_KERNEL_CACHE))
+
+
+# ---------------------------------------------------------------------------
 # ELM deployment
 # ---------------------------------------------------------------------------
 
-def build_elm_kernel() -> Kernel:
-    """The ELM scoring kernel (shape-independent; sizes are arguments).
-
-    Args: s2=W base, s3=input base, s4=out base, s5=M (pattern count),
-    s6=H, s7=1/M bits, s8/s9/s10 = LDS byte offsets of bias/mean/invvar.
-    """
-    source = f"""
+_ELM_SCORE_SRC = f"""
 .kernel elm_score
 .vgprs 10
     s_mov_b32 s12, 64
@@ -139,7 +171,15 @@ elm_loop:
     flat_store_dword v7, v2         ; partial score for this WG
     s_endpgm
 """
-    return assemble(source)
+
+
+def build_elm_kernel() -> Kernel:
+    """The ELM scoring kernel (shape-independent; sizes are arguments).
+
+    Args: s2=W base, s3=input base, s4=out base, s5=M (pattern count),
+    s6=H, s7=1/M bits, s8/s9/s10 = LDS byte offsets of bias/mean/invvar.
+    """
+    return _cached_kernel("elm_score", _ELM_SCORE_SRC)
 
 
 @dataclass
@@ -249,14 +289,7 @@ class DeployedElm:
 # LSTM deployment
 # ---------------------------------------------------------------------------
 
-def build_lstm_gates_kernel() -> Kernel:
-    """Gate pre-activation + activation; one workgroup per gate.
-
-    Args: s2=id, s3=h_state base, s4=gates base, s5=H,
-    s6/s7/s8 = LDS byte offsets of W_x / U / b.
-    Gate order [i, f, g, o]; workgroup 2 (g) uses tanh.
-    """
-    source = f"""
+_LSTM_GATES_SRC = f"""
 .kernel lstm_gates
 .vgprs 10
     v_mov_b32 v1, s5
@@ -302,12 +335,19 @@ lstm_gates_store:
     flat_store_dword v6, v4         ; gates[r]
     s_endpgm
 """
-    return assemble(source)
 
 
-def build_lstm_update_kernel() -> Kernel:
-    """Cell/hidden update.  Args: s2=gates, s3=c_state, s4=h_state, s5=H."""
-    source = f"""
+def build_lstm_gates_kernel() -> Kernel:
+    """Gate pre-activation + activation; one workgroup per gate.
+
+    Args: s2=id, s3=h_state base, s4=gates base, s5=H,
+    s6/s7/s8 = LDS byte offsets of W_x / U / b.
+    Gate order [i, f, g, o]; workgroup 2 (g) uses tanh.
+    """
+    return _cached_kernel("lstm_gates", _LSTM_GATES_SRC)
+
+
+_LSTM_UPDATE_SRC = f"""
 .kernel lstm_update
 .vgprs 12
     v_mov_b32 v1, s5
@@ -338,17 +378,14 @@ def build_lstm_update_kernel() -> Kernel:
     flat_store_dword v8, v10
     s_endpgm
 """
-    return assemble(source)
 
 
-def build_lstm_score_kernel() -> Kernel:
-    """Output logits + softmax + surprisal of the observed ID.
+def build_lstm_update_kernel() -> Kernel:
+    """Cell/hidden update.  Args: s2=gates, s3=c_state, s4=h_state, s5=H."""
+    return _cached_kernel("lstm_update", _LSTM_UPDATE_SRC)
 
-    Args: s2=id, s3=h_state, s4=score out, s5=H,
-    s6/s7 = LDS byte offsets of W_out / b_out.
-    One workgroup; lane r owns vocabulary row r (V == 64).
-    """
-    source = f"""
+
+_LSTM_SCORE_SRC = f"""
 .kernel lstm_score
 .vgprs 12
     v_mul_lo_i32 v1, v0, s5         ; r*H
@@ -388,7 +425,16 @@ lstm_score_loop:
     flat_store_dword v11, v9
     s_endpgm
 """
-    return assemble(source)
+
+
+def build_lstm_score_kernel() -> Kernel:
+    """Output logits + softmax + surprisal of the observed ID.
+
+    Args: s2=id, s3=h_state, s4=score out, s5=H,
+    s6/s7 = LDS byte offsets of W_out / b_out.
+    One workgroup; lane r owns vocabulary row r (V == 64).
+    """
+    return _cached_kernel("lstm_score", _LSTM_SCORE_SRC)
 
 
 @dataclass
@@ -620,12 +666,12 @@ mlp_recon_loop:
 
 def build_mlp_hidden_kernel() -> Kernel:
     """MLP encoder: hidden = sigmoid(W1 x + b1), one workgroup."""
-    return assemble(_MLP_HIDDEN_SRC)
+    return _cached_kernel("mlp_hidden", _MLP_HIDDEN_SRC)
 
 
 def build_mlp_recon_kernel() -> Kernel:
     """MLP decoder + error: score = sum((W2 h + b2 - x)^2)."""
-    return assemble(_MLP_RECON_SRC)
+    return _cached_kernel("mlp_recon", _MLP_RECON_SRC)
 
 
 @dataclass
