@@ -110,6 +110,11 @@ PERF_COUNTERS = (
     "miaow.fastpath.fallback.coverage",
     "miaow.fastpath.fallback.occupancy",
     "miaow.fastpath.fallback.unsupported",
+    "miaow.batch.dispatches",
+    "miaow.batch.requests",
+    "miaow.batch.fallback.engine",
+    "miaow.batch.fallback.unsupported",
+    "miaow.batch.fallback.replayed",
 )
 
 _DEMO_PARTS: Dict[Tuple[str, int], dict] = {}
@@ -275,13 +280,16 @@ def build_demo_deployments(
     fault_plans: Optional[Dict[str, FaultPlan]] = None,
     dataplane: str = "batched",
     dual_run: bool = False,
+    execute_on_gpu: bool = False,
 ) -> List[Deployment]:
     """Fresh demo deployments sharing one engine (see build_demo_manager).
 
     Called a second time with the same arguments this returns an
     equivalent tenant set around a *new* Gpu — exactly what
     :meth:`SocManager.recover` needs to re-supply models and drivers
-    after a simulated process crash.
+    after a simulated process crash.  ``execute_on_gpu=True`` builds
+    exact-mode drivers (every inference really dispatches), the mode
+    cross-tenant batched dispatch requires.
     """
     parts = _demo_parts(kind, seed)
     gpu = Gpu(num_cus=num_cus, name="ML-MIAOW")
@@ -295,7 +303,7 @@ def build_demo_deployments(
         else:
             deployed = DeployedLstm(parts["model"])
             converter = ProtocolConverter("lstm")
-        driver = MlMiaowDriver(deployed, gpu, execute_on_gpu=False)
+        driver = MlMiaowDriver(deployed, gpu, execute_on_gpu=execute_on_gpu)
         name = f"tenant{index}"
         deployments.append(
             Deployment(
@@ -330,6 +338,8 @@ def build_demo_manager(
     health_policy: Optional[HealthPolicy] = None,
     dataplane: str = "batched",
     dual_run: bool = False,
+    batch_limit: int = 1,
+    execute_on_gpu: bool = False,
     journal=None,
     checkpoint_interval_events: Optional[int] = None,
     journal_chunk_events: int = 8192,
@@ -351,12 +361,14 @@ def build_demo_manager(
         fault_plans=fault_plans,
         dataplane=dataplane,
         dual_run=dual_run,
+        execute_on_gpu=execute_on_gpu,
     )
     return SocManager(
         deployments,
         metrics=metrics,
         deadline_us=deadline_us,
         health_policy=health_policy,
+        batch_limit=batch_limit,
         journal=journal,
         checkpoint_interval_events=checkpoint_interval_events,
         journal_chunk_events=journal_chunk_events,

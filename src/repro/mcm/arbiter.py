@@ -25,13 +25,18 @@ session reset — the failure mode the watchdog exists to prevent.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import McmError
 from repro.faults.service import ServiceFaultInjector
 from repro.igm.vector_encoder import InputVector
+from repro.mcm.driver import DriverResult, MlMiaowDriver
 from repro.mcm.mcm import InferenceRecord, Mcm
 from repro.obs import MetricsRegistry, NULL_REGISTRY
+
+#: One coalesced-but-not-yet-served inference: the head's converted
+#: input plus the DriverResult the fused dispatch already produced.
+_Prepared = Tuple[object, DriverResult]
 
 
 class ArbitratedMcm:
@@ -45,6 +50,7 @@ class ArbitratedMcm:
         service_faults: Optional[
             Sequence[Optional[ServiceFaultInjector]]
         ] = None,
+        batch_limit: int = 1,
     ) -> None:
         if not lanes:
             raise McmError("arbiter needs at least one lane")
@@ -60,14 +66,19 @@ class ArbitratedMcm:
                 "service_faults must have one (possibly None) entry "
                 "per lane"
             )
+        if batch_limit < 1:
+            raise McmError("batch_limit must be >= 1")
         self.lanes: List[Mcm] = list(lanes)
         self.deadline_us = deadline_us
+        self.batch_limit = batch_limit
         self.service_faults: List[Optional[ServiceFaultInjector]] = (
             list(service_faults)
             if service_faults is not None
             else [None] * len(self.lanes)
         )
         self.watchdog_trips: List[int] = [0] * len(self.lanes)
+        self.batch_eligible: List[bool] = [True] * len(self.lanes)
+        self._prepared: List[Optional[_Prepared]] = [None] * len(self.lanes)
         self.hung = False
         self._busy_until_ns = 0.0
         self._next_lane = 0
@@ -79,6 +90,12 @@ class ArbitratedMcm:
             "mcm.arbiter.watchdog.cancelled"
         )
         self._m_hangs = self.metrics.counter("mcm.arbiter.hangs")
+        self._m_batch_grants = self.metrics.counter(
+            "mcm.arbiter.batch.grants"
+        )
+        self._m_batch_members = self.metrics.counter(
+            "mcm.arbiter.batch.members"
+        )
 
     def _grant_counter(self):
         counter = self.metrics.counter(
@@ -108,6 +125,8 @@ class ArbitratedMcm:
         self.lanes.append(lane)
         self.service_faults.append(fault)
         self.watchdog_trips.append(0)
+        self.batch_eligible.append(True)
+        self._prepared.append(None)
         self._m_grants.append(self._grant_counter())
         return len(self.lanes) - 1
 
@@ -120,6 +139,8 @@ class ArbitratedMcm:
         lane = self.lanes.pop(index)
         self.service_faults.pop(index)
         self.watchdog_trips.pop(index)
+        self.batch_eligible.pop(index)
+        self._prepared.pop(index)
         self._m_grants.pop(index)
         if self._next_lane > index:
             self._next_lane -= 1
@@ -148,11 +169,28 @@ class ArbitratedMcm:
         self._busy_until_ns = 0.0
         self._next_lane = 0
         self.hung = False
+        # Coalesced results not yet served die with the session: after
+        # a reset the lanes' drivers may be rewound (new round), so a
+        # stale precomputed score could disagree with what a fresh
+        # serve would produce.  Discard and recompute at serve time.
+        self._prepared = [None] * len(self.lanes)
         for lane in self.lanes:
             lane.reset_session()
         for injector in self.service_faults:
             if injector is not None:
                 injector.reset()
+
+    def set_batch_eligible(self, index: int, eligible: bool) -> None:
+        """Mark whether lane ``index`` may join fused dispatches.
+
+        The SoC manager clears eligibility for unhealthy tenants:
+        batching is a throughput optimisation, and a degraded or
+        probationary lane should not share a fused launch.  Ineligible
+        lanes still get served — one dispatch at a time.
+        """
+        if not 0 <= index < len(self.lanes):
+            raise McmError(f"no lane {index}")
+        self.batch_eligible[index] = bool(eligible)
 
     def _drain(self, until_ns: float) -> None:
         """Grant the engine to lane heads until none can start before
@@ -165,43 +203,132 @@ class ArbitratedMcm:
         deadline_ns = (
             None if self.deadline_us is None else self.deadline_us * 1e3
         )
-        while True:
-            best_start: Optional[float] = None
-            best_lane = -1
-            for offset in range(count):
-                index = (self._next_lane + offset) % count
-                head = self.lanes[index].fifo.peek()
-                if head is None:
-                    continue
-                start_ns = max(head.arrival_ns, self._busy_until_ns)
-                if best_start is None or start_ns < best_start:
-                    best_start = start_ns
-                    best_lane = index
-            if best_start is None or best_start >= until_ns:
-                return
-            extra_ns, hang = 0.0, False
-            injector = self.service_faults[best_lane]
-            if injector is not None:
-                extra_ns, hang = injector.draw()
-            if hang or (
-                deadline_ns is not None and extra_ns >= deadline_ns
-            ):
-                if deadline_ns is None:
-                    # No watchdog armed: the engine is wedged.
-                    self.hung = True
-                    self._busy_until_ns = float("inf")
-                    self._m_hangs.inc()
+        served = [0] * count
+        try:
+            while True:
+                best_start: Optional[float] = None
+                best_lane = -1
+                for offset in range(count):
+                    index = (self._next_lane + offset) % count
+                    head = self.lanes[index].fifo.peek()
+                    if head is None:
+                        continue
+                    start_ns = max(head.arrival_ns, self._busy_until_ns)
+                    if best_start is None or start_ns < best_start:
+                        best_start = start_ns
+                        best_lane = index
+                if best_start is None or best_start >= until_ns:
                     return
-                self.lanes[best_lane].cancel_head()
-                self.lanes[best_lane].reset_session()
-                self.watchdog_trips[best_lane] += 1
-                self._m_watchdog.inc()
-                # The abort occupies the engine for one full deadline.
-                self._busy_until_ns = best_start + deadline_ns
+                extra_ns, hang = 0.0, False
+                injector = self.service_faults[best_lane]
+                if injector is not None:
+                    extra_ns, hang = injector.draw()
+                if hang or (
+                    deadline_ns is not None and extra_ns >= deadline_ns
+                ):
+                    if deadline_ns is None:
+                        # No watchdog armed: the engine is wedged.
+                        self.hung = True
+                        self._busy_until_ns = float("inf")
+                        self._m_hangs.inc()
+                        return
+                    self.lanes[best_lane].cancel_head()
+                    self.lanes[best_lane].reset_session()
+                    self.watchdog_trips[best_lane] += 1
+                    self._m_watchdog.inc()
+                    # The abort occupies the engine for one full deadline.
+                    self._busy_until_ns = best_start + deadline_ns
+                    self._next_lane = (best_lane + 1) % count
+                    continue
+                prepared = self._prepared[best_lane]
+                if prepared is None and self.batch_limit > 1:
+                    self._fuse(best_lane, best_start)
+                    prepared = self._prepared[best_lane]
+                if prepared is not None:
+                    self._prepared[best_lane] = None
+                    converted, result = prepared
+                    self._busy_until_ns = self.lanes[
+                        best_lane
+                    ].serve_head_prepared(
+                        best_start,
+                        converted,
+                        result,
+                        extra_service_ns=extra_ns,
+                    )
+                else:
+                    self._busy_until_ns = self.lanes[best_lane].serve_head(
+                        best_start, extra_service_ns=extra_ns
+                    )
+                self._m_grants[best_lane].inc()
+                served[best_lane] += 1
                 self._next_lane = (best_lane + 1) % count
+        finally:
+            # Every exit path — idle, horizon reached, hang — reports
+            # the burst, so the per-lane drain histogram sums to the
+            # lane's total serves even when the queue empties mid-round.
+            for index in range(count):
+                if served[index]:
+                    self.lanes[index].record_drain_batch(served[index])
+
+    def _fuse(self, best_lane: int, best_start: float) -> None:
+        """Coalesce compatible queued heads behind ``best_lane``'s grant.
+
+        Scans the other lanes round-robin from the granted lane for
+        heads that can ride the same fused dispatch: already arrived,
+        batch-eligible, no service-fault injector, no dual-run voting,
+        a distinct deployment, and the same
+        :meth:`~repro.mcm.driver.MlMiaowDriver.batch_key`.  On success
+        the fused results are parked per lane and consumed when each
+        member's grant comes up — the serve order, start times, and
+        every record stay identical to unbatched arbitration; only the
+        host-side GPU compute is shared.
+        """
+        lane = self.lanes[best_lane]
+        if (
+            not self.batch_eligible[best_lane]
+            or self.service_faults[best_lane] is not None
+            or lane.config.dual_run
+        ):
+            return
+        head = lane.fifo.peek()
+        leader_input = lane.converter.convert(head.item.values)
+        key = lane.driver.batch_key(leader_input)
+        if key is None:
+            return
+        members = [best_lane]
+        converted = [leader_input]
+        deployments = {id(lane.driver.deployment)}
+        count = len(self.lanes)
+        for offset in range(1, count):
+            if len(members) >= self.batch_limit:
+                break
+            index = (best_lane + offset) % count
+            if (
+                not self.batch_eligible[index]
+                or self.service_faults[index] is not None
+                or self._prepared[index] is not None
+            ):
                 continue
-            self._busy_until_ns = self.lanes[best_lane].serve_head(
-                best_start, extra_service_ns=extra_ns
-            )
-            self._m_grants[best_lane].inc()
-            self._next_lane = (best_lane + 1) % count
+            other = self.lanes[index]
+            if other.config.dual_run:
+                continue
+            entry = other.fifo.peek()
+            if entry is None or entry.arrival_ns > best_start:
+                continue
+            if id(other.driver.deployment) in deployments:
+                continue
+            candidate = other.converter.convert(entry.item.values)
+            if other.driver.batch_key(candidate) != key:
+                continue
+            members.append(index)
+            converted.append(candidate)
+            deployments.add(id(other.driver.deployment))
+        if len(members) < 2:
+            return
+        results = MlMiaowDriver.run_inference_batch(
+            [self.lanes[index].driver for index in members], converted
+        )
+        for position, index in enumerate(members):
+            self._prepared[index] = (converted[position], results[position])
+        self._m_batch_grants.inc()
+        self._m_batch_members.inc(len(members))

@@ -19,12 +19,20 @@ execution modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.errors import McmError
 from repro.miaow.gpu import Gpu
-from repro.ml.kernels import DeployedElm, DeployedLstm, DeployedMlp
+from repro.ml.kernels import (
+    DeployedElm,
+    DeployedLstm,
+    DeployedMlp,
+    elm_infer_indices_batch,
+    lstm_infer_batch,
+    mlp_infer_batch,
+)
 from repro.obs import MetricsRegistry, NULL_REGISTRY
 
 
@@ -219,6 +227,104 @@ class MlMiaowDriver:
             )
         score = self._reference.infer(int(branch_id))
         return DriverResult(score=score, phases=self._cached_phases)
+
+    # ------------------------------------------------------------------
+    # Cross-tenant batched inference
+    # ------------------------------------------------------------------
+
+    def batch_key(self, converted_input) -> Optional[Tuple]:
+        """Coalescing compatibility key for one converted input.
+
+        Two inferences may share a fused dispatch iff their keys are
+        equal: same model family and the shape parameters that fix the
+        kernel digests, workgroup counts, and scalar loop bounds (so
+        the fused executor's data-independent cycle counts match every
+        member's single-dispatch counts exactly).  Returns ``None``
+        when this inference cannot join a batch at all — calibrated
+        drivers run no kernels, so there is nothing to fuse.
+        """
+        if not self.execute_on_gpu:
+            return None
+        deployment = self.deployment
+        if self.kind == "elm":
+            # The index count feeds the kernel's scalar loop bound.
+            return (
+                "elm",
+                deployment.model.hidden_dim,
+                deployment.num_workgroups,
+                len(np.asarray(converted_input)),
+            )
+        if self.kind == "mlp":
+            return (
+                "mlp",
+                deployment.model.input_dim,
+                deployment.model.hidden_dim,
+            )
+        return ("lstm", deployment.model.hidden_size)
+
+    @staticmethod
+    def run_inference_batch(
+        drivers: Sequence["MlMiaowDriver"],
+        converted_inputs: Sequence,
+    ) -> List[DriverResult]:
+        """Serve K compatible inferences with fused dispatches.
+
+        All drivers must share one engine and one :meth:`batch_key`
+        (the arbiter guarantees both).  Results — scores, phase names,
+        and cycle counts — are bit-identical to calling
+        :meth:`run_inference` on each driver in turn.
+        """
+        if len(drivers) != len(converted_inputs):
+            raise McmError("one converted input per batched driver")
+        first = drivers[0]
+        kinds = {driver.kind for driver in drivers}
+        if kinds != {first.kind}:
+            raise McmError(f"cannot batch across model kinds {kinds}")
+        deployments = [driver.deployment for driver in drivers]
+        if first.kind == "elm":
+            results = elm_infer_indices_batch(deployments, converted_inputs)
+            outputs = [
+                DriverResult(
+                    score=result.score,
+                    phases=InferencePhases(
+                        names=("elm_score",),
+                        cycles=(result.dispatch.cycles,),
+                    ),
+                )
+                for result in results
+            ]
+        elif first.kind == "mlp":
+            results = mlp_infer_batch(deployments, converted_inputs)
+            outputs = [
+                DriverResult(
+                    score=result.score,
+                    phases=InferencePhases(
+                        names=tuple(d.kernel for d in result.dispatches),
+                        cycles=tuple(d.cycles for d in result.dispatches),
+                    ),
+                )
+                for result in results
+            ]
+        else:
+            results = lstm_infer_batch(
+                deployments,
+                [int(branch_id) for branch_id in converted_inputs],
+            )
+            outputs = [
+                DriverResult(
+                    score=result.surprisal,
+                    phases=InferencePhases(
+                        names=tuple(d.kernel for d in result.dispatches),
+                        cycles=tuple(d.cycles for d in result.dispatches),
+                    ),
+                )
+                for result in results
+            ]
+        for driver, output in zip(drivers, outputs):
+            driver._m_inferences.inc()
+            driver._m_launches.inc(output.phases.num_dispatches)
+            driver._m_gpu_cycles.inc(output.phases.total_cycles)
+        return outputs
 
     def reset(self) -> None:
         """Reset recurrent state (new trace session)."""

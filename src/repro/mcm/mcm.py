@@ -205,6 +205,44 @@ class Mcm:
         )
         return self._busy_until_ns
 
+    def serve_head_prepared(
+        self,
+        start_ns: float,
+        converted,
+        result,
+        extra_service_ns: float = 0.0,
+    ) -> float:
+        """Serve the queued head with an already-computed inference.
+
+        Used by the arbiter's batched dispatch path: the fused GPU run
+        already produced this head's :class:`~repro.mcm.driver.DriverResult`
+        (bit-identical to what :meth:`~repro.mcm.driver.MlMiaowDriver.run_inference`
+        would return), so service here is timing math, scoring, and
+        records only.  ``converted`` is the protocol-converted input —
+        the TX word count still depends on it.
+        """
+        entry = self.fifo.pop()
+        if entry is None:
+            raise McmError("serve_head_prepared on an empty FIFO")
+        self._m_fifo_depth.set(len(self.fifo))
+        self._serve(
+            entry.item, entry.arrival_ns, start_ns,
+            extra_ns=extra_service_ns,
+            converted=converted, result=result,
+        )
+        return self._busy_until_ns
+
+    def record_drain_batch(self, served: int) -> None:
+        """Observe one externally-driven drain burst.
+
+        Arbitrated lanes are drained by :class:`ArbitratedMcm`, which
+        bypasses :meth:`_drain`; the arbiter reports each lane's
+        per-burst serve count here so ``mcm.drain.batch_vectors`` sums
+        to the lane's total served inferences in every mode.
+        """
+        if served:
+            self._m_drain_batch.observe(served)
+
     def cancel_head(self) -> InputVector:
         """Drop the queued head *without* serving it (watchdog expiry).
 
@@ -253,27 +291,31 @@ class Mcm:
         arrival_ns: float,
         start_ns: float,
         extra_ns: float = 0.0,
+        converted=None,
+        result=None,
     ) -> None:
-        converted = self.converter.convert(vector.values)
-        pre_state = (
-            self.driver.export_model_state()
-            if self.config.dual_run
-            else None
-        )
-        result = self.driver.run_inference(converted)
         divergent: Optional[bool] = None
-        if self.config.dual_run:
-            # Redundant second run from the same model state; recurrent
-            # state is rewound before and restored after, so the vote
-            # costs work but never perturbs the inference stream.
-            post_state = self.driver.export_model_state()
-            self.driver.restore_model_state(pre_state)
-            second = self.driver.run_inference(converted)
-            self.driver.restore_model_state(post_state)
-            divergent = bool(second.score != result.score)
-            self._m_dual_runs.inc()
-            if divergent:
-                self._m_divergences.inc()
+        if result is None:
+            converted = self.converter.convert(vector.values)
+            pre_state = (
+                self.driver.export_model_state()
+                if self.config.dual_run
+                else None
+            )
+            result = self.driver.run_inference(converted)
+            if self.config.dual_run:
+                # Redundant second run from the same model state;
+                # recurrent state is rewound before and restored after,
+                # so the vote costs work but never perturbs the
+                # inference stream.
+                post_state = self.driver.export_model_state()
+                self.driver.restore_model_state(pre_state)
+                second = self.driver.run_inference(converted)
+                self.driver.restore_model_state(post_state)
+                divergent = bool(second.score != result.score)
+                self._m_dual_runs.inc()
+                if divergent:
+                    self._m_divergences.inc()
         phases = result.phases
 
         control_ns = self._rtad_ns(

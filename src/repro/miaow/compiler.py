@@ -81,9 +81,12 @@ from repro.miaow.isa import (
 )
 
 __all__ = [
+    "BatchCompiledKernel",
+    "BatchDivergence",
     "CompileUnsupported",
     "CompiledKernel",
     "compile_kernel",
+    "compile_kernel_batched",
 ]
 
 
@@ -92,6 +95,16 @@ class CompileUnsupported(Exception):
 
     Deliberately *not* a :class:`GpuError`: this is a private signal to
     the dispatcher to use the interpreter, never a user-visible fault.
+    """
+
+
+class BatchDivergence(Exception):
+    """Runtime signal from a *batched* executor: the fused members
+    disagree on a control-flow decision (per-tenant VCC/EXEC branch).
+
+    Never user-visible: the dispatcher catches it (like any other
+    batched-run exception), rolls the memory journal back and replays
+    the members serially through the exact single-dispatch path.
     """
 
 
@@ -116,6 +129,18 @@ _COND_EXPR = {
     "s_cbranch_vccz": "not VC.any()",
     "s_cbranch_vccnz": "bool(VC.any())",
     "s_cbranch_execz": "not EX.any()",
+}
+
+#: Batched variants: mask branches must agree across every fused member
+#: (``_uany`` raises :class:`BatchDivergence` otherwise).  SCC branches
+#: need no helper — a varying SCC is a (K,) bool array, and ``not`` /
+#: ``if`` on it raises, which the dispatcher turns into a serial replay.
+_BATCH_COND_EXPR = {
+    "s_cbranch_scc0": "not SCC",
+    "s_cbranch_scc1": "SCC",
+    "s_cbranch_vccz": "not _uany(VC)",
+    "s_cbranch_vccnz": "_uany(VC)",
+    "s_cbranch_execz": "not _uany(EX)",
 }
 
 _NO_EFFECT_OPS = {"s_nop", "s_barrier", "s_waitcnt", "s_endpgm", "s_branch"}
@@ -241,6 +266,111 @@ _BASE_GLOBALS = {
 
 
 # ---------------------------------------------------------------------------
+# Batched runtime helpers
+# ---------------------------------------------------------------------------
+#
+# A batched executor runs K fused members over one stacked lane array of
+# K * WAVE_SIZE lanes (member m owns the contiguous block
+# [m * WAVE_SIZE, (m + 1) * WAVE_SIZE)).  The vector domain is therefore
+# the same code the single path emits, just over longer arrays; the
+# scalar domain is *mixed*: kernel arguments every member agrees on stay
+# plain python ints (and fold through the scalar templates unchanged),
+# while per-member arguments are (K,) int64 arrays.  Any scalar
+# expression a varying value flows into simply becomes a (K,) array —
+# and the moment such a value reaches a vector operand it is expanded to
+# the stacked lane array by the ``_vx*`` helpers below, mirroring the
+# interpreter's scalar broadcast member by member.
+
+_BATCH_GLOBALS_CACHE: Dict[int, dict] = {}
+
+
+def _batched_globals(batch: int) -> dict:
+    cached = _BATCH_GLOBALS_CACHE.get(batch)
+    if cached is not None:
+        return cached
+    lanes = WAVE_SIZE * batch
+
+    def full(value) -> np.ndarray:
+        if isinstance(value, np.ndarray):
+            return np.repeat(value.astype(np.uint32), WAVE_SIZE)
+        return np.full(lanes, np.uint32(value), dtype=np.uint32)
+
+    def vxf(value) -> np.ndarray:
+        return full(value).view(np.float32)
+
+    def vxi(value) -> np.ndarray:
+        return full(value).view(np.int32)
+
+    def f32a(bits) -> np.ndarray:
+        return full(bits).view(np.float32)
+
+    def f32b(bits):
+        if isinstance(bits, np.ndarray):
+            return vxf(bits)
+        value = _UNPACK_F(_PACK_I(bits))[0]
+        if value != value:
+            return f32a(bits)
+        return value
+
+    def f32s(bits):
+        if isinstance(bits, np.ndarray):
+            return vxf(bits)
+        if bits & 0x7FFFFFFF > 0x7F800000:
+            return f32a(bits)
+        return np.frombuffer(_PACK_I(bits), dtype=np.float32)[0]
+
+    def i32(value):
+        if isinstance(value, np.ndarray):
+            signed = value.astype(np.int64)
+            return signed - ((signed & 0x80000000) << 1)
+        return value - 0x100000000 if value & 0x80000000 else value
+
+    def pack32(mask: np.ndarray) -> np.ndarray:
+        rows = mask.reshape(batch, WAVE_SIZE)[:, :32][:, ::-1]
+        return (
+            np.packbits(rows, axis=1).view(">u4").astype(np.int64).reshape(batch)
+        )
+
+    def uany(mask: np.ndarray) -> bool:
+        per_member = mask.reshape(batch, WAVE_SIZE).any(axis=1)
+        first = bool(per_member[0])
+        agree = per_member.all() if first else not per_member.any()
+        if not agree:
+            raise BatchDivergence("fused members diverge on a mask branch")
+        return first
+
+    def sld(gm, address):
+        if isinstance(address, np.ndarray):
+            return gm.gather_all_u32(address).astype(np.int64)
+        return gm.load_u32(address)
+
+    namespace = dict(_BASE_GLOBALS)
+    namespace.update({
+        "_full": full,
+        "_f32a": f32a,
+        "_f32b": f32b,
+        "_f32s": f32s,
+        "_i32": i32,
+        "_pack32": pack32,
+        "_vxu": full,
+        "_vxf": vxf,
+        "_vxi": vxi,
+        "_uany": uany,
+        "_sld": sld,
+        "_LANES": np.arange(lanes),
+        "_TRUE64": _readonly(np.ones(lanes, dtype=bool)),
+        "_FALSE64": _readonly(np.zeros(lanes, dtype=bool)),
+        "_Z64": _readonly(np.zeros(lanes, dtype=np.uint32)),
+        "_LANE_IDS": _readonly(
+            np.tile(np.arange(WAVE_SIZE, dtype=np.uint32), batch)
+        ),
+    })
+    namespace["_Z64F"] = namespace["_Z64"].view(np.float32)
+    _BATCH_GLOBALS_CACHE[batch] = namespace
+    return namespace
+
+
+# ---------------------------------------------------------------------------
 # Code generation
 # ---------------------------------------------------------------------------
 
@@ -253,7 +383,9 @@ class _Gen:
     float-paired locals are maintained consistently at every write.
     """
 
-    def __init__(self, f32_regs: frozenset = frozenset()) -> None:
+    def __init__(
+        self, f32_regs: frozenset = frozenset(), batch: int = 0
+    ) -> None:
         self.lines: List[str] = []
         self.consts: Dict[str, object] = {}
         self.indent = "    "
@@ -261,11 +393,20 @@ class _Gen:
         self.f32_seen: set = set()
         self.vregs: set = set()
         self.sregs: set = set()
+        self.batch = batch
+        self.total_lanes = WAVE_SIZE * batch if batch else WAVE_SIZE
 
     def const(self, value) -> str:
         name = f"_K{len(self.consts)}"
         self.consts[name] = value
         return name
+
+    def f32_const(self, bits: int) -> str:
+        """Constant for raw bits broadcast over every stacked lane."""
+        return self.const(_readonly(
+            np.full(self.total_lanes, np.uint32(bits), dtype=np.uint32)
+            .view(np.float32)
+        ))
 
     def w(self, stmt: str) -> None:
         self.lines.append(self.indent + stmt)
@@ -323,10 +464,22 @@ def _vdst(g: _Gen, operand) -> int:
     raise CompileUnsupported(f"vector destination {operand!r}")
 
 
+def _batch_scalar(g: _Gen, operand) -> bool:
+    """True when a scalar operand may vary per fused member at runtime.
+
+    In batched mode any SGPR (or vcc/exec read-back) can carry a (K,)
+    per-member array, so scalar operands in vector contexts must expand
+    through the always-array ``_vx*`` helpers.  Literals stay scalar.
+    """
+    return bool(g.batch) and isinstance(operand, (SReg, Special))
+
+
 def _v_u32(g: _Gen, operand) -> Tuple[str, bool]:
     """(expr, is_array) in the raw-uint32 domain (read_vector twin)."""
     if isinstance(operand, VReg):
         return g.vreg(operand.index), True
+    if _batch_scalar(g, operand):
+        return f"_vxu({_sexpr(g, operand)})", True
     return _sexpr(g, operand), False
 
 
@@ -344,8 +497,10 @@ def _v_f32(g: _Gen, operand, strict: bool = False) -> Tuple[str, bool]:
         return f"V{operand.index}F", True
     if isinstance(operand, Lit):
         if operand.bits & 0x7FFFFFFF > 0x7F800000:
-            return g.const(_readonly(_f32a(operand.bits))), True
+            return g.f32_const(operand.bits), True
         return g.const(_f32s(operand.bits)), False
+    if _batch_scalar(g, operand):
+        return f"_vxf({_sexpr(g, operand)})", True
     helper = "_f32s" if strict else "_f32b"
     return f"{helper}({_sexpr(g, operand)})", False
 
@@ -362,7 +517,9 @@ def _v_f32a(g: _Gen, operand) -> str:
         g.f32_seen.add(operand.index)
         return f"V{operand.index}F"
     if isinstance(operand, Lit):
-        return g.const(_readonly(_f32a(operand.bits)))
+        return g.f32_const(operand.bits)
+    if _batch_scalar(g, operand):
+        return f"_vxf({_sexpr(g, operand)})"
     return f"_f32a({_sexpr(g, operand)})"
 
 
@@ -372,6 +529,8 @@ def _v_i32(g: _Gen, operand) -> Tuple[str, bool]:
         return f"{g.vreg(operand.index)}.view(_I32)", True
     if isinstance(operand, Lit):
         return repr(_i32(operand.bits)), False
+    if _batch_scalar(g, operand):
+        return f"_vxi({_sexpr(g, operand)})", True
     return f"_i32({_sexpr(g, operand)})", False
 
 
@@ -379,6 +538,8 @@ def _v_i64u(g: _Gen, operand) -> Tuple[str, bool]:
     """(expr, is_array): unsigned values widened to int64 (vint ops)."""
     if isinstance(operand, VReg):
         return f"{g.vreg(operand.index)}.astype(_I64)", True
+    if _batch_scalar(g, operand):
+        return f"_vxu({_sexpr(g, operand)}).astype(_I64)", True
     return _sexpr(g, operand), False
 
 
@@ -393,6 +554,8 @@ def _v_u32w(g: _Gen, operand) -> Tuple[str, bool]:
         return g.vreg(operand.index), True
     if isinstance(operand, Lit):
         return g.const(np.uint32(operand.bits)), False
+    if _batch_scalar(g, operand):
+        return f"_vxu({_sexpr(g, operand)})", True
     return f"_U32({_sexpr(g, operand)})", False
 
 
@@ -402,6 +565,8 @@ def _v_i64s(g: _Gen, operand) -> Tuple[str, bool]:
         return f"{g.vreg(operand.index)}.view(_I32).astype(_I64)", True
     if isinstance(operand, Lit):
         return repr(_i32(operand.bits)), False
+    if _batch_scalar(g, operand):
+        return f"_vxi({_sexpr(g, operand)}).astype(_I64)", True
     return f"_i32({_sexpr(g, operand)})", False
 
 
@@ -532,7 +697,12 @@ def _e_s_load(g, inst):
     dst = _sdst(g, inst.operands[0])
     base = _sexpr(g, inst.operands[1])
     offset = _sexpr(g, inst.operands[2])
-    g.w(f"S{dst} = GM.load_u32(({base}) + ({offset}))")
+    if g.batch:
+        # the address may be a (K,) per-member array: _sld gathers one
+        # word per member (and keeps the plain-int path for uniforms)
+        g.w(f"S{dst} = _sld(GM, ({base}) + ({offset}))")
+    else:
+        g.w(f"S{dst} = GM.load_u32(({base}) + ({offset}))")
 
 
 @_emit("v_mov_b32")
@@ -800,6 +970,8 @@ for _name, _py in (("eq", "=="), ("lt", "<"), ("ge", ">=")):
 
 @_emit("s_saveexec_b64")
 def _e_s_saveexec(g, inst):
+    if g.batch:
+        raise CompileUnsupported("batch: exec-mask save/restore")
     dst = _sdst(g, inst.operands[0])
     g.sregs.add(dst + 1)
     g.w("_lo, _hi = _mw(EX)")
@@ -809,6 +981,8 @@ def _e_s_saveexec(g, inst):
 
 @_emit("s_mov_exec_b64")
 def _e_s_mov_exec(g, inst):
+    if g.batch:
+        raise CompileUnsupported("batch: exec-mask save/restore")
     src = _sdst(g, inst.operands[0])
     g.sregs.add(src + 1)
     g.w(f"EX = _wm(S{src}, S{src + 1})")
@@ -817,6 +991,10 @@ def _e_s_mov_exec(g, inst):
 
 @_emit("v_readfirstlane_b32")
 def _e_v_readfirstlane(g, inst):
+    if g.batch:
+        # the first active lane of the *stacked* mask belongs to one
+        # member only — a cross-member scalar leak, so decline
+        raise CompileUnsupported("batch: v_readfirstlane_b32")
     dst = _sdst(g, inst.operands[0])
     src, is_array = _v_u32(g, inst.operands[1])
     if is_array:
@@ -843,6 +1021,10 @@ def _e_ds_read(g, inst):
 
 @_emit("ds_write_b32")
 def _e_ds_write(g, inst):
+    if g.batch:
+        # LDS is shared model state across fused members; a per-member
+        # store would clobber the other members' view of it
+        raise CompileUnsupported("batch: LDS store")
     addr = _v_addr(g, inst.operands[0])
     value = _v_addr(g, inst.operands[1])
     g.w("if _ef:")
@@ -853,6 +1035,8 @@ def _e_ds_write(g, inst):
 
 @_emit("ds_add_u32")
 def _e_ds_add(g, inst):
+    if g.batch:
+        raise CompileUnsupported("batch: LDS atomic")
     addr = _v_addr(g, inst.operands[0])
     value = _v_addr(g, inst.operands[1])
     g.w(f"LM.atomic_add_u32({addr}, {value}, EX)")
@@ -868,9 +1052,17 @@ def _e_ds_swizzle(g, inst):
         return
     xor_op = inst.operands[2]
     if isinstance(xor_op, Lit):
-        lanes = g.const(np.arange(WAVE_SIZE) ^ (xor_op.bits & (WAVE_SIZE - 1)))
+        # stacked-safe: the XOR pattern only touches the low 6 bits of
+        # the lane index, so each 64-lane member block permutes within
+        # itself — one index table covers every fused member
+        lanes = g.const(
+            np.arange(g.total_lanes) ^ (xor_op.bits & (WAVE_SIZE - 1))
+        )
         _write_u32(g, dst, f"({src})[{lanes}]", True)
     else:
+        if g.batch:
+            # a varying pattern would need per-member index tables
+            raise CompileUnsupported("batch: data-dependent swizzle")
         xor = _sexpr(g, xor_op)
         _write_u32(
             g, dst, f"({src})[_LANES ^ (({xor}) & {WAVE_SIZE - 1})]", True
@@ -1041,8 +1233,13 @@ def compile_kernel(
     kernel: Kernel,
     timings: Optional[GpuTimings] = None,
     allowed_ops=None,
+    batch: int = 0,
 ) -> CompiledKernel:
     """Lower ``kernel`` into one fused executor function.
+
+    ``batch=K`` (K >= 2) lowers the *batched* variant instead: the
+    executor runs K members' lanes stacked into K * WAVE_SIZE element
+    arrays (use :func:`compile_kernel_batched` for the wrapped form).
 
     Raises :class:`CompileUnsupported` for any shape this compiler
     cannot mirror exactly — the caller falls back to the interpreter.
@@ -1058,7 +1255,7 @@ def compile_kernel(
     # generator to learn which registers are used and which VGPRs need
     # a float32-paired local (and to surface CompileUnsupported before
     # any real emission).
-    scan = _Gen()
+    scan = _Gen(batch=batch)
     for inst in instructions:
         _emit_instruction(scan, inst, kernel, allowed_ops)
     if scan.vregs and max(scan.vregs) >= kernel.vgprs_used:
@@ -1075,7 +1272,8 @@ def compile_kernel(
         for index, start in enumerate(starts)
     ]
 
-    gen = _Gen(f32_regs=frozenset(scan.f32_seen))
+    gen = _Gen(f32_regs=frozenset(scan.f32_seen), batch=batch)
+    cond_exprs = _BATCH_COND_EXPR if batch else _COND_EXPR
     raise_arms: Dict[int, int] = {}
     next_arm = len(spans)
 
@@ -1165,7 +1363,7 @@ def compile_kernel(
             fall = edge(end)
             gen.w(f"t += {adv}")
             gen.w(
-                f"_L = {target} if ({_COND_EXPR[last.op]}) else {fall}"
+                f"_L = {target} if ({cond_exprs[last.op]}) else {fall}"
             )
         else:
             gen.w(f"t += {adv}")
@@ -1181,8 +1379,17 @@ def compile_kernel(
         fault_blocks.append((first_line, []))
 
     source = "\n".join(gen.lines)
-    filename = f"<miaow-fastpath:{kernel.name}:{kernel.content_digest()[:8]}>"
-    namespace = dict(_BASE_GLOBALS)
+    if batch:
+        filename = (
+            f"<miaow-batchpath-k{batch}:{kernel.name}:"
+            f"{kernel.content_digest()[:8]}>"
+        )
+        namespace = dict(_batched_globals(batch))
+    else:
+        filename = (
+            f"<miaow-fastpath:{kernel.name}:{kernel.content_digest()[:8]}>"
+        )
+        namespace = dict(_BASE_GLOBALS)
     namespace.update(gen.consts)
     try:
         code = compile(source, filename, "exec")
@@ -1196,4 +1403,93 @@ def compile_kernel(
         source=source,
         num_blocks=len(spans),
         fault_blocks=fault_blocks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched compilation
+# ---------------------------------------------------------------------------
+
+class BatchCompiledKernel:
+    """A kernel lowered to one fused executor over K stacked members.
+
+    The generated function is the same label-dispatch loop the single
+    path emits, run over K * WAVE_SIZE element lane arrays (member m
+    owns lanes [m * 64, (m + 1) * 64)).  Kernel arguments may be plain
+    ints (uniform across members) or (K,) int64 arrays (per-member).
+
+    ``run_workgroups`` deliberately commits *nothing*: it returns the
+    per-member elapsed cycles and instruction count and lets the
+    dispatcher decide — on any exception the dispatcher rolls back its
+    memory journal and replays the members serially, so faults surface
+    with exactly the single-path semantics.  Because every fused member
+    executes the identical instruction stream in lockstep (divergence
+    raises :class:`BatchDivergence`), one (elapsed, count) pair is
+    bit-identical to what each member's single dispatch would report.
+    """
+
+    __slots__ = ("kernel", "fn", "filename", "source", "batch")
+
+    def __init__(
+        self, kernel: Kernel, fn, filename: str, source: str, batch: int
+    ) -> None:
+        self.kernel = kernel
+        self.fn = fn
+        self.filename = filename
+        self.source = source
+        self.batch = batch
+
+    def run_workgroups(
+        self,
+        global_memory,
+        local_memory,
+        workgroup_ids: Sequence[int],
+        num_workgroups_total: int,
+        args: Sequence[object],
+    ) -> Tuple[int, int]:
+        """Execute workgroups fused; returns per-member (cycles, instructions)."""
+        fn = self.fn
+        nwg = num_workgroups_total & 0xFFFFFFFF
+        num_args = len(args)
+        now = 0
+        cycles_end = 0
+        total = 0
+        with np.errstate(all="ignore"):
+            for wg_id in workgroup_ids:
+                count, ready_off, next_off = fn(
+                    global_memory, local_memory, wg_id, nwg, args, num_args,
+                )
+                total += count
+                end_ready = now + ready_off
+                if end_ready > cycles_end:
+                    cycles_end = end_ready
+                now += next_off
+        elapsed = now if now > cycles_end else cycles_end
+        return elapsed, total
+
+
+def compile_kernel_batched(
+    kernel: Kernel,
+    batch: int,
+    timings: Optional[GpuTimings] = None,
+    allowed_ops=None,
+) -> BatchCompiledKernel:
+    """Lower ``kernel`` into a fused K-member batched executor.
+
+    Raises :class:`CompileUnsupported` when the kernel uses a shape the
+    batched lowering cannot keep bit-exact per member (LDS stores,
+    exec-mask save/restore, readfirstlane, data-dependent swizzles) —
+    the dispatcher then serves the members through the single path.
+    """
+    if batch < 2:
+        raise ValueError("batch size must be >= 2")
+    compiled = compile_kernel(
+        kernel, timings=timings, allowed_ops=allowed_ops, batch=batch
+    )
+    return BatchCompiledKernel(
+        kernel=kernel,
+        fn=compiled.fn,
+        filename=compiled.filename,
+        source=compiled.source,
+        batch=batch,
     )

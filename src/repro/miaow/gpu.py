@@ -18,10 +18,13 @@ import numpy as np
 from repro.errors import GpuError, KernelLaunchError
 from repro.miaow.assembler import Kernel
 from repro.miaow.compiler import (
+    BatchCompiledKernel,
     CompiledKernel,
     CompileUnsupported,
     compile_kernel,
+    compile_kernel_batched,
 )
+from repro.miaow.isa import NUM_SGPRS
 from repro.miaow.compute_unit import ComputeUnit, GpuTimings
 from repro.miaow.coverage import CoverageCollector
 from repro.miaow.memory import GlobalMemory
@@ -35,7 +38,58 @@ COMPILED_CACHE_CAPACITY = 32
 #: Dispatch-plan LRU capacity (keyed by workgroup count).
 PLAN_CACHE_CAPACITY = 64
 
+#: Batched-executor LRU capacity, keyed on (digest, K).  Each batch
+#: size needs its own lowering (stacked-lane constants are sized
+#: K * WAVE_SIZE), so the key space is larger than the single cache's.
+BATCH_CACHE_CAPACITY = 64
+
 _FALLBACK_REASONS = ("disabled", "coverage", "occupancy", "unsupported")
+
+#: Why a dispatch_batch call fell back to serial single dispatches:
+#: ``engine`` — the engine itself is off the fast path (interpreter
+#: mode, coverage, occupancy > 1); ``unsupported`` — the kernel has no
+#: batched lowering; ``replayed`` — the fused run raised (member fault
+#: or control divergence) and was rolled back and replayed serially.
+_BATCH_FALLBACK_REASONS = ("engine", "unsupported", "replayed")
+
+
+class _JournaledGlobalMemory:
+    """Write-journaling view of :class:`GlobalMemory` for fused runs.
+
+    Records the pre-image of every scatter so a faulting fused dispatch
+    can be rolled back to the exact pre-batch memory state before the
+    members are replayed serially — that replay then reproduces the
+    single path's results, partial effects and fault bit for bit.
+    Reads delegate untouched; LDS needs no journal because the batched
+    compiler statically rejects LDS-writing kernels.
+    """
+
+    __slots__ = ("_memory", "_journal")
+
+    def __init__(self, memory, journal: list) -> None:
+        self._memory = memory
+        self._journal = journal
+
+    def load_u32(self, address: int) -> int:
+        return self._memory.load_u32(address)
+
+    def gather_all_u32(self, addresses):
+        return self._memory.gather_all_u32(addresses)
+
+    def gather_u32(self, addresses, mask):
+        return self._memory.gather_u32(addresses, mask)
+
+    def scatter_all_u32(self, addresses, values) -> None:
+        memory = self._memory
+        self._journal.append((addresses, memory.gather_all_u32(addresses)))
+        memory.scatter_all_u32(addresses, values)
+
+    def scatter_u32(self, addresses, values, mask) -> None:
+        memory = self._memory
+        if mask.any():
+            active = addresses[mask]
+            self._journal.append((active, memory.gather_all_u32(active)))
+        memory.scatter_u32(addresses, values, mask)
 
 
 @dataclass(frozen=True)
@@ -82,6 +136,11 @@ class Gpu:
         self._compiled_cache: "OrderedDict[str, Optional[CompiledKernel]]" = (
             OrderedDict()
         )
+        # (digest, K) -> BatchCompiledKernel, or None when the batched
+        # lowering declined (negative cache, like _compiled_cache).
+        self._batch_cache: "OrderedDict[tuple, Optional[BatchCompiledKernel]]" = (
+            OrderedDict()
+        )
         # workgroup count -> per-CU workgroup-id lists (round-robin);
         # shared by the compiled and interpreted paths.
         self._plan_cache: "OrderedDict[int, List[List[int]]]" = OrderedDict()
@@ -114,6 +173,12 @@ class Gpu:
         self._m_fallback = {
             reason: registry.counter(f"miaow.fastpath.fallback.{reason}")
             for reason in _FALLBACK_REASONS
+        }
+        self._m_batch_dispatches = registry.counter("miaow.batch.dispatches")
+        self._m_batch_requests = registry.counter("miaow.batch.requests")
+        self._m_batch_fallback = {
+            reason: registry.counter(f"miaow.batch.fallback.{reason}")
+            for reason in _BATCH_FALLBACK_REASONS
         }
 
     def bind_metrics(self, metrics: MetricsRegistry) -> None:
@@ -207,6 +272,36 @@ class Gpu:
             "plans_cached": len(self._plan_cache),
         }
 
+    def batch_stats(self) -> Dict[str, int]:
+        """Batched-executor cache snapshot (keyed on (digest, K))."""
+        compiled = sum(
+            1 for value in self._batch_cache.values() if value is not None
+        )
+        return {
+            "batch_compiled_cached": compiled,
+            "batch_unsupported_cached": len(self._batch_cache) - compiled,
+        }
+
+    def _batched_for(
+        self, kernel: Kernel, batch: int
+    ) -> Optional[BatchCompiledKernel]:
+        """LRU-cached batched compile (None = no batched lowering)."""
+        key = (kernel.content_digest(), batch)
+        cache = self._batch_cache
+        if key in cache:
+            cache.move_to_end(key)
+            return cache[key]
+        try:
+            batched: Optional[BatchCompiledKernel] = compile_kernel_batched(
+                kernel, batch, self.timings, self.allowed_ops
+            )
+        except CompileUnsupported:
+            batched = None
+        cache[key] = batched
+        if len(cache) > BATCH_CACHE_CAPACITY:
+            cache.popitem(last=False)
+        return batched
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -272,3 +367,117 @@ class Gpu:
         self._m_cycles.inc(result.cycles)
         self._m_instructions.inc(result.instructions)
         return result
+
+    def dispatch_batch(
+        self,
+        kernel: Kernel,
+        num_workgroups: int,
+        args_lists: Sequence[Sequence[int]],
+    ) -> List[DispatchResult]:
+        """Run K compatible requests of ``kernel`` as one fused dispatch.
+
+        ``args_lists`` holds one argument list per member; argument
+        positions every member agrees on stay uniform scalars, the rest
+        become (K,) per-member arrays inside the batched executor.
+
+        The results — scores in memory, per-member cycle counts,
+        instruction counters, fault type/message and partial effects —
+        are bit-identical to dispatching the members one at a time:
+        fused members run in lockstep (so each member's timing equals
+        its single-dispatch timing), all global-memory writes are
+        journaled, and any fused-run exception (member fault, control
+        divergence, unsupported runtime shape) rolls the journal back
+        and replays the members serially through :meth:`dispatch`.
+        Singletons and kernels without a batched lowering take the
+        serial path directly.
+        """
+        members = len(args_lists)
+        if members == 0:
+            raise KernelLaunchError("dispatch_batch needs at least one member")
+        if members == 1:
+            return [self.dispatch(kernel, num_workgroups, args_lists[0])]
+        if num_workgroups < 1:
+            raise KernelLaunchError("num_workgroups must be >= 1")
+
+        def serial(reason: str) -> List[DispatchResult]:
+            self._m_batch_fallback[reason].inc()
+            return [
+                self.dispatch(kernel, num_workgroups, args)
+                for args in args_lists
+            ]
+
+        if self._fallback_reason() is not None:
+            return serial("engine")
+        batched = self._batched_for(kernel, members)
+        if batched is None:
+            return serial("unsupported")
+        width = len(args_lists[0])
+        if width > NUM_SGPRS - 2 or any(
+            len(args) != width for args in args_lists
+        ):
+            return serial("unsupported")
+
+        # Column-wise argument stacking: uniform positions stay plain
+        # ints (and fold through the scalar domain exactly like a
+        # single dispatch); varying positions become (K,) arrays.
+        columns: List[object] = []
+        for position in range(width):
+            values = [
+                int(args[position]) & 0xFFFFFFFF for args in args_lists
+            ]
+            first = values[0]
+            if all(value == first for value in values[1:]):
+                columns.append(first)
+            else:
+                columns.append(np.array(values, dtype=np.int64))
+
+        plan = self._dispatch_plan(num_workgroups)
+        journal: List[tuple] = []
+        memory = _JournaledGlobalMemory(self.global_memory, journal)
+        per_cu_cycles: Dict[int, int] = {}
+        per_cu_counts: Dict[int, int] = {}
+        try:
+            for cu in self.compute_units:
+                wg_ids = plan[cu.cu_id]
+                if not wg_ids:
+                    per_cu_cycles[cu.cu_id] = 0
+                    continue
+                elapsed, count = batched.run_workgroups(
+                    memory, cu.local_memory, wg_ids, num_workgroups,
+                    columns,
+                )
+                per_cu_cycles[cu.cu_id] = elapsed
+                per_cu_counts[cu.cu_id] = count
+        except Exception:
+            for addresses, values in reversed(journal):
+                self.global_memory.scatter_all_u32(addresses, values)
+            return serial("replayed")
+
+        # Commit: every member executed the identical instruction
+        # stream in lockstep, so per-member timing and counts equal the
+        # fused run's — scatter them back K-fold.
+        for cu in self.compute_units:
+            count = per_cu_counts.get(cu.cu_id, 0)
+            if count:
+                cu.total_instructions += count * members
+            elapsed = per_cu_cycles[cu.cu_id]
+            if elapsed:
+                cu.total_cycles += elapsed * members
+        instructions = sum(per_cu_counts.values())
+        cycles = max(per_cu_cycles.values())
+        self.dispatches += members
+        self._m_dispatches.inc(members)
+        self._m_fast_dispatches.inc(members)
+        self._m_cycles.inc(cycles * members)
+        self._m_instructions.inc(instructions * members)
+        self._m_batch_dispatches.inc()
+        self._m_batch_requests.inc(members)
+        return [
+            DispatchResult(
+                kernel=kernel.name,
+                cycles=cycles,
+                instructions=instructions,
+                per_cu_cycles=dict(per_cu_cycles),
+            )
+            for _ in range(members)
+        ]

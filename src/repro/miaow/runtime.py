@@ -141,3 +141,23 @@ class GpuRuntime:
         return self.gpu.dispatch(
             kernel, num_workgroups, self._flatten_args(args)
         )
+
+    def launch_batch(
+        self,
+        kernel: Union[str, Kernel],
+        num_workgroups: int,
+        args_lists: Sequence[Sequence[Union[int, Buffer]]],
+    ) -> List[DispatchResult]:
+        """Enqueue one fused dispatch serving K compatible requests.
+
+        Returns one :class:`DispatchResult` per member, bit-identical
+        to launching the members one at a time (see
+        :meth:`repro.miaow.gpu.Gpu.dispatch_batch`).
+        """
+        if isinstance(kernel, str):
+            kernel = self.get_kernel(kernel)
+        return self.gpu.dispatch_batch(
+            kernel,
+            num_workgroups,
+            [self._flatten_args(args) for args in args_lists],
+        )

@@ -790,6 +790,219 @@ class DeployedMlp:
         return float((error * error).sum(dtype=np.float32))
 
 
+# ---------------------------------------------------------------------------
+# Cross-tenant batched inference
+# ---------------------------------------------------------------------------
+#
+# K tenants that deployed the *same* model family and shape onto one
+# shared engine can be served by one fused dispatch per kernel: member
+# buffers are disjoint by construction (each deployment allocated its
+# own device buffers) and LDS holds shared read-only model data, so the
+# fused run is bit-identical to serving the members one at a time —
+# the dispatcher enforces that contract (see Gpu.dispatch_batch).
+# Per-member quantities (buffer addresses, branch ids, 1/M bits) ride
+# along as varying scalar arguments.
+
+def _shared_runtime(members) -> GpuRuntime:
+    """Validate a batch: loaded, distinct members, one shared GPU."""
+    first = members[0]
+    runtime = first._runtime
+    if runtime is None:
+        raise KernelLaunchError("batched inference before load()")
+    seen = set()
+    for member in members:
+        if member._runtime is None:
+            raise KernelLaunchError("batched inference before load()")
+        if member._runtime.gpu is not runtime.gpu:
+            raise KernelLaunchError("batched members must share one GPU")
+        if id(member) in seen:
+            # the same deployment twice would alias input buffers
+            raise KernelLaunchError("batched members must be distinct")
+        seen.add(id(member))
+    return runtime
+
+
+def elm_infer_indices_batch(
+    members: List[DeployedElm],
+    indices_lists: List[np.ndarray],
+) -> List[ElmInferenceResult]:
+    """Score K tenants' pattern-index windows in one fused dispatch.
+
+    Members must share the model shape; the index count must also
+    match because it feeds the scalar loop bound (a per-member count
+    would diverge the fused control flow).
+    """
+    if len(members) != len(indices_lists) or not members:
+        raise KernelLaunchError("one index window per batched member")
+    if len(members) == 1:
+        return [members[0].infer_indices(indices_lists[0])]
+    runtime = _shared_runtime(members)
+    first = members[0]
+    num_workgroups = first.num_workgroups
+    count = len(indices_lists[0])
+    for member, indices in zip(members, indices_lists):
+        if (
+            member.num_workgroups != num_workgroups
+            or member.model.hidden_dim != first.model.hidden_dim
+        ):
+            raise KernelLaunchError("batched ELM members must share a shape")
+        if len(indices) != count:
+            raise KernelLaunchError(
+                "batched ELM members must share the index count"
+            )
+        member._runtime.write(
+            member._buffers["input"], np.asarray(indices, dtype=np.uint32)
+        )
+    dispatches = runtime.launch_batch(
+        first.kernel,
+        num_workgroups,
+        [
+            [
+                member._buffers["w"],
+                member._buffers["input"],
+                member._buffers["out"],
+                count,
+                member.model.hidden_dim,
+                float_bits(1.0 / member.positions),
+                member._lds_offsets["bias"],
+                member._lds_offsets["mean"],
+                member._lds_offsets["inv_var"],
+            ]
+            for member in members
+        ],
+    )
+    return [
+        ElmInferenceResult(
+            score=float(
+                member._runtime.read_f32(member._buffers["out"]).sum()
+            ),
+            dispatch=dispatch,
+        )
+        for member, dispatch in zip(members, dispatches)
+    ]
+
+
+def lstm_infer_batch(
+    members: List[DeployedLstm],
+    branch_ids: List[int],
+) -> List[LstmInferenceResult]:
+    """Run K tenants' score/gates/update chains as three fused dispatches.
+
+    Per-member branch ids are fine — they only enter the vector domain
+    (the observed-ID lane select) and the LDS weight gather addresses.
+    Running all scores, then all gates, then all updates is equivalent
+    to interleaving per member because each member's chain touches only
+    its own (h, c, gates, score) buffers.
+    """
+    if len(members) != len(branch_ids) or not members:
+        raise KernelLaunchError("one branch id per batched member")
+    if len(members) == 1:
+        return [members[0].infer(branch_ids[0])]
+    runtime = _shared_runtime(members)
+    first = members[0]
+    hidden = first.model.hidden_size
+    for member, branch_id in zip(members, branch_ids):
+        if member.model.hidden_size != hidden:
+            raise KernelLaunchError(
+                "batched LSTM members must share the hidden size"
+            )
+        if not 0 <= branch_id < member.model.vocabulary_size:
+            raise ModelError(f"branch id {branch_id} outside vocabulary")
+    score_dispatches = runtime.launch_batch(
+        first.kernels["score"], 1,
+        [
+            [branch_id, member._buffers["h"], member._buffers["score"],
+             hidden, member._lds_offsets["w_out"],
+             member._lds_offsets["b_out"]]
+            for member, branch_id in zip(members, branch_ids)
+        ],
+    )
+    gates_dispatches = runtime.launch_batch(
+        first.kernels["gates"], DeployedLstm.NUM_GATE_WORKGROUPS,
+        [
+            [branch_id, member._buffers["h"], member._buffers["gates"],
+             hidden, member._lds_offsets["w_x"], member._lds_offsets["u"],
+             member._lds_offsets["b"]]
+            for member, branch_id in zip(members, branch_ids)
+        ],
+    )
+    update_dispatches = runtime.launch_batch(
+        first.kernels["update"], 1,
+        [
+            [member._buffers["gates"], member._buffers["c"],
+             member._buffers["h"], hidden]
+            for member in members
+        ],
+    )
+    return [
+        LstmInferenceResult(
+            surprisal=float(
+                member._runtime.read_f32(member._buffers["score"], 1)[0]
+            ),
+            dispatches=[score, gates, update],
+        )
+        for member, score, gates, update in zip(
+            members, score_dispatches, gates_dispatches, update_dispatches
+        )
+    ]
+
+
+def mlp_infer_batch(
+    members: List[DeployedMlp],
+    features_lists: List[np.ndarray],
+) -> List[MlpInferenceResult]:
+    """Score K tenants' feature vectors as two fused dispatches."""
+    if len(members) != len(features_lists) or not members:
+        raise KernelLaunchError("one feature vector per batched member")
+    if len(members) == 1:
+        return [members[0].infer(features_lists[0])]
+    runtime = _shared_runtime(members)
+    first = members[0]
+    input_dim = first.model.input_dim
+    hidden_dim = first.model.hidden_dim
+    for member, features in zip(members, features_lists):
+        if (
+            member.model.input_dim != input_dim
+            or member.model.hidden_dim != hidden_dim
+        ):
+            raise KernelLaunchError("batched MLP members must share a shape")
+        features = np.asarray(features, dtype=np.float32)
+        if features.shape != (input_dim,):
+            raise ModelError(
+                f"expected {input_dim} features, got {features.shape}"
+            )
+        member._runtime.write(member._buffers["x"], features)
+    hidden_dispatches = runtime.launch_batch(
+        first.kernels["hidden"], 1,
+        [
+            [member._buffers["x"], member._buffers["h"], input_dim,
+             hidden_dim, member._lds_offsets["w1"],
+             member._lds_offsets["b1"]]
+            for member in members
+        ],
+    )
+    recon_dispatches = runtime.launch_batch(
+        first.kernels["recon"], 1,
+        [
+            [member._buffers["x"], member._buffers["h"], input_dim,
+             hidden_dim, member._buffers["score"],
+             member._lds_offsets["w2"], member._lds_offsets["b2"]]
+            for member in members
+        ],
+    )
+    return [
+        MlpInferenceResult(
+            score=float(
+                member._runtime.read_f32(member._buffers["score"], 1)[0]
+            ),
+            dispatches=[hidden, recon],
+        )
+        for member, hidden, recon in zip(
+            members, hidden_dispatches, recon_dispatches
+        )
+    ]
+
+
 class LstmReference:
     """Numpy float32 twin of the GPU pipeline (same formulas/order)."""
 

@@ -263,6 +263,7 @@ class SocManager:
         deadline_us: Optional[float] = None,
         health_policy: Optional[HealthPolicy] = None,
         *,
+        batch_limit: int = 1,
         journal: Optional[Journal] = None,
         checkpoint_interval_events: Optional[int] = None,
         journal_chunk_events: int = 8192,
@@ -289,6 +290,10 @@ class SocManager:
                 "build every driver around the same Gpu instance"
             )
         self.metrics = metrics or NULL_REGISTRY
+        # The engine is shared by every tenant, so its counters
+        # (gpu.*, miaow.fastpath.*, miaow.batch.*) belong to the
+        # manager-level registry, not to any one tenant's.
+        deployments[0].driver.gpu.bind_metrics(self.metrics)
         self.policy = health_policy or HealthPolicy()
         self.deadline_us = deadline_us
         self.tenants: List[TenantRuntime] = [
@@ -307,6 +312,7 @@ class SocManager:
                 ServiceFaultInjector.from_plan(tenant.fault_plan)
                 for tenant in self.tenants
             ],
+            batch_limit=batch_limit,
         )
         self._round = 0
         # --- durability (repro.durability; docs/DURABILITY.md) ---
@@ -447,6 +453,7 @@ class SocManager:
                         (deliver_ns, runtime.index, order, vector)
                     )
             merged.sort(key=lambda entry: entry[:3])
+            self._sync_batch_eligibility()
             for deliver_ns, lane, _, vector in merged:
                 self.arbiter.push(lane, vector, deliver_ns)
             self._m_vectors.inc(len(merged))
@@ -567,6 +574,7 @@ class SocManager:
         metrics: Optional[MetricsRegistry] = None,
         deadline_us: Optional[float] = None,
         health_policy: Optional[HealthPolicy] = None,
+        batch_limit: int = 1,
         checkpoint_interval_events: Optional[int] = None,
         journal_chunk_events: int = 8192,
         crash_points: Optional[CrashPointInjector] = None,
@@ -589,6 +597,7 @@ class SocManager:
             metrics=metrics,
             deadline_us=deadline_us,
             health_policy=health_policy,
+            batch_limit=batch_limit,
             journal=journal,
             checkpoint_interval_events=checkpoint_interval_events,
             journal_chunk_events=journal_chunk_events,
@@ -670,6 +679,16 @@ class SocManager:
     # ------------------------------------------------------------------
     # Health transitions
     # ------------------------------------------------------------------
+
+    def _sync_batch_eligibility(self) -> None:
+        """Health-aware batching: only HEALTHY lanes may join a fused
+        dispatch this round.  Degraded and probationary tenants keep
+        being served, one dispatch at a time — a misbehaving tenant
+        should not ride (or delay) another tenant's fused launch."""
+        for runtime in self.tenants:
+            self.arbiter.set_batch_eligible(
+                runtime.index, runtime.health is TenantHealth.HEALTHY
+            )
 
     def _quarantine(self, runtime: TenantRuntime) -> None:
         runtime.health = TenantHealth.QUARANTINED

@@ -115,6 +115,63 @@ def test_kill_mid_round_recovers_byte_identical():
     assert _log(recovered) == _baseline_log(2)
 
 
+@pytest.mark.parametrize("dataplane", ["batched", "loop"])
+def test_kill_mid_batched_round_recovers_byte_identical(dataplane):
+    """Crash inside a round served with cross-tenant batched dispatch.
+
+    Exact-mode drivers + ``batch_limit > 1`` mean the shared engine
+    coalesces compatible lane heads into fused dispatches.  Replay is
+    deterministic either way: the recovered log must be byte-identical
+    to the uninterrupted batched run on both trace dataplanes.
+    """
+    batched_kwargs = dict(
+        num_tenants=TENANTS,
+        kind=KIND,
+        dataplane=dataplane,
+        execute_on_gpu=True,
+    )
+
+    def batched_manager(**kwargs):
+        return SocManager(
+            build_demo_deployments(**batched_kwargs),
+            metrics=MetricsRegistry(),
+            journal_chunk_events=CHUNK_EVENTS,
+            batch_limit=TENANTS,
+            **kwargs,
+        )
+
+    baseline = batched_manager()
+    for r in range(2):
+        baseline.run_events(_traces(r))
+    counters = baseline.metrics.snapshot()["counters"]
+    assert counters["mcm.arbiter.batch.grants"] > 0  # fusion happened
+
+    counting = CrashPointInjector(kill_at=None)
+    probe = batched_manager(journal=MemoryJournal(), crash_points=counting)
+    probe.run_events(_traces(0))
+    round_sites = counting.sites_reached
+
+    journal = MemoryJournal()
+    victim = batched_manager(
+        journal=journal,
+        crash_points=CrashPointInjector(kill_at=round_sites + 1),
+    )
+    victim.run_events(_traces(0))
+    with pytest.raises(ProcessCrashError):
+        victim.run_events(_traces(1))
+
+    recovered = SocManager.recover(
+        journal,
+        build_demo_deployments(**batched_kwargs),
+        metrics=MetricsRegistry(),
+        journal_chunk_events=CHUNK_EVENTS,
+        batch_limit=TENANTS,
+    )
+    assert recovered.next_round == 1
+    recovered.run_events(_traces(1))
+    assert _log(recovered) == _log(baseline)
+
+
 def test_recovery_from_checkpoint_skips_replayed_segments():
     journal = MemoryJournal()
     # Checkpoint after every committed round (interval below one

@@ -279,3 +279,66 @@ class TestMcmQueueing:
         assert np.mean(smooth._recent_scores) == pytest.approx(
             expected_last, rel=1e-6
         )
+
+
+class TestDrainBatchHistogram:
+    """``mcm.drain.batch_vectors`` must account for every served vector,
+    including the final partial drain when the queue empties mid-round
+    and the arbitrated path where the arbiter owns the drain loop."""
+
+    def test_direct_mode_partial_drains_sum_to_total(self, tiny_lstm):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        driver = MlMiaowDriver(
+            DeployedLstm(tiny_lstm), Gpu(), execute_on_gpu=False
+        )
+        mcm = Mcm(
+            driver=driver,
+            converter=ProtocolConverter("lstm"),
+            config=McmConfig(fifo_depth=16),
+            metrics=registry,
+        )
+        # A burst (drained in one batch when the next push arrives) and
+        # trailing idle arrivals (each drained alone): several partial
+        # drains, the last triggered by finalize on a non-empty queue.
+        for i in range(4):
+            mcm.push(vector([1], seq=i), arrival_ns=float(i))
+        for i in range(4, 7):
+            mcm.push(vector([1], seq=i), arrival_ns=1e9 * (i + 1))
+        records = mcm.finalize()
+        histogram = registry.snapshot()["histograms"][
+            "mcm.drain.batch_vectors"
+        ]
+        assert histogram["sum"] == len(records) == 7
+        assert histogram["count"] >= 2  # really multiple partial drains
+
+    def test_arbitrated_mode_sums_to_total_inferences(self, tiny_lstm):
+        from repro.mcm.arbiter import ArbitratedMcm
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        gpu = Gpu(name="shared")
+        lanes = []
+        for _ in range(2):
+            driver = MlMiaowDriver(
+                DeployedLstm(tiny_lstm), gpu, execute_on_gpu=False
+            )
+            lanes.append(
+                Mcm(
+                    driver=driver,
+                    converter=ProtocolConverter("lstm"),
+                    config=McmConfig(fifo_depth=16),
+                    metrics=registry,
+                )
+            )
+        arb = ArbitratedMcm(lanes, metrics=registry)
+        for i in range(5):
+            arb.push(i % 2, vector([1], seq=i // 2), arrival_ns=float(i))
+        arb.finalize()
+        total = sum(len(lane.records) for lane in lanes)
+        histogram = registry.snapshot()["histograms"][
+            "mcm.drain.batch_vectors"
+        ]
+        assert total == 5
+        assert histogram["sum"] == total
