@@ -6,8 +6,8 @@ uses) with the engine's compiled fast path on and off, for the ELM and
 the LSTM at three model sizes each.  Both paths are bit-identical
 (``tests/test_miaow_compiler.py``), so this is pure speed.
 
-Results go to ``benchmarks/results/BENCH_mcm.json`` and are mirrored —
-together with ``BENCH_pipeline.json`` — to the repository root, where
+Results go to ``benchmarks/results/BENCH_mcm.json`` and are mirrored
+to the repository root via ``bench_io.save_result``, where
 the acceptance gate reads them.  The gate for the fast-path work is
 >= 5x inferences/sec at the *default* model sizes (ELM hidden_dim=256,
 LSTM hidden_size=32).
@@ -34,9 +34,7 @@ Runs three ways:
 
 from __future__ import annotations
 
-import json
 import pathlib
-import shutil
 import sys
 import time
 
@@ -53,9 +51,7 @@ from repro.ml.features import PatternDictionary  # noqa: E402
 from repro.ml.kernels import DeployedElm, DeployedLstm  # noqa: E402
 from repro.ml.lstm import LstmModel  # noqa: E402
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RESULT_NAME = "BENCH_mcm.json"
-PIPELINE_RESULT_NAME = "BENCH_pipeline.json"
 
 #: Default deployment sizes (the constructor defaults the SoC uses);
 #: the 5x gate applies to these rows.
@@ -247,16 +243,13 @@ def run_throughput(
 def save_and_format(
     result: dict, smoke: bool = False, result_name: str = RESULT_NAME
 ) -> str:
+    from bench_io import save_result
+
     result = dict(result, smoke=smoke)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = json.dumps(result, indent=2) + "\n"
-    (RESULTS_DIR / result_name).write_text(payload)
-    # Mirror the dispatch-layer and pipeline-layer benchmarks at the
-    # repository root where the acceptance gate looks for them.
-    (REPO_ROOT / result_name).write_text(payload)
-    pipeline_result = RESULTS_DIR / PIPELINE_RESULT_NAME
-    if pipeline_result.exists():
-        shutil.copyfile(pipeline_result, REPO_ROOT / PIPELINE_RESULT_NAME)
+    # One writer for both homes (results/ + repo root); the old
+    # side-channel copy of the *pipeline* benchmark's file is gone —
+    # every script mirrors its own result at write time.
+    save_result(result_name, result)
     lines = []
     if result.get("models"):
         lines += [

@@ -2,7 +2,8 @@
 
 Times ``RtadSoc.run_events`` on the same demo SoC and the same traces
 under both dataplane implementations and records events/sec into
-``benchmarks/results/BENCH_pipeline.json``.  The acceptance gate for
+``benchmarks/results/BENCH_pipeline.json`` (mirrored to the
+repository root via ``bench_io.save_result``).  The acceptance gate for
 the staged-dataplane refactor is >= 3x events/sec on the 1M-event
 trace; both implementations produce byte-identical records
 (``tests/test_pipeline_equivalence.py``), so this is pure speed.
@@ -17,7 +18,6 @@ Runs two ways:
 
 from __future__ import annotations
 
-import json
 import pathlib
 import sys
 import time
@@ -28,7 +28,6 @@ if str(REPO_ROOT / "src") not in sys.path:  # script-mode imports
 
 from repro.eval.metrics import build_demo_soc, demo_events  # noqa: E402
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RESULT_NAME = "BENCH_pipeline.json"
 
 FULL_SIZES = (50_000, 200_000, 1_000_000)
@@ -79,11 +78,10 @@ def run_throughput(sizes=FULL_SIZES, kind: str = "lstm") -> dict:
 
 
 def save_and_format(result: dict, smoke: bool = False) -> str:
+    from bench_io import save_result
+
     result = dict(result, smoke=smoke)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / RESULT_NAME).write_text(
-        json.dumps(result, indent=2) + "\n"
-    )
+    save_result(RESULT_NAME, result)
     lines = [
         "pipeline throughput: per-event loop vs batched stages",
         f"{'events':>10}  {'loop ev/s':>12}  {'batched ev/s':>13}  "

@@ -63,6 +63,26 @@ class CoreSightDriver:
         self.ptm_config.context_id = context_id
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (see repro.durability)."""
+        if not self.enabled or self._ptm is None or self._tpiu is None:
+            raise SocConfigError("CoreSight path not enabled")
+        return {
+            "ptm": self._ptm.export_state(),
+            "tpiu": self._tpiu.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.disable()
+        self.enable()
+        assert self._ptm is not None and self._tpiu is not None
+        self._ptm.restore_state(state["ptm"])
+        self._tpiu.restore_state(state["tpiu"])
+
+    # ------------------------------------------------------------------
     # Data-plane
     # ------------------------------------------------------------------
 

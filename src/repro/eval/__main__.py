@@ -10,6 +10,8 @@ Usage::
     python -m repro.eval chaos --json       # fault-rate sweep (exit 1
     python -m repro.eval recovery --json    # kill-and-replay) on any
                                             # violated invariant
+    python -m repro.eval parity --json      # cross-frontend detection
+                                            # equivalence gate
 """
 
 from __future__ import annotations
@@ -35,6 +37,13 @@ from repro.eval.metrics import (
     metrics_to_json,
     run_metrics_all,
 )
+from repro.eval.parity import (
+    DEFAULT_FRONTENDS,
+    format_parity,
+    parity_failures,
+    parity_to_json,
+    run_parity,
+)
 from repro.eval.profile import (
     DEFAULT_INFERENCES,
     format_profile,
@@ -52,11 +61,11 @@ from repro.eval.table2 import format_table2, run_table2
 
 EXPERIMENTS = (
     "table1", "table2", "fig6", "fig7", "fig8", "metrics", "chaos",
-    "recovery", "profile",
+    "recovery", "profile", "parity",
 )
 
 #: Experiments whose --json output must stay one valid JSON document.
-_JSON_EXPERIMENTS = ("metrics", "chaos", "recovery", "profile")
+_JSON_EXPERIMENTS = ("metrics", "chaos", "recovery", "profile", "parity")
 
 
 def main(argv=None) -> int:
@@ -82,8 +91,9 @@ def main(argv=None) -> int:
         "--seed", type=int, default=0, help="experiment seed"
     )
     parser.add_argument(
-        "--events", type=int, default=12_000,
-        help="branch events per metrics run (default 12000)",
+        "--events", type=int, default=None,
+        help="branch events per run (default 12000; parity defaults "
+             "to 4000 — its workload must stay within MCM capacity)",
     )
     parser.add_argument(
         "--models", nargs="*", default=None, choices=DEMO_KINDS,
@@ -116,8 +126,9 @@ def main(argv=None) -> int:
              f"(default {DEFAULT_INFERENCES})",
     )
     args = parser.parse_args(argv)
-    if args.events < 0:
+    if args.events is not None and args.events < 0:
         parser.error("--events must be non-negative")
+    events = 12_000 if args.events is None else args.events
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
@@ -139,7 +150,7 @@ def main(argv=None) -> int:
         elif name == "metrics":
             results = run_metrics_all(
                 kinds=tuple(args.models or DEMO_KINDS),
-                events=args.events,
+                events=events,
                 seed=args.seed,
             )
             if args.json:
@@ -153,7 +164,7 @@ def main(argv=None) -> int:
                 rates=tuple(
                     args.rates if args.rates else DEFAULT_RATES
                 ),
-                events=args.events,
+                events=events,
                 seed=args.seed,
             )
             failures += [
@@ -183,6 +194,22 @@ def main(argv=None) -> int:
                 )
             else:
                 output = format_recovery(recovery)
+        elif name == "parity":
+            parity = run_parity(
+                kinds=tuple(args.models) if args.models else None,
+                events=4_000 if args.events is None else args.events,
+                seed=args.seed,
+                frontends=DEFAULT_FRONTENDS,
+            )
+            failures += [
+                f"parity: {line}" for line in parity_failures(parity)
+            ]
+            if args.json:
+                output = json.dumps(
+                    parity_to_json(parity), indent=2, sort_keys=True
+                )
+            else:
+                output = format_parity(parity)
         elif name == "profile":
             profiled = run_profile(
                 kinds=tuple(args.models or ("elm", "lstm")),

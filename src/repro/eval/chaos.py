@@ -7,6 +7,11 @@ Three experiments, all seeded and fully deterministic:
    injected at each swept rate.  The resync-hunting deframer + decoder
    pair reads the corrupted stream and the experiment reports how much
    of the branch stream survives and how many re-locks that cost.
+   The same sweep runs against the RISC-V E-Trace grammar (ETP-framed
+   stream, :class:`~repro.frontends.etrace.EtraceDeframer` +
+   :class:`~repro.frontends.etrace.EtraceDecoder`), with an extra
+   truncated-tail decode per point — the byte-fault channels are
+   frontend-neutral and both grammars must recover.
 2. **Dataplane degradation** — the demo SoC runs the same trace under
    event-drop / event-corrupt / FIFO-overflow plans at each rate; the
    anomaly judgments of surviving inferences are compared one-to-one
@@ -107,6 +112,109 @@ def _decode_framed(framed: bytes) -> "DecoderChaosPoint":
         decoder_resyncs=decoder.resyncs,
         truncated=decoder.truncated,
     )
+
+
+@dataclass
+class EtraceDecoderChaosPoint(DecoderChaosPoint):
+    """E-Trace sweep point: adds a torn-tail decode of the same
+    corrupted stream (last ``torn_tail_bytes`` chopped off) — the
+    deframer/decoder must absorb the truncation as a counted
+    :class:`~repro.frontends.etrace.EtraceTruncation`, never an
+    exception."""
+
+    torn_tail_bytes: int = 0
+    torn_recovered_branches: int = 0
+    torn_truncated: int = 0
+
+
+#: Bytes chopped off for the E-Trace torn-tail decode: enough to cut
+#: inside an ETP frame *and* inside the packet it carries.
+_ETRACE_TORN_TAIL = 9
+
+
+def _framed_etrace_stream(events: int, seed: int) -> Tuple[bytes, int]:
+    """A framed E-Trace stream plus its clean-decode branch count."""
+    from repro.eval.metrics import demo_events
+    from repro.frontends.etrace import (
+        EtraceConfig,
+        EtraceEncoder,
+        EtraceFramer,
+    )
+
+    encoder = EtraceEncoder(EtraceConfig(sync_interval_bytes=128))
+    framer = EtraceFramer(sync_period=4)
+    stream = bytearray()
+    for event in demo_events(
+        "lstm", seed, events, run_label="chaos-decoder"
+    ):
+        stream += framer.push(encoder.feed(event))
+    stream += framer.push(encoder.flush())
+    stream += framer.flush()
+    framed = bytes(stream)
+    clean = _decode_etrace(framed)
+    return framed, clean.recovered_branches
+
+
+def _decode_etrace(framed: bytes) -> "EtraceDecoderChaosPoint":
+    """Run the resync-hunting E-Trace receiver pair over a stream."""
+    from repro.frontends.etrace import (
+        EtraceBranch,
+        EtraceDecoder,
+        EtraceDeframer,
+    )
+
+    deframer = EtraceDeframer(resync_hunt=True)
+    decoder = EtraceDecoder(strict=False, resync_hunt=True)
+    payload = deframer.push(framed)
+    items = list(decoder.feed(payload))
+    items += decoder.finish()
+    branches = sum(1 for i in items if isinstance(i, EtraceBranch))
+    return EtraceDecoderChaosPoint(
+        rate=0.0,
+        stream_bytes=len(framed),
+        clean_branches=0,
+        recovered_branches=branches,
+        recovered_fraction=0.0,
+        bytes_flipped=0,
+        bytes_dropped=0,
+        desyncs=0,
+        frame_resyncs=deframer.frame_resyncs,
+        decoder_resyncs=decoder.resyncs,
+        truncated=decoder.truncated,
+    )
+
+
+def run_etrace_decoder_sweep(
+    rates: Sequence[float], events: int, seed: int
+) -> List[EtraceDecoderChaosPoint]:
+    """The decoder-recovery sweep, E-Trace grammar.
+
+    Same byte-fault plan as the CoreSight sweep; each point also
+    decodes the corrupted stream with its tail torn off to prove the
+    truncation path is a counted event, not a crash.
+    """
+    framed, clean_branches = _framed_etrace_stream(events, seed)
+    points = []
+    for rate in rates:
+        injector = StreamFaultInjector(byte_fault_plan(rate, seed))
+        corrupted = injector.feed(framed)
+        point = _decode_etrace(corrupted)
+        point.rate = rate
+        point.clean_branches = clean_branches
+        point.recovered_fraction = (
+            point.recovered_branches / clean_branches
+            if clean_branches
+            else 1.0
+        )
+        point.bytes_flipped = injector.flipped
+        point.bytes_dropped = injector.dropped
+        point.desyncs = injector.desyncs
+        torn = _decode_etrace(corrupted[:-_ETRACE_TORN_TAIL])
+        point.torn_tail_bytes = _ETRACE_TORN_TAIL
+        point.torn_recovered_branches = torn.recovered_branches
+        point.torn_truncated = torn.truncated
+        points.append(point)
+    return points
 
 
 def byte_fault_plan(rate: float, seed: int) -> FaultPlan:
@@ -280,6 +388,7 @@ def run_quarantine_scenario(
     stall_rate: float = 0.25,
     stall_us: float = 5_000.0,
     deadline_us: float = 500.0,
+    frontend: str = "coresight",
 ) -> QuarantineChaosResult:
     from repro.eval.metrics import build_demo_manager, demo_events
 
@@ -293,6 +402,10 @@ def run_quarantine_scenario(
             ),
         ),
     )
+    frontends = {
+        f"tenant{index}": frontend
+        for index in range(_QUARANTINE_TENANTS)
+    }
     manager = build_demo_manager(
         _QUARANTINE_TENANTS,
         kind=kind,
@@ -303,9 +416,10 @@ def run_quarantine_scenario(
         health_policy=HealthPolicy(
             probation_rounds=1, recover_rounds=1
         ),
+        frontends=frontends,
     )
     reference = build_demo_manager(
-        _QUARANTINE_TENANTS, kind=kind, seed=seed
+        _QUARANTINE_TENANTS, kind=kind, seed=seed, frontends=frontends
     )
     names = [runtime.name for runtime in manager.tenants]
     result = QuarantineChaosResult(
@@ -395,6 +509,10 @@ class ChaosResult:
     decoder: List[DecoderChaosPoint]
     dataplane: List[DataplaneChaosPoint]
     quarantine: QuarantineChaosResult
+    decoder_etrace: List[EtraceDecoderChaosPoint] = field(
+        default_factory=list
+    )
+    quarantine_etrace: Optional[QuarantineChaosResult] = None
 
 
 def run_chaos(
@@ -403,7 +521,12 @@ def run_chaos(
     seed: int = 0,
     kind: str = "lstm",
 ) -> ChaosResult:
-    """Run all three chaos experiments over the rate sweep."""
+    """Run all three chaos experiments over the rate sweep.
+
+    The decoder sweep and the quarantine scenario each run twice —
+    once per trace grammar — so the recovery and isolation invariants
+    are demonstrated for CoreSight and E-Trace side by side.
+    """
     for rate in rates:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {rate}")
@@ -414,6 +537,10 @@ def run_chaos(
         decoder=run_decoder_sweep(rates, events, seed),
         dataplane=run_dataplane_sweep(rates, events, seed, kind=kind),
         quarantine=run_quarantine_scenario(events, seed, kind=kind),
+        decoder_etrace=run_etrace_decoder_sweep(rates, events, seed),
+        quarantine_etrace=run_quarantine_scenario(
+            events, seed, kind=kind, frontend="etrace"
+        ),
     )
 
 
@@ -435,7 +562,28 @@ def format_chaos(result: ChaosResult) -> str:
             )
             for p in result.decoder
         ],
-        title="chaos: decoder recovery under byte corruption",
+        title="chaos: decoder recovery under byte corruption (coresight)",
+    )
+    decoder_etrace = format_table(
+        ["rate", "flip", "drop", "desync", "branches", "recovered",
+         "frame rs", "dec rs", "trunc", "torn rec", "torn trunc"],
+        [
+            (
+                f"{p.rate:g}",
+                p.bytes_flipped,
+                p.bytes_dropped,
+                p.desyncs,
+                f"{p.recovered_branches}/{p.clean_branches}",
+                f"{p.recovered_fraction:.3f}",
+                p.frame_resyncs,
+                p.decoder_resyncs,
+                p.truncated,
+                p.torn_recovered_branches,
+                p.torn_truncated,
+            )
+            for p in result.decoder_etrace
+        ],
+        title="chaos: decoder recovery under byte corruption (etrace)",
     )
     dataplane = format_table(
         ["rate", "inferences", "baseline", "matched", "agreement",
@@ -456,8 +604,21 @@ def format_chaos(result: ChaosResult) -> str:
         ],
         title="chaos: detection degradation under dataplane faults",
     )
-    q = result.quarantine
-    quarantine = format_table(
+    sections = [decoder, decoder_etrace, dataplane]
+    sections.append(
+        _format_quarantine(result.quarantine, "coresight")
+    )
+    if result.quarantine_etrace is not None:
+        sections.append(
+            _format_quarantine(result.quarantine_etrace, "etrace")
+        )
+    return "\n\n".join(sections)
+
+
+def _format_quarantine(
+    q: QuarantineChaosResult, frontend: str
+) -> str:
+    return format_table(
         ["round", "health", "records", "trips", "skipped", "identical"],
         [
             (
@@ -477,14 +638,13 @@ def format_chaos(result: ChaosResult) -> str:
             for r in q.rounds
         ],
         title=(
-            f"chaos: quarantine of {q.faulty_tenant} "
+            f"chaos: quarantine of {q.faulty_tenant} ({frontend}) "
             f"(stall rate {q.stall_rate:g}, deadline {q.deadline_us:g} us; "
             f"{q.quarantines} quarantines, {q.readmissions} readmissions, "
             f"{q.cancelled} watchdog cancels, healthy identical: "
             f"{'yes' if q.healthy_always_identical else 'NO'})"
         ),
     )
-    return "\n\n".join([decoder, dataplane, quarantine])
 
 
 def chaos_failures(result: ChaosResult) -> List[str]:
@@ -506,6 +666,20 @@ def chaos_failures(result: ChaosResult) -> List[str]:
                 "decoder: rate-0 run recovered "
                 f"{point.recovered_branches}/{point.clean_branches} "
                 "branches (must be all)"
+            )
+    for point in result.decoder_etrace:
+        if point.rate == 0.0 and (
+            point.recovered_branches != point.clean_branches
+        ):
+            failures.append(
+                "decoder[etrace]: rate-0 run recovered "
+                f"{point.recovered_branches}/{point.clean_branches} "
+                "branches (must be all)"
+            )
+        if point.torn_recovered_branches > point.recovered_branches:
+            failures.append(
+                "decoder[etrace]: torn-tail decode recovered more "
+                "branches than the full stream"
             )
     for point in result.dataplane:
         if point.rate != 0.0:
@@ -531,20 +705,25 @@ def chaos_failures(result: ChaosResult) -> List[str]:
             failures.append(
                 f"dataplane: rate-0 run injected {injected} faults"
             )
-    q = result.quarantine
-    if not q.healthy_always_identical:
-        failures.append(
-            "quarantine: healthy tenants' records diverged from the "
-            "fault-free reference"
+    scenarios = [("quarantine", result.quarantine)]
+    if result.quarantine_etrace is not None:
+        scenarios.append(
+            ("quarantine[etrace]", result.quarantine_etrace)
         )
-    if q.quarantines < 1:
-        failures.append(
-            "quarantine: the faulty tenant was never quarantined"
-        )
-    if q.readmissions < 1:
-        failures.append(
-            "quarantine: the quarantined tenant was never re-admitted"
-        )
+    for label, q in scenarios:
+        if not q.healthy_always_identical:
+            failures.append(
+                f"{label}: healthy tenants' records diverged from the "
+                "fault-free reference"
+            )
+        if q.quarantines < 1:
+            failures.append(
+                f"{label}: the faulty tenant was never quarantined"
+            )
+        if q.readmissions < 1:
+            failures.append(
+                f"{label}: the quarantined tenant was never re-admitted"
+            )
     return failures
 
 
@@ -555,7 +734,13 @@ def chaos_to_json(result: ChaosResult) -> Dict[str, object]:
         "events": result.events,
         "seed": result.seed,
         "decoder": [asdict(p) for p in result.decoder],
+        "decoder_etrace": [asdict(p) for p in result.decoder_etrace],
         "dataplane": [asdict(p) for p in result.dataplane],
         "quarantine": asdict(result.quarantine),
+        "quarantine_etrace": (
+            asdict(result.quarantine_etrace)
+            if result.quarantine_etrace is not None
+            else None
+        ),
         "failures": chaos_failures(result),
     }

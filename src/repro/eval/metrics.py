@@ -15,6 +15,7 @@ pins down.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -75,6 +76,11 @@ ROBUSTNESS_COUNTERS = (
     "coresight.decoder.hunt_bytes",
     "tpiu.frame_resyncs",
     "tpiu.bytes_discarded",
+    "etrace.decoder.resyncs",
+    "etrace.decoder.truncated",
+    "etrace.decoder.hunt_bytes",
+    "etrace.deframer.resyncs",
+    "etrace.deframer.bytes_discarded",
     "pipeline.integrity.checks",
     "pipeline.integrity.crc_mismatches",
     "pipeline.integrity.gaps",
@@ -222,8 +228,18 @@ def build_demo_soc(
     num_cus: int = 5,
     fifo_depth: int = 64,
     fault_plan: Optional[FaultPlan] = None,
+    frontend: Optional[str] = None,
 ) -> RtadSoc:
-    """A small, deterministic, fully assembled SoC for short traces."""
+    """A small, deterministic, fully assembled SoC for short traces.
+
+    ``frontend`` selects the trace grammar (``"coresight"`` or
+    ``"etrace"``).  When None it falls back to the ``REPRO_FRONTEND``
+    environment variable, defaulting to CoreSight — so CI can re-run
+    the whole demo surface under the other grammar without touching
+    call sites.
+    """
+    if frontend is None:
+        frontend = os.environ.get("REPRO_FRONTEND", "coresight")
     parts = _demo_parts(kind, seed)
     if kind == "elm":
         deployment = DeployedElm(
@@ -244,6 +260,7 @@ def build_demo_soc(
         fifo_depth=fifo_depth,
         score_smoothing=parts["smoothing"],
         fault_plan=fault_plan,
+        frontend=frontend,
     )
     return RtadSoc(
         program=parts["program"],
@@ -281,6 +298,7 @@ def build_demo_deployments(
     dataplane: str = "batched",
     dual_run: bool = False,
     execute_on_gpu: bool = False,
+    frontends: Optional[Dict[str, str]] = None,
 ) -> List[Deployment]:
     """Fresh demo deployments sharing one engine (see build_demo_manager).
 
@@ -320,6 +338,7 @@ def build_demo_deployments(
                     fault_plan=(fault_plans or {}).get(name),
                     dataplane=dataplane,
                     dual_run=dual_run,
+                    frontend=(frontends or {}).get(name, "coresight"),
                 ),
             )
         )
@@ -340,6 +359,7 @@ def build_demo_manager(
     dual_run: bool = False,
     batch_limit: int = 1,
     execute_on_gpu: bool = False,
+    frontends: Optional[Dict[str, str]] = None,
     journal=None,
     checkpoint_interval_events: Optional[int] = None,
     journal_chunk_events: int = 8192,
@@ -362,6 +382,7 @@ def build_demo_manager(
         dataplane=dataplane,
         dual_run=dual_run,
         execute_on_gpu=execute_on_gpu,
+        frontends=frontends,
     )
     return SocManager(
         deployments,

@@ -1,0 +1,271 @@
+"""``python -m repro.eval parity`` — cross-frontend detection parity.
+
+The frontend refactor's end-to-end gate: the same CFG-walker branch
+stream, run once per trace grammar (CoreSight PTM/TPIU vs RISC-V
+E-Trace/ETP), must reach *identical* detection — same inference
+sequence numbers, same scores, same anomalous flags — and the IGM
+must see the *identical* vector stream.  The two frontends differ
+only in how branch events are serialized to bytes; the address
+mapper and vector encoder downstream are shared, so any divergence
+is a frontend bug, not noise.
+
+Two comparisons per model kind:
+
+1. **Verdict parity** — full ``RtadSoc.run_events`` per frontend on a
+   shared demo stream; records compared by (sequence number, score,
+   anomalous flag).
+2. **Vector parity** — a bare trace pipeline (mapper + encoder + a
+   capturing sink) per frontend on the same stream; the IGM vector
+   sequence is digested (sequence number, trigger address/cycle,
+   vector values) and compared byte-for-byte.
+
+``python -m repro.eval parity`` exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.report import format_table
+from repro.igm.vector_encoder import EncoderMode, InputVector, VectorEncoder
+
+#: The grammars compared by default — every registered frontend.
+DEFAULT_FRONTENDS = ("coresight", "etrace")
+
+
+@dataclass
+class FrontendRun:
+    """One frontend's observable outputs on the shared stream."""
+
+    frontend: str
+    inferences: int
+    anomalous: int
+    verdict_digest: str
+    vectors: int
+    vector_digest: str
+    #: MCM queue-pressure drops during the run.  Verdict parity is
+    #: only defined for a drop-free workload: which vectors a busy
+    #: MCM sheds depends on delivery *timestamps*, and those
+    #: legitimately differ between grammars.
+    dropped_vectors: int = 0
+
+
+@dataclass
+class ParityKindResult:
+    """Parity comparison for one model kind."""
+
+    kind: str
+    events: int
+    runs: List[FrontendRun] = field(default_factory=list)
+    verdicts_match: bool = True
+    vectors_match: bool = True
+
+    @property
+    def parity(self) -> bool:
+        return self.verdicts_match and self.vectors_match
+
+
+@dataclass
+class ParityResult:
+    seed: int
+    events: int
+    frontends: Sequence[str]
+    kinds: List[ParityKindResult] = field(default_factory=list)
+
+    @property
+    def parity(self) -> bool:
+        return all(kind.parity for kind in self.kinds)
+
+
+def _digest(lines: Sequence[str]) -> str:
+    hasher = hashlib.sha256()
+    for line in lines:
+        hasher.update(line.encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _vector_line(vector: InputVector) -> str:
+    values = ",".join(f"{value:.9g}" for value in vector.values.tolist())
+    return (
+        f"{vector.sequence_number}:{vector.trigger_address:#x}:"
+        f"{vector.trigger_cycle}:[{values}]"
+    )
+
+
+def _capture_vectors(
+    frontend_name: str, soc, events
+) -> List[InputVector]:
+    """The IGM vector stream a bare pipeline produces for a frontend.
+
+    Reuses the SoC's (stateless after load) address mapper with a
+    fresh encoder, so the capture matches the detection run's mapper
+    configuration exactly.
+    """
+    from repro.frontends import make_frontend
+    from repro.pipeline import build_trace_pipeline
+
+    encoder = VectorEncoder(
+        mode=EncoderMode.SEQUENCE,
+        window=soc.config.window,
+        vocabulary_size=soc.mapper.size + 1,
+    )
+    captured: List[InputVector] = []
+    pipeline = build_trace_pipeline(
+        soc.mapper,
+        encoder,
+        lambda vector, _deliver_ns: captured.append(vector),
+        frontend=make_frontend(frontend_name),
+    )
+    pipeline.run(events)
+    return captured
+
+
+def run_parity(
+    kinds: Optional[Sequence[str]] = None,
+    events: int = 4_000,
+    seed: int = 0,
+    frontends: Sequence[str] = DEFAULT_FRONTENDS,
+) -> ParityResult:
+    """Run the cross-frontend parity comparison.
+
+    The default workload is sized to stay within MCM service
+    capacity: under overload the MCM sheds vectors by arrival time,
+    and arrival times legitimately differ between grammars, so
+    verdict parity is undefined (the failure report says so
+    explicitly rather than reporting a spurious divergence).
+    """
+    from repro.eval.metrics import DEMO_KINDS, build_demo_soc, demo_events
+
+    result = ParityResult(
+        seed=seed, events=events, frontends=tuple(frontends)
+    )
+    for kind in kinds or DEMO_KINDS:
+        stream = demo_events(
+            kind, seed, events, run_label=f"parity-{kind}"
+        )
+        kind_result = ParityKindResult(kind=kind, events=len(stream))
+        verdict_digests = []
+        vector_digests = []
+        for name in frontends:
+            soc = build_demo_soc(kind, seed=seed, frontend=name)
+            records = soc.run_events(stream)
+            verdict_lines = [
+                f"{r.sequence_number}:{r.score:.9g}:{int(bool(r.anomalous))}"
+                for r in records
+            ]
+            vectors = _capture_vectors(name, soc, stream)
+            run = FrontendRun(
+                frontend=name,
+                inferences=len(records),
+                anomalous=sum(1 for r in records if r.anomalous),
+                verdict_digest=_digest(verdict_lines),
+                vectors=len(vectors),
+                vector_digest=_digest(
+                    [_vector_line(v) for v in vectors]
+                ),
+                dropped_vectors=soc.mcm.dropped_vectors,
+            )
+            kind_result.runs.append(run)
+            verdict_digests.append(run.verdict_digest)
+            vector_digests.append(run.vector_digest)
+        kind_result.verdicts_match = len(set(verdict_digests)) == 1
+        kind_result.vectors_match = len(set(vector_digests)) == 1
+        result.kinds.append(kind_result)
+    return result
+
+
+def parity_failures(result: ParityResult) -> List[str]:
+    """Violated parity invariants, as human-readable strings."""
+    failures: List[str] = []
+    for kind in result.kinds:
+        overloaded = [
+            run for run in kind.runs if run.dropped_vectors > 0
+        ]
+        if overloaded:
+            drops = ", ".join(
+                f"{run.frontend}={run.dropped_vectors}"
+                for run in overloaded
+            )
+            failures.append(
+                f"{kind.kind}: workload overdrives the MCM "
+                f"(dropped vectors: {drops}) — verdict parity is "
+                "undefined under queue pressure, reduce --events"
+            )
+        elif not kind.verdicts_match:
+            failures.append(
+                f"{kind.kind}: detection verdicts diverge across "
+                f"frontends {list(result.frontends)}"
+            )
+        if not kind.vectors_match:
+            failures.append(
+                f"{kind.kind}: IGM vector streams diverge across "
+                f"frontends {list(result.frontends)}"
+            )
+        for run in kind.runs:
+            if run.inferences == 0:
+                failures.append(
+                    f"{kind.kind}: frontend {run.frontend} produced "
+                    "no inferences (parity would be vacuous)"
+                )
+    return failures
+
+
+def format_parity(result: ParityResult) -> str:
+    rows = []
+    for kind in result.kinds:
+        for run in kind.runs:
+            rows.append(
+                (
+                    kind.kind,
+                    run.frontend,
+                    run.inferences,
+                    run.anomalous,
+                    run.dropped_vectors,
+                    run.vectors,
+                    run.verdict_digest[:12],
+                    run.vector_digest[:12],
+                )
+            )
+        rows.append(
+            (
+                kind.kind,
+                "== parity",
+                "",
+                "",
+                "",
+                "",
+                "yes" if kind.verdicts_match else "NO",
+                "yes" if kind.vectors_match else "NO",
+            )
+        )
+    return format_table(
+        ["kind", "frontend", "inferences", "anomalous", "dropped",
+         "vectors", "verdicts", "igm vectors"],
+        rows,
+        title=(
+            f"parity: frontend detection equivalence "
+            f"({result.events} events, seed {result.seed}, "
+            f"parity: {'yes' if result.parity else 'NO'})"
+        ),
+    )
+
+
+def parity_to_json(result: ParityResult) -> Dict[str, object]:
+    """JSON document mirroring :func:`format_parity`."""
+    return {
+        "seed": result.seed,
+        "events": result.events,
+        "frontends": list(result.frontends),
+        "kinds": [
+            {
+                **asdict(kind),
+                "parity": kind.parity,
+            }
+            for kind in result.kinds
+        ],
+        "parity": result.parity,
+        "failures": parity_failures(result),
+    }

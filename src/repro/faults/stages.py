@@ -3,13 +3,23 @@
 Two insertion points mirror where real hardware loses data:
 
 - :class:`EventFaultStage` sits at the head of the staged pipeline and
-  drops / duplicates / corrupts branch events before PTM encoding —
-  the model of a trace source that glitched upstream of the port.
+  drops / duplicates / corrupts branch events ahead of whichever
+  frontend's encode stages the pipeline assembled (CoreSight PTM or
+  E-Trace — the channels are grammar-neutral) — the model of a trace
+  source that glitched upstream of the port.
 - :class:`VectorFaultStage` sits between the IGM and delivery and
   drops *bursts* of encoded vectors — the model of a PTM-FIFO overflow
   window in which everything buffered is lost at once.
 
-Both are thin wrappers over pure, chunk-invariant helpers
+Byte-level corruption (bit flips, drops, frame desyncs) is not a
+stage: it lives in :class:`repro.faults.injectors.StreamFaultInjector`
+and applies to any frontend's *framed* byte stream.  Recovery from
+those faults is each grammar's own resync path — TPIU frame hunt +
+PFT ``resync_hunt`` for CoreSight, ETP sync-pattern hunt + E-Trace
+alignment hunt for E-Trace — exercised side by side by the chaos
+harness (:mod:`repro.eval.chaos`).
+
+The stages are thin wrappers over pure, chunk-invariant helpers
 (:func:`apply_event_faults`, :class:`VectorOverflowModel`) that the
 per-event reference loop in :meth:`repro.soc.rtad.RtadSoc` reuses
 directly, so ``dataplane="batched"`` and ``dataplane="loop"`` inject

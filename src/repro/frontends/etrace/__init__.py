@@ -1,0 +1,44 @@
+"""RISC-V E-Trace-inspired branch trace grammar.
+
+A second, structurally different frontend for the RTAD pipeline:
+branch-map packets for runs of not-taken conditionals, zigzag-varint
+differential address packets for taken branches, periodic align+sync
+bursts, all framed over a variable-length checksummed link ("ETP").
+See :mod:`repro.frontends.etrace.packets` for the wire format and
+``docs/FRONTENDS.md`` for the contract this package implements.
+"""
+
+from repro.frontends.etrace.decoder import (
+    EtraceBranch,
+    EtraceBranchMap,
+    EtraceContext,
+    EtraceDecoder,
+    EtraceSupport,
+    EtraceSync,
+    EtraceTruncation,
+)
+from repro.frontends.etrace.driver import EtraceDriver
+from repro.frontends.etrace.encoder import (
+    EtraceConfig,
+    EtraceEncoder,
+    encode_trace,
+)
+from repro.frontends.etrace.frontend import EtraceFrontend
+from repro.frontends.etrace.transport import EtraceDeframer, EtraceFramer
+
+__all__ = [
+    "EtraceBranch",
+    "EtraceBranchMap",
+    "EtraceConfig",
+    "EtraceContext",
+    "EtraceDecoder",
+    "EtraceDeframer",
+    "EtraceDriver",
+    "EtraceEncoder",
+    "EtraceFramer",
+    "EtraceFrontend",
+    "EtraceSupport",
+    "EtraceSync",
+    "EtraceTruncation",
+    "encode_trace",
+]

@@ -1,0 +1,198 @@
+"""E-Trace encoder: branch event stream -> compressed packet stream.
+
+Mirrors :class:`repro.coresight.ptm.Ptm`'s shape — lazy initial sync,
+periodic re-sync by byte budget, per-session carried state, checkpoint
+export/restore — while speaking the RISC-V-style grammar from
+:mod:`repro.frontends.etrace.packets`: not-taken conditionals gather
+into branch-map packets, every taken branch emits a differential
+address packet (address-broadcast, so the IGM can recover targets
+without the program image), and syscalls carry a trap cause byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import PacketEncodeError
+from repro.frontends.etrace.packets import (
+    ALIGN_PREAMBLE,
+    MAX_MAP_BRANCHES,
+    encode_address,
+    encode_branch_map,
+    encode_context,
+    encode_support,
+    encode_sync_start,
+)
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.workloads.cfg import BranchEvent, BranchKind, is_map_only
+
+
+@dataclass
+class EtraceConfig:
+    """E-Trace programming model (the knobs a driver would set)."""
+
+    context_id: int = 1
+    #: Re-emit an align + sync burst after this many trace bytes.
+    sync_interval_bytes: int = 1024
+
+
+class EtraceEncoder:
+    """Stateful packet encoder for one traced context."""
+
+    def __init__(
+        self,
+        config: Optional[EtraceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or EtraceConfig()
+        self._last_units = 0
+        self._pending_map: List[bool] = []
+        self._bytes_since_sync = 0
+        self._started = False
+        self.total_bytes = 0
+        self.packet_counts = {
+            "support": 0, "sync": 0, "context": 0, "map": 0, "address": 0,
+        }
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_events = self.metrics.counter("etrace.events")
+        self._m_bytes = self.metrics.counter("etrace.bytes")
+        self._m_sync_bytes = self.metrics.counter("etrace.sync_bytes")
+        self._m_packets = {
+            kind: self.metrics.counter(f"etrace.packets.{kind}")
+            for kind in self.packet_counts
+        }
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def feed(self, event: BranchEvent) -> bytes:
+        """Encode one branch event; returns the bytes it produced."""
+        self._m_events.inc()
+        out = bytearray()
+        if not self._started:
+            out += self._emit_start(event)
+            self._started = True
+
+        if is_map_only(event):
+            self._pending_map.append(False)
+            if len(self._pending_map) >= MAX_MAP_BRANCHES:
+                out += self._flush_map()
+        else:
+            out += self._flush_map()
+            target = event.target
+            if target & 0x1:
+                raise PacketEncodeError(
+                    "branch target not halfword aligned"
+                )
+            if not 0 <= target <= 0xFFFF_FFFF:
+                raise PacketEncodeError("branch target out of range")
+            units = target >> 1
+            packet = encode_address(
+                units - self._last_units,
+                trap=event.kind is BranchKind.SYSCALL,
+            )
+            self._last_units = units
+            self.packet_counts["address"] += 1
+            self._m_packets["address"].inc()
+            out += packet
+
+        self._account(out)
+        if self._bytes_since_sync >= self.config.sync_interval_bytes:
+            sync = self._emit_sync(event)
+            self._account(sync)
+            out += sync
+        return bytes(out)
+
+    def flush(self) -> bytes:
+        """Emit any buffered branch-map bits (end of trace session)."""
+        out = self._flush_map()
+        self._account(out)
+        return bytes(out)
+
+    def switch_context(self, context_id: int) -> bytes:
+        """Process switch: flush the map, emit a context packet."""
+        out = bytearray(self._flush_map())
+        self.config.context_id = context_id
+        out += encode_context(context_id)
+        self.packet_counts["context"] += 1
+        self._m_packets["context"].inc()
+        self._account(out)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able carry state for checkpointing (see repro.durability)."""
+        return {
+            "context_id": self.config.context_id,
+            "last_units": self._last_units,
+            "pending_map": list(self._pending_map),
+            "bytes_since_sync": self._bytes_since_sync,
+            "started": self._started,
+            "total_bytes": self.total_bytes,
+            "packet_counts": dict(self.packet_counts),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.config.context_id = state["context_id"]
+        self._last_units = state["last_units"]
+        self._pending_map = [bool(bit) for bit in state["pending_map"]]
+        self._bytes_since_sync = state["bytes_since_sync"]
+        self._started = state["started"]
+        self.total_bytes = state["total_bytes"]
+        self.packet_counts = dict(state["packet_counts"])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _account(self, chunk: bytes) -> None:
+        self.total_bytes += len(chunk)
+        self._bytes_since_sync += len(chunk)
+        self._m_bytes.inc(len(chunk))
+
+    def _flush_map(self) -> bytes:
+        if not self._pending_map:
+            return b""
+        packet = encode_branch_map(self._pending_map)
+        self._pending_map = []
+        self.packet_counts["map"] += 1
+        self._m_packets["map"].inc()
+        return packet
+
+    def _emit_start(self, event: BranchEvent) -> bytes:
+        """Trace-on burst: align + support packet + full sync."""
+        out = bytearray(ALIGN_PREAMBLE)
+        out += encode_support()
+        self.packet_counts["support"] += 1
+        self._m_packets["support"].inc()
+        out += self._emit_sync(event, preamble=False)
+        self._m_sync_bytes.inc(len(ALIGN_PREAMBLE) + 3)
+        return bytes(out)
+
+    def _emit_sync(self, event: BranchEvent, preamble: bool = True) -> bytes:
+        """Align preamble + full-sync packet; resets compression."""
+        self._bytes_since_sync = 0
+        address = event.source & ~0x1
+        out = bytearray(ALIGN_PREAMBLE if preamble else b"")
+        out += encode_sync_start(address, self.config.context_id)
+        self.packet_counts["sync"] += 1
+        self._m_packets["sync"].inc()
+        # After a sync point deltas restart from a known address.
+        self._last_units = address >> 1
+        self._m_sync_bytes.inc(len(out))
+        return bytes(out)
+
+
+def encode_trace(events, config: Optional[EtraceConfig] = None) -> bytes:
+    """Convenience: encode a whole event sequence into one byte stream."""
+    encoder = EtraceEncoder(config)
+    out = bytearray()
+    for event in events:
+        out += encoder.feed(event)
+    out += encoder.flush()
+    return bytes(out)

@@ -1,0 +1,159 @@
+"""RISC-V E-Trace-inspired packet grammar: formats and codec helpers.
+
+The Efficient Trace for RISC-V specification compresses a branch
+stream with three ideas our grammar keeps:
+
+- **Branch maps**: runs of not-taken conditional branches become one
+  packet carrying up to 31 single-bit outcomes (bit ``1`` = branch not
+  taken, the E-Trace polarity).
+- **Differential addresses**: a taken branch reports its target as a
+  *signed delta* from the previous reported address, in halfword
+  (2-byte instruction) units, varint-encoded so short hops cost one
+  byte.  Like the CoreSight model this runs in an address-broadcast
+  style — every taken branch reports its target — because the IGM must
+  recover targets from the stream alone, without the program image.
+- **Synchronisation**: periodic full-address + context packets preceded
+  by an alignment preamble, so a late-attaching (or resynchronising)
+  decoder can find a packet boundary in the raw byte stream.
+
+Header byte layout (``fmt = header & 0x3``):
+
+    fmt 1  branch map    bits[7:3] = outcome count (1..31), bit2 = 0;
+                         payload = ceil(count / 8) map bytes, LSB first
+    fmt 2  address       bit2 = trap flag, bits[7:3] = 0; payload =
+                         zigzag-LEB128 delta of (target >> 1); a trap
+                         appends one cause byte (mcause code, < 16)
+    fmt 3  sync family   bits[3:2] = subformat, bits[7:4] = 0:
+                         0 = sync start (4B LE address + 4B LE context)
+                         1 = context   (4B LE context)
+                         2 = support   (options byte + version byte)
+                         3 = reserved (decode error)
+    fmt 0  reserved      only valid as alignment filler (0x00)
+
+The alignment preamble is ``4 x 0x00`` followed by ``0xAA``; ``0xAA``
+has fmt 2 with non-zero high bits, so it can never be mistaken for a
+packet header, and runs of zeros never occur inside valid packets in
+header position.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PacketEncodeError
+
+# --- alignment preamble -------------------------------------------------
+ALIGN_FILL = 0x00
+ALIGN_END = 0xAA
+ALIGN_FILL_COUNT = 4
+ALIGN_PREAMBLE = bytes([ALIGN_FILL] * ALIGN_FILL_COUNT + [ALIGN_END])
+
+# --- header formats -----------------------------------------------------
+FMT_BRANCH_MAP = 0x1
+FMT_ADDRESS = 0x2
+FMT_SYNC = 0x3
+
+HEADER_ADDRESS = 0x02          # plain differential address
+HEADER_ADDRESS_TRAP = 0x06     # bit2: trap (syscall) target
+HEADER_SYNC_START = 0x03       # subformat 0
+HEADER_CONTEXT = 0x07          # subformat 1
+HEADER_SUPPORT = 0x0B          # subformat 2
+
+SYNC_SUB_START = 0
+SYNC_SUB_CONTEXT = 1
+SYNC_SUB_SUPPORT = 2
+
+#: Most outcomes one branch-map packet can carry (5 header bits).
+MAX_MAP_BRANCHES = 31
+#: Longest legal address varint: zigzag of a 32-bit-range delta needs
+#: at most 33 significand bits = 5 LEB128 groups.
+ADDRESS_VARINT_MAX_BYTES = 5
+#: RISC-V mcause exception code for an environment call (the syscall
+#: analogue of CoreSight's SVC exception type).
+CAUSE_ECALL = 0x08
+#: Trap cause bytes are mcause exception codes and fit in 4 bits.
+MAX_CAUSE = 0x0F
+
+SYNC_START_PAYLOAD = 8
+CONTEXT_PAYLOAD = 4
+SUPPORT_PAYLOAD = 2
+
+#: Support-packet "options" byte: address broadcast + branch maps on.
+SUPPORT_OPTIONS = 0x03
+SUPPORT_VERSION = 0x01
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed delta to an unsigned varint payload."""
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128: 7 payload bits per byte, bit7 = continuation."""
+    if value < 0:
+        raise PacketEncodeError("varint payload must be non-negative")
+    out = bytearray()
+    while True:
+        group = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(group | 0x80)
+        else:
+            out.append(group)
+            return bytes(out)
+
+
+def encode_branch_map(outcomes) -> bytes:
+    """One branch-map packet from a run of taken/not-taken outcomes."""
+    count = len(outcomes)
+    if not 1 <= count <= MAX_MAP_BRANCHES:
+        raise PacketEncodeError(
+            f"branch map carries 1..{MAX_MAP_BRANCHES} outcomes, "
+            f"got {count}"
+        )
+    out = bytearray([FMT_BRANCH_MAP | (count << 3)])
+    payload = [0] * ((count + 7) // 8)
+    for index, taken in enumerate(outcomes):
+        if not taken:  # E-Trace polarity: 1 = not taken
+            payload[index // 8] |= 1 << (index % 8)
+    out += bytes(payload)
+    return bytes(out)
+
+
+def encode_address(delta_units: int, trap: bool = False,
+                   cause: int = CAUSE_ECALL) -> bytes:
+    """One differential-address packet (plus trap cause if flagged)."""
+    header = HEADER_ADDRESS_TRAP if trap else HEADER_ADDRESS
+    out = bytearray([header])
+    out += encode_varint(zigzag_encode(delta_units))
+    if len(out) - 1 > ADDRESS_VARINT_MAX_BYTES:
+        raise PacketEncodeError("address delta exceeds varint budget")
+    if trap:
+        if not 0 <= cause <= MAX_CAUSE:
+            raise PacketEncodeError(f"trap cause {cause} out of range")
+        out.append(cause)
+    return bytes(out)
+
+
+def encode_sync_start(address: int, context_id: int) -> bytes:
+    """Full-synchronisation packet: absolute address + context."""
+    if not 0 <= address <= 0xFFFF_FFFF:
+        raise PacketEncodeError("sync address out of 32-bit range")
+    out = bytearray([HEADER_SYNC_START])
+    out += address.to_bytes(4, "little")
+    out += (context_id & 0xFFFF_FFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+def encode_context(context_id: int) -> bytes:
+    out = bytearray([HEADER_CONTEXT])
+    out += (context_id & 0xFFFF_FFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+def encode_support(options: int = SUPPORT_OPTIONS,
+                   version: int = SUPPORT_VERSION) -> bytes:
+    return bytes([HEADER_SUPPORT, options & 0xFF, version & 0xFF])

@@ -1,0 +1,139 @@
+"""Batched dataplane stages for the E-Trace frontend.
+
+The encode stage reuses the grammar-neutral
+:class:`~repro.pipeline.stages.ByteCountEncodeStage` driving a real
+:class:`EtraceEncoder` per event — the E-Trace grammar has no
+vectorized fast path yet, so reference encoding *is* the model.  The
+link stage is fully vectorized, mirroring
+:class:`~repro.pipeline.stages.TpiuFrameStage`'s cumulative-sum frame
+accounting with the ETP constants: 15 payload bytes per 17-byte full
+frame, an 8-byte sync pattern, and a short (unpadded) tail frame.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.frontends.etrace.encoder import EtraceConfig, EtraceEncoder
+from repro.frontends.etrace.transport import (
+    FRAME_OVERHEAD,
+    PAYLOAD_PER_FRAME,
+    SYNC_SIZE,
+)
+from repro.obs import MetricsRegistry
+from repro.pipeline.batch import TraceBatch
+from repro.pipeline.stage import StageBase
+from repro.pipeline.stages import ByteCountEncodeStage
+
+_FULL_FRAME = PAYLOAD_PER_FRAME + FRAME_OVERHEAD
+
+
+class EtraceEncodeStage(ByteCountEncodeStage):
+    """Branch events -> per-event E-Trace packet byte counts."""
+
+    def __init__(
+        self,
+        config: Optional[EtraceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or EtraceConfig()
+        super().__init__(
+            name="etrace",
+            encoder_factory=lambda: EtraceEncoder(
+                self.config, metrics=self.metrics
+            ),
+            metrics=metrics,
+        )
+
+
+class EtraceFrameStage(StageBase):
+    """Packet byte counts -> ETP link bytes leaving the trace port."""
+
+    name = "etrace_link"
+
+    def __init__(
+        self,
+        sync_period: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(metrics=metrics)
+        if sync_period < 1:
+            raise ValueError("sync_period must be >= 1")
+        self.sync_period = sync_period
+        self.reset()
+        self._m_frames = self.metrics.counter("etrace.link.frames")
+        self._m_sync_frames = self.metrics.counter("etrace.link.sync_frames")
+        self._m_payload = self.metrics.counter("etrace.link.payload_bytes")
+
+    def reset(self) -> None:
+        self._buffer = 0
+        # A fresh framer emits the sync pattern before its first frame.
+        self._frames_since_sync = self.sync_period
+
+    def export_state(self) -> dict:
+        return {
+            "buffer": self._buffer,
+            "frames_since_sync": self._frames_since_sync,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._buffer = state["buffer"]
+        self._frames_since_sync = state["frames_since_sync"]
+
+    def _advance_frames(self, frames: int) -> int:
+        """Consume ``frames`` data-frame slots; return sync patterns."""
+        period = self.sync_period
+        g0 = period - self._frames_since_sync
+        if frames <= g0:
+            self._frames_since_sync += frames
+            return 0
+        syncs = (frames - g0 - 1) // period + 1
+        last = g0 + (syncs - 1) * period
+        self._frames_since_sync = frames - last
+        return syncs
+
+    def process(self, batch: TraceBatch) -> TraceBatch:
+        self._account_batch(batch)
+        if batch.tail:
+            total = self._buffer + batch.tail_ptm_bytes
+            complete, remainder = divmod(total, PAYLOAD_PER_FRAME)
+            data_frames = complete + (1 if remainder else 0)
+            syncs = self._advance_frames(data_frames)
+            batch.tail_frame_bytes = (
+                complete * _FULL_FRAME
+                + ((remainder + FRAME_OVERHEAD) if remainder else 0)
+                + syncs * SYNC_SIZE
+            )
+            self._buffer = 0
+            self._m_frames.inc(data_frames)
+            self._m_sync_frames.inc(syncs)
+            self._m_payload.inc(total)
+            return batch
+        if len(batch) == 0:
+            batch.frame_bytes = np.zeros(0, dtype=np.int64)
+            return batch
+        assert batch.ptm_bytes is not None
+        cumulative = self._buffer + np.cumsum(batch.ptm_bytes)
+        frames_after = cumulative // PAYLOAD_PER_FRAME
+        frames_per_event = np.diff(frames_after, prepend=0)
+        total_frames = int(frames_after[-1])
+        period = self.sync_period
+        g0 = period - self._frames_since_sync
+        syncs_before = np.where(
+            frames_after <= g0,
+            0,
+            (frames_after - g0 - 1) // period + 1,
+        )
+        syncs_per_event = np.diff(syncs_before, prepend=0)
+        batch.frame_bytes = (
+            frames_per_event * _FULL_FRAME + syncs_per_event * SYNC_SIZE
+        )
+        total_syncs = int(syncs_before[-1])
+        self._advance_frames(total_frames)
+        self._buffer = int(cumulative[-1]) % PAYLOAD_PER_FRAME
+        self._m_frames.inc(total_frames)
+        self._m_sync_frames.inc(total_syncs)
+        self._m_payload.inc(PAYLOAD_PER_FRAME * total_frames)
+        return batch

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.igm.vector_encoder import InputVector
 from repro.soc.clocks import CPU_CLOCK, ClockDomain
-from repro.workloads.cfg import BranchEvent, BranchKind
+from repro.workloads.cfg import BranchEvent, BranchKind, is_map_only
 
 
 @dataclass
@@ -51,12 +51,7 @@ class EventBatch:
         source = np.fromiter((e.source for e in events), np.int64, count=n)
         target = np.fromiter((e.target for e in events), np.int64, count=n)
         atom = np.fromiter(
-            (
-                e.kind is BranchKind.CONDITIONAL and not e.taken
-                for e in events
-            ),
-            bool,
-            count=n,
+            (is_map_only(e) for e in events), bool, count=n
         )
         syscall = np.fromiter(
             (e.kind is BranchKind.SYSCALL for e in events), bool, count=n

@@ -25,15 +25,14 @@ from repro.pipeline.stage import Stage
 from repro.pipeline.stages import (
     DeliverStage,
     IgmStage,
-    PtmEncodeStage,
     PtmFifoStage,
-    TpiuFrameStage,
 )
 from repro.soc.clocks import RTAD_CLOCK, ClockDomain
 from repro.workloads.cfg import BranchEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
+    from repro.frontends.base import TraceFrontend
 
 #: Default events per batch: large enough to amortize numpy dispatch,
 #: small enough that a chunk's arrays stay cache-resident.
@@ -228,21 +227,37 @@ def build_trace_pipeline(
     port_capacity: int = 4,
     fault_plan: Optional["FaultPlan"] = None,
     verify_integrity: bool = True,
+    frontend: Optional["TraceFrontend"] = None,
 ) -> Pipeline:
     """Assemble the standard five-stage trace dataplane.
 
-    Mirrors the wiring of :class:`repro.soc.rtad.RtadSoc`: PTM encode,
-    TPIU framing, PTM-FIFO batching, address map + vector encode, and
-    delivery into ``sink`` (usually ``Mcm.push``).
+    Mirrors the wiring of :class:`repro.soc.rtad.RtadSoc`: the
+    frontend's encode + framing stages (CoreSight PTM/TPIU by
+    default), PTM-FIFO batching, address map + vector encode, and
+    delivery into ``sink`` (usually ``Mcm.push``).  ``frontend``
+    selects the trace grammar; the legacy ``ptm_config`` /
+    ``tpiu_sync_period`` knobs configure the default CoreSight
+    frontend and must not be combined with an explicit one.
 
     ``fault_plan`` optionally inserts fault-injection stages: an
-    event-level injector ahead of PTM encode and a FIFO-overflow model
-    ahead of delivery.  A plan with only zero rates (or ``None``)
-    leaves the pipeline byte-identical to the fault-free build.
+    event-level injector ahead of the encode stages and a
+    FIFO-overflow model ahead of delivery.  A plan with only zero
+    rates (or ``None``) leaves the pipeline byte-identical to the
+    fault-free build.
     """
+    if frontend is None:
+        # Deferred import: repro.frontends late-binds its builtins.
+        from repro.frontends.coresight import CoreSightFrontend
+
+        frontend = CoreSightFrontend(
+            ptm_config=ptm_config, sync_period=tpiu_sync_period
+        )
+    elif ptm_config is not None:
+        raise SocConfigError(
+            "pass ptm_config through the frontend, not alongside it"
+        )
     stages: List[Stage] = [
-        PtmEncodeStage(config=ptm_config, metrics=metrics),
-        TpiuFrameStage(sync_period=tpiu_sync_period, metrics=metrics),
+        *frontend.build_encode_stages(metrics=metrics),
         PtmFifoStage(
             threshold_bytes=fifo_threshold_bytes,
             port_clock=port_clock,
@@ -264,7 +279,8 @@ def build_trace_pipeline(
             # Ahead of the IGM so the silent mutation has a real
             # downstream effect (a wrong mapper lookup).
             stages.insert(
-                3, ChunkCorruptStage(fault_plan, metrics=metrics)
+                len(stages) - 2,
+                ChunkCorruptStage(fault_plan, metrics=metrics),
             )
         if fault_plan.active(EVENT_KINDS):
             stages.insert(

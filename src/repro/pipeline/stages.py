@@ -344,6 +344,71 @@ class PtmEncodeStage(StageBase):
         return batch
 
 
+class ByteCountEncodeStage(StageBase):
+    """Grammar-neutral encode stage: drives a per-event packet encoder.
+
+    Any trace frontend whose encoder exposes ``feed(event) -> bytes``
+    and ``flush() -> bytes`` (plus ``export_state``/``restore_state``)
+    rides the batched dataplane through this stage.  Downstream stages
+    consume only the per-event byte *counts* — framing, FIFO timing —
+    so per-event reference encoding is exact by construction; grammars
+    with a vectorized fast path (CoreSight) subclass or replace this
+    stage rather than extend it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        encoder_factory: Callable[[], object],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        # Counter names derive from ``self.name`` inside StageBase, so
+        # the instance attribute must exist before super().__init__.
+        self.name = name
+        super().__init__(metrics=metrics)
+        self._encoder_factory = encoder_factory
+        self._encoder: Optional[object] = None
+
+    def reset(self) -> None:
+        self._encoder = None
+
+    def export_state(self) -> dict:
+        return {
+            "encoder": (
+                self._encoder.export_state()
+                if self._encoder is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["encoder"] is not None:
+            self._encoder = self._encoder_factory()
+            self._encoder.restore_state(state["encoder"])
+        else:
+            self._encoder = None
+
+    def process(self, batch: TraceBatch) -> TraceBatch:
+        self._account_batch(batch)
+        if batch.tail:
+            if self._encoder is not None:
+                batch.tail_ptm_bytes = len(self._encoder.flush())
+            return batch
+        if len(batch) == 0:
+            batch.ptm_bytes = np.zeros(0, dtype=np.int64)
+            return batch
+        if self._encoder is None:
+            self._encoder = self._encoder_factory()
+        encoder = self._encoder
+        assert batch.events is not None and batch.events.events is not None
+        batch.ptm_bytes = np.fromiter(
+            (len(encoder.feed(event)) for event in batch.events.events),
+            np.int64,
+            count=len(batch),
+        )
+        return batch
+
+
 class TpiuFrameStage(StageBase):
     """PTM byte counts -> TPIU frame bytes leaving the trace port."""
 
@@ -437,10 +502,11 @@ class PtmFifoStage(StageBase):
 
     Reproduces :class:`repro.soc.cpu.PtmFifoModel` batching: bytes
     queue until occupancy reaches the threshold, then everything
-    drains at 4 bytes per trace-port cycle.  The tail replays the
-    reference loop's end-of-session behaviour including its quirk:
-    when the final push itself crosses the threshold, the loop
-    discards the drain handle, so that flush delivers no vectors.
+    drains at 4 bytes per trace-port cycle.  At the tail everything
+    still buffered drains as one delivering flush — even when the
+    final push itself crosses the threshold (the reference loop once
+    dropped that drain handle, silently losing the session's last
+    vectors; both dataplanes now deliver them).
     """
 
     name = "ptm_fifo"
@@ -484,20 +550,10 @@ class PtmFifoStage(StageBase):
         if batch.tail:
             flushes: List[FifoFlush] = []
             occupancy = self._occupancy + batch.tail_frame_bytes
-            if (
-                batch.tail_frame_bytes > 0
-                and occupancy >= self.threshold_bytes
-            ):
-                flush = FifoFlush(
-                    event_pos=0,
-                    done_ns=self._last_ns + self._drain_ns(occupancy),
-                    amount=occupancy,
-                    delivers=False,
-                )
-                self._record_flush(flush)
-                flushes.append(flush)
-                occupancy = 0
             if occupancy > 0:
+                # End of session: everything left drains in one go and
+                # carries the pending vectors with it, whether or not
+                # the tail bytes happened to cross the threshold.
                 flush = FifoFlush(
                     event_pos=0,
                     done_ns=self._last_ns + self._drain_ns(occupancy),
@@ -744,9 +800,11 @@ class DeliverStage(StageBase):
                     self._deliver(self._pending, flush.done_ns)
                     self._pending = []
             if self._pending:
-                # Reference-loop quirk: a tail push that crosses the
-                # FIFO threshold drops its drain handle, so pending
-                # vectors are lost with the session.
+                # Safety net: a tail whose flushes were all marked
+                # non-delivering strands its pending vectors; count
+                # the loss instead of leaking them into the next
+                # session.  (PtmFifoStage no longer produces such a
+                # tail — its end-of-session drain always delivers.)
                 self._m_lost.inc(len(self._pending))
                 self._pending = []
             return batch

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
-from repro.coresight.driver import CoreSightDriver
 from repro.coresight.ptm import PtmConfig
 from repro.igm.address_mapper import AddressMapper
 from repro.igm.vector_encoder import InputVector, VectorEncoder
@@ -33,6 +32,7 @@ from repro.workloads.cfg import BranchEvent
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
     from repro.faults.stages import VectorOverflowModel
+    from repro.frontends.base import TraceDriver, TraceFrontend
 
 
 class LoopDataplane:
@@ -54,6 +54,7 @@ class LoopDataplane:
         igm_pipe_ns: float = 24.0,
         metrics: Optional[MetricsRegistry] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        frontend: Optional["TraceFrontend"] = None,
     ) -> None:
         self.mapper = mapper
         self.encoder = encoder
@@ -61,12 +62,23 @@ class LoopDataplane:
         self.igm_pipe_ns = igm_pipe_ns
         self.metrics = metrics or NULL_REGISTRY
         self.fault_plan = fault_plan
-        self.coresight = CoreSightDriver(
-            ptm_config=ptm_config,
-            sync_period=tpiu_sync_period,
-            metrics=self.metrics,
+        if frontend is None:
+            # Deferred import: repro.frontends late-binds its builtins.
+            from repro.frontends.coresight import CoreSightFrontend
+
+            frontend = CoreSightFrontend(
+                ptm_config=ptm_config, sync_period=tpiu_sync_period
+            )
+        elif ptm_config is not None:
+            raise ValueError(
+                "pass ptm_config through the frontend, not alongside it"
+            )
+        self.frontend = frontend
+        # Created disabled; ``run`` powers it up at first use so no
+        # trace bytes exist before the session starts.
+        self.driver: "TraceDriver" = frontend.create_driver(
+            metrics=self.metrics
         )
-        self.coresight.enable()
         self.fifo = PtmFifoModel(
             threshold_bytes=fifo_threshold_bytes,
             port_clock=port_clock,
@@ -103,10 +115,15 @@ class LoopDataplane:
         overflow = self._overflow.dropped if self._overflow else 0
         return self._injected_drops + overflow
 
+    @property
+    def coresight(self) -> "TraceDriver":
+        """Back-compat alias for the frontend driver."""
+        return self.driver
+
     def reset(self) -> None:
-        """New trace session: fresh PTM/TPIU context, empty FIFO."""
-        self.coresight.disable()
-        self.coresight.enable()
+        """New trace session: fresh encoder/link context, empty FIFO."""
+        self.driver.disable()
+        self.driver.enable()
         self.fifo.reset()
         if self._overflow is not None:
             self._overflow.reset()
@@ -115,6 +132,8 @@ class LoopDataplane:
         """Feed a whole event stream through, then flush the tail."""
         if not len(events):
             return
+        if not self.driver.enabled:
+            self.driver.enable()
         plan = self.fault_plan
         if plan is not None and not plan.is_noop:
             from repro.faults.stages import apply_event_faults
@@ -130,7 +149,7 @@ class LoopDataplane:
         pending: List[InputVector] = []
         for event in events:
             time_ns = CPU_CLOCK.to_ns(event.cycle)
-            chunk = self.coresight.trace(event)
+            chunk = self.driver.trace(event)
             index = self.mapper.lookup(event.target)
             if index is not None:
                 vector = self.encoder.push(
@@ -142,10 +161,14 @@ class LoopDataplane:
             if flushed is not None:
                 self._deliver(pending, flushed)
                 pending = []
-        tail = self.coresight.flush()
+        tail = self.driver.flush()
         last_ns = CPU_CLOCK.to_ns(events[-1].cycle)
-        self.fifo.push(last_ns, len(tail))
-        flushed = self.fifo.flush(last_ns)
+        # The tail push may itself cross the threshold and drain the
+        # FIFO; keep that handle, or the explicit session-end flush
+        # sees an empty FIFO and the pending vectors are lost.
+        flushed = self.fifo.push(last_ns, len(tail))
+        if flushed is None:
+            flushed = self.fifo.flush(last_ns)
         if flushed is not None:
             self._deliver(pending, flushed)
 
@@ -166,12 +189,14 @@ class LoopDataplane:
     # ------------------------------------------------------------------
 
     def export_state(self) -> dict:
-        """Carry state for checkpointing, mirroring Pipeline's shape."""
-        assert self.coresight._ptm is not None
-        assert self.coresight._tpiu is not None
+        """Carry state for checkpointing, mirroring Pipeline's shape.
+
+        The driver contributes its own sub-documents (``ptm``/``tpiu``
+        for CoreSight, ``encoder``/``framer`` for E-Trace) so the
+        CoreSight layout stays byte-identical to the pre-frontend one.
+        """
         state = {
-            "ptm": self.coresight._ptm.export_state(),
-            "tpiu": self.coresight._tpiu.export_state(),
+            **self.driver.export_state(),
             "fifo": self.fifo.export_state(),
             "injected_drops": self._injected_drops,
         }
@@ -184,12 +209,7 @@ class LoopDataplane:
         return state
 
     def restore_state(self, state: dict) -> None:
-        self.coresight.disable()
-        self.coresight.enable()
-        assert self.coresight._ptm is not None
-        assert self.coresight._tpiu is not None
-        self.coresight._ptm.restore_state(state["ptm"])
-        self.coresight._tpiu.restore_state(state["tpiu"])
+        self.driver.restore_state(state)
         self.fifo.restore_state(state["fifo"])
         self._injected_drops = state["injected_drops"]
         if self._overflow is not None and "overflow" in state:

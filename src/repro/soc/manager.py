@@ -157,17 +157,22 @@ class TenantRuntime:
             metrics=metrics,
         )
         self.schedule: List[Tuple[InputVector, float]] = []
-        # Deferred import: repro.pipeline depends on repro.soc.clocks,
-        # a module-level import here would be circular (see rtad.py).
+        # Deferred imports: repro.pipeline depends on repro.soc.clocks
+        # and repro.frontends late-binds its builtins; module-level
+        # imports here would be circular (see rtad.py).
+        from repro.frontends import make_frontend
         from repro.pipeline import build_trace_pipeline
         from repro.soc.loop import LoopDataplane
 
+        self.frontend = make_frontend(
+            config.frontend, ptm_config=deployment.ptm_config
+        )
         if config.dataplane == "loop":
             self.pipeline = LoopDataplane(
                 self.mapper,
                 self.encoder,
                 self._capture,
-                ptm_config=deployment.ptm_config,
+                frontend=self.frontend,
                 igm_pipe_ns=config.igm_pipe_ns,
                 metrics=metrics,
                 fault_plan=self.fault_plan,
@@ -177,7 +182,7 @@ class TenantRuntime:
                 self.mapper,
                 self.encoder,
                 self._capture,
-                ptm_config=deployment.ptm_config,
+                frontend=self.frontend,
                 igm_pipe_ns=config.igm_pipe_ns,
                 metrics=metrics,
                 chunk_events=config.chunk_events,

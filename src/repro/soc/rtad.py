@@ -65,6 +65,11 @@ class RtadConfig:
     #: FIFO-overflow channels apply identically to both dataplanes; a
     #: None (or all-zero-rate) plan leaves the SoC byte-identical.
     fault_plan: Optional["FaultPlan"] = None
+    #: Trace grammar: any name in ``repro.frontends.frontend_names()``
+    #: ("coresight" | "etrace").  Both grammars produce identical
+    #: verdicts and IGM vectors; only byte counts (and therefore FIFO
+    #: flush timestamps) differ.
+    frontend: str = "coresight"
 
     def __post_init__(self) -> None:
         if self.model_kind not in ("elm", "lstm"):
@@ -75,6 +80,14 @@ class RtadConfig:
             raise SocConfigError(f"unknown dataplane {self.dataplane!r}")
         if self.chunk_events < 1:
             raise SocConfigError("chunk_events must be >= 1")
+        # Deferred import: repro.frontends late-binds its builtins.
+        from repro.frontends import frontend_names
+
+        if self.frontend not in frontend_names():
+            raise SocConfigError(
+                f"unknown trace frontend {self.frontend!r} "
+                f"(have: {', '.join(frontend_names())})"
+            )
 
 
 @dataclass
@@ -133,18 +146,22 @@ class RtadSoc:
             ),
             metrics=self.metrics,
         )
-        self.host = HostCpu(program, metrics=self.metrics)
-        # Imported here: repro.pipeline depends on repro.soc.clocks,
-        # so a module-level import would be circular through the
-        # repro.soc package __init__.
+        # Imported here: repro.frontends late-binds its builtins, and
+        # repro.pipeline depends on repro.soc.clocks, so module-level
+        # imports would be circular through the repro.soc package
+        # __init__.
+        from repro.frontends import make_frontend
         from repro.pipeline import build_trace_pipeline
 
+        self.frontend = make_frontend(self.config.frontend)
+        self.host = HostCpu(
+            program, metrics=self.metrics, frontend=self.frontend
+        )
         self.pipeline = build_trace_pipeline(
             self.mapper,
             self.encoder,
             self.mcm.push,
-            ptm_config=self.host.coresight.ptm_config,
-            tpiu_sync_period=self.host.coresight.sync_period,
+            frontend=self.frontend,
             fifo_threshold_bytes=self.host.ptm_fifo.threshold_bytes,
             port_clock=self.host.ptm_fifo.port_clock,
             igm_pipe_ns=self.config.igm_pipe_ns,
@@ -234,8 +251,7 @@ class RtadSoc:
         built SoC every step below is a no-op, so first runs are
         unaffected.
         """
-        self.host.coresight.disable()
-        self.host.coresight.enable()
+        self.host.begin_session()
         self.host.ptm_fifo.reset()
         self.pipeline.reset()
         self.encoder.reset(reset_sequence=True)
@@ -267,7 +283,7 @@ class RtadSoc:
         pending: List[InputVector] = []
         for event in events:
             time_ns = self.host.event_time_ns(event)
-            chunk = self.host.coresight.trace(event)
+            chunk = self.host.driver.trace(event)
             index = self.mapper.lookup(event.target)
             if index is not None:
                 vector = self.encoder.push(
@@ -279,10 +295,14 @@ class RtadSoc:
             if flushed is not None:
                 self._deliver(pending, flushed)
                 pending = []
-        tail = self.host.coresight.flush()
+        tail = self.host.driver.flush()
         last_ns = self.host.event_time_ns(events[-1])
-        self.host.ptm_fifo.push(last_ns, len(tail))
-        flushed = self.host.ptm_fifo.flush(last_ns)
+        # The tail push may itself cross the threshold and drain the
+        # FIFO; keep that handle, or the explicit session-end flush
+        # sees an empty FIFO and the pending vectors are lost.
+        flushed = self.host.ptm_fifo.push(last_ns, len(tail))
+        if flushed is None:
+            flushed = self.host.ptm_fifo.flush(last_ns)
         if flushed is not None:
             self._deliver(pending, flushed)
 

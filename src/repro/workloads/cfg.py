@@ -59,6 +59,18 @@ class BranchEvent:
         )
 
 
+def is_map_only(event: BranchEvent) -> bool:
+    """True when a grammar may record this event as a single outcome
+    bit, with no target address: a not-taken conditional branch.
+
+    This classification is shared by every trace frontend (CoreSight
+    atom packets, E-Trace branch maps) and by the batched dataplane's
+    struct-of-arrays view, so the same CFG-walker event streams drive
+    all grammars identically.
+    """
+    return event.kind is BranchKind.CONDITIONAL and not event.taken
+
+
 @dataclass
 class BasicBlock:
     """A straight-line run of instructions ending in a branch.

@@ -9,6 +9,8 @@ PACKAGES = [
     "repro.utils",
     "repro.workloads",
     "repro.coresight",
+    "repro.frontends",
+    "repro.frontends.etrace",
     "repro.igm",
     "repro.miaow",
     "repro.synthesis",

@@ -297,9 +297,12 @@ class TestPtmFifoStage:
             done = reference.push(float(t), int(b))
             if done is not None:
                 expect.append(done)
-        # reference-loop tail: push (handle discarded) then flush
-        reference.push(float(times[-1]), 13)
-        tail_done = reference.flush(float(times[-1]))
+        # reference-loop tail: the push's own drain handle is kept
+        # (a threshold-crossing tail push drains everything), and the
+        # explicit flush covers the below-threshold remainder.
+        tail_done = reference.push(float(times[-1]), 13)
+        if tail_done is None:
+            tail_done = reference.flush(float(times[-1]))
 
         stage = PtmFifoStage(threshold_bytes=176)
         got = []
@@ -323,16 +326,17 @@ class TestPtmFifoStage:
         if tail_done is not None:
             assert [f.done_ns for f in tail.flushes] == [tail_done]
 
-    def test_tail_threshold_crossing_does_not_deliver(self):
-        # The reference loop discards the drain handle of an
-        # end-of-session push that itself crosses the threshold; the
-        # stage marks that flush delivers=False.
+    def test_tail_threshold_crossing_still_delivers(self):
+        # Regression: an end-of-session push that itself crosses the
+        # threshold used to drop its drain handle, losing the
+        # session's pending vectors (the E-Trace/ELM parity workload
+        # hit this).  The tail drain must always deliver.
         stage = PtmFifoStage(threshold_bytes=16)
         tail = TraceBatch.tail_marker()
         tail.tail_frame_bytes = 20
         tail = stage.process(tail)
         assert len(tail.flushes) == 1
-        assert not tail.flushes[0].delivers
+        assert tail.flushes[0].delivers
         assert tail.flushes[0].amount == 20
 
 
