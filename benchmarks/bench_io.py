@@ -25,6 +25,7 @@ MIRRORED_RESULTS = (
     "BENCH_pipeline.json",
     "BENCH_mcm.json",
     "BENCH_mcm_batched.json",
+    "BENCH_serve.json",
 )
 
 

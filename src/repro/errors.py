@@ -13,6 +13,11 @@ class RtadError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
+#: Package-level alias: callers outside the SoC vocabulary catch
+#: ``ReproError`` at the service boundary (repro.serve, repro.eval).
+ReproError = RtadError
+
+
 # ---------------------------------------------------------------------------
 # Trace / CoreSight layer
 # ---------------------------------------------------------------------------
@@ -130,6 +135,14 @@ class ProcessCrashError(DurabilityError):
     Raised by :class:`repro.faults.crashpoints.CrashPointInjector`; the
     recovery harness catches it, reopens the journal, and replays.
     """
+
+
+class ServeError(RtadError):
+    """Base class for ingestion front-door (repro.serve) errors."""
+
+
+class FrameProtocolError(ServeError):
+    """A client frame violated the length-prefixed wire protocol."""
 
 
 class WorkloadError(RtadError):

@@ -56,16 +56,25 @@ from repro.eval.recovery import (
     format_recovery,
     run_recovery,
 )
+from repro.eval.soak import (
+    DEFAULT_CLIENTS,
+    format_soak,
+    run_soak,
+    soak_failures,
+    soak_to_json,
+)
 from repro.eval.table1 import format_table1, run_table1
 from repro.eval.table2 import format_table2, run_table2
 
 EXPERIMENTS = (
     "table1", "table2", "fig6", "fig7", "fig8", "metrics", "chaos",
-    "recovery", "profile", "parity",
+    "recovery", "profile", "parity", "soak",
 )
 
 #: Experiments whose --json output must stay one valid JSON document.
-_JSON_EXPERIMENTS = ("metrics", "chaos", "recovery", "profile", "parity")
+_JSON_EXPERIMENTS = (
+    "metrics", "chaos", "recovery", "profile", "parity", "soak",
+)
 
 
 def main(argv=None) -> int:
@@ -125,9 +134,16 @@ def main(argv=None) -> int:
         help="exact-mode inferences per profiled model "
              f"(default {DEFAULT_INFERENCES})",
     )
+    parser.add_argument(
+        "--clients", type=int, default=DEFAULT_CLIENTS,
+        help="concurrent simulated clients for the soak experiment "
+             f"(default {DEFAULT_CLIENTS})",
+    )
     args = parser.parse_args(argv)
     if args.events is not None and args.events < 0:
         parser.error("--events must be non-negative")
+    if args.clients < 1:
+        parser.error("--clients must be positive")
     events = 12_000 if args.events is None else args.events
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
@@ -210,6 +226,21 @@ def main(argv=None) -> int:
                 )
             else:
                 output = format_parity(parity)
+        elif name == "soak":
+            soak = run_soak(
+                clients=args.clients,
+                seed=args.seed,
+                kind=(args.models or ["lstm"])[0],
+            )
+            failures += [
+                f"soak: {line}" for line in soak_failures(soak)
+            ]
+            if args.json:
+                output = json.dumps(
+                    soak_to_json(soak), indent=2, sort_keys=True
+                )
+            else:
+                output = format_soak(soak)
         elif name == "profile":
             profiled = run_profile(
                 kinds=tuple(args.models or ("elm", "lstm")),

@@ -497,6 +497,272 @@ def run_quarantine_scenario(
 
 
 # ----------------------------------------------------------------------
+# Experiment 4: connection-level faults at the ingestion front door
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ConnectionChaosResult:
+    """One deterministic run of the front-door connection sweep.
+
+    Five tenants share one :class:`~repro.serve.IngestServer`; four of
+    their clients are wired through seeded
+    :class:`~repro.faults.connection.ConnectionFaultInjector` channels
+    (slow-loris over raw CoreSight bytes, mid-frame disconnects over
+    raw E-Trace bytes, corrupt frames, burst floods) while the fifth
+    stays clean.  Round grouping is driven manually (``drain_once``
+    per round, frozen server clock), so the healthy tenant's verdict
+    flags can be compared exactly against a solo fault-free reference
+    manager — the "no poisoning" invariant.
+    """
+
+    rounds: int
+    recovery_rounds: int
+    fault_rate: float
+    tenants: Dict[str, str] = field(default_factory=dict)
+    #: Client-side channel counts (what the injectors actually did).
+    slow_frames: int = 0
+    disconnects: int = 0
+    corrupted_frames: int = 0
+    flood_frames: int = 0
+    #: Server-side accounting.
+    server_counters: Dict[str, int] = field(default_factory=dict)
+    breaker_states: Dict[str, str] = field(default_factory=dict)
+    breaker_trips: int = 0
+    #: Flood channel: responses seen by the client (ACK/SHED/ERR, one
+    #: per *delivered* copy) vs logical frames it meant to send.
+    flood_responses: int = 0
+    flood_logical_frames: int = 0
+    #: Clean tenant: every frame it sends must come back as an ACK.
+    healthy_acks: int = 0
+    healthy_frames: int = 0
+    dataplane_crashes: int = 0
+    healthy_round_flags: List[bool] = field(default_factory=list)
+    healthy_always_identical: bool = True
+    recovered_clean: bool = True
+
+
+_CONN_TENANTS = 5
+_CONN_HEALTHY = "tenant0"
+_CONN_CHANNELS: Dict[str, FaultKind] = {
+    "tenant1": FaultKind.CONN_SLOW_LORIS,
+    "tenant2": FaultKind.CONN_DISCONNECT,
+    "tenant3": FaultKind.CONN_CORRUPT,
+    "tenant4": FaultKind.CONN_FLOOD,
+}
+#: Raw-byte-stream sessions (grammar decoded server-side); the rest
+#: send pre-decoded event batches.
+_CONN_RAW_MODES = {"tenant1": "coresight", "tenant2": "etrace"}
+
+
+def run_connection_chaos(
+    events: int,
+    seed: int,
+    kind: str = "lstm",
+    rounds: int = 8,
+    recovery_rounds: int = 2,
+    fault_rate: float = 0.6,
+) -> ConnectionChaosResult:
+    """Drive the front door through seeded connection faults.
+
+    Fully deterministic: the server clock is frozen (no staleness, no
+    rate limiting, no opportunistic drains), rounds are drained
+    manually, and every fault decision is a counter hash.
+    """
+    import asyncio
+
+    from repro.eval.metrics import build_demo_manager, demo_events
+    from repro.faults.connection import ConnectionFaultInjector
+    from repro.faults.plan import FaultSpec
+    from repro.errors import ServeError
+    from repro.serve import (
+        IngestServer,
+        ServeConfig,
+        SimulatedClient,
+    )
+    from repro.frontends import get_frontend
+
+    per_round = max(100, events // (rounds + recovery_rounds) // 4)
+    manager = build_demo_manager(_CONN_TENANTS, kind=kind, seed=seed)
+    reference = build_demo_manager(1, kind=kind, seed=seed)
+    # With the clock frozen the token bucket never refills, so the
+    # burst is a whole-run event budget per tenant: sized to cover
+    # every clean tenant's logical traffic with ~30% headroom, which
+    # the flood channel's duplicated copies blow straight through —
+    # that is what trips its breaker while neighbours stay CLOSED.
+    burst = int(per_round * (rounds + recovery_rounds) * 1.3)
+    server = IngestServer(
+        manager,
+        ServeConfig(
+            max_queued_events=1 << 20,
+            window_batches=256,
+            rate_limit_eps=1.0,
+            rate_burst_events=burst,
+        ),
+        clock_ns=lambda: 0,
+    )
+    names = [runtime.name for runtime in manager.tenants]
+    injectors = {
+        name: ConnectionFaultInjector(
+            FaultPlan(
+                seed=seed,
+                specs=(FaultSpec(kindspec, rate=fault_rate),),
+            ),
+            client_index=index,
+        )
+        for index, (name, kindspec) in enumerate(
+            _CONN_CHANNELS.items(), start=1
+        )
+    }
+    result = ConnectionChaosResult(
+        rounds=rounds,
+        recovery_rounds=recovery_rounds,
+        fault_rate=fault_rate,
+        tenants={
+            name: (
+                "clean"
+                if name == _CONN_HEALTHY
+                else _CONN_CHANNELS[name].value
+            )
+            for name in names
+        },
+    )
+
+    drivers = {
+        name: get_frontend(frontend).create_driver()
+        for name, frontend in _CONN_RAW_MODES.items()
+    }
+    for driver in drivers.values():
+        driver.enable()
+
+    #: Per-tenant response tallies, aggregated across reconnects.
+    agg_acks = {name: 0 for name in names}
+    agg_responses = {name: 0 for name in names}
+    hellos = {name: 0 for name in names}
+
+    async def scenario() -> None:
+        clients: Dict[str, SimulatedClient] = {}
+
+        def retire(name: str) -> None:
+            client = clients.pop(name, None)
+            if client is None:
+                return
+            agg_acks[name] += client.acks
+            agg_responses[name] += (
+                client.acks + client.sheds + client.errors
+            )
+            client.close()
+
+        async def attach(name: str, faulty: bool) -> SimulatedClient:
+            client = SimulatedClient.local_faulty(
+                server, injectors.get(name) if faulty else None
+            )
+            await client.hello(
+                name,
+                mode="raw" if name in _CONN_RAW_MODES else "events",
+                frontend=_CONN_RAW_MODES.get(name),
+            )
+            hellos[name] += 1
+            return client
+
+        async def send_round(name: str, round_index: int, faulty: bool):
+            stream = demo_events(
+                kind, seed, per_round,
+                run_label=f"conn-{name}-r{round_index}",
+            )
+            try:
+                if name not in clients:
+                    clients[name] = await attach(name, faulty)
+                client = clients[name]
+                if name in _CONN_RAW_MODES:
+                    chunk = drivers[name].trace_all(stream)
+                    chunk += drivers[name].flush()
+                    await client.send_raw(chunk)
+                else:
+                    await client.send_events(stream)
+            except ServeError:
+                # The injector hit this tenant's session itself —
+                # mid-frame disconnect, or a corrupted HELLO the
+                # server refused.  Drop the session; a fresh one
+                # (fresh raw decoder) picks up next round.  The
+                # injector object persists, so frame numbering — and
+                # the seeded fates — stay aligned.
+                retire(name)
+            return stream
+
+        total = rounds + recovery_rounds
+        for round_index in range(total):
+            recovery = round_index >= rounds
+            if recovery:
+                # Recovery rounds send clean traffic: drop any session
+                # still wired through an injector so a fault-free
+                # client reattaches.
+                for name in list(clients):
+                    if clients[name].injector is not None:
+                        retire(name)
+            healthy_stream = None
+            for name in names:
+                faulty = name != _CONN_HEALTHY and not recovery
+                stream = await send_round(name, round_index, faulty)
+                if name == _CONN_HEALTHY:
+                    healthy_stream = stream
+            try:
+                server.drain_once()
+            except Exception:
+                result.dataplane_crashes += 1
+                break
+            # Healthy-isolation invariant: tenant0's flags this round
+            # must match a solo fault-free run of the same events.
+            ref_records = reference.run_events(
+                {_CONN_HEALTHY: healthy_stream}
+            )
+            live = _flag_map(
+                server.last_records.get(_CONN_HEALTHY, [])
+            )
+            ref = _flag_map(ref_records[_CONN_HEALTHY])
+            identical = live == ref
+            result.healthy_round_flags.append(identical)
+            result.healthy_always_identical &= identical
+            if recovery and not identical:
+                result.recovered_clean = False
+
+        for name in list(clients):
+            try:
+                await clients[name].bye()
+            except Exception:
+                pass
+            retire(name)
+        try:
+            await server.stop()
+        except Exception:
+            result.dataplane_crashes += 1
+
+    asyncio.run(scenario())
+
+    result.slow_frames = injectors["tenant1"].slow
+    result.disconnects = injectors["tenant2"].disconnects
+    result.corrupted_frames = injectors["tenant3"].corrupted
+    result.flood_frames = injectors["tenant4"].floods
+    total = rounds + recovery_rounds
+    result.healthy_frames = total
+    result.healthy_acks = agg_acks[_CONN_HEALTHY] - hellos[_CONN_HEALTHY]
+    result.flood_logical_frames = total
+    result.flood_responses = (
+        agg_responses["tenant4"] - hellos["tenant4"]
+    )
+    result.server_counters = {
+        name: count for name, count in server.counts.items() if count
+    }
+    result.breaker_states = {
+        name: breaker.state.value
+        for name, breaker in server.breakers.items()
+    }
+    result.breaker_trips = server.counts["serve.breaker.trips"]
+    result.dataplane_crashes += len(server.drain_errors)
+    return result
+
+
+# ----------------------------------------------------------------------
 # Driver + reporting
 # ----------------------------------------------------------------------
 
@@ -513,6 +779,7 @@ class ChaosResult:
         default_factory=list
     )
     quarantine_etrace: Optional[QuarantineChaosResult] = None
+    connection: Optional[ConnectionChaosResult] = None
 
 
 def run_chaos(
@@ -521,7 +788,7 @@ def run_chaos(
     seed: int = 0,
     kind: str = "lstm",
 ) -> ChaosResult:
-    """Run all three chaos experiments over the rate sweep.
+    """Run all four chaos experiments over the rate sweep.
 
     The decoder sweep and the quarantine scenario each run twice —
     once per trace grammar — so the recovery and isolation invariants
@@ -541,6 +808,7 @@ def run_chaos(
         quarantine_etrace=run_quarantine_scenario(
             events, seed, kind=kind, frontend="etrace"
         ),
+        connection=run_connection_chaos(events, seed, kind=kind),
     )
 
 
@@ -612,7 +880,45 @@ def format_chaos(result: ChaosResult) -> str:
         sections.append(
             _format_quarantine(result.quarantine_etrace, "etrace")
         )
+    if result.connection is not None:
+        sections.append(_format_connection(result.connection))
     return "\n\n".join(sections)
+
+
+def _format_connection(c: ConnectionChaosResult) -> str:
+    counters = c.server_counters
+    rows = [
+        ("slow-loris frames (tenant1, raw coresight)", c.slow_frames),
+        ("mid-frame disconnects (tenant2, raw etrace)", c.disconnects),
+        ("corrupted frames (tenant3)", c.corrupted_frames),
+        ("burst floods (tenant4)", c.flood_frames),
+        ("server: midframe disconnects seen",
+         counters.get("serve.clients.disconnected_midframe", 0)),
+        ("server: decode errors (CRC)",
+         counters.get("serve.decode.errors", 0)),
+        ("server: frames shed (rate_limited)",
+         counters.get("serve.shed.rate_limited", 0)),
+        ("server: frames shed (sampled)",
+         counters.get("serve.shed.sampled", 0)),
+        ("server: breaker trips", c.breaker_trips),
+        ("flood responses / logical frames",
+         f"{c.flood_responses}/{c.flood_logical_frames}"),
+        ("healthy acks / frames",
+         f"{c.healthy_acks}/{c.healthy_frames}"),
+        ("dataplane crashes", c.dataplane_crashes),
+    ]
+    return format_table(
+        ["channel / invariant", "count"],
+        rows,
+        title=(
+            f"chaos: connection faults at the front door "
+            f"(rate {c.fault_rate:g}, {c.rounds}+{c.recovery_rounds} "
+            f"rounds; healthy identical: "
+            f"{'yes' if c.healthy_always_identical else 'NO'}, "
+            f"recovered clean: "
+            f"{'yes' if c.recovered_clean else 'NO'})"
+        ),
+    )
 
 
 def _format_quarantine(
@@ -724,6 +1030,60 @@ def chaos_failures(result: ChaosResult) -> List[str]:
             failures.append(
                 f"{label}: the quarantined tenant was never re-admitted"
             )
+    if result.connection is not None:
+        failures.extend(_connection_failures(result.connection))
+    return failures
+
+
+def _connection_failures(c: ConnectionChaosResult) -> List[str]:
+    failures: List[str] = []
+    if not c.healthy_always_identical:
+        failures.append(
+            "connection: the clean tenant's verdict flags diverged "
+            "from the fault-free reference"
+        )
+    if not c.recovered_clean:
+        failures.append(
+            "connection: a recovery round (clean traffic everywhere) "
+            "still diverged from the reference"
+        )
+    if c.dataplane_crashes:
+        failures.append(
+            f"connection: {c.dataplane_crashes} dataplane crash(es) "
+            "during drain"
+        )
+    for label, count in (
+        ("slow-loris", c.slow_frames),
+        ("disconnect", c.disconnects),
+        ("corrupt", c.corrupted_frames),
+        ("flood", c.flood_frames),
+    ):
+        if count < 1:
+            failures.append(
+                f"connection: the {label} channel never fired"
+            )
+    counters = c.server_counters
+    if counters.get("serve.clients.disconnected_midframe", 0) < 1:
+        failures.append(
+            "connection: the server never observed a mid-frame "
+            "disconnect"
+        )
+    if counters.get("serve.decode.errors", 0) < 1:
+        failures.append(
+            "connection: corrupted frames never reached the server's "
+            "CRC check"
+        )
+    if c.breaker_trips < 1:
+        failures.append(
+            "connection: no circuit breaker ever tripped under the "
+            "flood"
+        )
+    if c.healthy_acks != c.healthy_frames:
+        failures.append(
+            "connection: the clean tenant saw "
+            f"{c.healthy_acks} acks for {c.healthy_frames} frames "
+            "(must be acked 1:1 — overload collateral)"
+        )
     return failures
 
 
@@ -740,6 +1100,11 @@ def chaos_to_json(result: ChaosResult) -> Dict[str, object]:
         "quarantine_etrace": (
             asdict(result.quarantine_etrace)
             if result.quarantine_etrace is not None
+            else None
+        ),
+        "connection": (
+            asdict(result.connection)
+            if result.connection is not None
             else None
         ),
         "failures": chaos_failures(result),

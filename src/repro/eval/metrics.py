@@ -493,6 +493,33 @@ def perf_counters(snapshot: Dict[str, object]) -> Dict[str, int]:
     return {name: int(counters.get(name, 0)) for name in PERF_COUNTERS}
 
 
+def serve_counters(snapshot: Dict[str, object]) -> Dict[str, int]:
+    """Ingestion front-door counters from one registry snapshot.
+
+    Mirrors :func:`robustness_counters`: every canonical ``serve.*``
+    counter is present with a stable shape — all zeros when the
+    snapshot came from an in-process run that never went through
+    :class:`repro.serve.IngestServer`.
+    """
+    from repro.serve.server import SERVE_COUNTERS
+
+    counters: Dict[str, int] = snapshot.get("counters", {})  # type: ignore
+    return {name: int(counters.get(name, 0)) for name in SERVE_COUNTERS}
+
+
+def serve_table(result: MetricsRunResult) -> str:
+    rows = [
+        (name, value)
+        for name, value in serve_counters(result.snapshot).items()
+    ]
+    return format_table(
+        ["counter", "count"],
+        rows,
+        title=f"{result.kind}: ingestion front door (admission / "
+              "shed / breaker)",
+    )
+
+
 def perf_table(result: MetricsRunResult) -> str:
     rows = [
         (name, value)
@@ -526,6 +553,7 @@ def format_metrics(results: Sequence[MetricsRunResult]) -> str:
         sections.append(stage_table(result))
         sections.append(perf_table(result))
         sections.append(robustness_table(result))
+        sections.append(serve_table(result))
         sections.append(
             format_snapshot(
                 result.snapshot, title=f"{result.kind} full metrics"
@@ -544,6 +572,7 @@ def metrics_to_json(results: Sequence[MetricsRunResult]) -> Dict[str, object]:
             "dropped": result.dropped,
             "perf": perf_counters(result.snapshot),
             "robustness": robustness_counters(result.snapshot),
+            "serve": serve_counters(result.snapshot),
             "metrics": result.snapshot,
         }
         for result in results

@@ -17,10 +17,15 @@ The pipeline stages are exported lazily — importing them pulls in
 (``FaultPlan`` is referenced from ``RtadConfig``).
 """
 
+from repro.faults.connection import (
+    ConnectionFaultInjector,
+    FrameFate,
+)
 from repro.faults.crashpoints import CrashPointInjector
 from repro.faults.injectors import StreamFaultInjector, corrupt_stream
 from repro.faults.plan import (
     BYTE_KINDS,
+    CONNECTION_KINDS,
     EVENT_KINDS,
     SERVICE_KINDS,
     FaultKind,
@@ -43,8 +48,11 @@ _STAGE_EXPORTS = (
 
 __all__ = [
     "BYTE_KINDS",
+    "CONNECTION_KINDS",
+    "ConnectionFaultInjector",
     "CrashPointInjector",
     "EVENT_KINDS",
+    "FrameFate",
     "SERVICE_KINDS",
     "FaultKind",
     "FaultPlan",

@@ -1,0 +1,124 @@
+"""Connection-level fault channels for the ingestion front door.
+
+:class:`ConnectionFaultInjector` rides alongside one *client* of the
+``repro.serve`` ingestion service: each outgoing frame draws the four
+connection channels, indexed by the client's absolute frame number, so
+a client replaying the same frames misbehaves identically.
+
+The channels model the classic front-door abuse patterns:
+
+- ``CONN_SLOW_LORIS`` — the frame is dribbled byte-by-byte in many
+  tiny writes (yielding between them), starving naive readers.
+- ``CONN_DISCONNECT`` — the connection dies mid-frame; the server
+  must discard the partial frame and release the session cleanly.
+- ``CONN_CORRUPT`` — one payload byte is flipped on the wire; the
+  server must count and refuse the frame without poisoning the
+  session or any other tenant.
+- ``CONN_FLOOD`` — the frame is duplicated into a burst of
+  back-to-back copies, stressing the rate limiter and shed path.
+
+Like every other channel (see :mod:`repro.faults.plan`), decisions are
+pure counter-based hashes — no RNG state — so the chaos sweeps are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.plan import CONNECTION_KINDS, FaultKind, FaultPlan
+
+#: Flood bursts replay the frame this many extra times.
+FLOOD_COPIES = 4
+
+#: Slow-loris dribbles the frame in chunks of at most this many bytes.
+LORIS_CHUNK_BYTES = 3
+
+
+@dataclass(frozen=True)
+class FrameFate:
+    """What happens to one outgoing frame on this connection."""
+
+    #: Dribble the frame in :data:`LORIS_CHUNK_BYTES` writes.
+    slow: bool = False
+    #: Close the connection after sending ``cut_fraction`` of the frame.
+    disconnect: bool = False
+    #: Fraction of the frame written before a mid-frame disconnect.
+    cut_fraction: float = 0.5
+    #: Flip one payload byte (at ``corrupt_offset`` mod payload length).
+    corrupt: bool = False
+    corrupt_offset: int = 0
+    #: Send this many *extra* copies of the frame back-to-back.
+    flood_copies: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.slow or self.disconnect or self.corrupt or self.flood_copies
+        )
+
+
+class ConnectionFaultInjector:
+    """Per-client, frame-indexed connection fault decisions."""
+
+    def __init__(self, plan: FaultPlan, client_index: int = 0) -> None:
+        self.plan = plan
+        #: Offsets the frame index so distinct clients sharing one plan
+        #: misbehave on different frames (seeded, but decorrelated).
+        self.client_index = client_index
+        self._frames = 0
+        self.slow = 0
+        self.disconnects = 0
+        self.corrupted = 0
+        self.floods = 0
+
+    @classmethod
+    def from_plan(
+        cls, plan: Optional[FaultPlan], client_index: int = 0
+    ) -> Optional["ConnectionFaultInjector"]:
+        """An injector only when the plan has active connection channels."""
+        if plan is None or not plan.active(CONNECTION_KINDS):
+            return None
+        return cls(plan, client_index=client_index)
+
+    def reset(self) -> None:
+        """New connection: frame numbering restarts."""
+        self._frames = 0
+
+    def draw(self) -> FrameFate:
+        """Decide the fate of the next outgoing frame."""
+        index = (self.client_index << 20) + self._frames
+        self._frames += 1
+        plan = self.plan
+        if plan.decide(FaultKind.CONN_DISCONNECT, index):
+            self.disconnects += 1
+            cut = plan.value(FaultKind.CONN_DISCONNECT, index) / 2.0**64
+            return FrameFate(disconnect=True, cut_fraction=cut)
+        fate = FrameFate()
+        if plan.decide(FaultKind.CONN_CORRUPT, index):
+            self.corrupted += 1
+            offset = plan.value(FaultKind.CONN_CORRUPT, index)
+            fate = FrameFate(
+                slow=fate.slow,
+                corrupt=True,
+                corrupt_offset=offset,
+                flood_copies=fate.flood_copies,
+            )
+        if plan.decide(FaultKind.CONN_FLOOD, index):
+            self.floods += 1
+            fate = FrameFate(
+                slow=fate.slow,
+                corrupt=fate.corrupt,
+                corrupt_offset=fate.corrupt_offset,
+                flood_copies=FLOOD_COPIES,
+            )
+        if plan.decide(FaultKind.CONN_SLOW_LORIS, index):
+            self.slow += 1
+            fate = FrameFate(
+                slow=True,
+                corrupt=fate.corrupt,
+                corrupt_offset=fate.corrupt_offset,
+                flood_copies=fate.flood_copies,
+            )
+        return fate

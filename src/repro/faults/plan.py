@@ -70,6 +70,11 @@ class FaultKind(enum.Enum):
     TENANT_CRASH = "tenant-crash"  # the monitored program dies mid-round
     # Integrity faults (indexed by pipeline chunk).
     CHUNK_CORRUPT = "chunk-corrupt"  # a batch mutated in flight, silently
+    # Connection-level faults (indexed by a client's frame number).
+    CONN_SLOW_LORIS = "conn-slow-loris"  # frame dribbled in tiny writes
+    CONN_DISCONNECT = "conn-disconnect"  # client dies mid-frame
+    CONN_CORRUPT = "conn-corrupt"        # frame payload corrupted on wire
+    CONN_FLOOD = "conn-flood"            # frame duplicated into a burst
 
 
 #: Stable per-kind channel identifiers — never renumber, they feed the
@@ -87,6 +92,10 @@ _KIND_IDS = {
     FaultKind.MCM_HANG: 10,
     FaultKind.TENANT_CRASH: 11,
     FaultKind.CHUNK_CORRUPT: 12,
+    FaultKind.CONN_SLOW_LORIS: 13,
+    FaultKind.CONN_DISCONNECT: 14,
+    FaultKind.CONN_CORRUPT: 15,
+    FaultKind.CONN_FLOOD: 16,
 }
 
 BYTE_KINDS = (
@@ -101,6 +110,12 @@ EVENT_KINDS = (
     FaultKind.EVENT_CORRUPT,
 )
 SERVICE_KINDS = (FaultKind.MCM_STALL, FaultKind.MCM_HANG)
+CONNECTION_KINDS = (
+    FaultKind.CONN_SLOW_LORIS,
+    FaultKind.CONN_DISCONNECT,
+    FaultKind.CONN_CORRUPT,
+    FaultKind.CONN_FLOOD,
+)
 
 
 @dataclass(frozen=True)

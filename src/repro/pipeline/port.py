@@ -77,6 +77,11 @@ class Port(Generic[T]):
         self._m_depth.set(len(self._fifo))
         return entry.item
 
+    def peek(self) -> Optional[T]:
+        """The batch ``get`` would return, without consuming it."""
+        entry = self._fifo.peek()
+        return None if entry is None else entry.item
+
     @property
     def full(self) -> bool:
         return len(self._fifo) >= self.capacity

@@ -1,0 +1,57 @@
+"""The streaming ingestion front door (see docs/SERVING.md).
+
+Clients stream raw frontend byte streams or pre-decoded event batches
+into per-tenant rolling windows; a drain loop feeds admitted work to
+:class:`~repro.soc.manager.SocManager` monitoring rounds behind
+layered overload controls (breaker -> token bucket -> deadline/queue
+admission -> bounded window -> stale shed).
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    TokenBucket,
+)
+from repro.serve.client import (
+    ClientDisconnected,
+    ServeClient,
+    SimulatedClient,
+)
+from repro.serve.protocol import (
+    Frame,
+    FrameDecoder,
+    FrameType,
+    MODE_EVENTS,
+    MODE_RAW,
+)
+from repro.serve.server import (
+    SERVE_COUNTERS,
+    SHED_REASONS,
+    IngestServer,
+    ServeConfig,
+)
+from repro.serve.windows import IngestBatch, TenantWindow
+
+__all__ = [
+    "AdmissionController",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ClientDisconnected",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "IngestBatch",
+    "IngestServer",
+    "MODE_EVENTS",
+    "MODE_RAW",
+    "SERVE_COUNTERS",
+    "SHED_REASONS",
+    "ServeClient",
+    "ServeConfig",
+    "SimulatedClient",
+    "TenantWindow",
+    "TokenBucket",
+]

@@ -1,0 +1,271 @@
+"""Layered overload controls for the ingestion front door.
+
+Admission is a funnel — each layer is cheaper than the one it
+protects, and each refusal carries a retry-after hint so clients can
+back off instead of hammering:
+
+1. :class:`CircuitBreaker` (per tenant) — integrates the SoC
+   manager's HEALTHY/DEGRADED/QUARANTINED health machine with the
+   front door: a DEGRADED (or shed-storming) tenant's stream is
+   *sampled* (1 in ``sample_stride`` frames admitted) before the
+   health machine ever has to quarantine it; a QUARANTINED tenant's
+   stream is refused outright until probation ends.
+2. :class:`TokenBucket` (per tenant) — sustained event-rate cap with
+   a burst allowance.
+3. :class:`AdmissionController` (global) — queue-depth cap plus
+   deadline-aware shedding: using an EWMA of the drain loop's
+   observed service rate, a batch whose *predicted* queueing delay
+   already exceeds the ingest deadline is refused at the door — work
+   that would go stale is never admitted, which is what keeps the
+   admitted-request tail latency bounded under overload.
+
+All classes take explicit ``now_s`` timestamps, so tests drive them
+with a fake clock and the asyncio server with ``time.monotonic()``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ServeError
+from repro.soc.manager import TenantHealth
+
+
+class TokenBucket:
+    """Sustained-rate limiter: ``rate_per_s`` tokens/s, ``burst`` cap."""
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0:
+            raise ServeError(f"rate_per_s must be positive, got {rate_per_s}")
+        if burst <= 0:
+            raise ServeError(f"burst must be positive, got {burst}")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_s: Optional[float] = None
+
+    def _refill(self, now_s: float) -> None:
+        if self._last_s is not None and now_s > self._last_s:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now_s - self._last_s) * self.rate_per_s,
+            )
+        self._last_s = now_s
+
+    def admit(self, amount: float, now_s: float) -> Tuple[bool, float]:
+        """Try to take ``amount`` tokens; ``(ok, retry_after_s)``.
+
+        A refusal consumes nothing; ``retry_after_s`` is how long the
+        client must wait (at zero incoming load) for the bucket to
+        cover ``amount``.
+        """
+        self._refill(now_s)
+        if amount <= self._tokens:
+            self._tokens -= amount
+            return True, 0.0
+        needed = min(amount, self.burst) - self._tokens
+        return False, needed / self.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+class AdmissionController:
+    """Global queue-depth + deadline-aware shedding.
+
+    ``deadline_us`` reuses the arbiter watchdog's vocabulary: the same
+    per-unit-of-work budget, applied at the door (wall-clock queueing
+    estimate) instead of at the grant (simulated service time).
+    """
+
+    def __init__(
+        self,
+        deadline_us: Optional[float],
+        max_queued_events: int,
+        drain_rate_guess_eps: float = 50_000.0,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        if deadline_us is not None and not deadline_us > 0:
+            raise ServeError(
+                f"deadline_us must be positive (or None), got {deadline_us!r}"
+            )
+        if max_queued_events < 1:
+            raise ServeError("max_queued_events must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ServeError("ewma_alpha must be in (0, 1]")
+        self.deadline_us = deadline_us
+        self.max_queued_events = max_queued_events
+        self.queued_events = 0
+        self._alpha = ewma_alpha
+        #: Events/second the drain loop has been observed to retire.
+        self.drain_rate_eps = drain_rate_guess_eps
+
+    # -- bookkeeping the server calls around the drain loop ------------
+
+    def admitted(self, events: int) -> None:
+        self.queued_events += events
+
+    def drained(self, events: int, elapsed_s: float) -> None:
+        """One drain round finished: update queue depth + rate EWMA."""
+        self.queued_events = max(0, self.queued_events - events)
+        if events and elapsed_s > 0:
+            observed = events / elapsed_s
+            self.drain_rate_eps += self._alpha * (
+                observed - self.drain_rate_eps
+            )
+
+    def shed_stale(self, events: int) -> None:
+        """Stale work removed from the queue without being served."""
+        self.queued_events = max(0, self.queued_events - events)
+
+    # -- the admission decision ----------------------------------------
+
+    def check(self, events: int) -> Tuple[Optional[str], float]:
+        """Would admitting ``events`` violate a control?
+
+        Returns ``(None, 0.0)`` to admit, else a ``(reason,
+        retry_after_s)`` shed decision — ``"queue_depth"`` when the
+        bounded queue is full, ``"deadline"`` when the predicted wait
+        for this batch already exceeds the ingest deadline.
+        """
+        if self.queued_events + events > self.max_queued_events:
+            backlog = max(1, self.queued_events)
+            return "queue_depth", backlog / max(1.0, self.drain_rate_eps)
+        if self.deadline_us is not None:
+            predicted_wait_s = self.queued_events / max(
+                1.0, self.drain_rate_eps
+            )
+            deadline_s = self.deadline_us / 1e6
+            if predicted_wait_s > deadline_s:
+                return "deadline", predicted_wait_s - deadline_s
+        return None, 0.0
+
+
+class BreakerState(enum.Enum):
+    """Per-tenant front-door state, ordered by severity."""
+
+    CLOSED = "closed"        # full ingest
+    SAMPLING = "sampling"    # degraded: 1 in sample_stride admitted
+    OPEN = "open"            # refused until probation/recovery
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Thresholds of the per-tenant circuit breaker."""
+
+    #: Shed fraction (sheds / frames) in one round above which the
+    #: round counts against the tenant.
+    trip_shed_ratio: float = 0.5
+    #: Consecutive bad rounds before CLOSED -> SAMPLING.
+    trip_rounds: int = 2
+    #: Consecutive clean rounds before SAMPLING -> CLOSED.
+    recover_rounds: int = 2
+    #: In SAMPLING, admit one frame in this many.
+    sample_stride: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.trip_shed_ratio <= 1.0:
+            raise ServeError("trip_shed_ratio must be in (0, 1]")
+        for name in ("trip_rounds", "recover_rounds", "sample_stride"):
+            if getattr(self, name) < 1:
+                raise ServeError(f"{name} must be >= 1")
+
+
+class CircuitBreaker:
+    """One tenant's front-door state machine.
+
+    Health dominates: QUARANTINED forces OPEN and DEGRADED forces at
+    least SAMPLING, so the front door always respects the dataplane's
+    judgment.  On top of that the breaker trips to SAMPLING on its own
+    when a tenant's frames keep being shed (a flooding client keeps
+    paying for its own backlog, healthy neighbours do not).
+    """
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.state = BreakerState.CLOSED
+        self.health = TenantHealth.HEALTHY
+        self.trips = 0
+        self.recoveries = 0
+        self._bad_rounds = 0
+        self._clean_rounds = 0
+        self._frame_seq = 0
+        # Current-round frame accounting, consumed by observe_round.
+        self._frames = 0
+        self._sheds = 0
+
+    # -- per-frame -----------------------------------------------------
+
+    def admit_frame(self) -> Tuple[bool, str]:
+        """Gate one frame; ``(admit, reason)``.
+
+        ``reason`` is ``""`` when admitted, else the shed-counter
+        suffix (``"breaker_open"`` / ``"sampled"``).
+        """
+        self._frames += 1
+        if self.state is BreakerState.OPEN:
+            return False, "breaker_open"
+        if self.state is BreakerState.SAMPLING:
+            self._frame_seq += 1
+            if self._frame_seq % self.policy.sample_stride != 1:
+                return False, "sampled"
+        return True, ""
+
+    def record_shed(self) -> None:
+        """A downstream layer shed one of this tenant's frames."""
+        self._sheds += 1
+
+    def record_refused_frame(self) -> None:
+        """A frame refused *before* the admission gate ever saw it
+        (undecodable payload, protocol violation): counts as both an
+        attempt and a shed, so a corrupt-heavy stream still trips."""
+        self._frames += 1
+        self._sheds += 1
+
+    # -- per-round -----------------------------------------------------
+
+    def observe_round(self, health: TenantHealth) -> None:
+        """Fold one drain round's evidence into the state machine."""
+        self.health = health
+        frames, sheds = self._frames, self._sheds
+        self._frames = 0
+        self._sheds = 0
+        if health is TenantHealth.QUARANTINED:
+            if self.state is not BreakerState.OPEN:
+                self.state = BreakerState.OPEN
+                self.trips += 1
+            return
+        if self.state is BreakerState.OPEN:
+            # Probation ended: degrade to sampled ingest, not full.
+            self.state = BreakerState.SAMPLING
+            self._clean_rounds = 0
+            self._bad_rounds = 0
+            return
+        if health is TenantHealth.DEGRADED:
+            if self.state is BreakerState.CLOSED:
+                self.state = BreakerState.SAMPLING
+                self.trips += 1
+            self._clean_rounds = 0
+            return
+        # HEALTHY: the breaker's own shed-storm logic.
+        shed_ratio = sheds / frames if frames else 0.0
+        if frames and shed_ratio > self.policy.trip_shed_ratio:
+            self._bad_rounds += 1
+            self._clean_rounds = 0
+            if (
+                self.state is BreakerState.CLOSED
+                and self._bad_rounds >= self.policy.trip_rounds
+            ):
+                self.state = BreakerState.SAMPLING
+                self.trips += 1
+        else:
+            self._bad_rounds = 0
+            if self.state is BreakerState.SAMPLING:
+                self._clean_rounds += 1
+                if self._clean_rounds >= self.policy.recover_rounds:
+                    self.state = BreakerState.CLOSED
+                    self._clean_rounds = 0
+                    self.recoveries += 1

@@ -1,0 +1,219 @@
+"""Client helpers for the ingestion front door.
+
+:class:`ServeClient` is the plain async client: HELLO, stream frames,
+BYE, with one response expected per request frame.  It works over any
+``(StreamReader, writer)`` pair — a real TCP connection or the
+server's in-memory transport (``IngestServer.local_connection``), which
+is how the soak harness attaches 1000+ clients without touching file
+descriptors.
+
+:class:`SimulatedClient` wraps it with a
+:class:`~repro.faults.connection.ConnectionFaultInjector`: every
+outgoing frame draws a :class:`~repro.faults.connection.FrameFate` from
+the seeded plan and is delivered accordingly — dribbled (slow-loris),
+cut mid-frame, corrupted in flight, or duplicated into a burst flood.
+The chaos sweep uses it to prove the server sheds and recovers without
+poisoning healthy tenants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServeError
+from repro.faults.connection import (
+    LORIS_CHUNK_BYTES,
+    ConnectionFaultInjector,
+    FrameFate,
+)
+from repro.serve import protocol
+from repro.workloads.cfg import BranchEvent
+
+
+class ClientDisconnected(ServeError):
+    """The (simulated) client died mid-frame, as instructed."""
+
+
+class ServeClient:
+    """One client session over an established transport."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+        self._decoder = protocol.FrameDecoder()
+        self._pending: List[protocol.Frame] = []
+        self._sequence = 0
+        #: Response tallies, handy for soak/chaos bookkeeping.
+        self.acks = 0
+        self.sheds = 0
+        self.errors = 0
+        self.accepted_events = 0
+        self.retry_after_ms: List[float] = []
+
+    @classmethod
+    def local(cls, server) -> "ServeClient":
+        """Attach in-memory to an :class:`IngestServer`."""
+        reader, writer = server.local_connection()
+        return cls(reader, writer)
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # -- transport -----------------------------------------------------
+
+    async def _send(self, frame: bytes) -> None:
+        self.writer.write(frame)
+        await self.writer.drain()
+
+    async def _recv(self) -> protocol.Frame:
+        while not self._pending:
+            data = await self.reader.read(4096)
+            if not data:
+                raise ClientDisconnected("server closed the session")
+            self._pending.extend(self._decoder.feed(data))
+        return self._pending.pop(0)
+
+    def _note(self, frame: protocol.Frame) -> Dict[str, object]:
+        document = protocol.decode_json(frame.payload)
+        if frame.type == protocol.FrameType.ACK:
+            self.acks += 1
+            self.accepted_events += int(document.get("accepted_events", 0))
+        elif frame.type == protocol.FrameType.SHED:
+            self.sheds += 1
+            self.retry_after_ms.append(
+                float(document.get("retry_after_ms", 0.0))
+            )
+        elif frame.type == protocol.FrameType.ERR:
+            self.errors += 1
+        document["frame_type"] = frame.type
+        return document
+
+    async def _request(self, frame: bytes) -> Dict[str, object]:
+        await self._send(frame)
+        return self._note(await self._recv())
+
+    # -- session API ---------------------------------------------------
+
+    async def hello(
+        self,
+        tenant: str,
+        mode: str = protocol.MODE_EVENTS,
+        frontend: Optional[str] = None,
+    ) -> Dict[str, object]:
+        response = await self._request(
+            protocol.hello_frame(tenant, mode, frontend)
+        )
+        if response["frame_type"] == protocol.FrameType.ERR:
+            raise ServeError(f"HELLO refused: {response.get('error')}")
+        return response
+
+    async def send_events(
+        self, events: Sequence[BranchEvent]
+    ) -> Dict[str, object]:
+        self._sequence += 1
+        return await self._request(
+            protocol.events_frame(events, sequence=self._sequence)
+        )
+
+    async def send_raw(self, stream: bytes) -> Dict[str, object]:
+        return await self._request(protocol.raw_frame(stream))
+
+    async def bye(self) -> Dict[str, object]:
+        response = await self._request(protocol.bye_frame())
+        self.close()
+        return response
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+class SimulatedClient(ServeClient):
+    """A :class:`ServeClient` whose frames suffer seeded fates.
+
+    ``loris_delay_s`` is the real pause between slow-loris dribbles;
+    keep it at 0 for deterministic chaos runs (the dribble still
+    exercises partial-read reassembly) and set it above the server's
+    ``idle_timeout_s`` to force slow-client timeouts.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer,
+        injector: Optional[ConnectionFaultInjector] = None,
+        loris_delay_s: float = 0.0,
+    ) -> None:
+        super().__init__(reader, writer)
+        self.injector = injector
+        self.loris_delay_s = loris_delay_s
+        self.disconnected = False
+
+    @classmethod
+    def local_faulty(
+        cls,
+        server,
+        injector: Optional[ConnectionFaultInjector],
+        loris_delay_s: float = 0.0,
+    ) -> "SimulatedClient":
+        reader, writer = server.local_connection()
+        return cls(reader, writer, injector, loris_delay_s)
+
+    async def _write_slow(self, frame: bytes) -> None:
+        for start in range(0, len(frame), LORIS_CHUNK_BYTES):
+            self.writer.write(frame[start:start + LORIS_CHUNK_BYTES])
+            await self.writer.drain()
+            if self.loris_delay_s > 0:
+                await asyncio.sleep(self.loris_delay_s)
+            else:
+                await asyncio.sleep(0)
+
+    def _apply_corruption(self, frame: bytes, fate: FrameFate) -> bytes:
+        """Flip one payload byte *inside the body* so framing survives
+        and the server's CRC check is what catches it."""
+        body_len = len(frame) - protocol.HEADER_BYTES
+        if body_len <= 1:
+            return frame
+        # Skip the type byte too: a corrupted type with a valid-looking
+        # body would still fail CRC, but flipping payload keeps the
+        # failure mode uniform.
+        offset = protocol.HEADER_BYTES + 1 + (
+            fate.corrupt_offset % (body_len - 1)
+        )
+        corrupted = bytearray(frame)
+        corrupted[offset] ^= 0xFF
+        return bytes(corrupted)
+
+    async def _deliver(self, frame: bytes, fate: FrameFate) -> int:
+        """Put one fated frame on the wire; returns frames delivered."""
+        if fate.disconnect:
+            cut = max(1, int(len(frame) * fate.cut_fraction))
+            self.writer.write(frame[:cut])
+            await self.writer.drain()
+            self.close()
+            self.disconnected = True
+            raise ClientDisconnected("injected mid-frame disconnect")
+        if fate.corrupt:
+            frame = self._apply_corruption(frame, fate)
+        copies = 1 + fate.flood_copies
+        for _ in range(copies):
+            if fate.slow:
+                await self._write_slow(frame)
+            else:
+                await self._send(frame)
+        return copies
+
+    async def _request(self, frame: bytes) -> Dict[str, object]:
+        fate = (
+            self.injector.draw()
+            if self.injector is not None
+            else FrameFate()
+        )
+        copies = await self._deliver(frame, fate)
+        responses = [self._note(await self._recv()) for _ in range(copies)]
+        return responses[-1]

@@ -1,0 +1,112 @@
+"""Per-tenant rolling ingest windows.
+
+Admitted batches wait here between the socket front door and the
+drain loop.  The buffer is a :class:`repro.pipeline.port.Port`, so the
+two bounded-buffer policies are exactly the dataplane's:
+
+- ``STALL`` — a full window refuses the batch; the server turns the
+  stall into a client-visible SHED with a retry-after hint
+  (backpressure, nothing lost silently).
+- ``DROP`` — a full window loses the incoming batch (freshness over
+  completeness), with the loss visible in the port's drop counter and
+  the ``serve.shed.buffer_full`` counter.
+
+Each batch carries its admission wall-clock time and its deadline, so
+the drain loop can shed work that went stale while queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.pipeline.port import Port, PortPolicy
+from repro.workloads.cfg import BranchEvent
+
+
+@dataclass
+class IngestBatch:
+    """One admitted frame's worth of events, waiting to be drained."""
+
+    tenant: str
+    events: Tuple[BranchEvent, ...]
+    #: Wall-clock admission time (``time.monotonic_ns`` domain).
+    admit_ns: int
+    #: Absolute staleness bound; ``None`` = never sheds as stale.
+    deadline_ns: Optional[int] = None
+
+    def stale(self, now_ns: int) -> bool:
+        return self.deadline_ns is not None and now_ns > self.deadline_ns
+
+
+class TenantWindow:
+    """Bounded rolling window of one tenant's admitted batches."""
+
+    def __init__(
+        self,
+        tenant: str,
+        capacity_batches: int = 64,
+        policy: PortPolicy = PortPolicy.STALL,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        metrics = metrics or NULL_REGISTRY
+        self.tenant = tenant
+        self.port: Port[IngestBatch] = Port(
+            f"serve.window.{tenant}",
+            capacity=capacity_batches,
+            policy=policy,
+            metrics=metrics,
+        )
+        self.queued_events = 0
+
+    def offer(self, batch: IngestBatch) -> bool:
+        """Admit one batch; False on stall (STALL) or drop (DROP)."""
+        accepted = self.port.put(batch)
+        if accepted:
+            self.queued_events += len(batch.events)
+        return accepted
+
+    def take(
+        self, max_events: int, now_ns: int
+    ) -> Tuple[List[IngestBatch], List[IngestBatch]]:
+        """Pop up to ``max_events`` worth of batches for one round.
+
+        Returns ``(fresh, stale)`` — stale batches passed their
+        deadline while queued and must be *accounted* as shed, never
+        silently discarded.  Takes whole batches; stops before a batch
+        that would overflow the round budget (unless nothing was taken
+        yet, so one oversized batch cannot wedge the window).
+        """
+        fresh: List[IngestBatch] = []
+        stale: List[IngestBatch] = []
+        taken_events = 0
+        while not self.port.empty:
+            batch = self.port.peek()
+            assert batch is not None
+            if batch.stale(now_ns):
+                self.port.get()
+                self.queued_events -= len(batch.events)
+                stale.append(batch)
+                continue
+            if fresh and taken_events + len(batch.events) > max_events:
+                break
+            self.port.get()
+            self.queued_events -= len(batch.events)
+            taken_events += len(batch.events)
+            fresh.append(batch)
+        return fresh, stale
+
+    @property
+    def oldest_admit_ns(self) -> Optional[int]:
+        """Admission time of the head batch (None when empty)."""
+        batch = self.port.peek()
+        return None if batch is None else batch.admit_ns
+
+    @property
+    def depth(self) -> int:
+        return self.port.depth
+
+    @property
+    def empty(self) -> bool:
+        return self.port.empty

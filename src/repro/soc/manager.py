@@ -276,6 +276,17 @@ class SocManager:
     ) -> None:
         if not deployments:
             raise SocConfigError("SocManager needs at least one tenant")
+        # Validate the arbiter knobs here, with the manager's own
+        # vocabulary, instead of letting a bad value surface as an
+        # arbiter failure deep inside a monitoring round.
+        if deadline_us is not None and not deadline_us > 0:
+            raise SocConfigError(
+                f"deadline_us must be positive (or None), got {deadline_us!r}"
+            )
+        if not isinstance(batch_limit, int) or batch_limit < 1:
+            raise SocConfigError(
+                f"batch_limit must be a positive integer, got {batch_limit!r}"
+            )
         if journal_chunk_events < 1:
             raise SocConfigError("journal_chunk_events must be >= 1")
         if (

@@ -427,9 +427,13 @@ class RtadSoc:
 
         interrupts = self.mcm.interrupts.fired
         false_before = sum(1 for i in interrupts if i.time_ns < onset_ns)
+        # One deadline for the whole trial: the window filter below and
+        # the judgment check further down must use the same instant, so
+        # the us -> ns conversion happens exactly once.
+        deadline_ns = onset_ns + timeout_us * 1e3
         detection = [
             i for i in interrupts
-            if onset_ns <= i.time_ns <= onset_ns + timeout_us * 1e3
+            if onset_ns <= i.time_ns <= deadline_ns
         ]
         # Judgment latency: the inference whose window first contains
         # the injected branch.  Event index onset_index completes the
@@ -449,10 +453,7 @@ class RtadSoc:
         # judgment in time" — the trial reports None, matching how
         # ``detected`` is bounded above.
         latency_us: Optional[float] = None
-        if (
-            judgment is not None
-            and judgment.done_ns <= onset_ns + timeout_us * 1e3
-        ):
+        if judgment is not None and judgment.done_ns <= deadline_ns:
             latency_us = (judgment.done_ns - onset_ns) / 1e3
         return AttackTrialResult(
             onset_ns=onset_ns,

@@ -1,0 +1,135 @@
+"""Conservation properties of pipeline ports under rate mismatch.
+
+The serving front door leans on :class:`repro.pipeline.Port` for its
+bounded per-tenant windows, so the two policies' accounting must be
+exact under arbitrary producer/consumer interleavings:
+
+- ``STALL``: backpressure only — nothing is ever lost.  Every batch
+  either enters the port (and comes out, in order) or is refused back
+  to the caller with a stall counted.
+- ``DROP``: overflow loses exactly the refused batch, and every loss
+  is counted — attempts == accepted + drops, always.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.pipeline import Port, PortPolicy
+
+#: (produce_burst, consume_burst) schedule: bursts up to 2x a typical
+#: capacity so both overflow and underflow happen often.
+schedules = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=40
+)
+
+
+def _run_schedule(port, schedule):
+    """Drive one interleaving; returns (attempts, accepted, drained)."""
+    attempts = []
+    accepted = []
+    drained = []
+    sequence = 0
+    for produce, consume in schedule:
+        for _ in range(produce):
+            item = sequence
+            sequence += 1
+            attempts.append(item)
+            if port.put(item):
+                accepted.append(item)
+        for _ in range(consume):
+            item = port.get()
+            if item is not None:
+                drained.append(item)
+    while not port.empty:
+        drained.append(port.get())
+    return attempts, accepted, drained
+
+
+class TestStallConservation:
+    @given(capacity=st.integers(1, 8), schedule=schedules)
+    @settings(max_examples=80, deadline=None)
+    def test_nothing_lost_under_stall(self, capacity, schedule):
+        port = Port("p", capacity=capacity, policy=PortPolicy.STALL)
+        attempts, accepted, drained = _run_schedule(port, schedule)
+        # Everything accepted comes back out, in FIFO order.
+        assert drained == accepted
+        # A refusal is a stall, never a silent loss.
+        assert port.stalls == len(attempts) - len(accepted)
+        assert port.drops == 0
+
+    @given(capacity=st.integers(1, 8), schedule=schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_stall_only_when_full(self, capacity, schedule):
+        port = Port("p", capacity=capacity, policy=PortPolicy.STALL)
+        for produce, consume in schedule:
+            for _ in range(produce):
+                was_full = port.full
+                assert port.put(object()) == (not was_full)
+            for _ in range(consume):
+                port.get()
+
+
+class TestDropConservation:
+    @given(capacity=st.integers(1, 8), schedule=schedules)
+    @settings(max_examples=80, deadline=None)
+    def test_drops_exactly_accounted(self, capacity, schedule):
+        port = Port("p", capacity=capacity, policy=PortPolicy.DROP)
+        attempts, accepted, drained = _run_schedule(port, schedule)
+        assert drained == accepted
+        # Overflow loses exactly the refused batch, and counts it.
+        assert len(attempts) == len(accepted) + port.drops
+        assert port.stalls == 0
+
+    @given(capacity=st.integers(1, 8), schedule=schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_drop_only_when_full(self, capacity, schedule):
+        port = Port("p", capacity=capacity, policy=PortPolicy.DROP)
+        for produce, consume in schedule:
+            for _ in range(produce):
+                was_full = port.full
+                assert port.put(object()) == (not was_full)
+            for _ in range(consume):
+                port.get()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("policy", [PortPolicy.STALL, PortPolicy.DROP])
+def test_seeded_rate_mismatch_stress(seed, policy):
+    """A long seeded run where producer and consumer rates drift:
+    phases of sustained overrun, sustained underrun, and parity.  The
+    registry counters must agree with the port's own accounting."""
+    rng = random.Random(seed)
+    registry = MetricsRegistry()
+    port = Port(
+        "stress", capacity=rng.randrange(1, 16),
+        policy=policy, metrics=registry,
+    )
+    attempts = accepted = drained = 0
+    residual = []
+    for _ in range(rng.randrange(20, 60)):
+        produce_rate = rng.randrange(0, 12)
+        consume_rate = rng.randrange(0, 12)
+        for _ in range(rng.randrange(1, 30)):
+            for _ in range(produce_rate):
+                attempts += 1
+                if port.put(attempts):
+                    accepted += 1
+            for _ in range(consume_rate):
+                if port.get() is not None:
+                    drained += 1
+    while not port.empty:
+        residual.append(port.get())
+    assert accepted == drained + len(residual)
+    assert attempts == accepted + (
+        port.stalls if policy is PortPolicy.STALL else port.drops
+    )
+    counters = registry.snapshot()["counters"]
+    assert counters["pipeline.port.stress.batches_in"] == accepted
+    assert counters.get("pipeline.port.stress.stalls", 0) == port.stalls
+    assert counters.get("pipeline.port.stress.drops", 0) == port.drops
+    assert counters["pipeline.port.stress.stalls"] == (
+        port.stalls if policy is PortPolicy.STALL else 0
+    )

@@ -1,0 +1,160 @@
+"""Admission layers in isolation: bucket, controller, breaker."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    AdmissionController,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    TokenBucket,
+)
+from repro.soc.manager import TenantHealth
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_backoff(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=50)
+        ok, _ = bucket.admit(50, now_s=0.0)
+        assert ok
+        ok, retry_s = bucket.admit(10, now_s=0.0)
+        assert not ok
+        # 10 tokens at 100/s: wait 0.1 s.
+        assert retry_s == pytest.approx(0.1)
+        # A refusal consumes nothing.
+        assert bucket.tokens == 0.0
+
+    def test_refill_is_time_driven(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=50)
+        bucket.admit(50, now_s=0.0)
+        ok, _ = bucket.admit(20, now_s=0.2)  # refilled 20
+        assert ok
+        ok, _ = bucket.admit(1000, now_s=10.0)  # never above burst
+        assert not ok
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            TokenBucket(rate_per_s=0, burst=10)
+        with pytest.raises(ServeError):
+            TokenBucket(rate_per_s=10, burst=0)
+
+
+class TestAdmissionController:
+    def test_queue_depth_cap(self):
+        controller = AdmissionController(
+            deadline_us=None, max_queued_events=100
+        )
+        assert controller.check(100) == (None, 0.0)
+        controller.admitted(100)
+        reason, retry_s = controller.check(1)
+        assert reason == "queue_depth"
+        assert retry_s > 0
+        controller.drained(100, elapsed_s=0.01)
+        assert controller.check(1) == (None, 0.0)
+
+    def test_deadline_prediction_sheds_at_the_door(self):
+        controller = AdmissionController(
+            deadline_us=1_000.0,  # 1 ms budget
+            max_queued_events=1 << 20,
+            drain_rate_guess_eps=10_000.0,  # 10 events/ms
+        )
+        controller.admitted(5)
+        assert controller.check(1)[0] is None
+        # 100 queued at 10/ms -> 10 ms predicted wait >> 1 ms deadline.
+        controller.admitted(95)
+        reason, retry_s = controller.check(1)
+        assert reason == "deadline"
+        assert retry_s > 0
+
+    def test_drain_rate_ewma_tracks_observations(self):
+        controller = AdmissionController(
+            deadline_us=None,
+            max_queued_events=1000,
+            drain_rate_guess_eps=1000.0,
+            ewma_alpha=0.5,
+        )
+        controller.admitted(100)
+        controller.drained(100, elapsed_s=0.01)  # observed 10k eps
+        assert controller.drain_rate_eps == pytest.approx(5500.0)
+        assert controller.queued_events == 0
+
+    def test_stale_shed_releases_queue(self):
+        controller = AdmissionController(
+            deadline_us=None, max_queued_events=100
+        )
+        controller.admitted(80)
+        controller.shed_stale(80)
+        assert controller.queued_events == 0
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            AdmissionController(deadline_us=0, max_queued_events=10)
+        with pytest.raises(ServeError):
+            AdmissionController(deadline_us=None, max_queued_events=0)
+
+
+class TestCircuitBreaker:
+    POLICY = BreakerPolicy(
+        trip_shed_ratio=0.5, trip_rounds=2, recover_rounds=2,
+        sample_stride=4,
+    )
+
+    def _storm_round(self, breaker, frames=4):
+        for _ in range(frames):
+            admitted, _ = breaker.admit_frame()
+            if admitted:
+                breaker.record_shed()
+
+    def test_shed_storm_trips_then_samples_then_recovers(self):
+        breaker = CircuitBreaker(self.POLICY)
+        self._storm_round(breaker)
+        breaker.observe_round(TenantHealth.HEALTHY)
+        assert breaker.state is BreakerState.CLOSED  # 1 bad round
+        self._storm_round(breaker)
+        breaker.observe_round(TenantHealth.HEALTHY)
+        assert breaker.state is BreakerState.SAMPLING
+        assert breaker.trips == 1
+        # SAMPLING admits exactly 1 frame in sample_stride.
+        decisions = [breaker.admit_frame() for _ in range(8)]
+        assert sum(1 for ok, _ in decisions if ok) == 2
+        assert all(
+            reason == "sampled" for ok, reason in decisions if not ok
+        )
+        # Two clean rounds close it again.
+        breaker.observe_round(TenantHealth.HEALTHY)
+        breaker.observe_round(TenantHealth.HEALTHY)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.recoveries == 1
+
+    def test_quarantine_forces_open_then_probation_samples(self):
+        breaker = CircuitBreaker(self.POLICY)
+        breaker.observe_round(TenantHealth.QUARANTINED)
+        assert breaker.state is BreakerState.OPEN
+        ok, reason = breaker.admit_frame()
+        assert not ok and reason == "breaker_open"
+        # Probation ends: degrade to sampled ingest, not full.
+        breaker.observe_round(TenantHealth.HEALTHY)
+        assert breaker.state is BreakerState.SAMPLING
+
+    def test_degraded_health_forces_sampling(self):
+        breaker = CircuitBreaker(self.POLICY)
+        breaker.observe_round(TenantHealth.DEGRADED)
+        assert breaker.state is BreakerState.SAMPLING
+        assert breaker.trips == 1
+
+    def test_refused_frames_count_toward_the_storm(self):
+        """Frames the gate never saw (undecodable payloads) still trip
+        the breaker — a corrupt-heavy stream is a storm too."""
+        breaker = CircuitBreaker(self.POLICY)
+        for _ in range(2):
+            for _ in range(4):
+                breaker.record_refused_frame()
+            breaker.observe_round(TenantHealth.HEALTHY)
+        assert breaker.state is BreakerState.SAMPLING
+
+    def test_policy_validation(self):
+        with pytest.raises(ServeError):
+            BreakerPolicy(trip_shed_ratio=0.0)
+        with pytest.raises(ServeError):
+            BreakerPolicy(sample_stride=0)

@@ -1,0 +1,103 @@
+"""Wire-protocol codec: framing, CRC, payload round trips."""
+
+import pytest
+
+from repro.errors import FrameProtocolError
+from repro.eval.metrics import demo_events
+from repro.serve import protocol
+
+
+class TestFraming:
+    def test_roundtrip_byte_at_a_time(self):
+        frames = [
+            protocol.hello_frame("tenant0", "events"),
+            protocol.raw_frame(b"\x00\x01\x02"),
+            protocol.bye_frame(),
+            protocol.ack_frame(7),
+            protocol.shed_frame("deadline", 12.5),
+            protocol.err_frame("nope"),
+            protocol.summary_frame({"frames": 3}),
+        ]
+        wire = b"".join(frames)
+        decoder = protocol.FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i:i + 1]))
+        assert [f.type for f in out] == [
+            protocol.FrameType.HELLO,
+            protocol.FrameType.RAW,
+            protocol.FrameType.BYE,
+            protocol.FrameType.ACK,
+            protocol.FrameType.SHED,
+            protocol.FrameType.ERR,
+            protocol.FrameType.SUMMARY,
+        ]
+        assert decoder.pending_bytes == 0
+        assert out[1].payload == b"\x00\x01\x02"
+
+    def test_corrupted_body_fails_checksum(self):
+        frame = bytearray(protocol.ack_frame(3))
+        frame[-1] ^= 0xFF
+        with pytest.raises(FrameProtocolError, match="checksum"):
+            protocol.FrameDecoder().feed(bytes(frame))
+
+    def test_header_rejects_oversized_length(self):
+        with pytest.raises(FrameProtocolError, match="length"):
+            protocol.split_header(
+                (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+                + b"\x00\x00\x00\x00"
+            )
+
+    def test_header_rejects_zero_length(self):
+        with pytest.raises(FrameProtocolError, match="length"):
+            protocol.split_header(b"\x00" * protocol.HEADER_BYTES)
+
+    def test_encode_rejects_oversized_body(self):
+        with pytest.raises(FrameProtocolError, match="exceeds"):
+            protocol.encode_frame(
+                protocol.FrameType.RAW, b"x" * protocol.MAX_FRAME_BYTES
+            )
+
+    def test_decode_body_rejects_empty(self):
+        import zlib
+
+        with pytest.raises(FrameProtocolError, match="empty"):
+            protocol.decode_body(b"", zlib.crc32(b""))
+
+
+class TestPayloads:
+    def test_events_batch_roundtrip(self):
+        events = demo_events("lstm", seed=3, count=40)
+        frame = protocol.FrameDecoder().feed(
+            protocol.events_frame(events, sequence=9)
+        )[0]
+        assert frame.type == protocol.FrameType.EVENTS
+        decoded = protocol.decode_events_payload(frame.payload)
+        assert list(decoded) == list(events)
+
+    def test_events_payload_garbage_rejected(self):
+        with pytest.raises(FrameProtocolError, match="undecodable"):
+            protocol.decode_events_payload(b"not a trace chunk")
+
+    def test_hello_json_fields(self):
+        frame = protocol.FrameDecoder().feed(
+            protocol.hello_frame("t1", "raw", frontend="etrace")
+        )[0]
+        document = protocol.decode_json(frame.payload)
+        assert document == {
+            "tenant": "t1", "mode": "raw", "frontend": "etrace",
+        }
+
+    def test_shed_carries_backoff_hint(self):
+        frame = protocol.FrameDecoder().feed(
+            protocol.shed_frame("rate_limited", 33.3333333)
+        )[0]
+        document = protocol.decode_json(frame.payload)
+        assert document["reason"] == "rate_limited"
+        assert document["retry_after_ms"] == pytest.approx(33.333)
+
+    def test_decode_json_rejects_non_object(self):
+        with pytest.raises(FrameProtocolError):
+            protocol.decode_json(b"[1, 2]")
+        with pytest.raises(FrameProtocolError):
+            protocol.decode_json(b"\xff\xfe")
