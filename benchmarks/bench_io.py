@@ -26,6 +26,7 @@ MIRRORED_RESULTS = (
     "BENCH_mcm.json",
     "BENCH_mcm_batched.json",
     "BENCH_serve.json",
+    "BENCH_fleet.json",
 )
 
 

@@ -22,35 +22,72 @@ from typing import TYPE_CHECKING
 from repro.errors import JournalCorruptionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.soc.manager import SocManager
+    from repro.soc.manager import SocManager, TenantRuntime
 
 #: Bump on any incompatible change to the checkpoint layout.
 CHECKPOINT_VERSION = 1
 
 
+def capture_tenant_state(runtime: "TenantRuntime") -> dict:
+    """Snapshot one tenant's lifetime state as a JSON-able dict.
+
+    This per-tenant document is also the fleet's migration-handoff
+    unit (docs/FLEET.md): a tenant evicted from a crash-looping shard
+    is re-admitted on a sibling by building a fresh runtime from its
+    deployment and restoring this document into it.
+    """
+    return {
+        "name": runtime.name,
+        "health": runtime.health.value,
+        "crashes": runtime.crashes,
+        "bad_rounds": runtime._bad_rounds,
+        "clean_rounds": runtime._clean_rounds,
+        "quarantined_rounds": runtime._quarantined_rounds,
+        "seen_loss": runtime._seen_loss,
+        "seen_trips": runtime._seen_trips,
+        "observed_records": runtime._observed_records,
+        "mcm": runtime.mcm.export_state(),
+        "session": {
+            "pipeline": runtime.pipeline.export_state(),
+            "encoder": runtime.encoder.export_state(),
+        },
+        "metrics": runtime.metrics.export_state(),
+    }
+
+
+def restore_tenant_state(runtime: "TenantRuntime", doc: dict) -> None:
+    """Restore one tenant runtime from its captured document.
+
+    The runtime must have been built from the same deployment (same
+    model, converter, detector, config) that was live at capture time;
+    the document carries state, not code.
+    """
+    from repro.soc.manager import TenantHealth
+
+    if doc["name"] != runtime.name:
+        raise JournalCorruptionError(
+            f"tenant document {doc['name']!r} restored into runtime "
+            f"{runtime.name!r}"
+        )
+    runtime.health = TenantHealth(doc["health"])
+    runtime.crashes = doc["crashes"]
+    runtime._bad_rounds = doc["bad_rounds"]
+    runtime._clean_rounds = doc["clean_rounds"]
+    runtime._quarantined_rounds = doc["quarantined_rounds"]
+    runtime._seen_loss = doc["seen_loss"]
+    runtime._seen_trips = doc["seen_trips"]
+    runtime._observed_records = doc["observed_records"]
+    runtime.mcm.restore_state(doc["mcm"])
+    runtime.pipeline.restore_state(doc["session"]["pipeline"])
+    runtime.encoder.restore_state(doc["session"]["encoder"])
+    runtime.metrics.restore_state(doc["metrics"])
+
+
 def capture_checkpoint(manager: "SocManager") -> dict:
     """Snapshot the manager's lifetime state as a JSON-able dict."""
-    tenants = []
-    for runtime in manager.tenants:
-        tenants.append(
-            {
-                "name": runtime.name,
-                "health": runtime.health.value,
-                "crashes": runtime.crashes,
-                "bad_rounds": runtime._bad_rounds,
-                "clean_rounds": runtime._clean_rounds,
-                "quarantined_rounds": runtime._quarantined_rounds,
-                "seen_loss": runtime._seen_loss,
-                "seen_trips": runtime._seen_trips,
-                "observed_records": runtime._observed_records,
-                "mcm": runtime.mcm.export_state(),
-                "session": {
-                    "pipeline": runtime.pipeline.export_state(),
-                    "encoder": runtime.encoder.export_state(),
-                },
-                "metrics": runtime.metrics.export_state(),
-            }
-        )
+    tenants = [
+        capture_tenant_state(runtime) for runtime in manager.tenants
+    ]
     return {
         "version": CHECKPOINT_VERSION,
         "round": manager._round,
@@ -67,8 +104,6 @@ def restore_checkpoint(manager: "SocManager", state: dict) -> None:
     (same tenant names, same order) that were live at capture time —
     checkpoints carry state, not topology.
     """
-    from repro.soc.manager import TenantHealth
-
     version = state.get("version")
     if version != CHECKPOINT_VERSION:
         raise JournalCorruptionError(
@@ -89,15 +124,4 @@ def restore_checkpoint(manager: "SocManager", state: dict) -> None:
     manager.arbiter.watchdog_trips[:] = [int(t) for t in trips]
     manager.metrics.restore_state(state["metrics"])
     for runtime, doc in zip(manager.tenants, state["tenants"]):
-        runtime.health = TenantHealth(doc["health"])
-        runtime.crashes = doc["crashes"]
-        runtime._bad_rounds = doc["bad_rounds"]
-        runtime._clean_rounds = doc["clean_rounds"]
-        runtime._quarantined_rounds = doc["quarantined_rounds"]
-        runtime._seen_loss = doc["seen_loss"]
-        runtime._seen_trips = doc["seen_trips"]
-        runtime._observed_records = doc["observed_records"]
-        runtime.mcm.restore_state(doc["mcm"])
-        runtime.pipeline.restore_state(doc["session"]["pipeline"])
-        runtime.encoder.restore_state(doc["session"]["encoder"])
-        runtime.metrics.restore_state(doc["metrics"])
+        restore_tenant_state(runtime, doc)

@@ -145,9 +145,92 @@ class FrameProtocolError(ServeError):
     """A client frame violated the length-prefixed wire protocol."""
 
 
+class FleetError(RtadError):
+    """Base class for sharded-fleet (repro.fleet) errors."""
+
+
+class ShardDeadError(FleetError):
+    """A worker shard died (or missed its heartbeat deadline) and the
+    supervisor's restart budget could not bring it back."""
+
+
 class WorkloadError(RtadError):
     """A synthetic workload description is invalid."""
 
 
 class ModelError(RtadError):
     """An ML model was used before fit / with inconsistent shapes."""
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+class Backoff:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    One retry policy shared by every layer that hands out "try again
+    later" decisions: the serve front door's SHED retry-after hints and
+    the fleet supervisor's worker-restart delays.  ``delay(attempt)``
+    is a pure function — the jitter fraction is derived by hashing
+    ``(seed, label, attempt)``, so a given policy always produces the
+    same schedule (tests and chaos runs stay reproducible) while
+    distinct labels/seeds de-correlate, which is what jitter is for
+    (no thundering-herd retry alignment across clients or shards).
+    """
+
+    def __init__(
+        self,
+        base_s: float,
+        cap_s: float,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        label: str = "backoff",
+    ) -> None:
+        if not base_s > 0:
+            raise RtadError(f"base_s must be positive, got {base_s!r}")
+        if cap_s < base_s:
+            raise RtadError(
+                f"cap_s must be >= base_s, got {cap_s!r} < {base_s!r}"
+            )
+        if multiplier < 1.0:
+            raise RtadError(
+                f"multiplier must be >= 1, got {multiplier!r}"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise RtadError(f"jitter must be in [0, 1], got {jitter!r}")
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.label = str(label)
+
+    def _fraction(self, attempt: int) -> float:
+        """Deterministic jitter fraction in [0, 1) for one attempt."""
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"{self.seed}:{self.label}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def delay(self, attempt: int) -> float:
+        """Delay in seconds before retry number ``attempt`` (0-based).
+
+        The undithered curve is ``min(cap_s, base_s * multiplier **
+        attempt)``; jitter then scales it into ``[(1 - jitter) * full,
+        full]`` ("equal jitter": the floor keeps an escalating lower
+        bound, so a retry storm still spreads without collapsing the
+        backoff guarantee).
+        """
+        if attempt < 0:
+            raise RtadError(f"attempt must be >= 0, got {attempt!r}")
+        full = min(self.cap_s, self.base_s * self.multiplier ** attempt)
+        spread = full * self.jitter
+        return (full - spread) + spread * self._fraction(attempt)
+
+    def schedule(self, attempts: int) -> "list[float]":
+        """The first ``attempts`` delays, as a list (for display/tests)."""
+        return [self.delay(index) for index in range(attempts)]

@@ -29,6 +29,12 @@ from repro.eval.chaos import (
     run_chaos,
 )
 from repro.eval.fig6 import format_fig6, run_fig6
+from repro.eval.fleet import (
+    fleet_metrics_failures,
+    fleet_metrics_to_json,
+    format_fleet_metrics,
+    run_fleet_metrics,
+)
 from repro.eval.fig7 import format_fig7, run_fig7
 from repro.eval.fig8 import format_fig8, run_fig8
 from repro.eval.metrics import (
@@ -169,12 +175,23 @@ def main(argv=None) -> int:
                 events=events,
                 seed=args.seed,
             )
+            fleet = run_fleet_metrics(
+                events=events, seed=args.seed
+            )
+            failures += [
+                f"metrics: {line}"
+                for line in fleet_metrics_failures(fleet)
+            ]
             if args.json:
+                document = metrics_to_json(results)
+                document["fleet"] = fleet_metrics_to_json(fleet)
                 output = json.dumps(
-                    metrics_to_json(results), indent=2, sort_keys=True
+                    document, indent=2, sort_keys=True
                 )
             else:
-                output = format_metrics(results)
+                output = "\n\n".join(
+                    [format_metrics(results), format_fleet_metrics(fleet)]
+                )
         elif name == "chaos":
             chaos = run_chaos(
                 rates=tuple(

@@ -780,6 +780,7 @@ class ChaosResult:
     )
     quarantine_etrace: Optional[QuarantineChaosResult] = None
     connection: Optional[ConnectionChaosResult] = None
+    fleet: Optional["FleetChaosResult"] = None
 
 
 def run_chaos(
@@ -788,12 +789,17 @@ def run_chaos(
     seed: int = 0,
     kind: str = "lstm",
 ) -> ChaosResult:
-    """Run all four chaos experiments over the rate sweep.
+    """Run all the chaos experiments over the rate sweep.
 
     The decoder sweep and the quarantine scenario each run twice —
     once per trace grammar — so the recovery and isolation invariants
-    are demonstrated for CoreSight and E-Trace side by side.
+    are demonstrated for CoreSight and E-Trace side by side.  The
+    fleet experiment (:mod:`repro.eval.fleet`) kills a worker process
+    with a real ``kill -9`` mid-round and proves the supervisor's
+    recovery lost and perturbed nothing.
     """
+    from repro.eval.fleet import run_fleet_chaos
+
     for rate in rates:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {rate}")
@@ -809,6 +815,7 @@ def run_chaos(
             events, seed, kind=kind, frontend="etrace"
         ),
         connection=run_connection_chaos(events, seed, kind=kind),
+        fleet=run_fleet_chaos(events, seed, kind=kind),
     )
 
 
@@ -882,6 +889,10 @@ def format_chaos(result: ChaosResult) -> str:
         )
     if result.connection is not None:
         sections.append(_format_connection(result.connection))
+    if result.fleet is not None:
+        from repro.eval.fleet import format_fleet_chaos
+
+        sections.append(format_fleet_chaos(result.fleet))
     return "\n\n".join(sections)
 
 
@@ -1032,6 +1043,10 @@ def chaos_failures(result: ChaosResult) -> List[str]:
             )
     if result.connection is not None:
         failures.extend(_connection_failures(result.connection))
+    if result.fleet is not None:
+        from repro.eval.fleet import fleet_chaos_failures
+
+        failures.extend(fleet_chaos_failures(result.fleet))
     return failures
 
 
@@ -1106,6 +1121,9 @@ def chaos_to_json(result: ChaosResult) -> Dict[str, object]:
             asdict(result.connection)
             if result.connection is not None
             else None
+        ),
+        "fleet": (
+            asdict(result.fleet) if result.fleet is not None else None
         ),
         "failures": chaos_failures(result),
     }

@@ -1,0 +1,406 @@
+"""Fleet experiments for the eval harness (docs/FLEET.md).
+
+Two entry points, both deterministic:
+
+- :func:`run_fleet_chaos` — the fleet-chaos experiment wired into
+  ``python -m repro.eval chaos``: a worker shard is killed with a real
+  ``kill -9`` mid-round (deterministically, at a named WAL crash site
+  via :class:`~repro.faults.crashpoints.SigkillInjector`), the
+  supervisor restarts it, the fresh worker recovers from its journal,
+  and the coordinator re-feeds the interrupted round.  The invariants:
+  surviving tenants' verdict flags are bit-identical to a solo
+  fault-free reference, and the killed shard's tenants resume with
+  **zero lost admitted rounds**.
+
+- :func:`run_fleet_metrics` — the fleet section of
+  ``python -m repro.eval metrics``: a short fleet run reporting the
+  merged ``fleet.*`` counter namespace, per-shard liveness (shard id,
+  pid, restarts, tenants hosted), and the counter conservation law
+  ``fleet.rounds.admitted == sum(per-shard fresh rounds) +
+  fleet.rounds.replayed`` — violated conservation is a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.eval.report import format_table
+
+#: Fleet-experiment shape: 4 demo tenants over 2 shards.
+FLEET_TENANTS = 4
+FLEET_SHARDS = 2
+
+#: The WAL site the chaos kill is armed at: the round's inputs are
+#: fully journaled but the ROUND_COMMIT has not been written, so the
+#: recovered worker must discard the tail and accept a re-feed.
+KILL_SITE = "wal.chunk.done"
+
+
+def _tenant_names(count: int) -> List[str]:
+    return [f"tenant{index}" for index in range(count)]
+
+
+def _flags(records) -> List[tuple]:
+    """Verdict flags of one tenant-round, in record order: the
+    bit-level unit the chaos invariants compare (anomalous flag and
+    exact float score).  Sequence numbers and timestamps are
+    engine-local (a shard's private engine numbers its dispatches
+    differently than the solo reference's shared engine), so they are
+    deliberately not part of the verdict."""
+    return [(bool(r.anomalous), float(r.score)) for r in records]
+
+
+# ----------------------------------------------------------------------
+# Fleet chaos: kill -9 a worker mid-round
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FleetChaosResult:
+    shards: int
+    tenants: int
+    rounds: int
+    kill_round: int
+    kill_site: str
+    killed_shard: int
+    killed_tenants: List[str] = field(default_factory=list)
+    surviving_tenants: List[str] = field(default_factory=list)
+    restarts: int = 0
+    workers_spawned: int = 0
+    heartbeat_misses: int = 0
+    rounds_refed: int = 0
+    rounds_reconciled: int = 0
+    rounds_replayed: int = 0
+    rounds_admitted: int = 0
+    shard_rounds: int = 0
+    conservation_ok: bool = True
+    #: Per-tenant rounds whose verdict flags diverged from (or never
+    #: reached) the solo fault-free reference.  All-zero == no loss.
+    lost_rounds: Dict[str, int] = field(default_factory=dict)
+    survivors_identical: bool = True
+    killed_resumed_identical: bool = True
+
+
+def run_fleet_chaos(
+    events: int = 6_000,
+    seed: int = 0,
+    kind: str = "lstm",
+    shards: int = FLEET_SHARDS,
+    rounds: int = 3,
+    kill_round: int = 1,
+    killed_shard: int = 0,
+    kill_site: str = KILL_SITE,
+) -> FleetChaosResult:
+    """Kill a worker mid-round; prove nothing was lost or perturbed.
+
+    Fully deterministic: the kill is armed at a WAL crash site (same
+    site index dies on every run), rounds are fixed-seed CFG walks,
+    and every comparison is exact — no timers, no races.
+    """
+    from repro.eval.metrics import build_demo_manager, demo_events
+    from repro.fleet import FleetConfig, FleetCoordinator, demo_factory
+
+    names = _tenant_names(FLEET_TENANTS)
+    per_round = max(200, events // rounds // FLEET_TENANTS)
+
+    def round_traces(round_index: int) -> Dict[str, tuple]:
+        return {
+            name: demo_events(
+                kind,
+                seed,
+                per_round,
+                run_label=f"fleet-chaos-{name}-r{round_index}",
+            )
+            for name in names
+        }
+
+    # Solo fault-free reference: one manager, all tenants, no fleet,
+    # no kill.  Verdict flags (sequence, anomalous, score) are
+    # engine-topology independent, so this is the reference the
+    # surviving AND recovered tenants must match bit-for-bit.
+    reference = build_demo_manager(FLEET_TENANTS, kind=kind, seed=seed)
+    ref_flags: Dict[str, List[List[tuple]]] = {n: [] for n in names}
+    for round_index in range(rounds):
+        ref_records = reference.run_events(round_traces(round_index))
+        for name in names:
+            ref_flags[name].append(_flags(ref_records.get(name, [])))
+
+    journal_root = tempfile.mkdtemp(prefix="repro-fleet-chaos-")
+    live_flags: Dict[str, List[List[tuple]]] = {n: [] for n in names}
+    with FleetCoordinator(
+        demo_factory,
+        names,
+        journal_root,
+        FleetConfig(num_shards=shards),
+    ) as fleet:
+        killed = list(fleet.shards[killed_shard].tenants)
+        survivors = [n for n in names if n not in killed]
+        for round_index in range(rounds):
+            if round_index == kill_round:
+                fleet.arm_kill(killed_shard, kill_site, 0)
+            records = fleet.run_events(round_traces(round_index))
+            for name in names:
+                live_flags[name].append(_flags(records.get(name, [])))
+        counters = fleet.counters()
+
+    result = FleetChaosResult(
+        shards=shards,
+        tenants=FLEET_TENANTS,
+        rounds=rounds,
+        kill_round=kill_round,
+        kill_site=kill_site,
+        killed_shard=killed_shard,
+        killed_tenants=killed,
+        surviving_tenants=survivors,
+        restarts=int(counters.get("fleet.restarts", 0)),
+        workers_spawned=int(counters.get("fleet.workers.spawned", 0)),
+        heartbeat_misses=int(
+            counters.get("fleet.heartbeat.misses", 0)
+        ),
+        rounds_refed=int(counters.get("fleet.rounds.refed", 0)),
+        rounds_reconciled=int(
+            counters.get("fleet.rounds.reconciled", 0)
+        ),
+        rounds_replayed=int(counters.get("fleet.rounds.replayed", 0)),
+        rounds_admitted=int(counters.get("fleet.rounds.admitted", 0)),
+        shard_rounds=sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("fleet.shard.")
+            and name.endswith(".rounds")
+        ),
+    )
+    result.conservation_ok = (
+        result.rounds_admitted
+        == result.shard_rounds + result.rounds_replayed
+    )
+    for name in names:
+        lost = sum(
+            1
+            for round_index in range(rounds)
+            if live_flags[name][round_index]
+            != ref_flags[name][round_index]
+        )
+        result.lost_rounds[name] = lost
+        if lost:
+            if name in survivors:
+                result.survivors_identical = False
+            else:
+                result.killed_resumed_identical = False
+    return result
+
+
+def format_fleet_chaos(result: FleetChaosResult) -> str:
+    rows = [
+        ("workers spawned", result.workers_spawned),
+        ("restarts", result.restarts),
+        ("heartbeat misses", result.heartbeat_misses),
+        ("rounds re-fed", result.rounds_refed),
+        ("rounds reconciled", result.rounds_reconciled),
+        ("rounds replayed (WAL)", result.rounds_replayed),
+        ("rounds admitted", result.rounds_admitted),
+        ("per-shard fresh rounds", result.shard_rounds),
+        (
+            "conservation (admitted == fresh + replayed)",
+            "yes" if result.conservation_ok else "NO",
+        ),
+        (
+            "lost rounds",
+            " ".join(
+                f"{name}={count}"
+                for name, count in result.lost_rounds.items()
+            ),
+        ),
+    ]
+    return format_table(
+        ["supervision event / invariant", "value"],
+        rows,
+        title=(
+            f"chaos: fleet kill -9 of shard {result.killed_shard} at "
+            f"{result.kill_site!r} in round {result.kill_round} "
+            f"({result.shards} shards, {result.tenants} tenants; "
+            f"survivors identical: "
+            f"{'yes' if result.survivors_identical else 'NO'}, "
+            f"killed resumed identical: "
+            f"{'yes' if result.killed_resumed_identical else 'NO'})"
+        ),
+    )
+
+
+def fleet_chaos_failures(result: FleetChaosResult) -> List[str]:
+    failures: List[str] = []
+    if result.restarts < 1:
+        failures.append(
+            "fleet: the killed worker was never restarted"
+        )
+    if not result.survivors_identical:
+        failures.append(
+            "fleet: surviving tenants' verdict flags diverged from "
+            "the solo fault-free reference"
+        )
+    if not result.killed_resumed_identical:
+        failures.append(
+            "fleet: the killed shard's tenants lost admitted rounds "
+            f"({result.lost_rounds})"
+        )
+    if not result.conservation_ok:
+        failures.append(
+            "fleet: counter conservation violated — "
+            f"admitted {result.rounds_admitted} != fresh "
+            f"{result.shard_rounds} + replayed {result.rounds_replayed}"
+        )
+    if result.rounds_refed + result.rounds_reconciled < 1:
+        failures.append(
+            "fleet: the interrupted round was neither re-fed nor "
+            "reconciled"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Fleet metrics: merged counters + per-shard liveness
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FleetMetricsResult:
+    shards: int
+    tenants: int
+    rounds: int
+    events: int
+    verdicts: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    liveness: List[Dict[str, object]] = field(default_factory=list)
+    health: Dict[str, str] = field(default_factory=dict)
+    rounds_admitted: int = 0
+    shard_rounds: int = 0
+    rounds_replayed: int = 0
+    conservation_ok: bool = True
+
+
+def run_fleet_metrics(
+    events: int = 4_000,
+    seed: int = 0,
+    kind: str = "lstm",
+    shards: int = FLEET_SHARDS,
+    rounds: int = 2,
+) -> FleetMetricsResult:
+    """A short fault-free fleet run for the metrics report."""
+    from repro.eval.metrics import demo_events
+    from repro.fleet import FleetConfig, FleetCoordinator, demo_factory
+
+    names = _tenant_names(FLEET_TENANTS)
+    per_round = max(200, events // rounds // FLEET_TENANTS)
+    journal_root = tempfile.mkdtemp(prefix="repro-fleet-metrics-")
+    verdicts = 0
+    with FleetCoordinator(
+        demo_factory,
+        names,
+        journal_root,
+        FleetConfig(num_shards=shards),
+    ) as fleet:
+        for round_index in range(rounds):
+            records = fleet.run_events(
+                {
+                    name: demo_events(
+                        kind,
+                        seed,
+                        per_round,
+                        run_label=f"fleet-metrics-{name}-r{round_index}",
+                    )
+                    for name in names
+                }
+            )
+            verdicts += sum(len(r) for r in records.values())
+        counters = fleet.counters()
+        liveness = fleet.liveness()
+        health = {
+            name: state.value for name, state in fleet.health().items()
+        }
+    result = FleetMetricsResult(
+        shards=shards,
+        tenants=FLEET_TENANTS,
+        rounds=rounds,
+        events=per_round * FLEET_TENANTS * rounds,
+        verdicts=verdicts,
+        counters={name: int(v) for name, v in sorted(counters.items())},
+        liveness=liveness,
+        health=health,
+        rounds_admitted=int(counters.get("fleet.rounds.admitted", 0)),
+        shard_rounds=sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("fleet.shard.")
+            and name.endswith(".rounds")
+        ),
+        rounds_replayed=int(
+            counters.get("fleet.rounds.replayed", 0)
+        ),
+    )
+    result.conservation_ok = (
+        result.rounds_admitted
+        == result.shard_rounds + result.rounds_replayed
+    )
+    return result
+
+
+def format_fleet_metrics(result: FleetMetricsResult) -> str:
+    liveness = format_table(
+        ["shard", "pid", "alive", "restarts", "tenants hosted"],
+        [
+            (
+                row["shard"],
+                row["pid"],
+                "yes" if row["alive"] else "NO",
+                row["restarts"],
+                " ".join(row["tenants"]),
+            )
+            for row in result.liveness
+        ],
+        title=(
+            f"fleet: per-shard liveness ({result.shards} shards, "
+            f"{result.tenants} tenants, {result.rounds} rounds, "
+            f"{result.events} events, {result.verdicts} verdicts; "
+            "conservation admitted == fresh + replayed: "
+            f"{result.rounds_admitted} == {result.shard_rounds} + "
+            f"{result.rounds_replayed}: "
+            f"{'yes' if result.conservation_ok else 'NO'})"
+        ),
+    )
+    fleet_rows = [
+        (name, value)
+        for name, value in result.counters.items()
+        if name.startswith("fleet.")
+    ]
+    merged = format_table(
+        ["counter", "count"],
+        fleet_rows,
+        title="fleet: merged fleet.* counters (coordinator + workers)",
+    )
+    return "\n\n".join([liveness, merged])
+
+
+def fleet_metrics_failures(result: FleetMetricsResult) -> List[str]:
+    failures: List[str] = []
+    if not result.conservation_ok:
+        failures.append(
+            "fleet: counter conservation violated — admitted "
+            f"{result.rounds_admitted} != fresh {result.shard_rounds} "
+            f"+ replayed {result.rounds_replayed}"
+        )
+    dead = [row for row in result.liveness if not row["alive"]]
+    if dead:
+        failures.append(
+            f"fleet: {len(dead)} shard(s) not alive at report time"
+        )
+    return failures
+
+
+def fleet_metrics_to_json(
+    result: FleetMetricsResult,
+) -> Dict[str, object]:
+    document = asdict(result)
+    document["failures"] = fleet_metrics_failures(result)
+    return document

@@ -71,3 +71,42 @@ class CrashPointInjector:
                 f"injected process crash at {site!r} "
                 f"(site index {self.sites_reached - 1})"
             )
+
+
+class SigkillInjector(CrashPointInjector):
+    """A crash point that dies for real: ``SIGKILL`` to its own pid.
+
+    :class:`CrashPointInjector` models a crash as an exception the
+    harness catches in-process; the fleet's chaos experiments need the
+    stronger thing — a worker *process* vanishing with no chance to
+    flush, reply, or clean up.  Arming this injector at a WAL site
+    turns the site into a deterministic ``kill -9``: the same site
+    index dies on every run, so the recovery assertions are exact
+    rather than racing a timer.
+
+    ``site_filter`` restricts firing to one named site (e.g.
+    ``"wal.chunk.done"`` — inputs journaled, round uncommitted), which
+    is how the fleet chaos experiment pins "mid-round" precisely.
+    """
+
+    def __init__(
+        self,
+        kill_at: Optional[int] = None,
+        site_filter: Optional[str] = None,
+    ) -> None:
+        super().__init__(kill_at=kill_at)
+        self.site_filter = site_filter
+
+    def fires(self, site: str) -> bool:
+        if self.site_filter is not None and site != self.site_filter:
+            # Filtered sites are observed but never consume the index.
+            self.site_counts[site] = self.site_counts.get(site, 0) + 1
+            return False
+        return super().fires(site)
+
+    def reached(self, site: str) -> None:
+        if self.fires(site):
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)

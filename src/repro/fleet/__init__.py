@@ -1,0 +1,27 @@
+"""Sharded multi-process fleet for the SoC manager (docs/FLEET.md).
+
+A :class:`~repro.fleet.coordinator.FleetCoordinator` shards tenants
+across N worker processes — one :class:`~repro.soc.manager.SocManager`
+(own modeled engine, own write-ahead journal) each — and supervises
+them: heartbeat deadlines, bounded-jitter backoff restarts with
+journal-replay recovery, and checkpoint-handoff migration of healthy
+tenants away from crash-looping shards.  The coordinator speaks the
+manager's own surface (``run_events`` / ``health`` / ``tenant`` /
+``tenants``), so the serve front door and the eval harness run over a
+fleet unchanged.
+"""
+
+from repro.fleet.coordinator import (
+    FLEET_COUNTERS,
+    FleetConfig,
+    FleetCoordinator,
+)
+from repro.fleet.demo import demo_factory
+
+__all__ = [
+    "FLEET_COUNTERS",
+    "FleetConfig",
+    "FleetCoordinator",
+    "demo_factory",
+    "messages",
+]

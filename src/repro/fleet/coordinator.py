@@ -1,0 +1,642 @@
+"""The fleet coordinator: sharded SoC workers under supervision.
+
+:class:`FleetCoordinator` shards tenants across N worker processes
+(one :class:`~repro.soc.manager.SocManager` each, one modeled ML-MIAOW
+engine each, own write-ahead journal each) and presents the same
+surface the serve front door and the eval harness already speak:
+``run_events`` / ``health`` / ``tenant`` / ``tenants``.  One
+coordinator round fans out to every shard with traffic as a
+TRACE_CHUNK dispatch, idle shards get a heartbeat ping instead, and
+the replies are merged back into a single per-tenant record map — so
+swapping a solo manager for a fleet is a constructor change, not a
+protocol change.
+
+**Supervision** (docs/FLEET.md has the full state machine):
+
+- every dispatch and ping carries a deadline (the arbiter watchdog's
+  vocabulary, applied to the pipe in the wall-clock domain); a missed
+  deadline or a dead pipe marks the shard DEAD;
+- a DEAD shard is restarted under a bounded-jitter
+  :class:`~repro.errors.Backoff`; the fresh worker finds the shard's
+  journal and *recovers* (checkpoint restore + committed-round
+  replay), and the coordinator re-feeds the one in-flight round the
+  crash may have eaten — admitted rounds are never lost;
+- a shard that keeps crashing (``max_restarts`` consecutive) has its
+  HEALTHY tenants migrated to sibling shards via checkpoint handoff
+  (:func:`~repro.durability.checkpoint.capture_tenant_state`);
+  DEGRADED and QUARANTINED tenants stay pinned — a sick tenant is not
+  spread to healthy shards.
+
+Every supervision event is a ``fleet.*`` counter, and
+:meth:`counters` merges the workers' ``socmgr.*``/engine counters into
+one fleet-wide view with the conservation law the eval harness
+asserts: ``fleet.rounds.admitted == sum of per-shard fresh rounds +
+fleet.rounds.replayed``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import Backoff, FleetError, ShardDeadError, SocConfigError
+from repro.fleet import messages
+from repro.mcm.mcm import InferenceRecord
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.soc.manager import Deployment, TenantHealth
+from repro.workloads.cfg import BranchEvent
+
+#: Canonical coordinator-side counters (0 when nothing fired).
+FLEET_COUNTERS = (
+    "fleet.shards",
+    "fleet.workers.spawned",
+    "fleet.rounds",
+    "fleet.rounds.admitted",
+    "fleet.rounds.refed",
+    "fleet.rounds.reconciled",
+    "fleet.records.delivered",
+    "fleet.heartbeats",
+    "fleet.heartbeat.misses",
+    "fleet.restarts",
+    "fleet.migrations",
+    "fleet.tenants.migrated",
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet topology + supervision policy."""
+
+    #: Worker process count; tenants are round-robined across shards.
+    num_shards: int = 2
+    #: Pipe deadline for one heartbeat reply.
+    heartbeat_timeout_s: float = 10.0
+    #: Pipe deadline for one round dispatch (simulation rounds are
+    #: CPU-heavy; this guards hangs, not slowness).
+    round_timeout_s: float = 120.0
+    #: Consecutive restarts of one shard before its healthy tenants
+    #: are migrated away.
+    max_restarts: int = 2
+    #: Restart pacing (bounded exponential + deterministic jitter).
+    backoff: Backoff = field(
+        default_factory=lambda: Backoff(
+            base_s=0.05, cap_s=5.0, label="fleet.restart"
+        )
+    )
+    #: TRACE_CHUNK size for round dispatches (same knob as the WAL).
+    journal_chunk_events: int = 8192
+    #: multiprocessing start method; fork is cheapest (and inherits
+    #: warm model caches), spawn is the portable fallback.
+    start_method: str = "fork"
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise FleetError("num_shards must be >= 1")
+        if self.max_restarts < 1:
+            raise FleetError("max_restarts must be >= 1")
+        if self.heartbeat_timeout_s <= 0 or self.round_timeout_s <= 0:
+            raise FleetError("pipe deadlines must be positive")
+        if self.journal_chunk_events < 1:
+            raise FleetError("journal_chunk_events must be >= 1")
+
+
+class _TenantFacade:
+    """The slice of TenantRuntime the serve front door reads."""
+
+    def __init__(self, name: str, frontend: str) -> None:
+        self.name = name
+        self.deployment = SimpleNamespace(
+            config=SimpleNamespace(frontend=frontend)
+        )
+
+
+class _Shard:
+    """Coordinator-side handle for one worker process."""
+
+    def __init__(self, shard_id: int, journal_dir: str) -> None:
+        self.id = shard_id
+        self.journal_dir = journal_dir
+        self.tenants: List[str] = []
+        self.process = None
+        self.conn = None
+        self.restarts = 0          # consecutive, reset by migration
+        self.total_restarts = 0    # lifetime, for liveness reporting
+        self.attempt = 0           # backoff cursor
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class FleetCoordinator:
+    """Shards tenants across supervised SocManager worker processes.
+
+    ``factory`` must be picklable (a module-level function, optionally
+    wrapped in :func:`functools.partial`) with signature
+    ``factory(tenant_names, gpu=None) -> List[Deployment]`` — called in
+    the worker process to (re)build models and drivers; ``gpu`` is
+    passed on tenant adoption so migrated deployments join the shard's
+    existing engine.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., List[Deployment]],
+        tenant_names: Sequence[str],
+        journal_root: str,
+        config: Optional[FleetConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        manager_kwargs: Optional[dict] = None,
+        tenant_frontends: Optional[Mapping[str, str]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        import multiprocessing
+        import os
+
+        names = list(tenant_names)
+        if not names:
+            raise FleetError("the fleet needs at least one tenant")
+        if len(set(names)) != len(names):
+            raise FleetError(f"duplicate tenant names in {names}")
+        self.config = config or FleetConfig()
+        if self.config.num_shards > len(names):
+            raise FleetError(
+                f"{self.config.num_shards} shards for {len(names)} "
+                "tenants; every shard needs at least one tenant"
+            )
+        self.factory = factory
+        self.metrics = metrics or NULL_REGISTRY
+        self.manager_kwargs = dict(manager_kwargs or {})
+        self._frontends = dict(tenant_frontends or {})
+        self._clock = clock
+        self._sleep = sleep
+        self._ctx = multiprocessing.get_context(self.config.start_method)
+        self.counts: Dict[str, int] = {
+            name: 0 for name in FLEET_COUNTERS
+        }
+        self._m = {
+            name: self.metrics.counter(name) for name in FLEET_COUNTERS
+        }
+        self._facades: Dict[str, _TenantFacade] = {
+            name: _TenantFacade(
+                name, self._frontends.get(name, "coresight")
+            )
+            for name in names
+        }
+        #: Lifetime records already handed to the caller, per tenant —
+        #: the reconciliation cursor for post-commit crashes.
+        self._delivered: Dict[str, int] = {name: 0 for name in names}
+        self._health: Dict[str, TenantHealth] = {
+            name: TenantHealth.HEALTHY for name in names
+        }
+        self._round = 0
+        self._closed = False
+        self.shards: List[_Shard] = []
+        for shard_id in range(self.config.num_shards):
+            shard = _Shard(
+                shard_id,
+                os.path.join(journal_root, f"shard-{shard_id}"),
+            )
+            self.shards.append(shard)
+        for index, name in enumerate(names):
+            self.shards[index % len(self.shards)].tenants.append(name)
+        self._count("fleet.shards", len(self.shards))
+        for shard in self.shards:
+            self._spawn(shard)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counts[name] += amount
+        self._m[name].inc(amount)
+
+    @property
+    def tenants(self) -> List[_TenantFacade]:
+        """Placement-ordered tenant facades (the serve duck surface)."""
+        out: List[_TenantFacade] = []
+        for shard in self.shards:
+            out.extend(self._facades[name] for name in shard.tenants)
+        return out
+
+    def tenant(self, name: str) -> _TenantFacade:
+        facade = self._facades.get(name)
+        if facade is None:
+            raise SocConfigError(f"unknown tenant {name!r}")
+        return facade
+
+    def health(self) -> Dict[str, TenantHealth]:
+        """Tenant health as of the latest reply from each shard."""
+        return dict(self._health)
+
+    def shard_of(self, name: str) -> _Shard:
+        for shard in self.shards:
+            if name in shard.tenants:
+                return shard
+        raise SocConfigError(f"unknown tenant {name!r}")
+
+    def liveness(self) -> List[Dict[str, object]]:
+        """Per-shard liveness rows for the eval metrics report."""
+        return [
+            {
+                "shard": shard.id,
+                "pid": shard.pid,
+                "alive": shard.alive,
+                "restarts": shard.total_restarts,
+                "tenants": list(shard.tenants),
+            }
+            for shard in self.shards
+        ]
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, shard: _Shard) -> None:
+        from repro.fleet.worker import worker_main
+
+        parent, child = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                child,
+                shard.id,
+                self.factory,
+                list(shard.tenants),
+                shard.journal_dir,
+                self.manager_kwargs,
+            ),
+            daemon=True,
+            name=f"fleet-shard-{shard.id}",
+        )
+        process.start()
+        child.close()
+        shard.process = process
+        shard.conn = parent
+        self._count("fleet.workers.spawned")
+
+    def _reap(self, shard: _Shard) -> None:
+        if shard.conn is not None:
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            shard.conn = None
+        if shard.process is not None:
+            if shard.process.is_alive():
+                shard.process.terminate()
+            shard.process.join(timeout=10.0)
+            shard.process = None
+
+    def _request(self, shard: _Shard, request, timeout_s: float):
+        """One request/reply exchange; raises ShardDeadError on loss."""
+        conn = shard.conn
+        if conn is None or shard.process is None:
+            raise ShardDeadError(f"shard {shard.id} has no live worker")
+        try:
+            conn.send(request)
+            if not conn.poll(timeout_s):
+                raise ShardDeadError(
+                    f"shard {shard.id} missed its {timeout_s:.1f}s "
+                    f"deadline for {request[0]!r}"
+                )
+            tag, payload = conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as error:
+            raise ShardDeadError(
+                f"shard {shard.id} pipe died during {request[0]!r}: "
+                f"{type(error).__name__}"
+            ) from error
+        if tag == messages.ERR:
+            raise FleetError(
+                f"shard {shard.id} refused {request[0]!r}:\n{payload}"
+            )
+        return payload
+
+    def _restart(self, shard: _Shard) -> None:
+        """Backoff-paced restart; the fresh worker recovers its WAL."""
+        self._reap(shard)
+        delay = self.config.backoff.delay(shard.attempt)
+        shard.attempt += 1
+        if delay > 0:
+            self._sleep(delay)
+        self._spawn(shard)
+        shard.restarts += 1
+        shard.total_restarts += 1
+        self._count("fleet.restarts")
+
+    def _migrate_from(self, shard: _Shard) -> None:
+        """Evict a crash-looping shard's HEALTHY tenants to siblings.
+
+        The shard has just been restarted and recovered; its health
+        map decides placement.  DEGRADED and QUARANTINED tenants stay
+        pinned (pinning the sick, moving the healthy), and at least
+        one tenant must remain — a shard cannot be emptied.
+        """
+        siblings = [
+            other
+            for other in self.shards
+            if other is not shard and other.alive
+        ]
+        if not siblings:
+            return
+        health = self._request(
+            shard,
+            (messages.HEALTH,),
+            self.config.heartbeat_timeout_s,
+        )
+        movable = [
+            name
+            for name in shard.tenants
+            if health.get(name) == TenantHealth.HEALTHY.value
+        ]
+        if len(movable) == len(shard.tenants):
+            movable = movable[1:]  # leave one behind
+        if not movable:
+            shard.restarts = 0
+            return
+        docs = self._request(
+            shard,
+            (messages.EVICT, movable),
+            self.config.round_timeout_s,
+        )
+        by_doc = dict(zip(movable, docs))
+        for index, name in enumerate(movable):
+            target = siblings[index % len(siblings)]
+            self._request(
+                target,
+                (messages.ADOPT, [name], [by_doc[name]]),
+                self.config.round_timeout_s,
+            )
+            shard.tenants.remove(name)
+            target.tenants.append(name)
+            self._count("fleet.tenants.migrated")
+        self._count("fleet.migrations")
+        shard.restarts = 0
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+
+    def _reconcile(
+        self, shard: _Shard, round_index: int, payloads: List[bytes]
+    ) -> Dict[str, List[InferenceRecord]]:
+        """Bring a restarted shard's round to a delivered conclusion.
+
+        The recovered worker's ``next_round`` says whether the crashed
+        dispatch committed: if not, the held payloads are re-fed (the
+        WAL may replay them too — replay is deterministic, records are
+        byte-identical); if it did commit, the records are fetched
+        past the coordinator's delivery cursor instead of re-running.
+        """
+        next_round = self._request(
+            shard, (messages.ROUND,), self.config.heartbeat_timeout_s
+        )
+        if next_round <= round_index:
+            self._count("fleet.rounds.refed")
+            reply = self._request(
+                shard,
+                (messages.RUN, round_index, payloads),
+                self.config.round_timeout_s,
+            )
+            self._absorb_health(reply["health"])
+            return reply["records"]
+        cursors = {
+            name: self._delivered[name] for name in shard.tenants
+        }
+        records = self._request(
+            shard,
+            (messages.RECORDS_AFTER, cursors),
+            self.config.round_timeout_s,
+        )
+        self._absorb_health(
+            self._request(
+                shard,
+                (messages.HEALTH,),
+                self.config.heartbeat_timeout_s,
+            )
+        )
+        self._count("fleet.rounds.reconciled")
+        return records
+
+    def _absorb_health(self, health: Mapping[str, str]) -> None:
+        for name, value in health.items():
+            self._health[name] = TenantHealth(value)
+
+    def _run_shard(
+        self, shard: _Shard, round_index: int, payloads: List[bytes]
+    ) -> Dict[str, List[InferenceRecord]]:
+        """One shard's slice of one round, surviving worker deaths.
+
+        Migration is deliberately deferred until the round *concludes*
+        on the recovered shard: a crashed dispatch may already be
+        committed in the shard's journal, and moving tenants while
+        that round is unresolved would either lose it or replay it
+        twice.  Bring the round to a delivered conclusion first
+        (re-feed or reconcile), then — if it took a crash-loop to get
+        there — hand the healthy tenants to siblings at the boundary.
+        """
+        attempts = 0
+        while True:
+            try:
+                if attempts == 0:
+                    reply = self._request(
+                        shard,
+                        (messages.RUN, round_index, payloads),
+                        self.config.round_timeout_s,
+                    )
+                    self._absorb_health(reply["health"])
+                    records = reply["records"]
+                else:
+                    records = self._reconcile(
+                        shard, round_index, payloads
+                    )
+                if shard.restarts > self.config.max_restarts:
+                    self._migrate_from(shard)
+                shard.restarts = 0
+                shard.attempt = 0
+                return records
+            except ShardDeadError:
+                attempts += 1
+                if attempts > self.config.max_restarts + 1:
+                    raise
+                self._restart(shard)
+
+    def _split_round(
+        self,
+        round_index: int,
+        traces: Mapping[str, Sequence[BranchEvent]],
+    ):
+        """Group one round's traces into per-shard chunk dispatches."""
+        out = []
+        for shard in self.shards:
+            slice_traces = {
+                name: traces[name]
+                for name in shard.tenants
+                if name in traces and len(traces[name])
+            }
+            if not slice_traces:
+                continue
+            out.append(
+                (
+                    shard,
+                    messages.encode_round(
+                        round_index,
+                        slice_traces,
+                        self.config.journal_chunk_events,
+                    ),
+                )
+            )
+        return out
+
+    def run_events(
+        self, traces: Mapping[str, Sequence[BranchEvent]]
+    ) -> Dict[str, List[InferenceRecord]]:
+        """One fleet-wide monitoring round (the SocManager surface).
+
+        Shards with traffic get a RUN dispatch; idle shards get a
+        heartbeat ping, so every round doubles as a liveness sweep.
+        Returns the merged per-tenant records of this round.
+        """
+        if self._closed:
+            raise FleetError("the fleet has been closed")
+        unknown = set(traces) - set(self._facades)
+        if unknown:
+            raise SocConfigError(f"unknown tenants {sorted(unknown)}")
+        round_index = self._round
+        self._round += 1
+        self._count("fleet.rounds")
+        dispatches = self._split_round(round_index, traces)
+        busy = {shard.id for shard, _ in dispatches}
+        results: Dict[str, List[InferenceRecord]] = {}
+        for shard, payloads in dispatches:
+            records = self._run_shard(shard, round_index, payloads)
+            self._count("fleet.rounds.admitted")
+            for name, tenant_records in records.items():
+                results[name] = tenant_records
+                self._delivered[name] = self._delivered.get(
+                    name, 0
+                ) + len(tenant_records)
+                self._count(
+                    "fleet.records.delivered", len(tenant_records)
+                )
+        for shard in self.shards:
+            if shard.id not in busy:
+                self.heartbeat(shard)
+        return results
+
+    # ------------------------------------------------------------------
+    # Supervision entry points
+    # ------------------------------------------------------------------
+
+    def heartbeat(self, shard: Optional[_Shard] = None) -> bool:
+        """Ping one shard (or the whole fleet); restart on a miss.
+
+        Returns True when every probed shard answered its deadline
+        without needing a restart.
+        """
+        shards = [shard] if shard is not None else list(self.shards)
+        clean = True
+        for probe in shards:
+            token = (probe.id, self._round, probe.total_restarts)
+            try:
+                self._count("fleet.heartbeats")
+                echoed = self._request(
+                    probe,
+                    (messages.PING, token),
+                    self.config.heartbeat_timeout_s,
+                )
+                if echoed != token:
+                    raise ShardDeadError(
+                        f"shard {probe.id} echoed a stale heartbeat"
+                    )
+                probe.restarts = 0
+                probe.attempt = 0
+            except ShardDeadError:
+                clean = False
+                self._count("fleet.heartbeat.misses")
+                self._restart(probe)
+                if probe.restarts > self.config.max_restarts:
+                    self._migrate_from(probe)
+        return clean
+
+    def arm_kill(self, shard_id: int, site: str, index: int = 0) -> None:
+        """Arm a deterministic ``kill -9`` in one worker (chaos only).
+
+        The worker installs a
+        :class:`~repro.faults.crashpoints.SigkillInjector` that SIGKILLs
+        its own process at the ``index``-th visit of WAL crash site
+        ``site`` — e.g. ``"wal.chunk.done"`` for "inputs journaled,
+        round not yet committed".  The next :meth:`run_events` that
+        routes work through the shard will lose the worker mid-round
+        and exercise the full restart/recover/re-feed path.
+        """
+        self._request(
+            self.shards[shard_id],
+            (messages.ARM_KILL, site, index),
+            self.config.heartbeat_timeout_s,
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """Fleet-wide merged counters: ``fleet.*`` + summed workers.
+
+        Worker counters (``socmgr.*``, engine counters, durability
+        counters) are summed across shards; the merged view also
+        exposes ``fleet.rounds.replayed`` (the summed WAL replays) and
+        per-shard ``fleet.shard.<id>.rounds`` so the conservation law
+        can be checked from this one snapshot.
+        """
+        merged: Dict[str, int] = dict(self.counts)
+        replayed = 0
+        for shard in self.shards:
+            snapshot = self._request(
+                shard,
+                (messages.COUNTERS,),
+                self.config.heartbeat_timeout_s,
+            )
+            for name, value in snapshot.items():
+                merged[name] = merged.get(name, 0) + int(value)
+            runs = int(snapshot.get("socmgr.runs", 0))
+            shard_replayed = int(
+                snapshot.get("socmgr.rounds_replayed", 0)
+            )
+            replayed += shard_replayed
+            merged[f"fleet.shard.{shard.id}.rounds"] = (
+                runs - shard_replayed
+            )
+        merged["fleet.rounds.replayed"] = replayed
+        return merged
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            try:
+                if shard.conn is not None and shard.alive:
+                    self._request(
+                        shard,
+                        (messages.STOP,),
+                        self.config.heartbeat_timeout_s,
+                    )
+            except (ShardDeadError, FleetError):
+                pass
+            self._reap(shard)
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

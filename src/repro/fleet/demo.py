@@ -1,0 +1,84 @@
+"""Picklable demo deployment factory for fleet workers.
+
+:func:`demo_factory` is the named-tenant sibling of
+:func:`repro.eval.metrics.build_demo_deployments`: the fleet places
+arbitrary *subsets* of the tenant population on each shard (and moves
+tenants between shards on migration), so the factory must build
+deployments for an explicit name list rather than ``tenant0..N-1``,
+and must accept an existing engine so adopted tenants join the
+shard's live :class:`~repro.miaow.gpu.Gpu`.
+
+It is a module-level function (picklable as required by
+:class:`~repro.fleet.coordinator.FleetCoordinator`); parameterise it
+with :func:`functools.partial`, which pickles fine too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.plan import FaultPlan
+from repro.mcm.driver import MlMiaowDriver
+from repro.mcm.engines import ProtocolConverter
+from repro.miaow.gpu import Gpu
+from repro.ml.kernels import DeployedElm, DeployedLstm
+from repro.soc.manager import Deployment
+from repro.soc.rtad import RtadConfig
+
+
+def demo_factory(
+    tenant_names: Sequence[str],
+    gpu: Optional[Gpu] = None,
+    kind: str = "lstm",
+    seed: int = 0,
+    num_cus: int = 5,
+    fifo_depth: int = 64,
+    dataplane: str = "batched",
+    fault_plans: Optional[Dict[str, FaultPlan]] = None,
+    frontends: Optional[Dict[str, str]] = None,
+) -> List[Deployment]:
+    """Demo deployments for explicit tenant names around one engine.
+
+    The per-process model cache (``repro.eval.metrics._DEMO_PARTS``)
+    makes repeat calls cheap: the first call in a worker trains the
+    tiny demo model once (or inherits it already warm under the fork
+    start method), later calls — recovery rebuilds, adoptions — reuse
+    it.  Tenants built from the same ``(kind, seed)`` are bit-for-bit
+    equivalent regardless of which process builds them, which is what
+    makes migration handoff and journal replay deterministic.
+    """
+    from repro.eval.metrics import _demo_parts
+
+    parts = _demo_parts(kind, seed)
+    engine = gpu or Gpu(num_cus=num_cus, name="ML-MIAOW")
+    deployments = []
+    for name in tenant_names:
+        if kind == "elm":
+            deployed = DeployedElm(
+                parts["model"], parts["dictionary"], parts["window"]
+            )
+            converter = ProtocolConverter("elm", parts["dictionary"])
+        else:
+            deployed = DeployedLstm(parts["model"])
+            converter = ProtocolConverter("lstm")
+        deployments.append(
+            Deployment(
+                name=name,
+                driver=MlMiaowDriver(
+                    deployed, engine, execute_on_gpu=False
+                ),
+                converter=converter,
+                monitored_addresses=parts["monitored"],
+                detector=parts["detector"],
+                config=RtadConfig(
+                    model_kind=kind,
+                    window=parts["window"],
+                    fifo_depth=fifo_depth,
+                    score_smoothing=parts["smoothing"],
+                    fault_plan=(fault_plans or {}).get(name),
+                    dataplane=dataplane,
+                    frontend=(frontends or {}).get(name, "coresight"),
+                ),
+            )
+        )
+    return deployments

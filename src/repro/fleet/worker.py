@@ -1,0 +1,174 @@
+"""One fleet shard: a :class:`SocManager` in its own process.
+
+``worker_main`` is the child-process entry point.  It builds the
+shard's deployments with the (picklable) factory the coordinator
+supplied, opens the shard's own write-ahead journal directory, and —
+this is the crash-recovery contract — *recovers* instead of starting
+fresh whenever that journal already has records: the checkpoint is
+restored, committed rounds are replayed, and an uncommitted tail is
+discarded so the coordinator can re-feed it.  After that it serves the
+tiny request/reply vocabulary of :mod:`repro.fleet.messages` until
+STOP (or until a deterministically armed ``SIGKILL`` takes it down
+mid-round, which is the point of the chaos experiments).
+
+The worker appends a fresh checkpoint after recovery and after any
+topology change (EVICT/ADOPT): recovery work stays bounded across
+repeated crashes, and a journal never replays into a tenant set it
+does not describe.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Callable, List, Optional, Sequence
+
+from repro.durability.journal import (
+    FileJournal,
+    RecordKind,
+    encode_json_payload,
+)
+from repro.faults.crashpoints import SigkillInjector
+from repro.fleet import messages
+from repro.obs import MetricsRegistry
+from repro.soc.manager import Deployment, SocManager
+
+
+def _write_checkpoint(manager: SocManager) -> None:
+    """Append a checkpoint record + segment roll at a round boundary."""
+    from repro.durability.checkpoint import capture_checkpoint
+
+    journal = manager._journal
+    if journal is None:
+        return
+    journal.append(
+        RecordKind.CHECKPOINT,
+        encode_json_payload(capture_checkpoint(manager)),
+    )
+    journal.roll()
+    manager._events_since_checkpoint = 0
+
+
+def build_manager(
+    factory: Callable[..., List[Deployment]],
+    tenant_names: Sequence[str],
+    journal_dir: str,
+    manager_kwargs: Optional[dict] = None,
+) -> SocManager:
+    """Construct (or recover) one shard's manager around its journal."""
+    kwargs = dict(manager_kwargs or {})
+    metrics = MetricsRegistry()
+    deployments = factory(list(tenant_names))
+    journal = FileJournal(journal_dir)
+    if journal.records():
+        manager = SocManager.recover(
+            journal, deployments, metrics=metrics, **kwargs
+        )
+        # Checkpoint the recovered state so the *next* crash replays
+        # from here, not from the previous lineage's checkpoint.
+        _write_checkpoint(manager)
+    else:
+        manager = SocManager(
+            deployments, metrics=metrics, journal=journal, **kwargs
+        )
+    return manager
+
+
+def worker_main(
+    conn,
+    shard_id: int,
+    factory: Callable[..., List[Deployment]],
+    tenant_names: Sequence[str],
+    journal_dir: str,
+    manager_kwargs: Optional[dict] = None,
+) -> None:
+    """Child-process entry: serve requests until STOP or death."""
+    manager = build_manager(
+        factory, tenant_names, journal_dir, manager_kwargs
+    )
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return  # coordinator went away; nothing left to serve
+        verb, args = request[0], request[1:]
+        try:
+            if verb == messages.RUN:
+                round_index, payloads = args
+                traces = messages.decode_round(round_index, payloads)
+                records = manager.run_events(traces)
+                reply = {
+                    "round": round_index,
+                    "next_round": manager.next_round,
+                    "records": records,
+                    "health": {
+                        name: health.value
+                        for name, health in manager.health().items()
+                    },
+                }
+                conn.send((messages.OK, reply))
+            elif verb == messages.PING:
+                conn.send((messages.OK, args[0]))
+            elif verb == messages.HEALTH:
+                conn.send(
+                    (
+                        messages.OK,
+                        {
+                            name: health.value
+                            for name, health in manager.health().items()
+                        },
+                    )
+                )
+            elif verb == messages.COUNTERS:
+                snapshot = manager.metrics.snapshot()
+                conn.send((messages.OK, dict(snapshot["counters"])))
+            elif verb == messages.ROUND:
+                conn.send((messages.OK, manager.next_round))
+            elif verb == messages.RECORDS_AFTER:
+                cursors = args[0]
+                out = {
+                    name: manager.tenant(name).mcm.records[cursor:]
+                    for name, cursor in cursors.items()
+                }
+                conn.send((messages.OK, out))
+            elif verb == messages.EVICT:
+                from repro.durability.checkpoint import (
+                    capture_tenant_state,
+                )
+
+                names = args[0]
+                docs = [
+                    capture_tenant_state(manager.tenant(name))
+                    for name in names
+                ]
+                for name in names:
+                    manager.remove_tenant(name)
+                _write_checkpoint(manager)
+                conn.send((messages.OK, docs))
+            elif verb == messages.ADOPT:
+                from repro.durability.checkpoint import (
+                    restore_tenant_state,
+                )
+
+                names, docs = args
+                gpu = manager.tenants[0].deployment.driver.gpu
+                deployments = factory(list(names), gpu=gpu)
+                for deployment, doc in zip(deployments, docs):
+                    runtime = manager.admit_tenant(deployment)
+                    restore_tenant_state(runtime, doc)
+                _write_checkpoint(manager)
+                conn.send((messages.OK, None))
+            elif verb == messages.ARM_KILL:
+                site, index = args
+                manager._crash_points = SigkillInjector(
+                    kill_at=index, site_filter=site
+                )
+                conn.send((messages.OK, None))
+            elif verb == messages.STOP:
+                conn.send((messages.OK, None))
+                return
+            else:
+                conn.send((messages.ERR, f"unknown verb {verb!r}"))
+        except Exception:
+            # Report and keep serving: a refused request (unknown
+            # tenant, bad chunk) must not look like a dead shard.
+            conn.send((messages.ERR, traceback.format_exc()))

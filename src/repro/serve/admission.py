@@ -19,6 +19,13 @@ back off instead of hammering:
    that would go stale is never admitted, which is what keeps the
    admitted-request tail latency bounded under overload.
 
+Retry-after hints come from one shared :class:`repro.errors.Backoff`
+policy (bounded exponential, deterministic seeded jitter) — the same
+helper that paces fleet worker restarts.  Consecutive refusals
+escalate the hint and a successful admission resets it, so a client
+hammering a saturated door is told to back off harder each time while
+distinct doors stay de-correlated.
+
 All classes take explicit ``now_s`` timestamps, so tests drive them
 with a fake clock and the asyncio server with ``time.monotonic()``.
 """
@@ -29,7 +36,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.errors import ServeError
+from repro.errors import Backoff, ServeError
 from repro.soc.manager import TenantHealth
 
 
@@ -87,6 +94,7 @@ class AdmissionController:
         max_queued_events: int,
         drain_rate_guess_eps: float = 50_000.0,
         ewma_alpha: float = 0.3,
+        backoff: Optional[Backoff] = None,
     ) -> None:
         if deadline_us is not None and not deadline_us > 0:
             raise ServeError(
@@ -102,11 +110,35 @@ class AdmissionController:
         self._alpha = ewma_alpha
         #: Events/second the drain loop has been observed to retire.
         self.drain_rate_eps = drain_rate_guess_eps
+        #: Retry-after policy; consecutive refusals walk the schedule,
+        #: an admission resets it.
+        self.backoff = backoff or Backoff(
+            base_s=0.002,
+            cap_s=2.0,
+            multiplier=2.0,
+            jitter=0.5,
+            label="serve.admission",
+        )
+        self._refusals = 0
 
     # -- bookkeeping the server calls around the drain loop ------------
 
     def admitted(self, events: int) -> None:
         self.queued_events += events
+        self._refusals = 0
+
+    def shed_hint_s(self) -> float:
+        """One refusal's retry-after hint; escalates until an admit.
+
+        Shared by every post-breaker shed site (queue depth, deadline
+        prediction, a full tenant window), so a client that keeps
+        being refused — for whatever mix of reasons — sees one
+        coherent, escalating backoff schedule instead of per-layer
+        guesses computed from instantaneous queue state.
+        """
+        hint = self.backoff.delay(self._refusals)
+        self._refusals += 1
+        return hint
 
     def drained(self, events: int, elapsed_s: float) -> None:
         """One drain round finished: update queue depth + rate EWMA."""
@@ -129,18 +161,19 @@ class AdmissionController:
         Returns ``(None, 0.0)`` to admit, else a ``(reason,
         retry_after_s)`` shed decision — ``"queue_depth"`` when the
         bounded queue is full, ``"deadline"`` when the predicted wait
-        for this batch already exceeds the ingest deadline.
+        for this batch already exceeds the ingest deadline.  The
+        retry-after hint walks the shared :class:`Backoff` schedule
+        (see :meth:`shed_hint_s`).
         """
         if self.queued_events + events > self.max_queued_events:
-            backlog = max(1, self.queued_events)
-            return "queue_depth", backlog / max(1.0, self.drain_rate_eps)
+            return "queue_depth", self.shed_hint_s()
         if self.deadline_us is not None:
             predicted_wait_s = self.queued_events / max(
                 1.0, self.drain_rate_eps
             )
             deadline_s = self.deadline_us / 1e6
             if predicted_wait_s > deadline_s:
-                return "deadline", predicted_wait_s - deadline_s
+                return "deadline", self.shed_hint_s()
         return None, 0.0
 
 

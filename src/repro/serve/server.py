@@ -276,10 +276,14 @@ class IngestServer:
         )
         self._m_queue = self.metrics.gauge("serve.queue.events")
         self._sessions: List[asyncio.Task] = []
+        #: Live (session, writer) pairs so a graceful shutdown can
+        #: answer in-flight clients with SUMMARY frames.
+        self._peers: List[Tuple[_Session, object]] = []
         self._drain_task: Optional[asyncio.Task] = None
         self._tcp: Optional[asyncio.base_events.Server] = None
         self._kick: Optional[asyncio.Event] = None
         self._running = False
+        self._closing = False
         self.drain_errors: List[str] = []
         #: Events inside batches shed as stale (the ``serve.shed.stale``
         #: counter counts batches); lets callers check conservation:
@@ -336,6 +340,8 @@ class IngestServer:
         self,
     ) -> Tuple[asyncio.StreamReader, _MemoryWriter]:
         """Attach an in-memory client; returns its (reader, writer)."""
+        if self._closing:
+            raise ServeError("server is shutting down")
         server_reader = asyncio.StreamReader()
         client_reader = asyncio.StreamReader()
         client_writer = _MemoryWriter(server_reader)
@@ -384,6 +390,71 @@ class IngestServer:
             await asyncio.gather(*self._sessions, return_exceptions=True)
         self._sessions = []
 
+    async def shutdown(self) -> None:
+        """Graceful quiesce (the SIGTERM / Ctrl-C path).
+
+        In order: stop accepting (the TCP listener closes, new local
+        connections are refused), stop the background drain loop,
+        drain every buffered window through a final sequence of
+        monitoring rounds so admitted work is never abandoned, then
+        answer each in-flight client with its SUMMARY frame before the
+        transports close.  Idempotent — a second signal while the
+        first shutdown runs is a no-op.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        self._running = False
+        if self._kick is not None:
+            self._kick.set()
+        if self._drain_task is not None:
+            await self._drain_task
+            self._drain_task = None
+        self.drain_all()
+        for session, writer in list(self._peers):
+            try:
+                writer.write(
+                    protocol.summary_frame(
+                        {
+                            "frames": session.frames,
+                            "admitted": session.admitted,
+                            "shed": session.shed,
+                            "errors": session.errors,
+                            "draining": True,
+                        }
+                    )
+                )
+                await writer.drain()
+            except Exception:
+                pass  # a dying client must not abort the shutdown
+        for task in self._sessions:
+            if not task.done():
+                task.cancel()
+        if self._sessions:
+            await asyncio.gather(*self._sessions, return_exceptions=True)
+        self._sessions = []
+
+    def install_signal_handlers(self, loop=None) -> None:
+        """Route SIGTERM/SIGINT to :meth:`shutdown` on ``loop``.
+
+        Must be called from within a running event loop (or given
+        one).  With these installed, ``kill <pid>`` and Ctrl-C
+        (``KeyboardInterrupt``'s signal) trigger the graceful path
+        instead of tearing the process down mid-round.
+        """
+        import signal as _signal
+
+        loop = loop or asyncio.get_running_loop()
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            loop.add_signal_handler(
+                signum,
+                lambda: asyncio.ensure_future(self.shutdown()),
+            )
+
     # ------------------------------------------------------------------
     # Session handling
     # ------------------------------------------------------------------
@@ -400,6 +471,8 @@ class IngestServer:
     async def _session_entry(self, reader, writer) -> None:
         self._count("serve.connections.opened")
         session = _Session()
+        peer = (session, writer)
+        self._peers.append(peer)
         try:
             await self._session_loop(session, reader, writer)
         except asyncio.IncompleteReadError:
@@ -413,6 +486,8 @@ class IngestServer:
         except asyncio.CancelledError:
             pass
         finally:
+            if peer in self._peers:
+                self._peers.remove(peer)
             self._flush_raw_tail(session)
             try:
                 writer.close()
@@ -658,10 +733,11 @@ class IngestServer:
         )
         if not self.windows[tenant].offer(batch):
             breaker.record_shed()
-            backlog_s = self.windows[tenant].queued_events / max(
-                1.0, self.admission.drain_rate_eps
+            return self._shed(
+                session,
+                "buffer_full",
+                self.admission.shed_hint_s() * 1e3,
             )
-            return self._shed(session, "buffer_full", backlog_s * 1e3)
         self.admission.admitted(len(events))
         self._m_queue.set(self.admission.queued_events)
         self._count("serve.admitted.batches")

@@ -1,0 +1,115 @@
+"""The shared retry policy: bounded exponential + deterministic jitter.
+
+:class:`repro.errors.Backoff` is the one "try again later" schedule in
+the codebase — the serve front door's SHED retry-after hints and the
+fleet supervisor's worker-restart pacing both walk it.  The contract
+under test: the schedule is a pure function of ``(seed, label,
+attempt)`` (reproducible runs), it respects the equal-jitter envelope
+``[(1 - jitter) * full, full]`` with ``full = min(cap, base * mult **
+n)``, and distinct labels/seeds de-correlate (that is what jitter is
+*for* — no thundering-herd alignment across shards or clients).
+"""
+
+import pytest
+
+from repro.errors import Backoff, RtadError
+from repro.serve.admission import AdmissionController
+
+
+def _envelope(policy, attempt):
+    full = min(
+        policy.cap_s, policy.base_s * policy.multiplier ** attempt
+    )
+    return full * (1.0 - policy.jitter), full
+
+
+class TestSchedule:
+    def test_deterministic_across_instances(self):
+        a = Backoff(base_s=0.05, cap_s=5.0, label="fleet.restart")
+        b = Backoff(base_s=0.05, cap_s=5.0, label="fleet.restart")
+        assert a.schedule(12) == b.schedule(12)
+
+    def test_equal_jitter_envelope(self):
+        policy = Backoff(
+            base_s=0.01, cap_s=1.0, multiplier=2.0, jitter=0.5
+        )
+        for attempt in range(16):
+            low, high = _envelope(policy, attempt)
+            assert low <= policy.delay(attempt) <= high
+
+    def test_cap_bounds_the_tail(self):
+        policy = Backoff(base_s=0.1, cap_s=0.4, multiplier=3.0)
+        # Far past the knee the full delay is pinned at the cap.
+        for attempt in (5, 10, 50):
+            assert policy.delay(attempt) <= 0.4
+            assert policy.delay(attempt) >= 0.4 * (1 - policy.jitter)
+
+    def test_zero_jitter_is_the_pure_curve(self):
+        policy = Backoff(
+            base_s=0.01, cap_s=10.0, multiplier=2.0, jitter=0.0
+        )
+        assert policy.schedule(5) == [
+            pytest.approx(0.01 * 2 ** n) for n in range(5)
+        ]
+
+    def test_escalating_floor(self):
+        # The jitter floor itself escalates until the cap: a retry
+        # storm spreads out without collapsing the backoff guarantee.
+        policy = Backoff(base_s=0.01, cap_s=100.0, jitter=0.5)
+        floors = [_envelope(policy, n)[0] for n in range(10)]
+        assert floors == sorted(floors)
+        assert policy.delay(9) >= floors[9] > policy.delay(0)
+
+    def test_labels_decorrelate(self):
+        shard0 = Backoff(base_s=0.05, cap_s=5.0, label="shard-0")
+        shard1 = Backoff(base_s=0.05, cap_s=5.0, label="shard-1")
+        assert shard0.schedule(8) != shard1.schedule(8)
+
+    def test_seeds_decorrelate(self):
+        a = Backoff(base_s=0.05, cap_s=5.0, seed=0)
+        b = Backoff(base_s=0.05, cap_s=5.0, seed=1)
+        assert a.schedule(8) != b.schedule(8)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_s=0.0, cap_s=1.0),
+            dict(base_s=-0.1, cap_s=1.0),
+            dict(base_s=1.0, cap_s=0.5),
+            dict(base_s=0.1, cap_s=1.0, multiplier=0.9),
+            dict(base_s=0.1, cap_s=1.0, jitter=1.5),
+            dict(base_s=0.1, cap_s=1.0, jitter=-0.1),
+        ],
+    )
+    def test_bad_policy_refused(self, kwargs):
+        with pytest.raises(RtadError):
+            Backoff(**kwargs)
+
+    def test_negative_attempt_refused(self):
+        with pytest.raises(RtadError):
+            Backoff(base_s=0.1, cap_s=1.0).delay(-1)
+
+
+class TestServeHints:
+    """The admission controller walks the schedule; admits reset it."""
+
+    def test_consecutive_refusals_escalate(self):
+        control = AdmissionController(
+            deadline_us=None, max_queued_events=10
+        )
+        control.admitted(10)  # queue now full: every check refuses
+        hints = [control.check(1)[1] for _ in range(6)]
+        assert hints == control.backoff.schedule(6)
+
+    def test_admission_resets_the_schedule(self):
+        control = AdmissionController(
+            deadline_us=None, max_queued_events=10
+        )
+        control.admitted(10)
+        first = control.check(1)[1]
+        control.check(1)  # walk one step further
+        control.drained(10, elapsed_s=0.001)
+        control.admitted(10)  # an admit resets the refusal streak...
+        assert control.check(1)[1] == first  # ...back to attempt 0
