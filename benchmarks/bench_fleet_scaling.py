@@ -27,6 +27,23 @@ Determinism ride-along: verdict flags per tenant must be identical
 across every shard count, and counter conservation
 (``fleet.rounds.admitted == fresh + replayed``) must hold per point.
 
+**Transport comparison (pipe vs shm)**: a second sweep re-runs the
+default 8-tenant load under both fleet transports and reports the
+measured coordinator->worker transport time per dispatch — the
+``fleet.transport.c2w_ns`` counter, a wall-clock-free sum of the four
+thread-CPU shares of the byte path (coordinator staging + pipe send +
+worker drain + worker payload fetch; see docs/FLEET.md §5).  Byte
+counters (staged/consumed/discarded) and their conservation law ride
+along per point, as does pipe-vs-shm verdict byte-identity.  Gate:
+shared-memory reduces c2w time per dispatch by >= 2x at the 1-shard
+point — the point where each dispatch carries the full 8-tenant round
+payload, so the per-dispatch fixed cost (waking the blocked worker,
+paid identically by both transports) does not dominate the bytes.
+The smaller per-dispatch payloads at 2/4 shards report their ratios
+un-gated for the same reason.  The transport gate only applies to
+full (non-smoke) runs: smoke payloads are too small to clear the
+fixed cost.
+
 Results go to ``benchmarks/results/BENCH_fleet.json`` with a root
 mirror via ``bench_io.save_result``.  Gate: modeled aggregate events/s
 at 4 shards >= 3x the 1-shard baseline.
@@ -57,14 +74,169 @@ SHARD_COUNTS = (1, 2, 4)
 EVENTS_PER_TENANT = 1_500
 SMOKE_EVENTS_PER_TENANT = 500
 SPEEDUP_GATE = 3.0
+#: c2w reduction the shm transport must show at the gate point.
+TRANSPORT_GATE = 2.0
+#: Shard count the transport gate applies to: one dispatch carrying
+#: the whole 8-tenant round, where bytes dominate the fixed wake cost.
+TRANSPORT_GATE_SHARDS = 1
+TRANSPORT_WARMUP_ROUNDS = 2
+TRANSPORT_MEASURED_ROUNDS = 6
+SMOKE_TRANSPORT_MEASURED_ROUNDS = 2
 
 
 def _flags(records):
     return [(bool(r.anomalous), float(r.score)) for r in records]
 
 
+def _transport_fields(stats: dict) -> dict:
+    """Per-point transport bytes + serialization time from a
+    :meth:`FleetCoordinator.transport_stats` snapshot (or delta)."""
+    staged = int(stats.get("fleet.transport.bytes.staged", 0))
+    consumed = int(stats.get("fleet.transport.bytes.consumed", 0))
+    discarded = int(stats.get("fleet.transport.bytes.discarded", 0))
+    dispatches = max(1, int(stats.get("fleet.transport.rounds", 0)))
+    return {
+        "transport_bytes_staged": staged,
+        "transport_bytes_consumed": consumed,
+        "transport_bytes_discarded": discarded,
+        "transport_conservation_ok": staged == consumed + discarded,
+        "serialization_us_per_dispatch": (
+            int(stats.get("fleet.transport.stage_ns", 0))
+            / dispatches
+            / 1e3
+        ),
+        "transport_c2w_us_per_dispatch": (
+            int(stats.get("fleet.transport.c2w_ns", 0))
+            / dispatches
+            / 1e3
+        ),
+        "transport_wall_us_per_dispatch": (
+            int(stats.get("fleet.transport.ns", 0)) / dispatches / 1e3
+        ),
+    }
+
+
+def run_transport_comparison(
+    events_per_tenant: int = EVENTS_PER_TENANT,
+    seed: int = SEED,
+    warmup_rounds: int = TRANSPORT_WARMUP_ROUNDS,
+    measured_rounds: int = TRANSPORT_MEASURED_ROUNDS,
+) -> dict:
+    """Pipe vs shm: measured c2w transport time per dispatch.
+
+    Runs the same multi-round 8-tenant load under both transports at
+    each shard count.  Warm-up rounds are excluded (first-dispatch
+    costs: ring creation, import paths, branch-predictor warmth);
+    the per-dispatch figures are counter deltas over the measured
+    rounds.  Conservation is asserted over the *whole* run including
+    warm-up.
+    """
+    from repro.eval.metrics import demo_events
+    from repro.fleet import FleetConfig, FleetCoordinator, demo_factory
+
+    names = [f"tenant{index}" for index in range(TENANTS)]
+    total_rounds = warmup_rounds + measured_rounds
+    rounds = [
+        {
+            name: demo_events(
+                "lstm",
+                seed,
+                events_per_tenant,
+                run_label=f"fleet-transport-r{index}-{name}",
+            )
+            for name in names
+        }
+        for index in range(total_rounds)
+    ]
+    points = []
+    for num_shards in SHARD_COUNTS:
+        legs = {}
+        flags = {}
+        for transport in ("pipe", "shm"):
+            journal_root = tempfile.mkdtemp(
+                prefix="repro-bench-transport-"
+            )
+            with FleetCoordinator(
+                demo_factory,
+                names,
+                journal_root,
+                FleetConfig(
+                    num_shards=num_shards, transport=transport
+                ),
+            ) as fleet:
+                leg_flags = []
+                for index in range(warmup_rounds):
+                    fleet.run_events(rounds[index])
+                base = dict(fleet.transport_stats())
+                for index in range(warmup_rounds, total_rounds):
+                    records = fleet.run_events(rounds[index])
+                    leg_flags.append(
+                        {
+                            name: _flags(records.get(name, []))
+                            for name in names
+                        }
+                    )
+                stats = fleet.transport_stats()
+            delta = {
+                key: stats[key] - base.get(key, 0) for key in stats
+            }
+            fields = _transport_fields(delta)
+            # Conservation over the whole run, warm-up included.
+            fields["transport_conservation_ok"] = int(
+                stats.get("fleet.transport.bytes.staged", 0)
+            ) == int(
+                stats.get("fleet.transport.bytes.consumed", 0)
+            ) + int(stats.get("fleet.transport.bytes.discarded", 0))
+            fields["inline_spills"] = int(
+                delta.get("fleet.transport.payloads.inline", 0)
+            )
+            legs[transport] = fields
+            flags[transport] = leg_flags
+        points.append(
+            {
+                "shards": num_shards,
+                "dispatches_measured": measured_rounds * num_shards,
+                "pipe": legs["pipe"],
+                "shm": legs["shm"],
+                "c2w_reduction": (
+                    legs["pipe"]["transport_c2w_us_per_dispatch"]
+                    / legs["shm"]["transport_c2w_us_per_dispatch"]
+                ),
+                "conservation_ok": (
+                    legs["pipe"]["transport_conservation_ok"]
+                    and legs["shm"]["transport_conservation_ok"]
+                ),
+                "flags_identical_pipe_vs_shm": (
+                    flags["pipe"] == flags["shm"]
+                ),
+            }
+        )
+    return {
+        "metric": (
+            "coordinator->worker transport time per dispatch: the "
+            "fleet.transport.c2w_ns counter (sum of the four "
+            "thread-CPU shares of the byte path) over measured "
+            "rounds, warm-up excluded"
+        ),
+        "tenants": TENANTS,
+        "events_per_tenant": events_per_tenant,
+        "warmup_rounds": warmup_rounds,
+        "measured_rounds": measured_rounds,
+        "gate": TRANSPORT_GATE,
+        "gate_shards": TRANSPORT_GATE_SHARDS,
+        "gate_note": (
+            "gated at the 1-shard point where each dispatch carries "
+            "the full round payload; 2/4-shard dispatches are floored "
+            "by the fixed worker-wake cost both transports pay"
+        ),
+        "points": points,
+    }
+
+
 def run_fleet_scaling(
-    events_per_tenant: int = EVENTS_PER_TENANT, seed: int = SEED
+    events_per_tenant: int = EVENTS_PER_TENANT,
+    seed: int = SEED,
+    smoke: bool = False,
 ) -> dict:
     """One scaling sweep over :data:`SHARD_COUNTS`."""
     from repro.eval.metrics import demo_events
@@ -94,6 +266,7 @@ def run_fleet_scaling(
             records = fleet.run_events(traces)
             wall_s = time.perf_counter() - start_s
             counters = fleet.counters()
+            transport_stats = fleet.transport_stats()
             placement = {
                 shard.id: list(shard.tenants) for shard in fleet.shards
             }
@@ -140,6 +313,7 @@ def run_fleet_scaling(
                     "regardless of worker count — not the gate"
                 ),
                 "conservation_ok": admitted == fresh + replayed,
+                **_transport_fields(transport_stats),
             }
         )
     baseline = points[0]["modeled_events_per_s"]
@@ -151,9 +325,20 @@ def run_fleet_scaling(
         flags_by_shards[num_shards] == flags_by_shards[SHARD_COUNTS[0]]
         for num_shards in SHARD_COUNTS
     )
+    transport = run_transport_comparison(
+        events_per_tenant,
+        seed,
+        warmup_rounds=1 if smoke else TRANSPORT_WARMUP_ROUNDS,
+        measured_rounds=(
+            SMOKE_TRANSPORT_MEASURED_ROUNDS
+            if smoke
+            else TRANSPORT_MEASURED_ROUNDS
+        ),
+    )
     return {
         "benchmark": "fleet_scaling",
         "seed": seed,
+        "smoke": smoke,
         "metric": (
             "modeled aggregate events/s = total events / max-over-"
             "shards modeled makespan (virtual InferenceRecord clock)"
@@ -162,6 +347,7 @@ def run_fleet_scaling(
         "points": points,
         "speedup_gate": SPEEDUP_GATE,
         "flags_identical_across_shard_counts": flags_identical,
+        "transport": transport,
     }
 
 
@@ -186,6 +372,36 @@ def bench_failures(result: dict) -> list:
                 f"{point['shards']}-shard run violated counter "
                 "conservation (admitted != fresh + replayed)"
             )
+        if not point["transport_conservation_ok"]:
+            failures.append(
+                f"{point['shards']}-shard run violated transport byte "
+                "conservation (staged != consumed + discarded)"
+            )
+    transport = result["transport"]
+    for point in transport["points"]:
+        if not point["conservation_ok"]:
+            failures.append(
+                f"transport comparison at {point['shards']} shards "
+                "violated byte conservation"
+            )
+        if not point["flags_identical_pipe_vs_shm"]:
+            failures.append(
+                f"transport comparison at {point['shards']} shards: "
+                "verdict flags diverged between pipe and shm (the "
+                "transport must not change detection)"
+            )
+    if not result.get("smoke"):
+        gated = next(
+            p
+            for p in transport["points"]
+            if p["shards"] == transport["gate_shards"]
+        )
+        if gated["c2w_reduction"] < transport["gate"]:
+            failures.append(
+                f"shm c2w reduction {gated['c2w_reduction']:.2f}x at "
+                f"{transport['gate_shards']} shard(s) is below the "
+                f"{transport['gate']:g}x gate"
+            )
     return failures
 
 
@@ -205,6 +421,31 @@ def format_result(result: dict) -> str:
             f"{point['modeled_makespan_us']:>12.1f} | "
             f"{point['wall_events_per_s']:>10.0f}"
         )
+    transport = result["transport"]
+    lines.append(
+        "transport: coordinator->worker us/dispatch "
+        f"(measured, {transport['measured_rounds']} rounds)"
+    )
+    lines.append(
+        f"{'shards':>6} | {'pipe c2w us':>12} | {'shm c2w us':>11} | "
+        f"{'reduction':>9} | {'conserved':>9} | {'flags==':>7}"
+    )
+    for point in transport["points"]:
+        gate_mark = (
+            " *" if point["shards"] == transport["gate_shards"] else ""
+        )
+        lines.append(
+            f"{point['shards']:>6} | "
+            f"{point['pipe']['transport_c2w_us_per_dispatch']:>12.0f} | "
+            f"{point['shm']['transport_c2w_us_per_dispatch']:>11.0f} | "
+            f"{point['c2w_reduction']:>8.2f}x | "
+            f"{str(point['conservation_ok']):>9} | "
+            f"{str(point['flags_identical_pipe_vs_shm']):>7}"
+            f"{gate_mark}"
+        )
+    lines.append(
+        f"  * gate point: shm must cut c2w >= {transport['gate']:g}x"
+    )
     return "\n".join(lines)
 
 
@@ -225,7 +466,8 @@ def test_fleet_scaling():
 def main(argv) -> int:
     smoke = "--smoke" in argv
     result = run_fleet_scaling(
-        SMOKE_EVENTS_PER_TENANT if smoke else EVENTS_PER_TENANT
+        SMOKE_EVENTS_PER_TENANT if smoke else EVENTS_PER_TENANT,
+        smoke=smoke,
     )
     print(save_and_format(result, smoke=smoke))
     failures = bench_failures(result)

@@ -36,7 +36,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,6 +77,137 @@ def encode_record(sequence: int, kind: int, payload: bytes) -> bytes:
     """Encode one record into its on-disk byte representation."""
     body = _BODY_PREFIX.pack(sequence, int(kind)) + payload
     return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def record_size(payload_length: int) -> int:
+    """Total encoded bytes of a record with this payload length."""
+    return _HEADER.size + _BODY_PREFIX.size + payload_length
+
+
+def write_record_into(
+    buffer,
+    offset: int,
+    sequence: int,
+    kind: int,
+    payload,
+    payload_crc: Optional[int] = None,
+) -> int:
+    """Write one journal-format record into a writable buffer.
+
+    The shared-memory ring transport's slot writer: same header, CRC,
+    and sequence layout as the on-disk journal, but written in place
+    (the payload bytes are copied exactly once — no intermediate
+    record object).  ``payload`` may also be a list/tuple of buffers,
+    written back-to-back as one record body (scatter-gather: a whole
+    round's chunks become one slot without an intermediate
+    concatenation).  Returns the record's total size.
+
+    When ``payload_crc`` is supplied, the record CRC is composed
+    *payload-first* — ``crc32(prefix, payload_crc)``, i.e. the CRC of
+    ``payload || prefix`` — so a caller that tagged the payload once
+    (``zlib.crc32`` chained over the parts, e.g. at TRACE_CHUNK
+    assembly) never re-reads it per write; only the 9-byte prefix is
+    hashed here.  Coverage is identical, the composition order is the
+    only difference; readers must pass the matching
+    ``payload_first_crc`` flag to :func:`read_record_from`.
+    """
+    parts = (
+        payload if isinstance(payload, (list, tuple)) else (payload,)
+    )
+    length = sum(len(part) for part in parts)
+    prefix = _BODY_PREFIX.pack(sequence, int(kind))
+    if payload_crc is None:
+        crc = zlib.crc32(prefix)
+        for part in parts:
+            crc = zlib.crc32(part, crc)
+    else:
+        crc = zlib.crc32(prefix, payload_crc)
+    total = record_size(length)
+    _HEADER.pack_into(buffer, offset, _BODY_PREFIX.size + length, crc)
+    start = offset + _HEADER.size
+    buffer[start:start + _BODY_PREFIX.size] = prefix
+    start += _BODY_PREFIX.size
+    for part in parts:
+        buffer[start:start + len(part)] = part
+        start += len(part)
+    return total
+
+
+def read_record_from(
+    buffer,
+    offset: int,
+    expected_sequence: Optional[int] = None,
+    payload_first_crc: bool = False,
+    payload_crc: Optional[int] = None,
+    expected_payload_length: Optional[int] = None,
+) -> Tuple[int, int, "memoryview", int]:
+    """Validate and read one record out of a buffer without copying.
+
+    The shared-memory ring transport's slot reader.  Returns
+    ``(sequence, kind, payload_view, total_bytes)`` where
+    ``payload_view`` is a zero-copy view into ``buffer``.  Raises
+    :class:`~repro.errors.JournalCorruptionError` on truncation, CRC
+    mismatch, or an unexpected sequence number — the exact torn-record
+    taxonomy the WAL segment scan uses, applied to a torn ring slot.
+    ``payload_first_crc`` selects the payload-first CRC composition
+    :func:`write_record_into` uses for pre-tagged payloads.
+
+    When the reader already holds the writer's payload tag through a
+    trusted side channel (``payload_crc`` — the ring transport carries
+    it in the slot descriptor on the reliable pipe), the stored CRC is
+    checked against ``crc32(prefix, payload_crc)`` instead of
+    re-hashing the payload: every header tear — truncated, stale,
+    misdirected, or bit-flipped header — is still detected, at the
+    cost of hashing 9 bytes rather than the whole body.  The ``length``
+    field sits outside the stored CRC's coverage, so tagged readers
+    must also pass ``expected_payload_length`` (carried in the same
+    slot descriptor): a torn length with an intact body would otherwise
+    slip past the tiered check and yield a wrong-sized payload view.
+    """
+    view = memoryview(buffer)
+    size = len(view)
+    if offset < 0 or size - offset < _HEADER.size:
+        raise JournalCorruptionError(
+            f"record at byte {offset}: incomplete record header"
+        )
+    length, crc = _HEADER.unpack_from(view, offset)
+    body_start = offset + _HEADER.size
+    if length < _BODY_PREFIX.size:
+        raise JournalCorruptionError(
+            f"record at byte {offset}: body length {length} below minimum"
+        )
+    if size - body_start < length:
+        raise JournalCorruptionError(
+            f"record at byte {offset}: incomplete record body"
+        )
+    if expected_payload_length is not None:
+        expected_body = _BODY_PREFIX.size + expected_payload_length
+        if length != expected_body:
+            raise JournalCorruptionError(
+                f"record at byte {offset}: body length mismatch "
+                f"(expected {expected_body}, found {length})"
+            )
+    body = view[body_start:body_start + length]
+    if payload_first_crc and payload_crc is not None:
+        computed = zlib.crc32(body[:_BODY_PREFIX.size], payload_crc)
+    elif payload_first_crc:
+        computed = zlib.crc32(
+            body[:_BODY_PREFIX.size],
+            zlib.crc32(body[_BODY_PREFIX.size:]),
+        )
+    else:
+        computed = zlib.crc32(body)
+    if computed != crc:
+        raise JournalCorruptionError(
+            f"record at byte {offset}: CRC mismatch"
+        )
+    sequence, kind = _BODY_PREFIX.unpack_from(body)
+    if expected_sequence is not None and sequence != expected_sequence:
+        raise JournalCorruptionError(
+            f"record at byte {offset}: sequence gap "
+            f"(expected {expected_sequence}, found {sequence})"
+        )
+    return sequence, kind, body[_BODY_PREFIX.size:], _HEADER.size + length
 
 
 def _scan_segment(
@@ -409,12 +540,36 @@ def encode_trace_chunk(
     )
 
 
-def decode_trace_chunk(payload: bytes) -> TraceChunk:
-    """Inverse of :func:`encode_trace_chunk`."""
-    newline = payload.find(b"\n")
+def _find_newline(payload) -> int:
+    """``payload.find(b"\\n")`` for bytes *or* buffer-protocol views.
+
+    The shared-memory transport hands chunk payloads over as
+    memoryviews (no ``find``); the header line is short, so scan it in
+    small steps instead of materialising the whole payload.
+    """
+    if isinstance(payload, (bytes, bytearray)):
+        return payload.find(b"\n")
+    view = memoryview(payload)
+    step = 512
+    for start in range(0, len(view), step):
+        position = bytes(view[start:start + step]).find(b"\n")
+        if position >= 0:
+            return start + position
+    return -1
+
+
+def decode_trace_chunk(payload) -> TraceChunk:
+    """Inverse of :func:`encode_trace_chunk`.
+
+    Accepts ``bytes`` or any buffer-protocol object (e.g. a
+    memoryview into a shared-memory ring slot); with a view input the
+    packed columns are mapped as zero-copy numpy views over the
+    underlying buffer.
+    """
+    newline = _find_newline(payload)
     if newline < 0:
         raise JournalCorruptionError("trace chunk missing header line")
-    header = decode_json_payload(payload[:newline])
+    header = decode_json_payload(bytes(payload[:newline]))
     count = int(header["count"])
     kinds = [BranchKind[name] for name in header["kinds"]]
     body = payload[newline + 1:]

@@ -149,6 +149,17 @@ class FleetError(RtadError):
     """Base class for sharded-fleet (repro.fleet) errors."""
 
 
+class TransportError(FleetError):
+    """A fleet transport failed to move a round payload or reply.
+
+    Raised for torn shared-memory slots (CRC/sequence mismatch — the
+    durability layer's integrity vocabulary applied to the ring), for
+    descriptors a worker cannot map (attach failure), and for rings
+    that cannot be created.  The coordinator reacts by falling back to
+    the pipe transport, never by dropping the round.
+    """
+
+
 class ShardDeadError(FleetError):
     """A worker shard died (or missed its heartbeat deadline) and the
     supervisor's restart budget could not bring it back."""

@@ -81,6 +81,22 @@ class FleetChaosResult:
     lost_rounds: Dict[str, int] = field(default_factory=dict)
     survivors_identical: bool = True
     killed_resumed_identical: bool = True
+    #: Transport state across the kill: the armed shard dies while a
+    #: shm slot is in flight, so the dispatch's bytes are discarded,
+    #: the respawned worker re-attaches a fresh ring generation, and
+    #: the byte conservation law must survive the crash.
+    transports: Dict[int, str] = field(default_factory=dict)
+    transport_bytes_staged: int = 0
+    transport_bytes_consumed: int = 0
+    transport_bytes_discarded: int = 0
+    transport_conservation_ok: bool = True
+    ring_reinits: int = 0
+    #: Load-aware placement leg: an imbalanced fleet with rebalancing
+    #: enabled must migrate at least one tenant and still produce
+    #: verdicts bit-identical to the solo fault-free reference.
+    rebalances: int = 0
+    rebalance_tenants_moved: int = 0
+    rebalance_identical: bool = True
 
 
 def run_fleet_chaos(
@@ -144,6 +160,8 @@ def run_fleet_chaos(
             for name in names:
                 live_flags[name].append(_flags(records.get(name, [])))
         counters = fleet.counters()
+        transport_stats = fleet.transport_stats()
+        transports = fleet.transport_names()
 
     result = FleetChaosResult(
         shards=shards,
@@ -176,6 +194,24 @@ def run_fleet_chaos(
         result.rounds_admitted
         == result.shard_rounds + result.rounds_replayed
     )
+    result.transports = transports
+    result.transport_bytes_staged = int(
+        transport_stats.get("fleet.transport.bytes.staged", 0)
+    )
+    result.transport_bytes_consumed = int(
+        transport_stats.get("fleet.transport.bytes.consumed", 0)
+    )
+    result.transport_bytes_discarded = int(
+        transport_stats.get("fleet.transport.bytes.discarded", 0)
+    )
+    result.transport_conservation_ok = (
+        result.transport_bytes_staged
+        == result.transport_bytes_consumed
+        + result.transport_bytes_discarded
+    )
+    result.ring_reinits = int(
+        transport_stats.get("fleet.transport.shm.reinits", 0)
+    )
     for name in names:
         lost = sum(
             1
@@ -189,7 +225,76 @@ def run_fleet_chaos(
                 result.survivors_identical = False
             else:
                 result.killed_resumed_identical = False
+    _run_rebalance_leg(result, seed=seed, kind=kind, shards=shards)
     return result
+
+
+def _run_rebalance_leg(
+    result: FleetChaosResult,
+    seed: int,
+    kind: str,
+    shards: int,
+    rounds: int = 4,
+    base_events: int = 300,
+) -> None:
+    """Load-aware placement under deliberately imbalanced load.
+
+    ``tenant0`` offers 4x the events of its peers, so its shard's
+    modeled-makespan EWMA exceeds the coldest shard's by far more than
+    the rebalance ratio once warm-up passes; the placer must migrate a
+    tenant at a round boundary via the same checkpoint handoff the
+    crash path uses — and the verdict flags of *every* tenant must
+    stay bit-identical to a solo fault-free reference fed the same
+    traces.
+    """
+    from repro.eval.metrics import build_demo_manager, demo_events
+    from repro.fleet import FleetConfig, FleetCoordinator, demo_factory
+
+    names = _tenant_names(FLEET_TENANTS)
+
+    def round_traces(round_index: int) -> Dict[str, tuple]:
+        return {
+            name: demo_events(
+                kind,
+                seed,
+                base_events * (4 if name == names[0] else 1),
+                run_label=f"fleet-rebalance-{name}-r{round_index}",
+            )
+            for name in names
+        }
+
+    reference = build_demo_manager(FLEET_TENANTS, kind=kind, seed=seed)
+    ref_flags: Dict[str, List[List[tuple]]] = {n: [] for n in names}
+    for round_index in range(rounds):
+        ref_records = reference.run_events(round_traces(round_index))
+        for name in names:
+            ref_flags[name].append(_flags(ref_records.get(name, [])))
+
+    journal_root = tempfile.mkdtemp(prefix="repro-fleet-rebalance-")
+    live_flags: Dict[str, List[List[tuple]]] = {n: [] for n in names}
+    with FleetCoordinator(
+        demo_factory,
+        names,
+        journal_root,
+        FleetConfig(
+            num_shards=shards,
+            rebalance_ratio=1.2,
+            rebalance_warmup_rounds=1,
+            rebalance_cooldown_rounds=1,
+        ),
+    ) as fleet:
+        for round_index in range(rounds):
+            records = fleet.run_events(round_traces(round_index))
+            for name in names:
+                live_flags[name].append(_flags(records.get(name, [])))
+        counters = fleet.counters()
+    result.rebalances = int(
+        counters.get("fleet.placement.rebalances", 0)
+    )
+    result.rebalance_tenants_moved = int(
+        counters.get("fleet.placement.tenants_moved", 0)
+    )
+    result.rebalance_identical = live_flags == ref_flags
 
 
 def format_fleet_chaos(result: FleetChaosResult) -> str:
@@ -212,6 +317,33 @@ def format_fleet_chaos(result: FleetChaosResult) -> str:
                 f"{name}={count}"
                 for name, count in result.lost_rounds.items()
             ),
+        ),
+        (
+            "transports after recovery",
+            " ".join(
+                f"shard{shard}={name}"
+                for shard, name in sorted(result.transports.items())
+            ),
+        ),
+        (
+            "transport bytes staged/consumed/discarded",
+            f"{result.transport_bytes_staged}/"
+            f"{result.transport_bytes_consumed}/"
+            f"{result.transport_bytes_discarded}",
+        ),
+        (
+            "transport conservation (staged == consumed + discarded)",
+            "yes" if result.transport_conservation_ok else "NO",
+        ),
+        ("shm rings re-initialized", result.ring_reinits),
+        ("load rebalances (imbalanced leg)", result.rebalances),
+        (
+            "tenants moved by the placer",
+            result.rebalance_tenants_moved,
+        ),
+        (
+            "rebalanced verdicts identical to solo",
+            "yes" if result.rebalance_identical else "NO",
         ),
     ]
     return format_table(
@@ -256,6 +388,34 @@ def fleet_chaos_failures(result: FleetChaosResult) -> List[str]:
             "fleet: the interrupted round was neither re-fed nor "
             "reconciled"
         )
+    if not result.transport_conservation_ok:
+        failures.append(
+            "fleet: transport byte conservation violated across the "
+            f"kill — staged {result.transport_bytes_staged} != "
+            f"consumed {result.transport_bytes_consumed} + discarded "
+            f"{result.transport_bytes_discarded}"
+        )
+    if "shm" in result.transports.values():
+        if result.ring_reinits < 1:
+            failures.append(
+                "fleet: the killed shard's shm ring was never "
+                "re-initialized after recovery"
+            )
+        if result.transport_bytes_discarded < 1:
+            failures.append(
+                "fleet: the mid-round kill discarded no staged bytes "
+                "(the in-flight shm slot was not accounted)"
+            )
+    if result.rebalances < 1:
+        failures.append(
+            "fleet: the load-aware placer never rebalanced the "
+            "imbalanced leg"
+        )
+    if not result.rebalance_identical:
+        failures.append(
+            "fleet: rebalanced verdict flags diverged from the solo "
+            "fault-free reference"
+        )
     return failures
 
 
@@ -278,6 +438,16 @@ class FleetMetricsResult:
     shard_rounds: int = 0
     rounds_replayed: int = 0
     conservation_ok: bool = True
+    #: Per-shard active transport and the transport byte ledger
+    #: (includes the wall-clock ``fleet.transport.*ns`` counters the
+    #: merged byte-identity snapshot deliberately omits).
+    transports: Dict[int, str] = field(default_factory=dict)
+    transport_stats: Dict[str, int] = field(default_factory=dict)
+    transport_conservation_ok: bool = True
+    #: Load-aware placement surface: the sticky tenant->shard routing
+    #: table and its epoch at report time.
+    routing: Dict[str, int] = field(default_factory=dict)
+    placement_epoch: int = 0
 
 
 def run_fleet_metrics(
@@ -319,6 +489,13 @@ def run_fleet_metrics(
         health = {
             name: state.value for name, state in fleet.health().items()
         }
+        transport_stats = {
+            name: int(value)
+            for name, value in sorted(fleet.transport_stats().items())
+        }
+        transports = fleet.transport_names()
+        routing = dict(fleet.routing_table())
+        placement_epoch = fleet.placement_epoch
     result = FleetMetricsResult(
         shards=shards,
         tenants=FLEET_TENANTS,
@@ -338,10 +515,21 @@ def run_fleet_metrics(
         rounds_replayed=int(
             counters.get("fleet.rounds.replayed", 0)
         ),
+        transports=transports,
+        transport_stats=transport_stats,
+        routing=routing,
+        placement_epoch=placement_epoch,
     )
     result.conservation_ok = (
         result.rounds_admitted
         == result.shard_rounds + result.rounds_replayed
+    )
+    result.transport_conservation_ok = transport_stats.get(
+        "fleet.transport.bytes.staged", 0
+    ) == transport_stats.get(
+        "fleet.transport.bytes.consumed", 0
+    ) + transport_stats.get(
+        "fleet.transport.bytes.discarded", 0
     )
     return result
 
@@ -379,7 +567,37 @@ def format_fleet_metrics(result: FleetMetricsResult) -> str:
         fleet_rows,
         title="fleet: merged fleet.* counters (coordinator + workers)",
     )
-    return "\n\n".join([liveness, merged])
+    staged = result.transport_stats.get(
+        "fleet.transport.bytes.staged", 0
+    )
+    consumed = result.transport_stats.get(
+        "fleet.transport.bytes.consumed", 0
+    )
+    discarded = result.transport_stats.get(
+        "fleet.transport.bytes.discarded", 0
+    )
+    transport = format_table(
+        ["transport counter", "value"],
+        list(result.transport_stats.items()),
+        title=(
+            "fleet: transport ledger ("
+            + " ".join(
+                f"shard{shard}={name}"
+                for shard, name in sorted(result.transports.items())
+            )
+            + f"; conservation {staged} == {consumed} + {discarded}: "
+            f"{'yes' if result.transport_conservation_ok else 'NO'})"
+        ),
+    )
+    routing = format_table(
+        ["tenant", "shard"],
+        sorted(result.routing.items()),
+        title=(
+            "fleet: sticky routing table "
+            f"(placement epoch {result.placement_epoch})"
+        ),
+    )
+    return "\n\n".join([liveness, merged, transport, routing])
 
 
 def fleet_metrics_failures(result: FleetMetricsResult) -> List[str]:
@@ -394,6 +612,20 @@ def fleet_metrics_failures(result: FleetMetricsResult) -> List[str]:
     if dead:
         failures.append(
             f"fleet: {len(dead)} shard(s) not alive at report time"
+        )
+    if not result.transport_conservation_ok:
+        staged = result.transport_stats.get(
+            "fleet.transport.bytes.staged", 0
+        )
+        consumed = result.transport_stats.get(
+            "fleet.transport.bytes.consumed", 0
+        )
+        discarded = result.transport_stats.get(
+            "fleet.transport.bytes.discarded", 0
+        )
+        failures.append(
+            "fleet: transport byte conservation violated — staged "
+            f"{staged} != consumed {consumed} + discarded {discarded}"
         )
     return failures
 

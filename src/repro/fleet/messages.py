@@ -9,6 +9,14 @@ encode_trace_chunk`), the exact bytes the worker's own write-ahead
 journal stores, so the wire format and the replay format can never
 drift apart.
 
+How those chunk payloads cross the process boundary is the transport
+layer's business (:mod:`repro.fleet.transport`): a RUN request carries
+``(RUN, round_index, wire)`` where ``wire`` is either ``("inline",
+[payload, ...])`` (pipe transport) or ``("shm", [descriptor, ...])``
+(shared-memory ring slots, payload bytes never pickled).  Replies are
+shaped the same way.  :func:`decode_round` accepts any buffers the
+chunk codec accepts — bytes or zero-copy memoryviews over a ring.
+
 The vocabulary is deliberately tiny and synchronous (one request, one
 reply) — supervision lives entirely in the coordinator, and a worker
 that dies mid-request is detected by EOF/timeout on the pipe, not by a
@@ -57,6 +65,12 @@ STOP = "stop"
 OK = "ok"
 ERR = "err"
 
+#: Marker prefix on ERR messages caused by the bulk transport (torn
+#: ring slot, unmappable descriptor).  The coordinator treats these as
+#: "fall back to the pipe transport and re-send the round", not as a
+#: refused request.
+TRANSPORT_ERR = "transport: "
+
 
 def encode_round(
     round_index: int,
@@ -85,9 +99,15 @@ def encode_round(
 
 
 def decode_round(
-    round_index: int, payloads: Sequence[bytes]
+    round_index: int, payloads: Sequence
 ) -> Dict[str, Tuple[BranchEvent, ...]]:
-    """Reassemble a round's per-tenant traces from chunk payloads."""
+    """Reassemble a round's per-tenant traces from chunk payloads.
+
+    ``payloads`` may be ``bytes`` or any buffer-protocol objects
+    (e.g. memoryviews over a shared-memory ring) — the chunk codec
+    maps columns with ``np.frombuffer`` either way, so the shm path
+    materialises events without an intermediate copy.
+    """
     pending: Dict[str, List[BranchEvent]] = {}
     for payload in payloads:
         chunk = decode_trace_chunk(payload)

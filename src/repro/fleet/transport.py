@@ -1,0 +1,600 @@
+"""Pluggable coordinator <-> worker transport (docs/FLEET.md §5).
+
+Round dispatches used to cross the coordinator/worker boundary as
+pickled TRACE_CHUNK payload lists inside the duplex pipe — one
+serialize and several copies per round, a tax that grows linearly with
+offered load.  This module makes the bulk-byte path pluggable:
+
+- :class:`PipeCoordinatorTransport` / :class:`PipeWorkerTransport` —
+  the original path, payloads and replies ride the pipe inside the
+  pickled request/reply tuples (portable baseline and fallback).
+- :class:`ShmCoordinatorTransport` / :class:`ShmWorkerTransport` —
+  zero-copy: one round's payloads are written **once** into a
+  per-shard :class:`ShmRing` (a ``multiprocessing.shared_memory``
+  segment) as a single batched journal-format record, and the pipe
+  carries only a tiny slot descriptor plus the per-chunk lengths.
+  The worker validates the slot (CRC + sequence — the durability
+  layer's integrity vocabulary, torn slots detected exactly like torn
+  WAL records, one contiguous CRC pass for the whole round), splits
+  it into zero-copy per-chunk views, and maps the columnar
+  TRACE_CHUNK arrays as numpy views straight over the ring.  Round
+  replies come back through a second ring the same way.
+
+Control messages — PING heartbeats, HEALTH, COUNTERS, EVICT/ADOPT,
+ARM_KILL, STOP — always stay on the pipe: they are tiny, and the pipe
+is the liveness channel the supervisor watches.
+
+Fallback matrix (never drop a round):
+
+- ring creation fails (platform without shm, exhausted ``/dev/shm``)
+  → the shard is built on the pipe transport;
+- the worker cannot attach the ring (stale name after an exec-style
+  spawn failure) → it serves with the pipe transport and answers the
+  first shm descriptor with a ``transport:`` ERR, which the
+  coordinator converts into a permanent per-shard pipe fallback and an
+  immediate re-send of the same round;
+- a round larger than the ring's free space spills inline onto the
+  pipe whole (counted per payload) — backpressure without loss;
+- a torn reply slot is treated like a dead shard: restart +
+  reconcile, so the round is fetched (never recomputed) — exactly-once
+  delivery survives transport corruption.
+
+Every transition is a ``fleet.transport.*`` counter, and staged bytes
+obey the conservation law the eval harness asserts::
+
+    fleet.transport.bytes.staged ==
+        fleet.transport.bytes.consumed + fleet.transport.bytes.discarded
+
+where ``consumed`` is the byte count the *worker* reports back per
+round (an end-to-end receipt, not coordinator bookkeeping) and
+``discarded`` covers rounds whose worker died or refused before
+consuming them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import struct
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.durability.journal import (
+    read_record_from,
+    record_size,
+    write_record_into,
+)
+from repro.errors import JournalCorruptionError, TransportError
+
+#: Registered transport selectors (``FleetConfig.transport``).
+TRANSPORT_NAMES = ("pipe", "shm")
+
+#: Ring record kinds (the journal header's ``kind`` byte; values are
+#: disjoint from :class:`~repro.durability.journal.RecordKind` so a
+#: slot can never be mistaken for an on-disk WAL record).
+SLOT_KIND_CHUNK = 0x51
+SLOT_KIND_REPLY = 0x52
+
+#: Wire tags inside RUN requests / replies.
+WIRE_INLINE = "inline"
+WIRE_SHM = "shm"
+
+#: Default per-ring capacity.  One monitoring round's payloads must fit
+#: or the remainder spills inline, so size this to the largest round.
+DEFAULT_RING_BYTES = 1 << 22
+
+#: ``magic | capacity`` segment header ahead of the data region.
+_RING_HEADER = struct.Struct("<8sQ")
+_RING_MAGIC = b"RFLTRNG1"
+
+#: Distinguishes segments of fleets sharing one coordinator process.
+_RING_SERIAL = itertools.count()
+
+
+def _attach_untracked(name: str):
+    """Attach a segment without registering it for cleanup.
+
+    Python < 3.13 registers *every* attach with the resource tracker
+    (there is no ``track=False`` yet), which would unlink the segment
+    out from under the coordinator when the first worker exits — and
+    the tracker cache is shared across the process tree, so
+    unregistering after the fact would strip the owner's registration
+    too.  Suppress registration for just this call instead: the
+    coordinator owns the lifetime, workers only borrow a mapping.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class ShmRing:
+    """Single-producer single-consumer ring of journal-format records.
+
+    Slot layout *is* the WAL record layout::
+
+        [u32 length][u32 crc32][u64 sequence][u8 kind][payload ...]
+
+    so torn-slot detection (CRC over the body, strictly monotonic
+    sequence numbers) reuses the durability layer's validators
+    verbatim.  Descriptors — ``(sequence, offset)`` pairs — ride the
+    pipe, so the consumer seeks straight to its slots; the ring itself
+    carries no cursor state and a half-written slot can never be
+    silently consumed.
+
+    The fleet's request/reply protocol is strictly alternating (one
+    round in flight per shard), so the producer frees *all* staged
+    slots at the next round boundary (:meth:`free_all`) instead of
+    tracking per-slot acknowledgements.  Records wrap to offset 0 when
+    they would cross the end of the data region (slots stay contiguous
+    for zero-copy mapping); a record that exceeds the free space is
+    refused (:meth:`try_stage` returns ``None``) and the caller spills
+    its payloads inline — backpressure without loss.
+    """
+
+    def __init__(self, shm, capacity: int, owner: bool) -> None:
+        self._shm = shm
+        self.capacity = capacity
+        self._owner = owner
+        self.data = memoryview(shm.buf)[
+            _RING_HEADER.size:_RING_HEADER.size + capacity
+        ]
+        self.next_sequence = 0
+        self._write_offset = 0
+        self._used = 0
+        self.wraps = 0
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, name: str, capacity: int) -> "ShmRing":
+        from multiprocessing import shared_memory
+
+        if capacity < 4096:
+            raise TransportError(
+                f"ring capacity must be >= 4096 bytes, got {capacity}"
+            )
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=_RING_HEADER.size + capacity
+            )
+        except Exception as error:
+            raise TransportError(
+                f"cannot create shared-memory ring {name!r}: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        _RING_HEADER.pack_into(shm.buf, 0, _RING_MAGIC, capacity)
+        ring = cls(shm, capacity, owner=True)
+        # Prefault the data region: staging must never eat first-touch
+        # page faults on the hot path (~100 us per round otherwise).
+        ring.data[:] = bytes(capacity)
+        return ring
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        try:
+            shm = _attach_untracked(name)
+        except Exception as error:
+            raise TransportError(
+                f"cannot attach shared-memory ring {name!r}: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        magic, capacity = _RING_HEADER.unpack_from(shm.buf, 0)
+        if magic != _RING_MAGIC:
+            shm.close()
+            raise TransportError(
+                f"segment {name!r} is not a fleet ring (bad magic)"
+            )
+        return cls(shm, int(capacity), owner=False)
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.data.release()
+        except BufferError:
+            pass
+        try:
+            self._shm.close()
+        except BufferError:
+            # A consumer still holds payload views; process exit (or
+            # the views' refcount hitting zero) reclaims the mapping.
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- producer -----------------------------------------------------------
+
+    def try_stage(
+        self, kind: int, payload, payload_crc: Optional[int] = None
+    ) -> Optional[Tuple[int, int]]:
+        """Write one record; returns ``(sequence, offset)`` or ``None``.
+
+        ``payload`` is one buffer or a list of buffers written
+        back-to-back as a single record (one header, one CRC pass for
+        a whole round's chunks).  ``None`` means the ring cannot take
+        the record before the next :meth:`free_all` — full-ring
+        backpressure; the caller spills the payloads inline instead of
+        losing them.
+
+        Slot CRCs use the payload-first composition so payloads tagged
+        once (``zlib.crc32`` chained across the parts, e.g. at
+        TRACE_CHUNK assembly) cost only a 9-byte hash to stage.
+        """
+        length = (
+            sum(len(part) for part in payload)
+            if isinstance(payload, (list, tuple))
+            else len(payload)
+        )
+        total = record_size(length)
+        offset = self._write_offset
+        used = self._used
+        if offset + total > self.capacity:
+            pad = self.capacity - offset
+            if used + pad + total > self.capacity:
+                return None
+            used += pad
+            offset = 0
+            self.wraps += 1
+        elif used + total > self.capacity:
+            return None
+        if payload_crc is None:
+            # Readers always validate the payload-first composition,
+            # so untagged payloads are chained here, not in the writer.
+            parts = (
+                payload
+                if isinstance(payload, (list, tuple))
+                else (payload,)
+            )
+            payload_crc = 0
+            for part in parts:
+                payload_crc = zlib.crc32(part, payload_crc)
+        sequence = self.next_sequence
+        write_record_into(
+            self.data, offset, sequence, kind, payload, payload_crc
+        )
+        self.next_sequence += 1
+        self._write_offset = offset + total
+        self._used = used + total
+        return sequence, offset
+
+    def free_all(self) -> None:
+        """Round boundary: every staged slot has been consumed (or the
+        round was discarded) — reclaim the whole data region and park
+        the write cursor back at 0, so steady-state rounds rewrite the
+        same warm pages instead of faulting fresh ones.  Sequence
+        numbers keep advancing, so a recycled offset can never satisfy
+        a stale descriptor."""
+        self._used = 0
+        self._write_offset = 0
+
+    # -- consumer -----------------------------------------------------------
+
+    def read(
+        self,
+        sequence: int,
+        offset: int,
+        kind: int,
+        payload_crc: Optional[int] = None,
+        length: Optional[int] = None,
+    ):
+        """Validate the slot at ``offset`` and return its payload view.
+
+        Zero-copy: the returned memoryview aliases the ring.  A torn
+        slot — truncated header, CRC mismatch, stale sequence — raises
+        :class:`TransportError` (wrapping the journal's corruption
+        taxonomy) rather than returning bytes that cannot be trusted.
+
+        When the descriptor carried the writer's payload tag
+        (``payload_crc``), verification is tiered: the stored header
+        CRC is checked against ``crc32(prefix, payload_crc)``, and the
+        stored ``length`` — the one header field outside CRC coverage
+        — against the descriptor's ``length``, so every header tear is
+        caught without re-hashing the payload.  That is sufficient in
+        the live protocol: a slot is only ever read after its
+        descriptor arrived through the pipe, the write completed
+        before the descriptor was sent (the pipe syscall is the
+        barrier), sequence numbers are strictly monotonic, and rings
+        are fresh per worker generation — so a torn payload under an
+        intact, in-sequence header is not observable.  Without a tag
+        the whole body is hashed, exactly like a WAL segment scan.
+        """
+        try:
+            got_sequence, got_kind, payload, _ = read_record_from(
+                self.data,
+                offset,
+                expected_sequence=sequence,
+                payload_first_crc=True,
+                payload_crc=payload_crc,
+                expected_payload_length=length,
+            )
+        except JournalCorruptionError as error:
+            raise TransportError(
+                f"torn ring slot (seq {sequence}, offset {offset}): {error}"
+            ) from error
+        if got_kind != kind:
+            raise TransportError(
+                f"ring slot at offset {offset} has kind {got_kind:#x}, "
+                f"expected {kind:#x}"
+            )
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class CoordinatorTransport:
+    """Coordinator half of the transport contract.
+
+    ``stage`` turns one round's TRACE_CHUNK payloads into the picklable
+    wire object that rides the RUN request; ``fetch_reply`` turns the
+    reply wire object back into the worker's reply dict.  ``spec()``
+    is the picklable descriptor handed to ``worker_main`` so the child
+    process can build its matching half.
+    """
+
+    name = "pipe"
+
+    def spec(self) -> tuple:
+        raise NotImplementedError
+
+    def stage(
+        self,
+        payloads: Sequence[bytes],
+        crc: Optional[int] = None,
+    ):
+        """Turn one round's payloads into the RUN wire object.
+
+        ``crc`` is an optional pre-computed ``zlib.crc32`` tag chained
+        across the payloads in order (the CRC of their concatenation)
+        — computed once at dispatch assembly and reused across
+        retries, so the shm path hashes only the slot prefix on the
+        hot path.  Transports that don't tag slots ignore it.
+        """
+        raise NotImplementedError
+
+    def fetch_reply(self, wire):
+        raise NotImplementedError
+
+    def take_stats(self) -> Dict[str, int]:
+        """Drain transport-internal event deltas (wraps, spills)."""
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+class PipeCoordinatorTransport(CoordinatorTransport):
+    """Original path: payloads pickled into the RUN request itself."""
+
+    name = "pipe"
+
+    def spec(self) -> tuple:
+        return ("pipe",)
+
+    def stage(
+        self,
+        payloads: Sequence[bytes],
+        crc: Optional[int] = None,
+    ):
+        return (WIRE_INLINE, list(payloads))
+
+    def fetch_reply(self, wire):
+        tag, body = wire
+        if tag != WIRE_INLINE:
+            raise TransportError(
+                f"pipe transport cannot fetch a {tag!r} reply"
+            )
+        return body
+
+
+class ShmCoordinatorTransport(CoordinatorTransport):
+    """Shared-memory rings: payloads out via ``c2w``, replies back via
+    ``w2c``; the pipe carries only descriptors."""
+
+    name = "shm"
+
+    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES) -> None:
+        label = f"rfleet-{os.getpid()}-{next(_RING_SERIAL)}"
+        self.c2w = ShmRing.create(f"{label}-c2w", ring_bytes)
+        try:
+            self.w2c = ShmRing.create(f"{label}-w2c", ring_bytes)
+        except TransportError:
+            self.c2w.close()
+            raise
+        self._spills = 0
+        self._wraps_reported = 0
+
+    def spec(self) -> tuple:
+        return ("shm", self.c2w.name, self.w2c.name)
+
+    def stage(
+        self,
+        payloads: Sequence[bytes],
+        crc: Optional[int] = None,
+    ):
+        """One batched slot per round: the chunks are copied
+        back-to-back into a single ring record, and the wire carries
+        ``(tag, sequence, offset, lengths)`` — one header write, one
+        contiguous CRC pass on the worker, and the per-chunk split
+        costs only zero-copy view slicing.  A round that does not fit
+        the ring spills inline whole."""
+        payloads = list(payloads)
+        if not payloads:
+            return (WIRE_INLINE, payloads)
+        if crc is None:
+            crc = 0
+            for payload in payloads:
+                crc = zlib.crc32(payload, crc)
+        self.c2w.free_all()
+        slot = self.c2w.try_stage(SLOT_KIND_CHUNK, payloads, crc)
+        if slot is None:
+            self._spills += len(payloads)
+            return (WIRE_INLINE, payloads)
+        # The payload tag rides the descriptor over the reliable pipe,
+        # so the worker verifies the slot header against it instead of
+        # re-hashing the payload bytes (see :meth:`ShmRing.read`).
+        return (
+            WIRE_SHM,
+            slot[0],
+            slot[1],
+            [len(payload) for payload in payloads],
+            crc,
+        )
+
+    def fetch_reply(self, wire):
+        if wire[0] == WIRE_INLINE:
+            return wire[1]
+        _, (sequence, offset), length, payload_crc = wire
+        view = self.w2c.read(
+            sequence,
+            offset,
+            SLOT_KIND_REPLY,
+            payload_crc=payload_crc,
+            length=length,
+        )
+        try:
+            return pickle.loads(view)
+        finally:
+            view.release()
+
+    def take_stats(self) -> Dict[str, int]:
+        stats = {}
+        if self._spills:
+            stats["spills"] = self._spills
+            self._spills = 0
+        wraps = self.c2w.wraps - self._wraps_reported
+        if wraps:
+            stats["wraps"] = wraps
+            self._wraps_reported = self.c2w.wraps
+        return stats
+
+    def close(self) -> None:
+        self.c2w.close()
+        self.w2c.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class WorkerTransport:
+    """Worker half: ``fetch`` maps a RUN wire object to payload
+    buffers (bytes or zero-copy ring views), ``stage_reply`` turns the
+    reply dict into the wire object sent back with OK.
+
+    ``stage_reply`` mirrors the request's channel (``request_tag``): a
+    round that arrived inline is answered inline even when a reply
+    ring exists, so a coordinator that fell back to the pipe mid-life
+    never receives a descriptor it can no longer map.
+    """
+
+    name = "pipe"
+
+    def fetch(self, wire) -> List:
+        raise NotImplementedError
+
+    def stage_reply(self, reply, request_tag: str = WIRE_SHM):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class PipeWorkerTransport(WorkerTransport):
+    name = "pipe"
+
+    def fetch(self, wire) -> List:
+        if wire[0] != WIRE_INLINE:
+            raise TransportError(
+                "worker has no ring attached for a shm descriptor"
+            )
+        return list(wire[1])
+
+    def stage_reply(self, reply, request_tag: str = WIRE_SHM):
+        return (WIRE_INLINE, reply)
+
+
+class ShmWorkerTransport(WorkerTransport):
+    name = "shm"
+
+    def __init__(self, c2w: ShmRing, w2c: ShmRing) -> None:
+        self.c2w = c2w
+        self.w2c = w2c
+
+    @classmethod
+    def attach(cls, spec: tuple) -> "ShmWorkerTransport":
+        _, c2w_name, w2c_name = spec
+        c2w = ShmRing.attach(c2w_name)
+        try:
+            w2c = ShmRing.attach(w2c_name)
+        except TransportError:
+            c2w.close()
+            raise
+        return cls(c2w, w2c)
+
+    def fetch(self, wire) -> List:
+        if wire[0] == WIRE_INLINE:
+            return list(wire[1])
+        _, sequence, offset, lengths, payload_crc = wire
+        view = self.c2w.read(
+            sequence,
+            offset,
+            SLOT_KIND_CHUNK,
+            payload_crc=payload_crc,
+            length=sum(lengths),
+        )
+        buffers: List = []
+        start = 0
+        for length in lengths:
+            buffers.append(view[start:start + length])
+            start += length
+        return buffers
+
+    def stage_reply(self, reply, request_tag: str = WIRE_SHM):
+        if request_tag == WIRE_INLINE:
+            return (WIRE_INLINE, reply)
+        self.w2c.free_all()
+        payload = pickle.dumps(reply, pickle.HIGHEST_PROTOCOL)
+        payload_crc = zlib.crc32(payload)
+        slot = self.w2c.try_stage(SLOT_KIND_REPLY, payload, payload_crc)
+        if slot is None:
+            return (WIRE_INLINE, reply)
+        return (WIRE_SHM, slot, len(payload), payload_crc)
+
+    def close(self) -> None:
+        self.c2w.close()
+        self.w2c.close()
+
+
+def make_worker_transport(spec: tuple) -> WorkerTransport:
+    """Build the worker half from its picklable spec.
+
+    Attach failure degrades to the pipe transport instead of killing
+    the worker: the first shm descriptor it cannot serve draws a
+    ``transport:`` ERR, and the coordinator falls back shard-wide.
+    """
+    if spec and spec[0] == "shm":
+        try:
+            return ShmWorkerTransport.attach(spec)
+        except TransportError:
+            return PipeWorkerTransport()
+    return PipeWorkerTransport()

@@ -19,6 +19,7 @@ does not describe.
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Callable, List, Optional, Sequence
 
@@ -27,8 +28,10 @@ from repro.durability.journal import (
     RecordKind,
     encode_json_payload,
 )
+from repro.errors import TransportError
 from repro.faults.crashpoints import SigkillInjector
 from repro.fleet import messages
+from repro.fleet.transport import make_worker_transport
 from repro.obs import MetricsRegistry
 from repro.soc.manager import Deployment, SocManager
 
@@ -80,21 +83,53 @@ def worker_main(
     tenant_names: Sequence[str],
     journal_dir: str,
     manager_kwargs: Optional[dict] = None,
+    transport_spec: tuple = ("pipe",),
 ) -> None:
     """Child-process entry: serve requests until STOP or death."""
     manager = build_manager(
         factory, tenant_names, journal_dir, manager_kwargs
     )
+    transport = make_worker_transport(transport_spec)
+    try:
+        _serve(conn, manager, factory, transport)
+    finally:
+        transport.close()
+
+
+def _serve(conn, manager: SocManager, factory, transport) -> None:
     while True:
         try:
+            # Block in poll (not recv) so the recv below times only
+            # the drain of an already-arrived request, never the wait
+            # for one — and time it with the thread CPU clock, so a
+            # scheduler preemption mid-drain (routine on
+            # core-constrained hosts) is not billed to the transport.
+            conn.poll(None)
+            recv_started_ns = time.thread_time_ns()
             request = conn.recv()
+            recv_ns = time.thread_time_ns() - recv_started_ns
         except (EOFError, OSError):
             return  # coordinator went away; nothing left to serve
         verb, args = request[0], request[1:]
         try:
             if verb == messages.RUN:
-                round_index, payloads = args
-                traces = messages.decode_round(round_index, payloads)
+                round_index, wire = args
+                try:
+                    fetch_started_ns = time.thread_time_ns()
+                    buffers = transport.fetch(wire)
+                    fetch_ns = time.thread_time_ns() - fetch_started_ns
+                except TransportError as error:
+                    # Torn slot or unmappable descriptor: nothing was
+                    # run, the round is intact on the coordinator.
+                    # Signal it to fall back to the pipe and re-send.
+                    conn.send(
+                        (messages.ERR, messages.TRANSPORT_ERR + str(error))
+                    )
+                    continue
+                consumed = sum(len(buffer) for buffer in buffers)
+                started_ns = time.perf_counter_ns()
+                traces = messages.decode_round(round_index, buffers)
+                del buffers  # drop ring views before the slots recycle
                 records = manager.run_events(traces)
                 reply = {
                     "round": round_index,
@@ -104,8 +139,23 @@ def worker_main(
                         name: health.value
                         for name, health in manager.health().items()
                     },
+                    # End-to-end transport receipt + the compute share
+                    # of the coordinator's wall clock (decode + run),
+                    # so transport time = wall - compute on both paths;
+                    # recv_ns/fetch_ns are the worker's shares of the
+                    # coordinator->worker byte path (post-poll drain +
+                    # payload materialisation), measured on the thread
+                    # CPU clock: no idle waiting, no preempting
+                    # neighbour's slice, and no cross-process clock
+                    # comparison for the coordinator's sum.
+                    "consumed_bytes": consumed,
+                    "compute_ns": time.perf_counter_ns() - started_ns,
+                    "recv_ns": recv_ns,
+                    "fetch_ns": fetch_ns,
                 }
-                conn.send((messages.OK, reply))
+                conn.send(
+                    (messages.OK, transport.stage_reply(reply, wire[0]))
+                )
             elif verb == messages.PING:
                 conn.send((messages.OK, args[0]))
             elif verb == messages.HEALTH:

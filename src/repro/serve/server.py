@@ -70,6 +70,7 @@ SERVE_COUNTERS = (
     "serve.verdicts",
     "serve.breaker.trips",
     "serve.breaker.recoveries",
+    "serve.route.updates",
 )
 
 #: Shed reasons (counter suffixes and SHED-frame ``reason`` values).
@@ -294,6 +295,14 @@ class IngestServer:
         #: any traffic (the chaos harness compares these against a
         #: fault-free reference).
         self.last_records: Dict[str, List] = {}
+        #: Sticky tenant->shard routing table, mirrored from a fleet
+        #: manager's placement (empty for a solo SocManager).  Updated
+        #: atomically at round boundaries only — mid-round the front
+        #: door keeps answering with the placement the round started
+        #: with, the contract docs/SERVING.md documents.
+        self.routes: Dict[str, int] = {}
+        self.route_epoch = -1
+        self._sync_routes()
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -317,6 +326,26 @@ class IngestServer:
         self.counts[name] += amount
         self._m[name].inc(amount)
 
+    def _sync_routes(self) -> None:
+        """Adopt the fleet's routing table if its epoch moved.
+
+        One atomic swap per placement change: the fleet only mutates
+        placement at round boundaries (load rebalancing and crash-loop
+        migration both route through the same handoff primitive), so
+        polling the epoch here — at the server's own round boundary —
+        observes every generation exactly once.  Solo managers have no
+        routing table and keep ``routes`` empty.
+        """
+        table = getattr(self.manager, "routing_table", None)
+        if table is None:
+            return
+        epoch = int(getattr(self.manager, "placement_epoch", 0))
+        if epoch == self.route_epoch:
+            return
+        self.routes = dict(table())
+        self.route_epoch = epoch
+        self._count("serve.route.updates")
+
     def stats(self) -> Dict[str, object]:
         """Counter snapshot plus breaker states (plain dict)."""
         out: Dict[str, object] = dict(self.counts)
@@ -325,6 +354,8 @@ class IngestServer:
             name: breaker.state.value
             for name, breaker in self.breakers.items()
         }
+        out["routes"] = dict(self.routes)
+        out["route_epoch"] = self.route_epoch
         return out
 
     def shed_total(self) -> int:
@@ -841,6 +872,10 @@ class IngestServer:
             self._count("serve.breaker.trips", trips)
         if recoveries:
             self._count("serve.breaker.recoveries", recoveries)
+        # Round boundary: if the fleet migrated tenants during this
+        # round's run_events (or a supervision sweep), adopt the new
+        # placement in one swap before the next frame is admitted.
+        self._sync_routes()
         self._m_queue.set(self.admission.queued_events)
         return total_events
 

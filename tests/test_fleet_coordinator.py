@@ -42,12 +42,12 @@ def _traces(round_index, names=None):
     }
 
 
-def _fleet(num_shards=2, names=None, **kwargs):
+def _fleet(num_shards=2, names=None, config=None, **kwargs):
     return FleetCoordinator(
         demo_factory,
         names or _names(),
         tempfile.mkdtemp(prefix="repro-fleet-test-"),
-        FleetConfig(num_shards=num_shards),
+        config or FleetConfig(num_shards=num_shards),
         **kwargs,
     )
 
@@ -113,6 +113,92 @@ class TestEquivalence:
                     (bool(r.anomalous), float(r.score))
                     for r in reference[name]
                 ]
+
+
+class TestTransports:
+    def _run(self, transport, num_shards=2, rounds=2):
+        config = FleetConfig(num_shards=num_shards, transport=transport)
+        with _fleet(config=config) as fleet:
+            logs = [
+                _signatures(fleet.run_events(_traces(r)))
+                for r in range(rounds)
+            ]
+            counters = fleet.counters()
+            stats = fleet.transport_stats()
+            names = fleet.transport_names()
+        return logs, counters, stats, names
+
+    def test_pipe_and_shm_runs_are_bit_identical(self):
+        """The transport moves bytes; it must never change them.  Same
+        workload over the pipe and over the rings: record signatures
+        (timestamps and sequence numbers included) and the merged
+        counter snapshot compare equal."""
+        pipe = self._run("pipe")
+        shm = self._run("shm")
+        assert shm[3] == {0: "shm", 1: "shm"}, "shm attach fell back"
+        assert pipe[0] == shm[0]  # per-round record signatures
+        assert pipe[1] == shm[1]  # merged counters (identity surface)
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_bytes_conservation_per_transport(self, num_shards):
+        for transport in ("pipe", "shm"):
+            _, _, stats, _ = self._run(
+                transport, num_shards=num_shards, rounds=1
+            )
+            staged = stats["fleet.transport.bytes.staged"]
+            assert staged > 0
+            assert staged == (
+                stats["fleet.transport.bytes.consumed"]
+                + stats["fleet.transport.bytes.discarded"]
+            )
+
+    def test_undersized_ring_spills_inline_without_loss(self):
+        """A round bigger than the ring rides the pipe whole — same
+        records, spill counted, conservation intact."""
+        reference, _, _, _ = self._run("pipe", rounds=1)
+        config = FleetConfig(
+            num_shards=2, transport="shm", shm_ring_bytes=4096
+        )
+        with _fleet(config=config) as fleet:
+            logs = [_signatures(fleet.run_events(_traces(0)))]
+            stats = fleet.transport_stats()
+        assert logs == reference
+        assert stats["fleet.transport.payloads.inline"] > 0
+        assert stats["fleet.transport.bytes.staged"] == (
+            stats["fleet.transport.bytes.consumed"]
+            + stats["fleet.transport.bytes.discarded"]
+        )
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+class TestStartMethods:
+    """The fleet must not assume fork inheritance: a spawned worker
+    rebuilds everything from the pickled ``worker_main`` args (factory,
+    tenant list, journal dir, transport spec).  Keyed so CI can select
+    the portable path alone with ``-k spawn``."""
+
+    def test_round_trip_matches_solo_reference(self, start_method):
+        traces = _traces(0)
+        solo = SocManager(
+            demo_factory(_names(), kind=KIND), metrics=MetricsRegistry()
+        )
+        reference = solo.run_events(traces)
+        config = FleetConfig(num_shards=2, start_method=start_method)
+        with _fleet(config=config) as fleet:
+            records = fleet.run_events(traces)
+            counters = fleet.counters()
+            names = fleet.transport_names()
+        assert names == {0: "shm", 1: "shm"}
+        for name in _names():
+            assert [
+                (bool(r.anomalous), float(r.score))
+                for r in records[name]
+            ] == [
+                (bool(r.anomalous), float(r.score))
+                for r in reference[name]
+            ]
+        assert counters["fleet.rounds.admitted"] == 2
+        assert counters["fleet.restarts"] == 0
 
 
 class TestCountersAndSurface:

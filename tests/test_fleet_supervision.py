@@ -20,6 +20,8 @@ import os
 import signal
 import tempfile
 
+import pytest
+
 from repro.errors import Backoff
 from repro.eval.metrics import demo_events
 from repro.eval.recovery import record_signature
@@ -34,11 +36,16 @@ EVENTS = 200
 KILL_SITE = "wal.chunk.done"  # inputs journaled, round uncommitted
 
 #: Fast supervision config for tests: restart almost immediately.
-CONFIG = FleetConfig(
-    num_shards=2,
-    max_restarts=1,
-    backoff=Backoff(base_s=0.01, cap_s=0.05, label="test.restart"),
-)
+def _config(**overrides):
+    return FleetConfig(
+        num_shards=2,
+        max_restarts=1,
+        backoff=Backoff(base_s=0.01, cap_s=0.05, label="test.restart"),
+        **overrides,
+    )
+
+
+CONFIG = _config()
 
 
 def _names():
@@ -54,12 +61,12 @@ def _traces(round_index):
     }
 
 
-def _fleet(factory=demo_factory):
+def _fleet(factory=demo_factory, config=CONFIG):
     return FleetCoordinator(
         factory,
         _names(),
         tempfile.mkdtemp(prefix="repro-fleet-sup-"),
-        CONFIG,
+        config,
     )
 
 
@@ -86,9 +93,12 @@ def _assert_conservation(counters):
 
 
 class TestMidRoundKill:
-    def test_armed_sigkill_recovers_without_losing_the_round(self):
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_armed_sigkill_recovers_without_losing_the_round(
+        self, start_method
+    ):
         rounds = [_traces(r) for r in range(3)]
-        with _fleet() as fleet:
+        with _fleet(config=_config(start_method=start_method)) as fleet:
             placement = {
                 shard.id: list(shard.tenants) for shard in fleet.shards
             }
@@ -101,6 +111,7 @@ class TestMidRoundKill:
             logs.append(fleet.run_events(rounds[2]))
             counts = dict(fleet.counts)
             counters = fleet.counters()
+            stats = fleet.transport_stats()
 
         assert counts["fleet.restarts"] == 1
         assert counts["fleet.rounds.refed"] == 1
@@ -108,6 +119,16 @@ class TestMidRoundKill:
         assert counts["fleet.rounds.admitted"] == 6  # 3 rounds x 2
         assert counters["fleet.rounds.replayed"] >= 1  # WAL replay ran
         _assert_conservation(counters)
+
+        # The kill landed with a shm slot in flight: its staged bytes
+        # are discarded (never double-consumed), the restarted worker
+        # gets a fresh ring pair, and the byte ledger still balances.
+        assert stats["fleet.transport.bytes.discarded"] > 0
+        assert stats["fleet.transport.shm.reinits"] >= 1
+        assert stats["fleet.transport.bytes.staged"] == (
+            stats["fleet.transport.bytes.consumed"]
+            + stats["fleet.transport.bytes.discarded"]
+        )
 
         # Zero lost rounds, byte-identical to a fault-free solo manager
         # of the same topology — killed shard's tenants included.
